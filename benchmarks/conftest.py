@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts (DESIGN.md §3)
+or runs one of the ablation studies (A1–A6).  Besides wall-clock timing
+(pytest-benchmark), each bench attaches the *reproduced values* to
+``benchmark.extra_info`` so that ``--benchmark-json`` output contains the
+full paper-vs-measured record used to fill EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checking import CheckOptions, EvaluationContext, MFModelChecker
+from repro.models.virus import SETTING_1, SETTING_2, virus_model
+
+#: The occupancy vectors of the two worked examples.
+M_EXAMPLE_1 = np.array([0.8, 0.15, 0.05])
+M_EXAMPLE_2 = np.array([0.85, 0.1, 0.05])
+
+
+@pytest.fixture(scope="session")
+def virus1():
+    return virus_model(SETTING_1)
+
+
+@pytest.fixture(scope="session")
+def virus2():
+    return virus_model(SETTING_2)
+
+
+@pytest.fixture()
+def checker1(virus1):
+    return MFModelChecker(virus1)
+
+
+@pytest.fixture()
+def checker1_phi1(virus1):
+    return MFModelChecker(virus1, CheckOptions(start_convention="phi1"))
+
+
+@pytest.fixture()
+def checker2(virus2):
+    return MFModelChecker(virus2)
+
+
+@pytest.fixture()
+def ctx1(virus1):
+    return EvaluationContext(virus1, M_EXAMPLE_1)
+
+
+@pytest.fixture()
+def ctx2(virus2):
+    return EvaluationContext(virus2, M_EXAMPLE_2)
+
+
+def record(benchmark, **values):
+    """Attach paper-vs-measured values to the benchmark JSON record."""
+    for key, value in values.items():
+        if isinstance(value, (np.floating, np.integer)):
+            value = float(value)
+        elif isinstance(value, np.ndarray):
+            value = value.tolist()
+        benchmark.extra_info[key] = value

@@ -1,0 +1,60 @@
+"""A1 — Kurtz convergence: finite-N simulation vs the mean-field ODE.
+
+The mean-field method's foundation (Theorem 1): the empirical occupancy
+of the N-object system converges to the ODE solution.  This bench sweeps
+N and records the RMS error, which should decay like ~1/sqrt(N), and
+times the two routes (one Gillespie run vs one ODE solve) to show the
+mean-field speed advantage that motivates the whole paper.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, record
+from repro.meanfield.simulation import FiniteNSimulator, occupancy_rmse
+
+HORIZON = 4.0
+POPULATIONS = (50, 200, 800, 3200)
+
+
+def test_error_vs_population(benchmark, virus1):
+    trajectory = virus1.trajectory(M_EXAMPLE_1, horizon=HORIZON)
+
+    def sweep():
+        errors = {}
+        for n in POPULATIONS:
+            sim = FiniteNSimulator(virus1.local, n)
+            ensemble = sim.simulate_ensemble(
+                M_EXAMPLE_1, HORIZON, runs=5, seed=13
+            )
+            errors[n] = float(
+                np.mean([occupancy_rmse(e, trajectory) for e in ensemble])
+            )
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, rms_errors=errors, populations=list(POPULATIONS))
+    print("\nN -> RMSE:", {n: round(e, 4) for n, e in errors.items()})
+    # Error decays with N (the headline claim of mean-field analysis).
+    values = [errors[n] for n in POPULATIONS]
+    assert values[-1] < values[0] / 3.0
+
+
+def test_mean_field_solve_cost(benchmark, virus1):
+    def solve():
+        return virus1.trajectory(M_EXAMPLE_1, horizon=HORIZON)(HORIZON)
+
+    benchmark(solve)
+
+
+def test_simulation_cost_n3200(benchmark, virus1):
+    sim = FiniteNSimulator(virus1.local, 3200)
+    rng_seed = [0]
+
+    def run():
+        rng_seed[0] += 1
+        return sim.simulate(
+            M_EXAMPLE_1, HORIZON, rng=np.random.default_rng(rng_seed[0])
+        )
+
+    emp = benchmark.pedantic(run, rounds=3, iterations=1)
+    record(benchmark, events=len(emp.times) - 2, population=3200)

@@ -1,0 +1,97 @@
+"""E1/E2 — the paper's first worked example (Section VI, Setting 1).
+
+Regenerates:
+
+- the transient matrix Π'(0,1) of the modified chain (paper prints
+  ((0.91, 0.09, 0), …); measured (0.9576, 0.0424, 0) under the printed
+  Table II — see EXPERIMENTS.md for the discrepancy analysis);
+- Prob(s, ¬infected U[0,1] infected, m̄) per state — paper (0.09, 0, 0)
+  under its Φ1-start convention;
+- the EP value (paper 0.072 = 0.8·0.09; measured 0.0339 = 0.8·0.0424)
+  and the verdict m̄ ⊨ EP_{<0.3}(…), which matches the paper under both
+  conventions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, record
+from repro.checking.reachability import until_probabilities_simple
+from repro.checking.transform import absorbing_generator_function
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+from repro.logic.ast import TimeInterval
+
+FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+INFECTED = frozenset({1, 2})
+NOT_INFECTED = frozenset({0})
+
+
+def test_transient_matrix_pi_prime(benchmark, ctx1):
+    q_mod = absorbing_generator_function(ctx1.generator_function(), INFECTED)
+
+    def solve():
+        return solve_forward_kolmogorov(q_mod, 0.0, 1.0)
+
+    pi = benchmark(solve)
+    record(
+        benchmark,
+        pi_prime=pi,
+        paper_pi_prime=[[0.91, 0.09, 0.0], [0, 1, 0], [0, 0, 1]],
+        measured_s1_survival=float(pi[0, 0]),
+    )
+    print("\nPi'(0,1) =\n", np.round(pi, 4))
+    assert abs(pi[0, 0] - 0.9576) < 1e-3
+
+
+def test_until_probabilities_phi1(benchmark, checker1_phi1):
+    ctx = checker1_phi1.context(M_EXAMPLE_1)
+
+    def solve():
+        return until_probabilities_simple(
+            ctx, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+
+    probs = benchmark(solve)
+    record(
+        benchmark,
+        prob_per_state=probs,
+        paper_prob_per_state=[0.09, 0.0, 0.0],
+    )
+    print("\nProb(s, phi) =", np.round(probs, 4), "(paper: 0.09, 0, 0)")
+    assert probs[1] == 0.0 and probs[2] == 0.0
+
+
+def test_ep_check_phi1(benchmark, checker1_phi1):
+    def check():
+        return (
+            checker1_phi1.value(FORMULA, M_EXAMPLE_1),
+            checker1_phi1.check(FORMULA, M_EXAMPLE_1),
+        )
+
+    value, verdict = benchmark(check)
+    record(
+        benchmark,
+        ep_value=value,
+        paper_ep_value=0.072,
+        verdict=verdict,
+        paper_verdict=True,
+    )
+    print(f"\nEP value = {value:.4f} (paper 0.072), verdict = {verdict}")
+    assert verdict is True
+
+
+def test_ep_check_standard(benchmark, checker1):
+    def check():
+        return (
+            checker1.value(FORMULA, M_EXAMPLE_1),
+            checker1.check(FORMULA, M_EXAMPLE_1),
+        )
+
+    value, verdict = benchmark(check)
+    record(
+        benchmark,
+        ep_value=value,
+        note="standard Definition-4 semantics adds the 0.2 infected mass",
+        verdict=verdict,
+    )
+    assert verdict is True
+    assert abs(value - (0.2 + 0.8 * 0.042355)) < 1e-3

@@ -1,0 +1,97 @@
+"""E6 — the paper's nested worked example (Section VI, Setting 2).
+
+Regenerates, with the paper's discontinuity point T1 = 10.443 injected
+exactly where the paper uses it:
+
+- Π'(0, 10.443): survival 0.53 / reach 0.47 from s1 — **exact match**
+  with the paper (our strongest validation point);
+- ζ(T1) and Υ(0, 15) with Υ_{s1,s*} = 0.47 (literal construction);
+- Prob(infected U[0,15] Φ1) = (0, 1, 1) and the failing E-check
+  (0.15 > 0.8 is false), then the conjunction with E_{<0.1}(active);
+- the fully self-computed variant (no injected set), same verdict.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_2, record
+from repro.checking import EvaluationContext, MFModelChecker
+from repro.checking.nested import TimeVaryingUntil
+from repro.checking.satsets import Piece, PiecewiseSatSet
+from repro.logic.ast import TimeInterval
+
+T1 = 10.443
+INFECTED = frozenset({1, 2})
+ALL = frozenset({0, 1, 2})
+
+PSI = (
+    "E[>0.8](P[>0.9](infected U[0,15] (P[>0.8](tt U[0,0.5] infected))))"
+    " & E[<0.1](active)"
+)
+
+
+def make_solver(virus2) -> TimeVaryingUntil:
+    ctx = EvaluationContext(virus2, M_EXAMPLE_2)
+    gamma2 = PiecewiseSatSet(
+        [Piece(0.0, T1, INFECTED), Piece(T1, 15.0, ALL)]
+    )
+    gamma1 = PiecewiseSatSet.constant(INFECTED, 0.0, 15.0)
+    return TimeVaryingUntil(ctx, gamma1, gamma2, TimeInterval(0, 15))
+
+
+def test_upsilon_literal_construction(benchmark, virus2):
+    solver = make_solver(virus2)
+
+    def compute():
+        return solver.upsilon_literal(0.0, 15.0)
+
+    ups = benchmark(compute)
+    record(
+        benchmark,
+        upsilon_s1_goal=float(ups[0, 3]),
+        paper_upsilon_s1_goal=0.47,
+    )
+    print(f"\nUpsilon[s1,s*] = {ups[0, 3]:.4f} (paper 0.47)")
+    assert abs(ups[0, 3] - 0.4698) < 5e-4
+
+
+def test_nested_until_probabilities(benchmark, virus2):
+    solver = make_solver(virus2)
+
+    def compute():
+        return solver.probabilities(0.0)
+
+    probs = benchmark(compute)
+    e_value = float(M_EXAMPLE_2 @ probs)
+    record(
+        benchmark,
+        prob_per_state=probs,
+        paper_prob_per_state=[0.0, 1.0, 1.0],
+        e_value=e_value,
+        paper_e_value=0.15,
+        psi1_verdict=bool(e_value > 0.8),
+        paper_psi1_verdict=False,
+    )
+    print(f"\nProb = {np.round(probs, 4)}, E-value = {e_value:.4f} (paper 0.15)")
+    assert np.allclose(probs, [0.0, 1.0, 1.0], atol=1e-8)
+
+
+def test_full_conjunction_self_computed(benchmark, virus2):
+    checker = MFModelChecker(virus2)
+
+    def compute():
+        return (
+            checker.check(PSI, M_EXAMPLE_2),
+            checker.check("E[<0.1](active)", M_EXAMPLE_2),
+        )
+
+    verdict, psi2 = benchmark(compute)
+    record(
+        benchmark,
+        conjunction_verdict=verdict,
+        paper_conjunction_verdict=False,
+        psi2_verdict=psi2,
+        paper_psi2_verdict=True,
+    )
+    print(f"\nPsi verdict = {verdict} (paper False); Psi2 = {psi2} (paper True)")
+    assert verdict is False
+    assert psi2 is True

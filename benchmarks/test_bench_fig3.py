@@ -1,0 +1,92 @@
+"""F3 — Figure 3: the three probability curves.
+
+- F3a (green solid):  Prob(s1, ¬infected U[0,1] infected, m̄, t),
+  Setting 1, m̄ = (0.8, 0.15, 0.05), t ∈ [0, 20];
+- F3b (red dashed):   EP(¬infected U[0,1] infected)(t), same setting;
+- F3c (blue dotted):  Prob(s1, tt U[0,0.5] infected, m̄, t),
+  Setting 2, m̄ = (0.85, 0.1, 0.05), t ∈ [0, 15].
+
+The bench regenerates each series on a uniform grid and records it in
+the benchmark JSON (the series are also re-plotted by
+``examples/virus_outbreak_analysis.py``).  Shape assertions encode what
+is derivable from the printed parameters; paper-vs-measured differences
+are catalogued in EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, M_EXAMPLE_2, record
+
+GREEN_PATH = "not_infected U[0,1] infected"
+BLUE_PATH = "tt U[0,0.5] infected"
+
+
+def test_fig3_green_curve(benchmark, checker1):
+    def compute():
+        curve = checker1.local_probability_curve(GREEN_PATH, M_EXAMPLE_1, 20.0)
+        ts = np.linspace(0.0, 20.0, 81)
+        return ts, np.array([curve.value(t, 0) for t in ts])
+
+    ts, values = benchmark(compute)
+    record(
+        benchmark,
+        times=ts,
+        prob_s1=values,
+        measured_at_0=float(values[0]),
+        note="Setting 1 decays; paper's Fig. 3 shows growth (see EXPERIMENTS.md)",
+    )
+    print(f"\ngreen: P(0)={values[0]:.4f}, P(10)={values[40]:.4f}, P(20)={values[-1]:.4f}")
+    assert values[0] > values[-1] > 0.0
+
+
+def test_fig3_red_curve_and_csat(benchmark, checker1_phi1):
+    def compute():
+        g = checker1_phi1.expected_probability_curve(
+            GREEN_PATH, M_EXAMPLE_1, 20.0
+        )
+        ts = np.linspace(0.0, 20.0, 81)
+        series = np.array([g(t) for t in ts])
+        csat = checker1_phi1.conditional_sat(
+            f"EP[<0.3]({GREEN_PATH})", M_EXAMPLE_1, 20.0
+        )
+        return ts, series, csat
+
+    ts, series, csat = benchmark(compute)
+    record(
+        benchmark,
+        times=ts,
+        ep_series=series,
+        csat=[list(iv) for iv in csat.intervals],
+        paper_csat=[[0.0, 14.5412]],
+    )
+    print(f"\nred: EP(0)={series[0]:.4f}, EP(20)={series[-1]:.4f}, cSat={csat}")
+    # With the printed parameters the EP value never reaches 0.3, so the
+    # formula holds on the whole horizon (measured result).
+    assert csat.measure() == __import__("pytest").approx(20.0, abs=1e-6)
+
+
+def test_fig3_blue_curve(benchmark, checker2):
+    def compute():
+        curve = checker2.local_probability_curve(BLUE_PATH, M_EXAMPLE_2, 15.0)
+        ts = np.linspace(0.0, 15.0, 61)
+        return ts, np.array([curve.value(t, 0) for t in ts])
+
+    ts, values = benchmark(compute)
+    crossings_08 = [
+        float(t)
+        for a, b, t in zip(values, values[1:], ts)
+        if (a - 0.8) * (b - 0.8) < 0
+    ]
+    record(
+        benchmark,
+        times=ts,
+        prob_s1=values,
+        paper_crossing=10.443,
+        measured_crossings_of_0p8=crossings_08,
+        measured_max=float(values.max()),
+    )
+    print(f"\nblue: P(0)={values[0]:.4f}, max={values.max():.4f} (paper crosses 0.8 at 10.443)")
+    # Infected states trivially satisfy the until with probability 1.
+    curve = checker2.local_probability_curve(BLUE_PATH, M_EXAMPLE_2, 1.0)
+    assert curve.value(0.0, 1) == 1.0
+    assert curve.value(0.0, 2) == 1.0

@@ -1,0 +1,93 @@
+"""A4 — single extra goal state (paper) vs doubled state space ([14]).
+
+Section IV-C argues that adding one goal state ``s*`` is cheaper than
+Bortolussi–Hillston's construction, which duplicates goal states ("the
+state space is doubled … which increases the computational complexity
+and does not add any extra information").  This bench implements the
+per-goal-copy construction as a reference, confirms both give identical
+reachability probabilities, and measures the cost difference.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.checking.transform import UntilPartition, goal_generator
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+
+INFECTED = frozenset({1, 2})
+NOT_INFECTED = frozenset({0})
+WINDOW = 10.0
+
+
+def doubled_generator(q: np.ndarray, partition: UntilPartition) -> np.ndarray:
+    """The [14]-style chain: one absorbing shadow copy per success state.
+
+    Size K + |success|; transitions of live states into success state
+    ``s`` are redirected to the shadow copy of ``s``.
+    """
+    k = partition.num_states
+    success = sorted(partition.success)
+    shadow = {s: k + i for i, s in enumerate(success)}
+    out = np.zeros((k + len(success), k + len(success)))
+    for s in partition.live:
+        out[s, :k] = q[s, :]
+        for s2 in success:
+            rate = out[s, s2]
+            out[s, s2] = 0.0
+            out[s, shadow[s2]] = rate
+    return out
+
+
+def _partition(virus_model) -> UntilPartition:
+    return UntilPartition.from_sets(3, NOT_INFECTED, INFECTED)
+
+
+def test_single_goal_state(benchmark, ctx1):
+    partition = _partition(ctx1.model)
+    q_of_t = ctx1.generator_function()
+    ctx1.trajectory(WINDOW + 1)
+
+    def solve():
+        pi = solve_forward_kolmogorov(
+            lambda t: goal_generator(q_of_t(t), partition), 0.0, WINDOW
+        )
+        return float(pi[0, 3])
+
+    reach = benchmark(solve)
+    record(benchmark, reach_probability=reach, matrix_size=4)
+
+
+def test_doubled_state_space(benchmark, ctx1):
+    partition = _partition(ctx1.model)
+    q_of_t = ctx1.generator_function()
+    ctx1.trajectory(WINDOW + 1)
+
+    def solve():
+        pi = solve_forward_kolmogorov(
+            lambda t: doubled_generator(q_of_t(t), partition), 0.0, WINDOW
+        )
+        # Sum over the shadow copies (columns 3 and 4).
+        return float(pi[0, 3] + pi[0, 4])
+
+    reach = benchmark(solve)
+    record(benchmark, reach_probability=reach, matrix_size=5)
+
+
+def test_constructions_agree(benchmark, ctx1):
+    partition = _partition(ctx1.model)
+    q_of_t = ctx1.generator_function()
+    ctx1.trajectory(WINDOW + 1)
+
+    def compare():
+        single = solve_forward_kolmogorov(
+            lambda t: goal_generator(q_of_t(t), partition), 0.0, WINDOW
+        )[0, 3]
+        doubled = solve_forward_kolmogorov(
+            lambda t: doubled_generator(q_of_t(t), partition), 0.0, WINDOW
+        )
+        return float(single), float(doubled[0, 3] + doubled[0, 4])
+
+    single, doubled = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(benchmark, single=single, doubled=doubled)
+    print(f"\nsingle-goal = {single:.8f}, doubled = {doubled:.8f}")
+    assert abs(single - doubled) < 1e-9

@@ -1,0 +1,94 @@
+"""A6 — integrator ablation for the forward Kolmogorov equation.
+
+The paper solved its ODEs in Mathematica; we substitute scipy (DESIGN.md
+"Substitutions").  This bench validates the substitution by comparing
+three independent numerical routes on the inhomogeneous virus chain:
+
+- scipy RK45 (production path),
+- midpoint product integral (ordered expm products),
+- fixed-step classical RK4,
+
+against a tight-tolerance reference, recording accuracy and speed.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record
+from repro.checking.transform import absorbing_generator_function
+from repro.ctmc.inhomogeneous import (
+    rk4_matrix_ode,
+    solve_forward_kolmogorov,
+    solve_forward_stepwise,
+)
+
+INFECTED = frozenset({1, 2})
+DURATION = 10.0
+
+
+@pytest.fixture(scope="module")
+def q_mod(virus1):
+    from benchmarks.conftest import M_EXAMPLE_1
+
+    traj = virus1.trajectory(M_EXAMPLE_1, horizon=DURATION + 1)
+    return absorbing_generator_function(
+        virus1.generator_along(traj), INFECTED
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(q_mod):
+    return solve_forward_kolmogorov(
+        q_mod, 0.0, DURATION, rtol=1e-12, atol=1e-14
+    )
+
+
+def test_scipy_rk45(benchmark, q_mod, reference):
+    def solve():
+        return solve_forward_kolmogorov(q_mod, 0.0, DURATION)
+
+    pi = benchmark(solve)
+    error = float(np.abs(pi - reference).max())
+    record(benchmark, max_error=error)
+    assert error < 1e-7
+
+
+def test_product_integral(benchmark, q_mod, reference):
+    def solve():
+        return solve_forward_stepwise(q_mod, 0.0, DURATION, steps=400)
+
+    pi = benchmark(solve)
+    error = float(np.abs(pi - reference).max())
+    record(benchmark, max_error=error, steps=400)
+    assert error < 1e-5
+
+
+def test_fixed_step_rk4(benchmark, q_mod, reference):
+    def solve():
+        return rk4_matrix_ode(
+            lambda t, y: y @ q_mod(t), np.eye(3), 0.0, DURATION, steps=800
+        )
+
+    pi = benchmark(solve)
+    error = float(np.abs(pi - reference).max())
+    record(benchmark, max_error=error, steps=800)
+    assert error < 1e-6
+
+
+def test_accuracy_vs_steps(benchmark, q_mod, reference):
+    def sweep():
+        return {
+            steps: float(
+                np.abs(
+                    solve_forward_stepwise(q_mod, 0.0, DURATION, steps=steps)
+                    - reference
+                ).max()
+            )
+            for steps in (25, 100, 400)
+        }
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, product_integral_errors=errors)
+    print("\nsteps -> error:", {k: f"{v:.2e}" for k, v in errors.items()})
+    # Second-order convergence: 4x steps -> ~16x smaller error.
+    assert errors[400] < errors[25] / 50.0

@@ -1,0 +1,110 @@
+"""A7 — state-space reduction by lumping (Section IV-C's alternative).
+
+The paper notes that lumping all ``Γ2`` / ``¬Γ1`` states would shrink the
+until computation but complicates bookkeeping when satisfaction sets move.
+Our general lumping tool reduces the *model* once, up front.  This bench
+uses a fleet model with four interchangeable infected severity tiers
+(8 states lumping to 3) and measures the until-checking cost on the full
+vs the quotient model, verifying the probabilities agree.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record
+from repro.checking import EvaluationContext
+from repro.checking.local import LocalChecker
+from repro.logic.parser import parse_path
+from repro.meanfield import MeanFieldModel
+from repro.meanfield.local_model import LocalModelBuilder
+from repro.meanfield.lumping import find_lumping, lumped_mean_field
+
+PATH = parse_path("clean U[0,3] infected")
+
+
+@pytest.fixture(scope="module")
+def big_model() -> MeanFieldModel:
+    """8 states: clean, 4 symmetric infected tiers, 3 recovery stages."""
+    infected_idx = [1, 2, 3, 4]
+
+    def infect(m):
+        return 0.3 * sum(m[i] for i in infected_idx)
+
+    builder = LocalModelBuilder().state("clean", "clean")
+    for i in range(4):
+        builder.state(f"inf{i}", "infected")
+    for i in range(3):
+        builder.state(f"rec{i}", "recovering")
+    for i in range(4):
+        builder.transition("clean", f"inf{i}", infect)
+        builder.transition(f"inf{i}", "rec0", 0.5)
+    builder.transition("rec0", "rec1", 1.0)
+    builder.transition("rec1", "rec2", 1.0)
+    builder.transition("rec2", "clean", 1.0)
+    return MeanFieldModel(builder.build())
+
+
+@pytest.fixture(scope="module")
+def initial(big_model):
+    k = big_model.num_states
+    m = np.full(k, 0.02)
+    m[0] = 1.0 - 0.02 * (k - 1)
+    return m
+
+
+def test_find_lumping_cost(benchmark, big_model):
+    lumping = benchmark(lambda: find_lumping(big_model.local))
+    record(
+        benchmark,
+        full_states=big_model.num_states,
+        lumped_states=lumping.quotient.num_states,
+        blocks=[list(b) for b in lumping.blocks],
+    )
+    # The 4 infected tiers lump; the 3 recovery stages have identical
+    # labels but different positions in the chain, so they stay apart.
+    assert lumping.quotient.num_states < big_model.num_states
+
+
+def test_until_on_full_model(benchmark, big_model, initial):
+    ctx = EvaluationContext(big_model, initial)
+
+    def solve():
+        return LocalChecker(ctx).path_probabilities(PATH)
+
+    probs = benchmark(solve)
+    record(benchmark, prob_clean=float(probs[0]), states=big_model.num_states)
+
+
+def test_until_on_quotient_model(benchmark, big_model, initial):
+    lumping = find_lumping(big_model.local)
+    quotient = lumped_mean_field(big_model, lumping)
+    ctx = EvaluationContext(quotient, lumping.lump_occupancy(initial))
+
+    def solve():
+        return LocalChecker(ctx).path_probabilities(PATH)
+
+    probs = benchmark(solve)
+    record(
+        benchmark,
+        prob_clean=float(probs[lumping.block_of(0)]),
+        states=quotient.num_states,
+    )
+
+
+def test_full_and_quotient_agree(benchmark, big_model, initial):
+    lumping = find_lumping(big_model.local)
+    quotient = lumped_mean_field(big_model, lumping)
+
+    def compare():
+        full = LocalChecker(
+            EvaluationContext(big_model, initial)
+        ).path_probabilities(PATH)
+        lumped = LocalChecker(
+            EvaluationContext(quotient, lumping.lump_occupancy(initial))
+        ).path_probabilities(PATH)
+        return float(abs(full[0] - lumped[lumping.block_of(0)]))
+
+    diff = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(benchmark, abs_difference=diff)
+    print(f"\n|full − quotient| = {diff:.2e}")
+    assert diff < 1e-7

@@ -1,0 +1,97 @@
+"""A3 — Equation (6) window-shift propagation vs per-time recomputation.
+
+The paper's key efficiency trick for time-dependent probabilities: one
+dense solve of the coupled forward/backward ODE instead of a fresh
+forward solve per evaluation time.  This bench quantifies the speedup at
+equal accuracy on Figure 3's green curve (64 evaluation times).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.checking.reachability import SimpleUntilCurve
+from repro.logic.ast import TimeInterval
+
+NOT_INFECTED = frozenset({0})
+INFECTED = frozenset({1, 2})
+THETA = 15.0
+EVAL_TIMES = np.linspace(0.0, THETA, 64)
+
+
+def _evaluate(curve) -> np.ndarray:
+    return np.array([curve.value(t, 0) for t in EVAL_TIMES])
+
+
+def test_propagate_method(benchmark, ctx1):
+    def run():
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), THETA,
+            method="propagate",
+        )
+        return _evaluate(curve)
+
+    values = benchmark(run)
+    record(benchmark, series_head=values[:5])
+
+
+def test_recompute_method(benchmark, ctx1):
+    def run():
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), THETA,
+            method="recompute",
+        )
+        return _evaluate(curve)
+
+    values = benchmark.pedantic(run, rounds=3, iterations=1)
+    record(benchmark, series_head=values[:5])
+
+
+def test_nested_appendix_vs_recompute(benchmark, ctx2):
+    """The Appendix algorithm on a time-varying-set until (Setting 2,
+    an injected discontinuity at t=6) vs brute-force recomputation."""
+    from repro.checking.nested import TimeVaryingUntil
+    from repro.checking.satsets import Piece, PiecewiseSatSet
+
+    infected = frozenset({1, 2})
+    everyone = frozenset({0, 1, 2})
+    theta, upper = 4.0, 10.0
+    gamma2 = PiecewiseSatSet(
+        [Piece(0.0, 6.0, infected), Piece(6.0, theta + upper, everyone)]
+    )
+    gamma1 = PiecewiseSatSet.constant(infected, 0.0, theta + upper)
+    solver = TimeVaryingUntil(
+        ctx2, gamma1, gamma2, TimeInterval(0, upper), theta=theta
+    )
+    times = np.linspace(0.0, theta, 17)
+
+    def compare():
+        fast = solver.curve(method="propagate")
+        slow = solver.curve(method="recompute")
+        diffs = [
+            float(np.abs(fast.values(t) - slow.values(t)).max())
+            for t in times
+        ]
+        return max(diffs)
+
+    max_diff = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(benchmark, max_abs_difference=max_diff)
+    print(f"\nnested: max |appendix − recompute| = {max_diff:.2e}")
+    assert max_diff < 1e-5
+
+
+def test_methods_agree(benchmark, ctx1):
+    def run():
+        fast = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), THETA,
+            method="propagate",
+        )
+        slow = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), THETA,
+            method="recompute",
+        )
+        return float(np.abs(_evaluate(fast) - _evaluate(slow)).max())
+
+    max_diff = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, max_abs_difference=max_diff)
+    print(f"\nmax |propagate − recompute| = {max_diff:.2e}")
+    assert max_diff < 1e-5

@@ -1,0 +1,70 @@
+"""X1 — the three showcase formulas of Section III, Example 2.
+
+1. E_{>0.8}(infected); 2. ES_{>=0.1}(infected);
+3. EP_{<0.4}(infected U[0,5] not_infected).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, M_EXAMPLE_2, record
+
+
+def test_showcase_expectation(benchmark, checker1):
+    heavily_infected = np.array([0.1, 0.5, 0.4])
+
+    def compute():
+        return (
+            checker1.check("E[>0.8](infected)", heavily_infected),
+            checker1.check("E[>0.8](infected)", M_EXAMPLE_1),
+        )
+
+    heavy, light = benchmark(compute)
+    record(benchmark, heavy_system=heavy, light_system=light)
+    assert heavy is True and light is False
+
+
+def test_showcase_steady_state(benchmark, checker1, checker2):
+    def compute():
+        return (
+            checker1.check("ES[>=0.1](infected)", M_EXAMPLE_1),
+            checker2.check("ES[>=0.1](infected)", M_EXAMPLE_2),
+            checker2.value("ES[>=0.1](infected)", M_EXAMPLE_2),
+        )
+
+    setting1, setting2, value2 = benchmark(compute)
+    record(
+        benchmark,
+        setting1_verdict=setting1,
+        setting2_verdict=setting2,
+        setting2_steady_infected=float(value2),
+    )
+    print(
+        f"\nES[>=0.1](infected): Setting1={setting1} "
+        f"(virus dies), Setting2={setting2} (endemic level {value2:.3f})"
+    )
+    assert setting1 is False
+    assert setting2 is True
+
+
+def test_showcase_recovery(benchmark, checker1, checker1_phi1):
+    formula = "EP[<0.4](infected U[0,5] not_infected)"
+
+    def compute():
+        return (
+            checker1.value(formula, M_EXAMPLE_1),
+            checker1_phi1.value(formula, M_EXAMPLE_1),
+            checker1_phi1.check(formula, M_EXAMPLE_1),
+        )
+
+    std_value, phi1_value, phi1_verdict = benchmark(compute)
+    record(
+        benchmark,
+        standard_value=float(std_value),
+        phi1_value=float(phi1_value),
+        phi1_verdict=phi1_verdict,
+    )
+    print(
+        f"\nrecovery EP: standard={std_value:.4f}, "
+        f"infected-only={phi1_value:.4f}, verdict={phi1_verdict}"
+    )
+    assert phi1_verdict is True

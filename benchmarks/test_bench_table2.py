@@ -1,0 +1,65 @@
+"""T2 — Table II: the two parameter settings of the virus model.
+
+Regenerates the table and times a transient solve under each setting
+(the basic operation every other experiment builds on).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, M_EXAMPLE_2, record
+from repro.models.virus import SETTING_1, SETTING_2, virus_model
+
+ROWS = [
+    ("Attack", "k1"),
+    ("Inactive computer recovery", "k2"),
+    ("Inactive computers getting active", "k3"),
+    ("Active computer returns to inactive", "k4"),
+    ("Active computer recovery", "k5"),
+]
+
+
+def render_table() -> str:
+    """The Table II text, regenerated from the model constants."""
+    lines = [f"{'Parameter':38s} {'Setting 1':>9s} {'Setting 2':>9s}"]
+    for description, name in ROWS:
+        v1 = getattr(SETTING_1, name)
+        v2 = getattr(SETTING_2, name)
+        lines.append(f"{description:33s} {name} {v1:9g} {v2:9g}")
+    return "\n".join(lines)
+
+
+def test_table2_regenerated(benchmark):
+    table = benchmark(render_table)
+    record(
+        benchmark,
+        table=table,
+        setting1=[SETTING_1.k1, SETTING_1.k2, SETTING_1.k3, SETTING_1.k4, SETTING_1.k5],
+        setting2=[SETTING_2.k1, SETTING_2.k2, SETTING_2.k3, SETTING_2.k4, SETTING_2.k5],
+        paper_setting1=[0.9, 0.1, 0.01, 0.3, 0.3],
+        paper_setting2=[5, 0.02, 0.01, 0.5, 0.5],
+    )
+    assert "Attack" in table
+    print("\n" + table)
+
+
+def test_setting1_trajectory_solve(benchmark):
+    model = virus_model(SETTING_1)
+
+    def solve():
+        return model.trajectory(M_EXAMPLE_1, horizon=20.0)(20.0)
+
+    m_end = benchmark(solve)
+    record(benchmark, occupancy_at_20=m_end, infected_at_20=float(m_end[1] + m_end[2]))
+    assert m_end.sum() == np.float64(1.0) or abs(m_end.sum() - 1.0) < 1e-9
+
+
+def test_setting2_trajectory_solve(benchmark):
+    model = virus_model(SETTING_2)
+
+    def solve():
+        return model.trajectory(M_EXAMPLE_2, horizon=15.0)(15.0)
+
+    m_end = benchmark(solve)
+    record(benchmark, occupancy_at_15=m_end, infected_at_15=float(m_end[1] + m_end[2]))
+    # Setting 2 is supercritical: infection grows beyond the initial 15%.
+    assert m_end[1] + m_end[2] > 0.3

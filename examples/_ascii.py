@@ -1,0 +1,41 @@
+"""Tiny dependency-free ASCII plotting helper shared by the examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_plot(
+    times: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    height: int = 16,
+    width: int = 72,
+    y_min: float = 0.0,
+    y_max: "float | None" = None,
+) -> str:
+    """Render one or more time series as an ASCII chart.
+
+    Each series gets the first letter of its label as plotting glyph.
+    """
+    if y_max is None:
+        y_max = max(max(values) for values in series.values()) * 1.05 or 1.0
+    t0, t1 = float(times[0]), float(times[-1])
+    grid = [[" "] * width for _ in range(height)]
+    for label, values in series.items():
+        glyph = label[0]
+        for t, v in zip(times, values):
+            col = int((t - t0) / (t1 - t0 + 1e-12) * (width - 1))
+            level = (float(v) - y_min) / (y_max - y_min + 1e-12)
+            row = height - 1 - int(min(max(level, 0.0), 1.0) * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_max - (y_max - y_min) * i / (height - 1)
+        lines.append(f"{y_val:7.3f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"t={t0:g}" + " " * (width - 16) + f"t={t1:g}"
+    )
+    legend = "   ".join(f"{label[0]} = {label}" for label in series)
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Load-balancing SLA analysis with MF-CSL (power-of-d choices).
+
+A service pool routes each job to the shortest of ``d`` randomly sampled
+servers (the supermarket model).  Using the mean-field model we answer,
+via MF-CSL formulas, the operator questions:
+
+- what fraction of servers is congested in steady state? (``ES``)
+- starting from a traffic spike, when has the pool drained enough that
+  fewer than 20% of servers are congested? (``cSat`` of an ``E`` formula)
+- how likely is an idle server to become congested within 5 time units?
+  (``EP`` / per-state probabilities)
+
+and we quantify the classic d=1 vs d=2 gap.
+
+Run with::
+
+    python examples/load_balancing_sla.py
+"""
+
+import numpy as np
+
+from repro import MFModelChecker
+from repro.models.load_balancing import (
+    LoadBalancingParameters,
+    load_balancing_model,
+)
+
+BUFFER = 6
+
+
+def spike_occupancy(k: int) -> np.ndarray:
+    """A traffic spike: mass piled on the mid/deep queue levels."""
+    m = np.zeros(k)
+    m[0] = 0.1
+    m[1] = 0.15
+    m[2] = 0.25
+    m[3] = 0.3
+    m[4] = 0.2
+    return m
+
+
+for d in (1, 2):
+    params = LoadBalancingParameters(lam=0.7, mu=1.0, d=d, buffer=BUFFER)
+    model = load_balancing_model(params)
+    checker = MFModelChecker(model)
+    k = model.num_states
+    m_spike = spike_occupancy(k)
+
+    print(f"=== power-of-{d} routing (lambda=0.7, mu=1, buffer={BUFFER}) ===")
+
+    steady_congested = checker.value("ES[<1](congested)", m_spike)
+    print(f"steady-state congested fraction: {steady_congested:.4f}")
+    print(
+        "SLA 'ES[<0.1](congested)':",
+        checker.check("ES[<0.1](congested)", m_spike),
+    )
+
+    drain = checker.conditional_sat("E[<0.2](congested)", m_spike, 30.0)
+    if drain.is_empty:
+        print("the pool never drains below 20% congestion within 30 units")
+    else:
+        print(f"congestion below 20% during: {drain}")
+
+    risk = checker.value("EP[<1](idle U[0,5] congested)", m_spike)
+    curve = checker.local_probability_curve(
+        "tt U[0,5] congested", m_spike, 1.0
+    )
+    print(f"EP(idle-server path to congestion within 5): {risk:.4f}")
+    print(
+        f"P(q0 -> congested within 5 units): {curve.value(0.0, 0):.4f}"
+    )
+    print()
+
+print("The d=2 pool drains faster and keeps a far smaller congested share —")
+print("the doubly-exponential tail of power-of-two choices, recovered by the")
+print("mean-field fixed point (see tests/models/test_load_balancing.py).")

@@ -1,0 +1,81 @@
+"""Quickstart: build a mean-field model and check MF-CSL properties.
+
+Reproduces the paper's running example (computer-virus spread, Figure 2)
+from scratch using the public API, then checks the three showcase
+formulas of Section III.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import LocalModelBuilder, MeanFieldModel, MFModelChecker
+
+# ----------------------------------------------------------------------
+# 1. Build the local model (Definition 1): one computer's life cycle.
+# ----------------------------------------------------------------------
+K1, K2, K3, K4, K5 = 0.9, 0.1, 0.01, 0.3, 0.3  # Table II, Setting 1
+
+local = (
+    LocalModelBuilder()
+    .state("s1", "not_infected")
+    .state("s2", "infected", "inactive")
+    .state("s3", "infected", "active")
+    # The infection rate depends on the overall state: the attacks of all
+    # active computers (fraction m[2]) are spread over the not-infected
+    # ones (fraction m[0]) — the "smart virus" of the paper.
+    .transition("s1", "s2", lambda m: K1 * m[2] / max(m[0], 1e-12))
+    .transition("s2", "s1", K2)
+    .transition("s2", "s3", K3)
+    .transition("s3", "s2", K4)
+    .transition("s3", "s1", K5)
+    .build()
+)
+
+# ----------------------------------------------------------------------
+# 2. The overall mean-field model (Definition 2) and its checker.
+# ----------------------------------------------------------------------
+model = MeanFieldModel(local)
+checker = MFModelChecker(model)
+
+# The system state: 80% clean, 15% infected-inactive, 5% infected-active.
+m0 = np.array([0.8, 0.15, 0.05])
+
+# ----------------------------------------------------------------------
+# 3. Check MF-CSL formulas (Section III, Example 2's showcase).
+# ----------------------------------------------------------------------
+FORMULAS = [
+    # "The system counts as infected" (>80% of computers infected).
+    "E[>0.8](infected)",
+    # "In steady state at least 10% of computers are infected."
+    "ES[>=0.1](infected)",
+    # "A random computer gets infected within 1 time unit with
+    #  probability below 30%" — the paper's first worked example.
+    "EP[<0.3](not_infected U[0,1] infected)",
+    # "An infected computer recovers within 5 time units with
+    #  probability below 40%."
+    "EP[<0.4](infected U[0,5] not_infected)",
+]
+
+print(f"model: {model}")
+print(f"occupancy vector m̄ = {m0.tolist()}\n")
+for text in FORMULAS:
+    verdict = checker.check(text, m0)
+    print(f"  m̄ ⊨ {text:50s} -> {verdict}")
+
+# ----------------------------------------------------------------------
+# 4. Why? Inspect the expectation values behind the verdicts.
+# ----------------------------------------------------------------------
+print("\nexpectation values:")
+for text, value, holds in checker.explain(" & ".join(FORMULAS), m0):
+    print(f"  {text:55s} value={value:.4f} -> {holds}")
+
+# ----------------------------------------------------------------------
+# 5. When does a property hold? Conditional satisfaction sets (Eq. 20).
+# ----------------------------------------------------------------------
+psi = "E[>=0.15](infected)"
+csat = checker.conditional_sat(psi, m0, theta=30.0)
+print(f"\ncSat({psi}, m̄, 30) = {csat}")
+print("(the infected fraction decays through 0.15 at the right endpoint)")

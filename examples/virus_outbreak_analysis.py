@@ -1,0 +1,96 @@
+"""Virus-outbreak analysis: regenerate the paper's Figure 3.
+
+Computes the three curves of Figure 3 and the conditional satisfaction
+set of the paper's first worked example, and renders them as ASCII
+charts (the benchmark suite records the same series numerically).
+
+Run with::
+
+    python examples/virus_outbreak_analysis.py
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _ascii import ascii_plot  # noqa: E402
+
+from repro import CheckOptions, MFModelChecker  # noqa: E402
+from repro.models.virus import SETTING_1, SETTING_2, virus_model  # noqa: E402
+
+M1 = np.array([0.8, 0.15, 0.05])  # Example 1 occupancy
+M2 = np.array([0.85, 0.1, 0.05])  # Example 2 occupancy
+
+# ----------------------------------------------------------------------
+# Green curve: Prob(s1, ¬infected U[0,1] infected, m̄, t), Setting 1.
+# ----------------------------------------------------------------------
+checker1 = MFModelChecker(virus_model(SETTING_1))
+green_curve = checker1.local_probability_curve(
+    "not_infected U[0,1] infected", M1, theta=20.0
+)
+ts1 = np.linspace(0.0, 20.0, 73)
+green = [green_curve.value(t, 0) for t in ts1]
+
+# ----------------------------------------------------------------------
+# Red curve: the time-dependent expected probability EP(·)(t) under the
+# paper's Φ1-start convention (its Example 1 computation).
+# ----------------------------------------------------------------------
+paper_conv = MFModelChecker(
+    virus_model(SETTING_1), CheckOptions(start_convention="phi1")
+)
+ep = paper_conv.expected_probability_curve(
+    "not_infected U[0,1] infected", M1, theta=20.0
+)
+red = [ep(t) for t in ts1]
+
+print("Figure 3 (Setting 1): green = P(s1, ¬inf U[0,1] inf, m̄, t), "
+      "red = EP(t)")
+print(ascii_plot(ts1, {"green P(s1)": green, "red EP": red},
+                 y_max=max(max(green), 0.35)))
+print()
+
+# The paper's cSat example: where does EP_{<0.3} hold?
+csat = paper_conv.conditional_sat(
+    "EP[<0.3](not_infected U[0,1] infected)", M1, 20.0
+)
+print(f"cSat(EP[<0.3](¬inf U[0,1] inf), m̄, 20) = {csat}")
+print("paper: [0, 14.5412) — with the printed Table II parameters the")
+print("infection decays, so the bound is never violated (EXPERIMENTS.md).")
+print()
+
+# ----------------------------------------------------------------------
+# Blue curve: Prob(s1, tt U[0,0.5] infected, m̄, t), Setting 2.
+# ----------------------------------------------------------------------
+checker2 = MFModelChecker(virus_model(SETTING_2))
+blue_curve = checker2.local_probability_curve(
+    "tt U[0,0.5] infected", M2, theta=15.0
+)
+ts2 = np.linspace(0.0, 15.0, 73)
+blue = [blue_curve.value(t, 0) for t in ts2]
+
+print("Figure 3 (Setting 2): blue = P(s1, tt U[0,0.5] infected, m̄, t)")
+print(ascii_plot(ts2, {"blue P(s1)": blue}, y_max=max(max(blue) * 1.3, 0.15)))
+crossings = blue_curve.crossing_times(0, 0.8)
+print(f"crossings of the 0.8 threshold: {crossings or 'none'} "
+      "(paper: 10.443; see EXPERIMENTS.md)")
+print()
+
+# ----------------------------------------------------------------------
+# Occupancy flows for context.
+# ----------------------------------------------------------------------
+traj = virus_model(SETTING_1).trajectory(M1, horizon=20.0)
+occ = np.array([traj(t) for t in ts1])
+print("Setting 1 occupancy flow (n = not infected, i = inactive, a = active)")
+print(
+    ascii_plot(
+        ts1,
+        {
+            "n(t)": occ[:, 0],
+            "i(t)": occ[:, 1],
+            "a(t)": occ[:, 2],
+        },
+        y_max=1.0,
+    )
+)

@@ -1,0 +1,71 @@
+"""repro — MF-CSL model checking for mean-field models.
+
+A faithful, self-contained reproduction of
+
+    A. Kolesnichenko, P.-T. de Boer, A. Remke, B. R. Haverkort,
+    "A logic for model-checking mean-field models", DSN 2013.
+
+The library provides:
+
+- a mean-field modelling layer (:mod:`repro.meanfield`): local CTMC
+  models with occupancy-dependent rates, the overall occupancy ODE of
+  the mean-field convergence theorem, fixed points, and exact finite-N
+  simulation;
+- the CSL and MF-CSL logics (:mod:`repro.logic`) with a textual syntax;
+- model-checking algorithms (:mod:`repro.checking`) for
+  time-inhomogeneous local models — single and nested timed until,
+  timed next, steady state — and the global MF-CSL operators ``E``,
+  ``ES``, ``EP`` with conditional satisfaction sets over time;
+- a zoo of example models (:mod:`repro.models`) including the paper's
+  computer-virus running example.
+
+Quickstart
+----------
+>>> from repro import MFModelChecker
+>>> from repro.models.virus import virus_model, SETTING_1
+>>> checker = MFModelChecker(virus_model(SETTING_1))
+>>> checker.check("EP[<0.3](not_infected U[0,1] infected)",
+...               [0.8, 0.15, 0.05])
+True
+"""
+
+from repro.checking import (
+    CheckOptions,
+    EvaluationContext,
+    IntervalSet,
+    LocalChecker,
+    MFModelChecker,
+)
+from repro.logic import (
+    format_formula,
+    parse_csl,
+    parse_mfcsl,
+    parse_path,
+)
+from repro.meanfield import (
+    FiniteNSimulator,
+    LocalModel,
+    LocalModelBuilder,
+    MeanFieldModel,
+    OccupancyTrajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckOptions",
+    "EvaluationContext",
+    "IntervalSet",
+    "LocalChecker",
+    "MFModelChecker",
+    "format_formula",
+    "parse_csl",
+    "parse_mfcsl",
+    "parse_path",
+    "FiniteNSimulator",
+    "LocalModel",
+    "LocalModelBuilder",
+    "MeanFieldModel",
+    "OccupancyTrajectory",
+    "__version__",
+]

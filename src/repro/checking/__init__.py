@@ -1,0 +1,49 @@
+"""Model-checking algorithms for CSL (local) and MF-CSL (global).
+
+Layout (mirroring Sections IV and V of the paper):
+
+- :mod:`repro.checking.intervals` — exact interval-set algebra used for
+  conditional satisfaction sets (Equation (20));
+- :mod:`repro.checking.satsets` — piecewise-constant, time-dependent
+  satisfaction sets of local formulas (Section IV-E);
+- :mod:`repro.checking.options` / :mod:`repro.checking.context` —
+  numerical options and the evaluation context (model + occupancy
+  trajectory + caches);
+- :mod:`repro.checking.transform` — the CTMC transformations ``M[·]``,
+  the extra goal state ``s*`` and the carry-over matrices ``ζ``
+  (Section IV-C);
+- :mod:`repro.checking.reachability` — single-until probabilities and
+  their time dependence (Equations (4)–(7));
+- :mod:`repro.checking.nested` — time-varying-set reachability
+  (Equations (9)–(13) and the Appendix algorithm);
+- :mod:`repro.checking.next_op` — the timed next operator (extension);
+- :mod:`repro.checking.steady` — the steady-state operator
+  (Section IV-D);
+- :mod:`repro.checking.local` — the recursive local CSL checker;
+- :mod:`repro.checking.global_` — the MF-CSL satisfaction relation
+  (Section V-A);
+- :mod:`repro.checking.csat` — conditional satisfaction sets
+  (Section V-B, Table I);
+- :mod:`repro.checking.homogeneous` — classical CSL checking on
+  time-homogeneous CTMCs (Baier et al. [18]), used as a baseline;
+- :mod:`repro.checking.statistical` — Monte-Carlo (statistical) checking;
+- :mod:`repro.checking.discrete` — the discrete-time adaptation.
+"""
+
+from repro.checking.context import EvaluationContext
+from repro.checking.csat import conditional_sat
+from repro.checking.global_ import MFModelChecker
+from repro.checking.intervals import IntervalSet
+from repro.checking.local import LocalChecker
+from repro.checking.options import CheckOptions
+from repro.checking.satsets import PiecewiseSatSet
+
+__all__ = [
+    "EvaluationContext",
+    "conditional_sat",
+    "MFModelChecker",
+    "IntervalSet",
+    "LocalChecker",
+    "CheckOptions",
+    "PiecewiseSatSet",
+]

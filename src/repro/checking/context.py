@@ -1,0 +1,132 @@
+"""Evaluation context: the bridge between a formula and the numerics.
+
+Checking any CSL formula "in state ``m̄``" (Definition 4) implicitly fixes
+the whole future of the overall model: the occupancy trajectory solving
+Equation (1) from ``m̄``, the induced time-inhomogeneous local generator
+``Q(m̄(t))``, and — for steady-state operators — the stationary point the
+trajectory converges to.  :class:`EvaluationContext` bundles these (with
+caching) so the checker modules stay stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.checking.options import CheckOptions
+from repro.exceptions import SteadyStateError
+from repro.meanfield.ode import OccupancyTrajectory
+from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
+from repro.meanfield.stationary import find_fixed_point, stationary_from_long_run
+
+
+class EvaluationContext:
+    """Everything needed to evaluate CSL formulas from one occupancy vector.
+
+    Parameters
+    ----------
+    model:
+        The mean-field model.
+    initial:
+        The occupancy vector ``m̄`` at (local) time 0 — the state against
+        which the satisfaction relation is checked.
+    options:
+        Numerical options; defaults are suitable for the paper's examples.
+    """
+
+    def __init__(
+        self,
+        model: MeanFieldModel,
+        initial: np.ndarray,
+        options: Optional[CheckOptions] = None,
+    ):
+        self.model = model
+        self.options = options or CheckOptions()
+        self.initial = validate_occupancy(initial, model.num_states)
+        self._trajectory: Optional[OccupancyTrajectory] = None
+        self._steady: Optional[np.ndarray] = None
+        self._steady_context: Optional["EvaluationContext"] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of local states ``K``."""
+        return self.model.num_states
+
+    @property
+    def trajectory(self) -> OccupancyTrajectory:
+        """The lazily-solved occupancy trajectory from ``initial``."""
+        if self._trajectory is None:
+            self._trajectory = self.model.trajectory(
+                self.initial,
+                horizon=self.options.horizon_margin,
+                rtol=self.options.ode_rtol * 1e-1,
+                atol=self.options.ode_atol * 1e-1,
+            )
+        return self._trajectory
+
+    def occupancy(self, t: float) -> np.ndarray:
+        """``m̄(t)`` along the trajectory."""
+        return self.trajectory(t)
+
+    def generator_function(self) -> Callable[[float], np.ndarray]:
+        """``t -> Q(m̄(t))`` — the inhomogeneous local generator."""
+        return self.model.generator_along(self.trajectory)
+
+    # ------------------------------------------------------------------
+    # Steady state (Sections IV-D / V-A)
+    # ------------------------------------------------------------------
+
+    def steady_state(self) -> np.ndarray:
+        """The stationary occupancy ``m̃`` this trajectory converges to.
+
+        Found by long-run integration from ``initial`` (which selects the
+        right basin of attraction when several fixed points exist) and
+        polished by Newton iteration on ``m̃ Q(m̃) = 0``.  Cached.
+
+        Raises
+        ------
+        SteadyStateError
+            If the trajectory does not settle — the paper's steady-state
+            operators are then not meaningful for this model.
+        """
+        if self._steady is None:
+            coarse = stationary_from_long_run(
+                self.model, self.initial, drift_tol=1e-7
+            )
+            try:
+                fp = find_fixed_point(self.model, coarse)
+                self._steady = fp.occupancy
+            except SteadyStateError:
+                # The long-run point itself is already accurate to 1e-7.
+                self._steady = coarse
+        return self._steady.copy()
+
+    def steady_context(self) -> "EvaluationContext":
+        """A context anchored at the stationary point ``m̃``.
+
+        Because ``m̃`` is a fixed point, the trajectory from it is
+        constant and the local model is *homogeneous* there; nested
+        formulas under a steady-state operator are checked in this
+        context (Definition 4 uses ``Sat(Φ, m̃)``).
+        """
+        if self._steady_context is None:
+            self._steady_context = EvaluationContext(
+                self.model, self.steady_state(), self.options
+            )
+        return self._steady_context
+
+    # ------------------------------------------------------------------
+
+    def at_time(self, t: float) -> "EvaluationContext":
+        """A new context whose time origin is shifted to trajectory time ``t``.
+
+        Used when a quantity defined "from the current state" must be
+        evaluated at a later moment of the same run and no incremental
+        algorithm applies.
+        """
+        if t == 0.0:
+            return self
+        return EvaluationContext(self.model, self.occupancy(t), self.options)

@@ -1,0 +1,353 @@
+"""Model checking the discrete-time mean-field adaptation.
+
+The paper notes (Section II-B) that its results carry over to
+discrete-time mean-field models.  This module supplies that adaptation:
+
+- bounded until on the *time-inhomogeneous* local DTMC induced by the
+  occupancy recursion ``m̄(k+1) = m̄(k) P(m̄(k))`` — the continuous
+  Kolmogorov solves become ordered products of modified one-step
+  matrices;
+- the discrete analogues of the MF-CSL expectation operators ``E`` and
+  ``EP`` (the steady-state operator uses the recursion's fixed point).
+
+Only boolean label formulas are supported as operands (the discrete layer
+is an adaptation demo, not the main reproduction target).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.ctmc.dtmc import make_absorbing_dtmc
+from repro.exceptions import UnsupportedFormulaError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Bound,
+    CslFormula,
+    CslTrue,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    Probability,
+    SteadyState,
+    Until,
+)
+from repro.meanfield.discrete import DiscreteMeanFieldModel
+
+
+def _static_sat(
+    model: DiscreteMeanFieldModel, formula: CslFormula
+) -> FrozenSet[int]:
+    local = model.local
+    k = local.num_states
+    if isinstance(formula, CslTrue):
+        return frozenset(range(k))
+    if isinstance(formula, Atomic):
+        return local.states_with_label(formula.name)
+    if isinstance(formula, Not):
+        return frozenset(range(k)) - _static_sat(model, formula.operand)
+    if isinstance(formula, And):
+        return _static_sat(model, formula.left) & _static_sat(
+            model, formula.right
+        )
+    if isinstance(formula, Or):
+        return _static_sat(model, formula.left) | _static_sat(
+            model, formula.right
+        )
+    raise UnsupportedFormulaError(
+        f"discrete checking supports boolean label formulas, got {formula!r}"
+    )
+
+
+class DiscreteLocalChecker:
+    """Full CSL checking on the time-inhomogeneous local DTMC.
+
+    The discrete analogue of :class:`repro.checking.local.LocalChecker`,
+    demonstrating the paper's claim that "all the results … can easily be
+    adapted to discrete-time mean-field models": satisfaction sets are
+    per-*step* sets (no root finding needed — the discontinuity points of
+    the continuous theory collapse onto step boundaries), and the until
+    machinery becomes ordered products of per-step modified matrices:
+
+    - a step from a live (``Γ1``) state into a state satisfying ``Γ2``
+      *at the next step* is redirected to a goal state ``s*``;
+    - states outside ``Γ1`` at the current step are failure-absorbing;
+    - the start-in-``Γ2`` indicator of Equation (10) carries over
+      verbatim.
+
+    Time intervals of path formulas are interpreted as *step* bounds and
+    must be integers.
+
+    Parameters
+    ----------
+    model:
+        The discrete mean-field model.
+    initial:
+        Occupancy vector at step 0.
+    max_fixed_point_steps:
+        Iteration budget for the steady-state operator.
+    """
+
+    def __init__(
+        self,
+        model: DiscreteMeanFieldModel,
+        initial: np.ndarray,
+        max_fixed_point_steps: int = 100_000,
+    ):
+        self.model = model
+        self.initial = np.asarray(initial, dtype=float)
+        self._iterates = model.iterate(self.initial, 0)
+        self._max_fp_steps = max_fixed_point_steps
+        self._sat_cache: Dict[Tuple[CslFormula, int], FrozenSet[int]] = {}
+        self._steady: "np.ndarray | None" = None
+
+    # -- occupancy bookkeeping -------------------------------------------
+
+    def occupancy(self, step: int) -> np.ndarray:
+        """``m̄(step)``, extending the cached iterates on demand."""
+        step = int(step)
+        if step < 0:
+            raise UnsupportedFormulaError("steps must be non-negative")
+        if step >= self._iterates.shape[0]:
+            self._iterates = self.model.iterate(self.initial, step)
+        return self._iterates[step]
+
+    def _matrix_at(self, step: int) -> np.ndarray:
+        return self.model.local.matrix(self.occupancy(step))
+
+    # -- state formulas ----------------------------------------------------
+
+    def sat_at(self, formula: CslFormula, step: int = 0) -> FrozenSet[int]:
+        """Satisfaction set of a CSL state formula at a given step."""
+        key = (formula, int(step))
+        if key in self._sat_cache:
+            return self._sat_cache[key]
+        result = self._sat_uncached(formula, int(step))
+        self._sat_cache[key] = result
+        return result
+
+    def _sat_uncached(self, formula: CslFormula, step: int) -> FrozenSet[int]:
+        local = self.model.local
+        k = local.num_states
+        if isinstance(formula, CslTrue):
+            return frozenset(range(k))
+        if isinstance(formula, Atomic):
+            return local.states_with_label(formula.name)
+        if isinstance(formula, Not):
+            return frozenset(range(k)) - self.sat_at(formula.operand, step)
+        if isinstance(formula, And):
+            return self.sat_at(formula.left, step) & self.sat_at(
+                formula.right, step
+            )
+        if isinstance(formula, Or):
+            return self.sat_at(formula.left, step) | self.sat_at(
+                formula.right, step
+            )
+        if isinstance(formula, Probability):
+            probs = self.path_probabilities(formula.path, step)
+            return frozenset(
+                s for s in range(k) if formula.bound.holds(probs[s])
+            )
+        if isinstance(formula, SteadyState):
+            steady = self._steady_occupancy()
+            inner = self._sat_at_occupancy(formula.operand, steady)
+            value = float(sum(steady[j] for j in inner))
+            if formula.bound.holds(value):
+                return frozenset(range(k))
+            return frozenset()
+        raise UnsupportedFormulaError(
+            f"not a CSL state formula: {formula!r}"
+        )
+
+    def _steady_occupancy(self) -> np.ndarray:
+        if self._steady is None:
+            self._steady = self.model.fixed_point(
+                self.initial, max_steps=self._max_fp_steps
+            )
+        return self._steady
+
+    def _sat_at_occupancy(
+        self, formula: CslFormula, occupancy: np.ndarray
+    ) -> FrozenSet[int]:
+        """Satisfaction set in the steady regime (constant occupancy)."""
+        checker = DiscreteLocalChecker(
+            self.model, occupancy, self._max_fp_steps
+        )
+        return checker.sat_at(formula, 0)
+
+    # -- path formulas ------------------------------------------------------
+
+    @staticmethod
+    def _step_bounds(path: PathFormula) -> Tuple[int, int]:
+        interval = path.interval
+        if not interval.is_bounded:
+            raise UnsupportedFormulaError(
+                "discrete checking needs bounded step intervals"
+            )
+        n1, n2 = interval.lower, interval.upper
+        if n1 != int(n1) or n2 != int(n2):
+            raise UnsupportedFormulaError(
+                f"discrete step bounds must be integers, got [{n1}, {n2}]"
+            )
+        return int(n1), int(n2)
+
+    def path_probabilities(
+        self, path: PathFormula, step: int = 0
+    ) -> np.ndarray:
+        """``Prob(s, φ)`` for every state, evaluated at a given step."""
+        step = int(step)
+        if isinstance(path, Until):
+            return self._until(path, step)
+        if isinstance(path, Next):
+            return self._next(path, step)
+        raise UnsupportedFormulaError(f"not a path formula: {path!r}")
+
+    def _until(self, path: Until, step: int) -> np.ndarray:
+        n1, n2 = self._step_bounds(path)
+        k = self.model.local.num_states
+
+        # Phase 1: Φ1 must hold at steps 0 .. n1-1; the survival matrix
+        # S[s, u] is the probability of sitting in u at step n1 with Φ1
+        # satisfied throughout, as the product  D_0 P_0 D_1 P_1 … where
+        # D_j projects onto Sat(Φ1, step+j).
+        survival = np.eye(k)
+        for j in range(n1):
+            gamma1 = self.sat_at(path.left, step + j)
+            projector = np.diag(
+                [1.0 if s in gamma1 else 0.0 for s in range(k)]
+            )
+            survival = survival @ projector @ self._matrix_at(step + j)
+
+        # Phase 2: goal-chain products over steps n1..n2-1 with the extra
+        # goal column (index k).
+        reach = np.zeros((k + 1, k + 1))
+        reach[:k, :k] = np.eye(k)
+        reach[k, k] = 1.0
+        for j in range(n1, n2):
+            gamma1 = self.sat_at(path.left, step + j)
+            gamma2_next = self.sat_at(path.right, step + j + 1)
+            p = self._matrix_at(step + j)
+            m_step = np.zeros((k + 1, k + 1))
+            m_step[k, k] = 1.0
+            for s in range(k):
+                if s not in gamma1:
+                    m_step[s, s] = 1.0  # frozen (dead or already decided)
+                    continue
+                for u in range(k):
+                    if u in gamma2_next:
+                        m_step[s, k] += p[s, u]
+                    else:
+                        m_step[s, u] += p[s, u]
+            reach = reach @ m_step
+        base = reach[:k, k].copy()
+        gamma2_start = self.sat_at(path.right, step + n1)
+        if n1 == 0:
+            for s in gamma2_start:
+                base[s] = 1.0
+            return np.clip(base, 0.0, 1.0)
+        for s in gamma2_start:
+            base[s] = 1.0
+        # Zero the base for states that are dead at the phase boundary:
+        # only live-or-success states can be occupied by a valid path.
+        live_or_success = self.sat_at(path.left, step + n1) | gamma2_start
+        for s in range(k):
+            if s not in live_or_success:
+                base[s] = 0.0
+        return np.clip(survival @ base, 0.0, 1.0)
+
+    def _next(self, path: Next, step: int) -> np.ndarray:
+        n1, n2 = self._step_bounds(path)
+        if n1 > 1 or n2 < 1:
+            # The single step of a DTMC happens at "time" 1; an interval
+            # not containing 1 is unsatisfiable.
+            return np.zeros(self.model.local.num_states)
+        sat_next = self.sat_at(path.operand, step + 1)
+        p = self._matrix_at(step)
+        cols = sorted(sat_next)
+        if not cols:
+            return np.zeros(p.shape[0])
+        return np.clip(p[:, cols].sum(axis=1), 0.0, 1.0)
+
+
+class DiscreteMFChecker:
+    """Checker for the discrete-time mean-field adaptation."""
+
+    def __init__(self, model: DiscreteMeanFieldModel):
+        self.model = model
+
+    def until_probabilities(
+        self,
+        phi1: CslFormula,
+        phi2: CslFormula,
+        steps: int,
+        initial: np.ndarray,
+        start_step: int = 0,
+    ) -> np.ndarray:
+        """``Prob(s, Φ1 U^{<= steps} Φ2)`` on the inhomogeneous local DTMC.
+
+        The product of modified one-step matrices along the occupancy
+        iterates: states in ``¬Φ1 ∨ Φ2`` are made absorbing, exactly as in
+        the continuous Equation (4); the probability of sitting in a
+        ``Φ2`` state after the product is the until probability.
+
+        ``start_step`` evaluates the property at a later point of the same
+        run (the discrete analogue of the evaluation time ``t``).
+        """
+        if steps < 0:
+            raise UnsupportedFormulaError("steps must be non-negative")
+        gamma1 = _static_sat(self.model, phi1)
+        gamma2 = _static_sat(self.model, phi2)
+        k = self.model.local.num_states
+        all_states = frozenset(range(k))
+        absorbed = (all_states - gamma1) | gamma2
+        iterates = self.model.iterate(initial, start_step + steps)
+        product = np.eye(k)
+        for step in range(start_step, start_step + steps):
+            p = self.model.local.matrix(iterates[step])
+            product = product @ make_absorbing_dtmc(p, absorbed)
+        reach = (
+            product[:, sorted(gamma2)].sum(axis=1) if gamma2 else np.zeros(k)
+        )
+        return np.clip(reach, 0.0, 1.0)
+
+    def expectation_value(
+        self, phi: CslFormula, occupancy: np.ndarray
+    ) -> float:
+        """The discrete ``E`` operator's value ``Σ_j m_j · Ind(s_j ⊨ Φ)``."""
+        sat = _static_sat(self.model, phi)
+        m = np.asarray(occupancy, dtype=float)
+        return float(sum(m[j] for j in sat))
+
+    def expected_probability_value(
+        self,
+        phi1: CslFormula,
+        phi2: CslFormula,
+        steps: int,
+        occupancy: np.ndarray,
+    ) -> float:
+        """The discrete ``EP`` value for a bounded until."""
+        probs = self.until_probabilities(phi1, phi2, steps, occupancy)
+        return float(np.asarray(occupancy, dtype=float) @ probs)
+
+    def check_expectation(
+        self, phi: CslFormula, bound: Bound, occupancy: np.ndarray
+    ) -> bool:
+        """``m̄ ⊨ E⋈p(Φ)`` in the discrete model."""
+        return bound.holds(self.expectation_value(phi, occupancy))
+
+    def check_expected_probability(
+        self,
+        phi1: CslFormula,
+        phi2: CslFormula,
+        steps: int,
+        bound: Bound,
+        occupancy: np.ndarray,
+    ) -> bool:
+        """``m̄ ⊨ EP⋈p(Φ1 U^{<=steps} Φ2)`` in the discrete model."""
+        return bound.holds(
+            self.expected_probability_value(phi1, phi2, steps, occupancy)
+        )

@@ -1,0 +1,258 @@
+"""The MF-CSL model checker — Section V.
+
+:class:`MFModelChecker` is the library's main façade.  It checks MF-CSL
+formulas against occupancy vectors (the satisfaction relation of
+Definition 6, Section V-A), computes the numeric expectation values the
+bounds are compared against, builds conditional satisfaction sets
+(Section V-B) and exposes the probability/expectation *curves* behind
+Figure 3 for plotting and further analysis.
+
+Formulas may be passed as AST nodes or as strings in the textual syntax
+of :mod:`repro.logic`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.checking.context import EvaluationContext
+from repro.checking.csat import conditional_sat
+from repro.checking.intervals import IntervalSet
+from repro.checking.local import LocalChecker
+from repro.checking.options import CheckOptions
+from repro.checking.steady import expected_steady_state_value
+from repro.exceptions import FormulaError
+from repro.logic.ast import (
+    CslFormula,
+    Expectation,
+    ExpectedProbability,
+    ExpectedSteadyState,
+    MfAnd,
+    MfCslFormula,
+    MfNot,
+    MfOr,
+    MfTrue,
+    PathFormula,
+)
+from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
+from repro.meanfield.overall_model import MeanFieldModel
+
+FormulaLike = Union[str, MfCslFormula]
+
+
+class MFModelChecker:
+    """Model checker for MF-CSL over a mean-field model.
+
+    Parameters
+    ----------
+    model:
+        The mean-field model (local model + overall dynamics).
+    options:
+        Numerical options shared by every check performed through this
+        instance.
+
+    Example
+    -------
+    >>> from repro.models.virus import virus_model, SETTING_1
+    >>> checker = MFModelChecker(virus_model(SETTING_1))
+    >>> checker.check("EP[<0.3](not_infected U[0,1] infected)",
+    ...               [0.8, 0.15, 0.05])
+    True
+    """
+
+    def __init__(
+        self,
+        model: MeanFieldModel,
+        options: Optional[CheckOptions] = None,
+    ):
+        self.model = model
+        self.options = options or CheckOptions()
+
+    # ------------------------------------------------------------------
+
+    def context(self, occupancy: np.ndarray) -> EvaluationContext:
+        """An evaluation context anchored at the given occupancy vector."""
+        return EvaluationContext(self.model, occupancy, self.options)
+
+    @staticmethod
+    def _as_mfcsl(formula: FormulaLike) -> MfCslFormula:
+        if isinstance(formula, str):
+            return parse_mfcsl(formula)
+        return formula
+
+    @staticmethod
+    def _as_csl(formula: Union[str, CslFormula]) -> CslFormula:
+        if isinstance(formula, str):
+            return parse_csl(formula)
+        return formula
+
+    @staticmethod
+    def _as_path(formula: Union[str, PathFormula]) -> PathFormula:
+        if isinstance(formula, str):
+            return parse_path(formula)
+        return formula
+
+    # ------------------------------------------------------------------
+    # Satisfaction relation (Section V-A)
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        formula: FormulaLike,
+        occupancy: np.ndarray,
+        ctx: Optional[EvaluationContext] = None,
+    ) -> bool:
+        """Does ``m̄ ⊨ Ψ`` hold? (Definition 6.)"""
+        psi = self._as_mfcsl(formula)
+        if ctx is None:
+            ctx = self.context(occupancy)
+        return self._check(psi, ctx)
+
+    def _check(self, psi: MfCslFormula, ctx: EvaluationContext) -> bool:
+        if isinstance(psi, MfTrue):
+            return True
+        if isinstance(psi, MfNot):
+            return not self._check(psi.operand, ctx)
+        if isinstance(psi, MfAnd):
+            return self._check(psi.left, ctx) and self._check(psi.right, ctx)
+        if isinstance(psi, MfOr):
+            return self._check(psi.left, ctx) or self._check(psi.right, ctx)
+        if isinstance(psi, (Expectation, ExpectedSteadyState, ExpectedProbability)):
+            return psi.bound.holds(self._leaf_value(psi, ctx))
+        raise FormulaError(f"not an MF-CSL formula: {psi!r}")
+
+    def value(
+        self,
+        formula: FormulaLike,
+        occupancy: np.ndarray,
+    ) -> float:
+        """The expectation value an ``E``/``ES``/``EP`` leaf compares to ``p``.
+
+        Useful for diagnostics and for reproducing the paper's worked
+        numbers (e.g. the ``0.072`` of Example 1).  Raises
+        :class:`FormulaError` for non-leaf formulas.
+        """
+        psi = self._as_mfcsl(formula)
+        if not isinstance(
+            psi, (Expectation, ExpectedSteadyState, ExpectedProbability)
+        ):
+            raise FormulaError(
+                "value() is defined for E/ES/EP leaves only; "
+                f"got {psi!r}"
+            )
+        return self._leaf_value(psi, self.context(occupancy))
+
+    def _leaf_value(self, psi: MfCslFormula, ctx: EvaluationContext) -> float:
+        checker = LocalChecker(ctx)
+        if isinstance(psi, Expectation):
+            sat = checker.sat_at(psi.operand, 0.0)
+            return float(sum(ctx.initial[j] for j in sat))
+        if isinstance(psi, ExpectedSteadyState):
+            inner_sat = LocalChecker(ctx.steady_context()).sat_at(
+                psi.operand, 0.0
+            )
+            return expected_steady_state_value(ctx, inner_sat)
+        if isinstance(psi, ExpectedProbability):
+            probs = checker.path_probabilities(psi.path, 0.0)
+            return float(ctx.initial @ probs)
+        raise FormulaError(f"not an expectation leaf: {psi!r}")
+
+    # ------------------------------------------------------------------
+    # Conditional satisfaction sets (Section V-B)
+    # ------------------------------------------------------------------
+
+    def conditional_sat(
+        self,
+        formula: FormulaLike,
+        occupancy: np.ndarray,
+        theta: float,
+    ) -> IntervalSet:
+        """``cSat(Ψ, m̄, θ)`` — the times in ``[0, θ]`` where ``Ψ`` holds."""
+        psi = self._as_mfcsl(formula)
+        ctx = self.context(occupancy)
+        return conditional_sat(ctx, psi, theta)
+
+    # ------------------------------------------------------------------
+    # Curves (for Figure 3 and user plotting)
+    # ------------------------------------------------------------------
+
+    def local_probability_curve(
+        self,
+        path_formula: Union[str, PathFormula],
+        occupancy: np.ndarray,
+        theta: float,
+    ):
+        """``Prob(s, φ, m̄, t)`` per state over ``t ∈ [0, θ]``.
+
+        Returns the :class:`~repro.checking.reachability.ProbabilityCurve`
+        (the green/blue curves of Figure 3).
+        """
+        path = self._as_path(path_formula)
+        ctx = self.context(occupancy)
+        return LocalChecker(ctx).path_curve(path, theta)
+
+    def expected_probability_curve(
+        self,
+        path_formula: Union[str, PathFormula],
+        occupancy: np.ndarray,
+        theta: float,
+    ) -> Callable[[float], float]:
+        """``t -> Σ_j m_j(t) · Prob(s_j, φ, m̄, t)`` (Figure 3's red curve)."""
+        path = self._as_path(path_formula)
+        ctx = self.context(occupancy)
+        curve = LocalChecker(ctx).path_curve(path, theta)
+
+        def g(t: float) -> float:
+            return float(ctx.occupancy(t) @ curve.values(t))
+
+        return g
+
+    def expectation_curve(
+        self,
+        state_formula: Union[str, CslFormula],
+        occupancy: np.ndarray,
+        theta: float,
+    ) -> Callable[[float], float]:
+        """``t -> Σ_j m_j(t) · Ind(s_j ⊨ Φ at t)`` (the E-operator value)."""
+        phi = self._as_csl(state_formula)
+        ctx = self.context(occupancy)
+        sat = LocalChecker(ctx).sat_piecewise(phi, theta)
+
+        def g(t: float) -> float:
+            m = ctx.occupancy(t)
+            return float(sum(m[j] for j in sat.at(t)))
+
+        return g
+
+    # ------------------------------------------------------------------
+
+    def explain(
+        self,
+        formula: FormulaLike,
+        occupancy: np.ndarray,
+    ) -> "list[Tuple[str, float, bool]]":
+        """Evaluate every expectation leaf of ``Ψ`` and report its verdict.
+
+        Returns ``(leaf-text, value, holds)`` triples in parse order —
+        handy for understanding *why* a conjunction failed.
+        """
+        psi = self._as_mfcsl(formula)
+        ctx = self.context(occupancy)
+        report: "list[Tuple[str, float, bool]]" = []
+
+        def walk(node: MfCslFormula) -> None:
+            if isinstance(node, (MfNot,)):
+                walk(node.operand)
+            elif isinstance(node, (MfAnd, MfOr)):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(
+                node, (Expectation, ExpectedSteadyState, ExpectedProbability)
+            ):
+                value = self._leaf_value(node, ctx)
+                report.append((str(node), value, node.bound.holds(value)))
+
+        walk(psi)
+        return report

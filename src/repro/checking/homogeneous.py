@@ -1,0 +1,285 @@
+"""Classical CSL model checking on time-homogeneous CTMCs.
+
+This is the Baier–Haverkort–Hermanns–Katoen algorithm set ([18] in the
+paper, Section IV-A): transient analysis by uniformization / matrix
+exponential for the timed operators, and bottom-strongly-connected-
+component (BSCC) analysis for the steady-state operator.
+
+Inside this library it serves as the *baseline*: when a mean-field local
+model has constant rates, the inhomogeneous checkers of
+:mod:`repro.checking.local` must produce identical answers (the test
+suite and bench A5 verify this).  It is also a perfectly usable
+standalone CSL checker for ordinary CTMCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.ctmc.generator import make_absorbing, validate_generator
+from repro.ctmc.stationary import stationary_distribution
+from repro.ctmc.transient import transient_matrix
+from repro.exceptions import (
+    FormulaError,
+    InvalidStateError,
+    UnsupportedFormulaError,
+)
+from repro.logic.ast import (
+    And,
+    Atomic,
+    CslFormula,
+    CslTrue,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    Probability,
+    SteadyState,
+    Until,
+)
+
+
+class HomogeneousChecker:
+    """CSL checker for a labelled time-homogeneous CTMC.
+
+    Parameters
+    ----------
+    generator:
+        Constant generator matrix ``Q``.
+    labels:
+        Mapping ``state index -> set of atomic propositions``.
+    method:
+        Transient solver: ``"expm"`` (default) or ``"uniformization"``.
+    """
+
+    def __init__(
+        self,
+        generator: np.ndarray,
+        labels: Dict[int, FrozenSet[str]],
+        method: str = "expm",
+    ):
+        self.q = np.asarray(generator, dtype=float)
+        validate_generator(self.q)
+        self.k = self.q.shape[0]
+        self.labels = {
+            s: frozenset(labels.get(s, frozenset())) for s in range(self.k)
+        }
+        self.method = method
+        self._bsccs: Optional[List[FrozenSet[int]]] = None
+
+    # ------------------------------------------------------------------
+    # State formulas
+    # ------------------------------------------------------------------
+
+    def check(self, formula: CslFormula, state: int) -> bool:
+        """Does the state satisfy the formula?"""
+        if not 0 <= state < self.k:
+            raise InvalidStateError(f"state {state} out of range 0..{self.k - 1}")
+        return state in self.sat(formula)
+
+    def sat(self, formula: CslFormula) -> FrozenSet[int]:
+        """Satisfaction set of a CSL state formula."""
+        if isinstance(formula, CslTrue):
+            return frozenset(range(self.k))
+        if isinstance(formula, Atomic):
+            return frozenset(
+                s for s in range(self.k) if formula.name in self.labels[s]
+            )
+        if isinstance(formula, Not):
+            return frozenset(range(self.k)) - self.sat(formula.operand)
+        if isinstance(formula, And):
+            return self.sat(formula.left) & self.sat(formula.right)
+        if isinstance(formula, Or):
+            return self.sat(formula.left) | self.sat(formula.right)
+        if isinstance(formula, Probability):
+            probs = self.path_probabilities(formula.path)
+            return frozenset(
+                s for s in range(self.k) if formula.bound.holds(probs[s])
+            )
+        if isinstance(formula, SteadyState):
+            inner = self.sat(formula.operand)
+            values = self.steady_state_probabilities(inner)
+            return frozenset(
+                s for s in range(self.k) if formula.bound.holds(values[s])
+            )
+        raise FormulaError(f"not a CSL state formula: {formula!r}")
+
+    # ------------------------------------------------------------------
+    # Path formulas
+    # ------------------------------------------------------------------
+
+    def path_probabilities(self, path: PathFormula) -> np.ndarray:
+        """``Prob(s, φ)`` for every state."""
+        if isinstance(path, Until):
+            return self._until(path)
+        if isinstance(path, Next):
+            return self._next(path)
+        raise FormulaError(f"not a CSL path formula: {path!r}")
+
+    def _until(self, path: Until) -> np.ndarray:
+        if not path.interval.is_bounded:
+            return self._until_unbounded(path)
+        gamma1 = self.sat(path.left)
+        gamma2 = self.sat(path.right)
+        all_states = frozenset(range(self.k))
+        t1, t2 = path.interval.lower, path.interval.upper
+        q_b = make_absorbing(self.q, (all_states - gamma1) | gamma2)
+        pi_b = transient_matrix(q_b, t2 - t1, method=self.method)
+        reach = (
+            pi_b[:, sorted(gamma2)].sum(axis=1) if gamma2 else np.zeros(self.k)
+        )
+        if t1 <= 0.0:
+            return reach
+        q_a = make_absorbing(self.q, all_states - gamma1)
+        pi_a = transient_matrix(q_a, t1, method=self.method)
+        out = np.zeros(self.k)
+        for s in range(self.k):
+            out[s] = sum(pi_a[s, s1] * reach[s1] for s1 in gamma1)
+        return out
+
+    def _until_unbounded(self, path: Until) -> np.ndarray:
+        """``Φ1 U[t1,∞) Φ2`` via linear reachability equations.
+
+        Only the genuinely unbounded part is supported for ``t1 = 0``:
+        the probability of eventually reaching ``Γ2`` through ``Γ1``
+        solves a linear system on the transient states.  (The paper's
+        mean-field algorithms cannot do this — the rates there change
+        forever — which is exactly why the homogeneous baseline can.)
+        """
+        if path.interval.lower > 0.0:
+            raise UnsupportedFormulaError(
+                "unbounded until with a positive lower bound is not supported"
+            )
+        gamma1 = self.sat(path.left)
+        gamma2 = self.sat(path.right)
+        out = np.zeros(self.k)
+        transient = sorted(gamma1 - gamma2)
+        for s in gamma2:
+            out[s] = 1.0
+        if not transient:
+            return out
+        idx = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        a = np.zeros((n, n))
+        b = np.zeros(n)
+        for s in transient:
+            i = idx[s]
+            exit_rate = -self.q[s, s]
+            if exit_rate <= 0.0:
+                a[i, i] = 1.0  # absorbing transient state: never reaches
+                b[i] = 0.0
+                continue
+            a[i, i] = exit_rate
+            for s2 in range(self.k):
+                if s2 == s or self.q[s, s2] == 0.0:
+                    continue
+                if s2 in gamma2:
+                    b[i] += self.q[s, s2]
+                elif s2 in gamma1:
+                    a[i, idx[s2]] -= self.q[s, s2]
+                # transitions into ¬Γ1∧¬Γ2 states contribute zero.
+        solution = np.linalg.solve(a, b)
+        for s in transient:
+            out[s] = min(max(solution[idx[s]], 0.0), 1.0)
+        return out
+
+    def _next(self, path: Next) -> np.ndarray:
+        """``X^I Φ``: closed form for constant rates.
+
+        ``P(s, X^[a,b] Φ) = (e^{−q_s a} − e^{−q_s b}) Σ_{s'⊨Φ} Q[s,s']/q_s``.
+        """
+        sat = self.sat(path.operand)
+        a, b = path.interval.lower, path.interval.upper
+        out = np.zeros(self.k)
+        for s in range(self.k):
+            exit_rate = -self.q[s, s]
+            if exit_rate <= 0.0:
+                continue
+            into = sum(self.q[s, s2] for s2 in sat if s2 != s)
+            window = np.exp(-exit_rate * a) - (
+                np.exp(-exit_rate * b) if np.isfinite(b) else 0.0
+            )
+            out[s] = window * into / exit_rate
+        return np.clip(out, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Steady state via BSCC analysis
+    # ------------------------------------------------------------------
+
+    def bsccs(self) -> List[FrozenSet[int]]:
+        """Bottom strongly connected components of the transition graph."""
+        if self._bsccs is None:
+            import networkx as nx
+
+            graph = nx.DiGraph()
+            graph.add_nodes_from(range(self.k))
+            for i in range(self.k):
+                for j in range(self.k):
+                    if i != j and self.q[i, j] > 0.0:
+                        graph.add_edge(i, j)
+            condensed = nx.condensation(graph)
+            bottom = [
+                frozenset(condensed.nodes[n]["members"])
+                for n in condensed.nodes
+                if condensed.out_degree(n) == 0
+            ]
+            self._bsccs = sorted(bottom, key=min)
+        return self._bsccs
+
+    def absorption_probabilities(self) -> np.ndarray:
+        """``A[s, c]``: probability of ending up in BSCC ``c`` from ``s``."""
+        comps = self.bsccs()
+        in_bscc = {s for comp in comps for s in comp}
+        transient = sorted(set(range(self.k)) - in_bscc)
+        out = np.zeros((self.k, len(comps)))
+        for c, comp in enumerate(comps):
+            for s in comp:
+                out[s, c] = 1.0
+        if not transient:
+            return out
+        idx = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        a = np.zeros((n, n))
+        b = np.zeros((n, len(comps)))
+        for s in transient:
+            i = idx[s]
+            exit_rate = -self.q[s, s]
+            a[i, i] = exit_rate
+            for s2 in range(self.k):
+                if s2 == s or self.q[s, s2] == 0.0:
+                    continue
+                if s2 in idx:
+                    a[i, idx[s2]] -= self.q[s, s2]
+                else:
+                    for c, comp in enumerate(comps):
+                        if s2 in comp:
+                            b[i, c] += self.q[s, s2]
+        solution = np.linalg.solve(a, b)
+        for s in transient:
+            out[s] = solution[idx[s]]
+        return out
+
+    def steady_state_probabilities(self, target: FrozenSet[int]) -> np.ndarray:
+        """``π(s, target)`` for every starting state ``s``.
+
+        Weighted over BSCCs: the absorption probability into each BSCC
+        times the stationary mass of ``target`` inside that BSCC.
+        """
+        comps = self.bsccs()
+        absorb = self.absorption_probabilities()
+        comp_values = np.zeros(len(comps))
+        for c, comp in enumerate(comps):
+            members = sorted(comp)
+            if len(members) == 1:
+                comp_values[c] = 1.0 if members[0] in target else 0.0
+                continue
+            sub = self.q[np.ix_(members, members)].copy()
+            np.fill_diagonal(sub, 0.0)
+            np.fill_diagonal(sub, -sub.sum(axis=1))
+            pi = stationary_distribution(sub)
+            comp_values[c] = sum(
+                pi[i] for i, s in enumerate(members) if s in target
+            )
+        return absorb @ comp_values

@@ -1,0 +1,207 @@
+"""Exact algebra of finite unions of closed time intervals.
+
+The conditional satisfaction set of an MF-CSL formula,
+``cSat(Ψ, m̄, θ) = {t ∈ [0, θ] : m̄(t) ⊨ Ψ}`` (Equation (20)), is computed
+leaf-by-leaf and then combined through the boolean structure of ``Ψ``
+(Section V-B): conjunction is intersection, negation is complement within
+``[0, θ]``.  :class:`IntervalSet` implements that algebra exactly, so any
+approximation error lives only in the numerically-found endpoint values,
+never in the set operations.
+
+Endpoints are kept as floats; degenerate (single-point) intervals are
+allowed, and intervals closer than ``merge_eps`` are merged when
+normalizing — threshold-crossing refinement is accurate to ~1e-10, far
+below the default ``merge_eps`` of 1e-9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ModelError
+
+#: Two intervals whose gap is below this are merged during normalization.
+MERGE_EPS = 1e-9
+
+
+class IntervalSet:
+    """An immutable finite union of closed intervals ``[a, b]``.
+
+    Construct from a list of ``(start, end)`` pairs; overlapping or
+    touching intervals are merged, empty pairs (``end < start``) rejected.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(
+        self,
+        intervals: Iterable[Tuple[float, float]] = (),
+        merge_eps: float = MERGE_EPS,
+    ):
+        cleaned: List[Tuple[float, float]] = []
+        for a, b in intervals:
+            a, b = float(a), float(b)
+            if b < a:
+                raise ModelError(f"interval [{a}, {b}] is empty")
+            cleaned.append((a, b))
+        cleaned.sort()
+        merged: List[Tuple[float, float]] = []
+        for a, b in cleaned:
+            if merged and a <= merged[-1][1] + merge_eps:
+                prev_a, prev_b = merged[-1]
+                merged[-1] = (prev_a, max(prev_b, b))
+            else:
+                merged.append((a, b))
+        self._intervals: Tuple[Tuple[float, float], ...] = tuple(merged)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return cls(())
+
+    @classmethod
+    def whole(cls, theta: float) -> "IntervalSet":
+        """The full horizon ``[0, theta]``."""
+        return cls([(0.0, float(theta))])
+
+    @classmethod
+    def point(cls, t: float) -> "IntervalSet":
+        """A single time instant ``{t}``."""
+        return cls([(float(t), float(t))])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Tuple[float, float], ...]:
+        """The normalized, sorted, disjoint intervals."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` iff the set contains no points."""
+        return not self._intervals
+
+    def measure(self) -> float:
+        """Total Lebesgue measure (sum of interval lengths)."""
+        return sum(b - a for a, b in self._intervals)
+
+    def contains(self, t: float, tol: float = 0.0) -> bool:
+        """Membership test, optionally padded by ``tol`` at endpoints."""
+        t = float(t)
+        return any(a - tol <= t <= b + tol for a, b in self._intervals)
+
+    def __contains__(self, t: float) -> bool:
+        return self.contains(t)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def approx_equal(self, other: "IntervalSet", tol: float = 1e-6) -> bool:
+        """Structural equality up to endpoint perturbations of ``tol``."""
+        if len(self._intervals) != len(other._intervals):
+            return False
+        return all(
+            abs(a1 - a2) <= tol and abs(b1 - b2) <= tol
+            for (a1, b1), (a2, b2) in zip(self._intervals, other._intervals)
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection (two-pointer sweep over sorted intervals)."""
+        out: List[Tuple[float, float]] = []
+        i = j = 0
+        a_list, b_list = self._intervals, other._intervals
+        while i < len(a_list) and j < len(b_list):
+            lo = max(a_list[i][0], b_list[j][0])
+            hi = min(a_list[i][1], b_list[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a_list[i][1] < b_list[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def complement(self, theta: float) -> "IntervalSet":
+        """Complement within ``[0, theta]``.
+
+        The complement of a union of closed intervals is a union of open
+        intervals; since single points carry no measure and every endpoint
+        below comes from a numerically-located threshold crossing, the
+        result is represented with closed intervals sharing the endpoints.
+        """
+        theta = float(theta)
+        out: List[Tuple[float, float]] = []
+        cursor = 0.0
+        for a, b in self._intervals:
+            if a > theta:
+                break
+            if a > cursor:
+                out.append((cursor, min(a, theta)))
+            cursor = max(cursor, b)
+        if cursor < theta:
+            out.append((cursor, theta))
+        return IntervalSet(out)
+
+    def difference(self, other: "IntervalSet", theta: float) -> "IntervalSet":
+        """Relative difference ``self \\ other`` within ``[0, theta]``."""
+        return self.intersection(other.complement(theta))
+
+    def clip(self, lo: float, hi: float) -> "IntervalSet":
+        """Intersection with ``[lo, hi]``."""
+        return self.intersection(IntervalSet([(float(lo), float(hi))]))
+
+    def shift(self, offset: float) -> "IntervalSet":
+        """Translate every interval by ``offset`` (may go negative)."""
+        return IntervalSet([(a + offset, b + offset) for a, b in self._intervals])
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{a:g}, {b:g}]" for a, b in self._intervals)
+        return f"IntervalSet({parts or 'empty'})"
+
+
+def from_indicator_grid(
+    times: Sequence[float],
+    truth: Sequence[bool],
+) -> IntervalSet:
+    """Interval set from truth values sampled on a grid (no refinement).
+
+    Consecutive ``True`` samples are joined into one interval spanning
+    their grid times.  This is a coarse helper used by tests; production
+    code refines boundaries with a root finder (see
+    :func:`repro.checking.csat.threshold_intervals`).
+    """
+    if len(times) != len(truth):
+        raise ModelError("times and truth must have equal length")
+    out: List[Tuple[float, float]] = []
+    start = None
+    for t, good in zip(times, truth):
+        if good and start is None:
+            start = float(t)
+        elif not good and start is not None:
+            out.append((start, prev_t))
+            start = None
+        prev_t = float(t)
+    if start is not None:
+        out.append((start, float(times[-1])))
+    return IntervalSet(out)

@@ -1,0 +1,250 @@
+"""The recursive local CSL checker (Section IV).
+
+:class:`LocalChecker` evaluates CSL state and path formulas on the
+time-inhomogeneous local model induced by an
+:class:`~repro.checking.context.EvaluationContext`.  It walks the parse
+tree exactly as Section IV-E prescribes:
+
+- time-independent operators (``tt``, atomic propositions, boolean
+  connectives) are resolved from the labelling;
+- ``P⋈p(φ)`` computes a :class:`~repro.checking.reachability.ProbabilityCurve`
+  for the path formula and thresholds it (Equations (16)/(18)); curve
+  crossing times become the discontinuity points of the resulting
+  time-dependent satisfaction set;
+- ``S⋈p(Φ)`` delegates to :mod:`repro.checking.steady` — the inner
+  formula is checked in the *steady context* anchored at ``m̃``
+  (Equations (17)/(19));
+- until path formulas use the simple two-phase algorithm when both
+  operand sets are time-independent and the time-varying-set machinery
+  of :mod:`repro.checking.nested` otherwise (``CheckOptions.until_method``
+  can force either);
+- next path formulas use :mod:`repro.checking.next_op`.
+
+Results are cached per (formula, window), so shared sub-formulas are
+checked once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.checking.context import EvaluationContext
+from repro.checking.nested import TimeVaryingUntil
+from repro.checking.next_op import next_curve, next_probabilities
+from repro.checking.reachability import (
+    ProbabilityCurve,
+    SimpleUntilCurve,
+    until_probabilities_simple,
+)
+from repro.checking.satsets import PiecewiseSatSet, combine
+from repro.checking.steady import steady_sat_states
+from repro.exceptions import FormulaError, InvalidStateError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    CslFormula,
+    CslTrue,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    Probability,
+    SteadyState,
+    Until,
+)
+
+
+class LocalChecker:
+    """CSL model checker for the local model of one evaluation context."""
+
+    def __init__(self, ctx: EvaluationContext):
+        self.ctx = ctx
+        self._sat_cache: Dict[Tuple[CslFormula, float], PiecewiseSatSet] = {}
+        self._curve_cache: Dict[Tuple[PathFormula, float], ProbabilityCurve] = {}
+        self._steady_checker: Optional["LocalChecker"] = None
+
+    # ------------------------------------------------------------------
+    # State formulas
+    # ------------------------------------------------------------------
+
+    def check(self, formula: CslFormula, state: "str | int", t: float = 0.0) -> bool:
+        """Does local state ``s`` satisfy ``Φ`` at evaluation time ``t``?"""
+        index = self._state_index(state)
+        return index in self.sat_at(formula, t)
+
+    def sat_at(self, formula: CslFormula, t: float = 0.0) -> FrozenSet[int]:
+        """``Sat(Φ, m̄, t)`` — Equations (16)–(19) for a single time."""
+        t = float(t)
+        if isinstance(formula, CslTrue):
+            return frozenset(range(self.ctx.num_states))
+        if isinstance(formula, Atomic):
+            states = self.ctx.model.local.states_with_label(formula.name)
+            return states
+        if isinstance(formula, Not):
+            return frozenset(range(self.ctx.num_states)) - self.sat_at(
+                formula.operand, t
+            )
+        if isinstance(formula, And):
+            return self.sat_at(formula.left, t) & self.sat_at(formula.right, t)
+        if isinstance(formula, Or):
+            return self.sat_at(formula.left, t) | self.sat_at(formula.right, t)
+        if isinstance(formula, Probability):
+            probs = self.path_probabilities(formula.path, t)
+            return frozenset(
+                s
+                for s in range(self.ctx.num_states)
+                if formula.bound.holds(probs[s])
+            )
+        if isinstance(formula, SteadyState):
+            inner_sat = self._steady().sat_at(formula.operand, 0.0)
+            return steady_sat_states(self.ctx, inner_sat, formula.bound)
+        raise FormulaError(f"not a CSL state formula: {formula!r}")
+
+    def sat_piecewise(
+        self, formula: CslFormula, t_end: float
+    ) -> PiecewiseSatSet:
+        """Time-dependent satisfaction set over ``[0, t_end]`` (Sec. IV-E)."""
+        t_end = float(t_end)
+        key = (formula, t_end)
+        if key in self._sat_cache:
+            return self._sat_cache[key]
+        result = self._sat_piecewise_uncached(formula, t_end)
+        self._sat_cache[key] = result
+        return result
+
+    def _sat_piecewise_uncached(
+        self, formula: CslFormula, t_end: float
+    ) -> PiecewiseSatSet:
+        k = self.ctx.num_states
+        if isinstance(formula, CslTrue):
+            return PiecewiseSatSet.constant(frozenset(range(k)), 0.0, t_end)
+        if isinstance(formula, Atomic):
+            return PiecewiseSatSet.constant(
+                self.ctx.model.local.states_with_label(formula.name), 0.0, t_end
+            )
+        if isinstance(formula, Not):
+            inner = self.sat_piecewise(formula.operand, t_end)
+            full = frozenset(range(k))
+            return combine([inner], lambda vals: full - vals[0])
+        if isinstance(formula, And):
+            left = self.sat_piecewise(formula.left, t_end)
+            right = self.sat_piecewise(formula.right, t_end)
+            return combine([left, right], lambda vals: vals[0] & vals[1])
+        if isinstance(formula, Or):
+            left = self.sat_piecewise(formula.left, t_end)
+            right = self.sat_piecewise(formula.right, t_end)
+            return combine([left, right], lambda vals: vals[0] | vals[1])
+        if isinstance(formula, Probability):
+            curve = self.path_curve(formula.path, t_end)
+            boundaries = curve.sat_boundaries(
+                formula.bound.threshold,
+                grid_points=self.ctx.options.grid_points,
+                xtol=self.ctx.options.crossing_xtol,
+            )
+            return PiecewiseSatSet.from_boundaries(
+                boundaries,
+                lambda t: frozenset(
+                    s for s in range(k) if formula.bound.holds(curve.value(t, s))
+                ),
+                0.0,
+                t_end,
+            )
+        if isinstance(formula, SteadyState):
+            # Constant in time (Equation (15)).
+            return PiecewiseSatSet.constant(
+                self.sat_at(formula, 0.0), 0.0, t_end
+            )
+        raise FormulaError(f"not a CSL state formula: {formula!r}")
+
+    # ------------------------------------------------------------------
+    # Path formulas
+    # ------------------------------------------------------------------
+
+    def path_probabilities(
+        self, path: PathFormula, t: float = 0.0
+    ) -> np.ndarray:
+        """``Prob(s, φ, m̄, t)`` for every state — Equations (4)/(7)/(13)."""
+        t = float(t)
+        if isinstance(path, Until):
+            window_end = t + path.interval.upper
+            gamma1 = self.sat_piecewise(path.left, window_end)
+            gamma2 = self.sat_piecewise(path.right, window_end)
+            if self._use_simple(gamma1, gamma2):
+                return until_probabilities_simple(
+                    self.ctx,
+                    gamma1.at(0.0),
+                    gamma2.at(0.0),
+                    path.interval,
+                    t=t,
+                )
+            solver = TimeVaryingUntil(
+                self.ctx, gamma1, gamma2, path.interval, theta=t
+            )
+            return solver.probabilities(t)
+        if isinstance(path, Next):
+            operand_sat = self.sat_piecewise(
+                path.operand, t + path.interval.upper
+            )
+            return next_probabilities(self.ctx, operand_sat, path.interval, t=t)
+        raise FormulaError(f"not a CSL path formula: {path!r}")
+
+    def path_curve(self, path: PathFormula, theta: float) -> ProbabilityCurve:
+        """``Prob(s, φ, m̄, ·)`` as a curve over ``[0, theta]``."""
+        theta = float(theta)
+        key = (path, theta)
+        if key in self._curve_cache:
+            return self._curve_cache[key]
+        if isinstance(path, Until):
+            window_end = theta + path.interval.upper
+            gamma1 = self.sat_piecewise(path.left, window_end)
+            gamma2 = self.sat_piecewise(path.right, window_end)
+            if self._use_simple(gamma1, gamma2):
+                curve: ProbabilityCurve = SimpleUntilCurve(
+                    self.ctx,
+                    gamma1.at(0.0),
+                    gamma2.at(0.0),
+                    path.interval,
+                    theta,
+                )
+            else:
+                curve = TimeVaryingUntil(
+                    self.ctx, gamma1, gamma2, path.interval, theta=theta
+                ).curve()
+        elif isinstance(path, Next):
+            operand_sat = self.sat_piecewise(
+                path.operand, theta + path.interval.upper
+            )
+            curve = next_curve(self.ctx, operand_sat, path.interval, theta)
+        else:
+            raise FormulaError(f"not a CSL path formula: {path!r}")
+        self._curve_cache[key] = curve
+        return curve
+
+    # ------------------------------------------------------------------
+
+    def _use_simple(
+        self, gamma1: PiecewiseSatSet, gamma2: PiecewiseSatSet
+    ) -> bool:
+        method = self.ctx.options.until_method
+        if method == "simple":
+            return True
+        if method == "nested":
+            return False
+        return gamma1.is_constant and gamma2.is_constant
+
+    def _steady(self) -> "LocalChecker":
+        if self._steady_checker is None:
+            self._steady_checker = LocalChecker(self.ctx.steady_context())
+        return self._steady_checker
+
+    def _state_index(self, state: "str | int") -> int:
+        if isinstance(state, str):
+            return self.ctx.model.local.index(state)
+        index = int(state)
+        if not 0 <= index < self.ctx.num_states:
+            raise InvalidStateError(
+                f"state index {index} out of range 0..{self.ctx.num_states - 1}"
+            )
+        return index

@@ -1,0 +1,95 @@
+"""Numerical options shared by all checkers.
+
+Every tolerance and grid size used anywhere in the checking pipeline is
+collected here so that (a) experiments are reproducible from a single
+record, and (b) accuracy/cost trade-offs can be studied systematically
+(bench A6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Tunable numerical parameters of the model checkers.
+
+    Attributes
+    ----------
+    ode_rtol, ode_atol:
+        Tolerances of every Kolmogorov / occupancy ODE solve.
+    grid_points:
+        Number of samples used when scanning a probability curve for
+        threshold crossings (crossings are then refined by Brent's
+        method, so this only needs to separate distinct crossings).
+    crossing_xtol:
+        Absolute time tolerance of the threshold-crossing refinement.
+    probability_tol:
+        Slack used when comparing computed probabilities against formula
+        thresholds; values within this distance of the threshold are
+        resolved by the exact comparison but flagged in curve metadata.
+    until_method:
+        ``"auto"`` (simple algorithm when operand sets are constant,
+        nested otherwise), ``"simple"`` or ``"nested"`` to force one.
+    curve_method:
+        How time-dependent until probabilities are evaluated:
+        ``"propagate"`` uses the window-shift ODE of Equations (6)/(12)
+        (the paper's Appendix algorithm); ``"recompute"`` re-solves the
+        forward equation from scratch at every evaluation time.  They must
+        agree (bench A3 measures the speed difference).
+    horizon_margin:
+        Extra time beyond the strictly-needed horizon when solving the
+        occupancy ODE, so root refinement near the boundary never falls
+        off the trajectory.
+    start_convention:
+        Semantics of ``Φ1 U^[0,t2] Φ2`` for a start state satisfying
+        ``Φ2`` but not ``Φ1``.  ``"standard"`` (default) follows the
+        paper's Definition 4 (and classical CSL): the until is trivially
+        satisfied at ``t' = 0``, so the probability is one.  ``"phi1"``
+        reproduces the convention the paper's Example 1 actually computes
+        (its Equation (4) requires the start state to satisfy ``Φ1``,
+        yielding probability zero from ``Φ2 \\ Φ1`` states).  The two only
+        differ when ``t1 = 0`` and the start state is in ``Φ2 \\ Φ1``;
+        see EXPERIMENTS.md.
+    """
+
+    ode_rtol: float = 1e-8
+    ode_atol: float = 1e-10
+    grid_points: int = 129
+    crossing_xtol: float = 1e-10
+    probability_tol: float = 1e-7
+    until_method: str = "auto"
+    curve_method: str = "propagate"
+    horizon_margin: float = 1.0
+    start_convention: str = "standard"
+
+    def __post_init__(self) -> None:
+        if self.grid_points < 3:
+            raise ModelError("grid_points must be at least 3")
+        if self.until_method not in ("auto", "simple", "nested"):
+            raise ModelError(
+                f"until_method must be auto/simple/nested, got "
+                f"{self.until_method!r}"
+            )
+        if self.curve_method not in ("propagate", "recompute"):
+            raise ModelError(
+                f"curve_method must be propagate/recompute, got "
+                f"{self.curve_method!r}"
+            )
+        for name in ("ode_rtol", "ode_atol", "crossing_xtol", "probability_tol"):
+            if getattr(self, name) <= 0:
+                raise ModelError(f"{name} must be positive")
+        if self.horizon_margin < 0:
+            raise ModelError("horizon_margin must be non-negative")
+        if self.start_convention not in ("standard", "phi1"):
+            raise ModelError(
+                f"start_convention must be standard/phi1, got "
+                f"{self.start_convention!r}"
+            )
+
+    def with_(self, **changes) -> "CheckOptions":
+        """A copy with some fields replaced (frozen-dataclass helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,312 @@
+"""Single-until probabilities on the inhomogeneous local model.
+
+Implements Section IV-B of the paper:
+
+- :func:`until_probabilities_simple` — ``Prob(s, Φ1 U^[t1,t2] Φ2, m̄, t)``
+  for *time-independent* operand sets, via the two-phase decomposition of
+  Equations (4) and (7): a forward-Kolmogorov solve on ``M[¬Φ1]`` over
+  ``[t, t+t1]`` followed by one on ``M[¬Φ1 ∨ Φ2]`` over ``[t+t1, t+t2]``;
+- :class:`SimpleUntilCurve` — the same probability as a *function of the
+  evaluation time* ``t`` (the red/green curves of Figure 3), computed
+  either by the window-shift ODE of Equation (6)
+  (:class:`~repro.ctmc.inhomogeneous.TransitionMatrixPropagator`) or by
+  re-solving from scratch at every ``t`` (cross-check / ablation A3);
+- :class:`ProbabilityCurve` — the generic curve wrapper shared with the
+  nested algorithm: cached evaluation, grid sampling, and threshold
+  crossing refinement via Brent's method.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.checking.context import EvaluationContext
+from repro.checking.transform import absorbing_generator_function
+from repro.ctmc.inhomogeneous import (
+    TransitionMatrixPropagator,
+    solve_forward_kolmogorov,
+)
+from repro.exceptions import CheckingError, UnsupportedFormulaError
+from repro.logic.ast import TimeInterval
+
+
+def _require_bounded(interval: TimeInterval) -> None:
+    if not interval.is_bounded:
+        raise UnsupportedFormulaError(
+            "the mean-field checking algorithms only support time-bounded "
+            f"path operators; got interval {interval}"
+        )
+
+
+class ProbabilityCurve:
+    """A per-state probability as a function of evaluation time.
+
+    Wraps an ``evaluator(t) -> (K,) array`` with caching, uniform-grid
+    sampling and threshold-crossing refinement.  ``discontinuities`` lists
+    times where the curve may jump (e.g. inner satisfaction sets change);
+    crossing detection then treats each smooth segment separately and adds
+    jump points across which the predicate flips.
+    """
+
+    def __init__(
+        self,
+        evaluator: Callable[[float], np.ndarray],
+        t_start: float,
+        t_end: float,
+        num_states: int,
+        discontinuities: Sequence[float] = (),
+    ):
+        self._evaluator = evaluator
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+        self.num_states = int(num_states)
+        self.discontinuities = sorted(
+            float(d)
+            for d in discontinuities
+            if self.t_start < float(d) < self.t_end
+        )
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def values(self, t: float) -> np.ndarray:
+        """Probabilities for all starting states at evaluation time ``t``."""
+        t = float(t)
+        if not (self.t_start - 1e-9 <= t <= self.t_end + 1e-9):
+            raise CheckingError(
+                f"time {t} outside curve range [{self.t_start}, {self.t_end}]"
+            )
+        t = min(max(t, self.t_start), self.t_end)
+        key = round(t, 12)
+        if key not in self._cache:
+            vals = np.asarray(self._evaluator(t), dtype=float)
+            if vals.shape != (self.num_states,):
+                raise CheckingError(
+                    f"curve evaluator returned shape {vals.shape}, expected "
+                    f"({self.num_states},)"
+                )
+            self._cache[key] = np.clip(vals, 0.0, 1.0)
+        return self._cache[key]
+
+    def value(self, t: float, state: int) -> float:
+        """Probability for one starting state."""
+        return float(self.values(t)[state])
+
+    def grid(self, num: int = 200) -> "tuple[np.ndarray, np.ndarray]":
+        """Sample the curve on a uniform grid -> ``(times, (num, K))``."""
+        times = np.linspace(self.t_start, self.t_end, int(num))
+        return times, np.vstack([self.values(t) for t in times])
+
+    # ------------------------------------------------------------------
+
+    def _segments(self) -> List["tuple[float, float]"]:
+        points = [self.t_start] + self.discontinuities + [self.t_end]
+        return [(a, b) for a, b in zip(points, points[1:]) if b > a]
+
+    def crossing_times(
+        self,
+        state: int,
+        threshold: float,
+        grid_points: int = 129,
+        xtol: float = 1e-10,
+    ) -> List[float]:
+        """All times where ``value(t, state) − threshold`` changes sign.
+
+        Sign changes between grid samples inside a smooth segment are
+        refined with Brent's method; jumps at declared discontinuities are
+        reported as crossing times when the sign differs across them.
+        """
+        crossings: List[float] = []
+
+        def f(t: float) -> float:
+            return self.value(t, state) - threshold
+
+        for a, b in self._segments():
+            # Sample strictly inside the segment to avoid evaluating on a
+            # jump point.
+            eps = min(1e-9, (b - a) * 1e-6)
+            ts = np.linspace(a + eps, b - eps, max(int(grid_points), 3))
+            vals = np.array([f(t) for t in ts])
+            for i in range(len(ts) - 1):
+                va, vb = vals[i], vals[i + 1]
+                if va == 0.0:
+                    crossings.append(float(ts[i]))
+                elif va * vb < 0.0:
+                    crossings.append(
+                        float(brentq(f, ts[i], ts[i + 1], xtol=xtol))
+                    )
+            if vals[-1] == 0.0:
+                crossings.append(float(ts[-1]))
+        # Jumps at discontinuities where the predicate flips.
+        for d in self.discontinuities:
+            before = f(max(self.t_start, d - 1e-9))
+            after = f(min(self.t_end, d + 1e-9))
+            if (before > 0) != (after > 0):
+                crossings.append(float(d))
+        return sorted(set(crossings))
+
+    def sat_boundaries(
+        self,
+        threshold: float,
+        grid_points: int = 129,
+        xtol: float = 1e-10,
+    ) -> List[float]:
+        """Union of crossing times over all starting states.
+
+        These are the discontinuity points of the satisfaction set of a
+        ``P⋈p`` formula wrapping this curve's path formula.
+        """
+        out: set = set()
+        for s in range(self.num_states):
+            out.update(
+                self.crossing_times(
+                    s, threshold, grid_points=grid_points, xtol=xtol
+                )
+            )
+        return sorted(out)
+
+
+# ----------------------------------------------------------------------
+# Simple (time-independent operand) until — Section IV-B
+# ----------------------------------------------------------------------
+
+
+def until_probabilities_simple(
+    ctx: EvaluationContext,
+    gamma1: FrozenSet[int],
+    gamma2: FrozenSet[int],
+    interval: TimeInterval,
+    t: float = 0.0,
+) -> np.ndarray:
+    """``Prob(s, Φ1 U^I Φ2, m̄, t)`` for every state — Equations (4)/(7).
+
+    ``gamma1``/``gamma2`` are the (constant) satisfaction sets of the
+    operands.  ``t`` is the evaluation time relative to the context's
+    occupancy trajectory (0 reproduces Equation (4), larger values
+    Equation (7)).
+    """
+    _require_bounded(interval)
+    k = ctx.num_states
+    all_states = frozenset(range(k))
+    q_of_t = ctx.generator_function()
+    t1, t2 = interval.lower, interval.upper
+    rtol, atol = ctx.options.ode_rtol, ctx.options.ode_atol
+
+    q_phase2 = absorbing_generator_function(
+        q_of_t, (all_states - gamma1) | gamma2
+    )
+    pi_b = solve_forward_kolmogorov(
+        q_phase2, t + t1, t2 - t1, rtol=rtol, atol=atol
+    )
+    # Probability, from each phase-2 start state, of sitting in a Γ2 state
+    # at the end of the window (Γ2 states are absorbing, so "sitting in"
+    # means "reached").
+    reach_gamma2 = pi_b[:, sorted(gamma2)].sum(axis=1) if gamma2 else np.zeros(k)
+
+    if t1 <= 0.0:
+        if ctx.options.start_convention == "phi1":
+            # Example-1 convention: paths must start in a Φ1 state (the
+            # literal reading of Equation (4); see CheckOptions).
+            mask = np.array([1.0 if s in gamma1 else 0.0 for s in range(k)])
+            return reach_gamma2 * mask
+        return reach_gamma2
+    q_phase1 = absorbing_generator_function(q_of_t, all_states - gamma1)
+    pi_a = solve_forward_kolmogorov(q_phase1, t, t1, rtol=rtol, atol=atol)
+    result = np.zeros(k)
+    for s in range(k):
+        result[s] = sum(
+            pi_a[s, s1] * reach_gamma2[s1] for s1 in gamma1
+        )
+    return result
+
+
+class SimpleUntilCurve(ProbabilityCurve):
+    """``Prob(s, Φ1 U^I Φ2, m̄, t)`` as a function of ``t`` ∈ [0, θ].
+
+    With ``method="propagate"`` the two reachability matrices are advanced
+    through evaluation time by the window-shift ODE (6) — one dense solve
+    each, O(1) per query afterwards.  With ``method="recompute"`` each
+    query re-runs :func:`until_probabilities_simple` (slower; used for
+    validation).
+    """
+
+    def __init__(
+        self,
+        ctx: EvaluationContext,
+        gamma1: FrozenSet[int],
+        gamma2: FrozenSet[int],
+        interval: TimeInterval,
+        theta: float,
+        method: Optional[str] = None,
+    ):
+        _require_bounded(interval)
+        method = method or ctx.options.curve_method
+        k = ctx.num_states
+        all_states = frozenset(range(k))
+        t1, t2 = interval.lower, interval.upper
+        theta = float(theta)
+        # Make sure the trajectory covers everything we will touch.
+        ctx.trajectory(theta + t2 + ctx.options.horizon_margin)
+        gamma2_cols = sorted(gamma2)
+
+        if method == "propagate":
+            q_of_t = ctx.generator_function()
+            prop_b = TransitionMatrixPropagator(
+                absorbing_generator_function(
+                    q_of_t, (all_states - gamma1) | gamma2
+                ),
+                window=t2 - t1,
+                t0=t1,
+                horizon=theta + t1,
+                rtol=ctx.options.ode_rtol,
+                atol=ctx.options.ode_atol,
+            )
+            prop_a = None
+            if t1 > 0.0:
+                prop_a = TransitionMatrixPropagator(
+                    absorbing_generator_function(q_of_t, all_states - gamma1),
+                    window=t1,
+                    t0=0.0,
+                    horizon=theta,
+                    rtol=ctx.options.ode_rtol,
+                    atol=ctx.options.ode_atol,
+                )
+
+            strict_mask = None
+            if t1 <= 0.0 and ctx.options.start_convention == "phi1":
+                strict_mask = np.array(
+                    [1.0 if s in gamma1 else 0.0 for s in range(k)]
+                )
+
+            def evaluator(t: float) -> np.ndarray:
+                pi_b = prop_b(t + t1)
+                reach = (
+                    pi_b[:, gamma2_cols].sum(axis=1)
+                    if gamma2_cols
+                    else np.zeros(k)
+                )
+                if prop_a is None:
+                    if strict_mask is not None:
+                        return reach * strict_mask
+                    return reach
+                pi_a = prop_a(t)
+                out = np.zeros(k)
+                for s in range(k):
+                    out[s] = sum(pi_a[s, s1] * reach[s1] for s1 in gamma1)
+                return out
+
+        elif method == "recompute":
+
+            def evaluator(t: float) -> np.ndarray:
+                return until_probabilities_simple(
+                    ctx, gamma1, gamma2, interval, t=t
+                )
+
+        else:
+            raise CheckingError(f"unknown curve method {method!r}")
+
+        super().__init__(evaluator, 0.0, theta, k)

@@ -1,0 +1,196 @@
+"""Piecewise-constant time-dependent satisfaction sets (Section IV-E).
+
+The satisfaction set of a time-dependent CSL formula changes at finitely
+many *discontinuity points* as the occupancy vector evolves.  A
+:class:`PiecewiseSatSet` records, over an evaluation window
+``[t_start, t_end]``, the ordered pieces on which the set of satisfying
+local states is constant.  The nested-until algorithm consumes exactly
+this structure (its ``T_i`` are the piece boundaries), and the boolean
+connectives combine these sets pointwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Sequence
+
+from repro.exceptions import CheckingError, ModelError
+
+#: Two boundaries closer than this are collapsed when merging sets.
+BOUNDARY_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One maximal interval on which the satisfaction set is constant."""
+
+    t_start: float
+    t_end: float
+    states: FrozenSet[int]
+
+
+class PiecewiseSatSet:
+    """A satisfaction set as a function of evaluation time.
+
+    Pieces are contiguous and cover ``[t_start, t_end]``; the value *at* a
+    boundary belongs to the right piece (the set is treated as
+    right-continuous, consistent with the solvers integrating forward).
+    """
+
+    def __init__(self, pieces: Sequence[Piece]):
+        if not pieces:
+            raise ModelError("a PiecewiseSatSet needs at least one piece")
+        pieces = sorted(pieces, key=lambda p: p.t_start)
+        for a, b in zip(pieces, pieces[1:]):
+            if abs(a.t_end - b.t_start) > BOUNDARY_EPS:
+                raise ModelError(
+                    f"pieces are not contiguous: {a.t_end} vs {b.t_start}"
+                )
+        merged: List[Piece] = [pieces[0]]
+        for piece in pieces[1:]:
+            if piece.states == merged[-1].states:
+                merged[-1] = Piece(
+                    merged[-1].t_start, piece.t_end, merged[-1].states
+                )
+            else:
+                merged.append(piece)
+        self._pieces: List[Piece] = merged
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(
+        cls, states: FrozenSet[int], t_start: float, t_end: float
+    ) -> "PiecewiseSatSet":
+        """A set that never changes over the window."""
+        return cls([Piece(float(t_start), float(t_end), frozenset(states))])
+
+    @classmethod
+    def from_boundaries(
+        cls,
+        boundaries: Sequence[float],
+        valuation: Callable[[float], FrozenSet[int]],
+        t_start: float,
+        t_end: float,
+    ) -> "PiecewiseSatSet":
+        """Build from interior boundary points and a midpoint valuation.
+
+        ``boundaries`` are the candidate discontinuity points strictly
+        inside ``(t_start, t_end)``; the satisfying set of each resulting
+        piece is obtained by evaluating ``valuation`` at the piece's
+        midpoint.
+        """
+        ts = [float(t_start)]
+        for b in sorted(float(b) for b in boundaries):
+            if ts[-1] + BOUNDARY_EPS < b < float(t_end) - BOUNDARY_EPS:
+                ts.append(b)
+        ts.append(float(t_end))
+        pieces = []
+        for a, b in zip(ts, ts[1:]):
+            mid = 0.5 * (a + b)
+            pieces.append(Piece(a, b, frozenset(valuation(mid))))
+        return cls(pieces)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def pieces(self) -> List[Piece]:
+        """The normalized pieces (adjacent equal sets merged)."""
+        return list(self._pieces)
+
+    @property
+    def t_start(self) -> float:
+        """Left end of the covered window."""
+        return self._pieces[0].t_start
+
+    @property
+    def t_end(self) -> float:
+        """Right end of the covered window."""
+        return self._pieces[-1].t_end
+
+    @property
+    def is_constant(self) -> bool:
+        """``True`` iff the set never changes on the window."""
+        return len(self._pieces) == 1
+
+    def at(self, t: float) -> FrozenSet[int]:
+        """The satisfaction set in force at time ``t``."""
+        t = float(t)
+        if t < self.t_start - BOUNDARY_EPS or t > self.t_end + BOUNDARY_EPS:
+            raise CheckingError(
+                f"time {t} outside satisfaction-set window "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+        for piece in self._pieces:
+            if t < piece.t_end - BOUNDARY_EPS:
+                return piece.states
+        return self._pieces[-1].states
+
+    def boundaries(self) -> List[float]:
+        """Interior discontinuity points (the paper's ``T_i``)."""
+        return [p.t_start for p in self._pieces[1:]]
+
+    def restrict(self, a: float, b: float) -> "PiecewiseSatSet":
+        """The same set restricted to the sub-window ``[a, b]``."""
+        a, b = float(a), float(b)
+        if a < self.t_start - BOUNDARY_EPS or b > self.t_end + BOUNDARY_EPS:
+            raise CheckingError(
+                f"[{a}, {b}] not inside [{self.t_start}, {self.t_end}]"
+            )
+        if b < a:
+            raise ModelError(f"empty restriction window [{a}, {b}]")
+        pieces = []
+        for piece in self._pieces:
+            lo = max(piece.t_start, a)
+            hi = min(piece.t_end, b)
+            if hi > lo + BOUNDARY_EPS or (a == b and lo <= a <= hi):
+                pieces.append(Piece(lo, max(hi, lo), piece.states))
+        if not pieces:
+            pieces = [Piece(a, b, self.at(a))]
+        # Patch the ends exactly.
+        first = pieces[0]
+        pieces[0] = Piece(a, first.t_end, first.states)
+        last = pieces[-1]
+        pieces[-1] = Piece(last.t_start if len(pieces) > 1 else a, b, last.states)
+        return PiecewiseSatSet(pieces)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{p.t_start:g},{p.t_end:g}]->{sorted(p.states)}"
+            for p in self._pieces
+        )
+        return f"PiecewiseSatSet({parts})"
+
+
+def combine(
+    sets: Sequence[PiecewiseSatSet],
+    op: Callable[[Sequence[FrozenSet[int]]], FrozenSet[int]],
+) -> PiecewiseSatSet:
+    """Pointwise combination of several piecewise sets on a shared window.
+
+    All inputs must cover the same window; the result's boundaries are the
+    union of the inputs' boundaries and its value on each piece is
+    ``op(values...)``.  Used for ``!``, ``&`` and ``|`` on time-dependent
+    satisfaction sets.
+    """
+    if not sets:
+        raise ModelError("combine() needs at least one set")
+    t0, t1 = sets[0].t_start, sets[0].t_end
+    for s in sets[1:]:
+        if abs(s.t_start - t0) > BOUNDARY_EPS or abs(s.t_end - t1) > BOUNDARY_EPS:
+            raise CheckingError(
+                "cannot combine satisfaction sets over different windows"
+            )
+    boundaries: List[float] = []
+    for s in sets:
+        boundaries.extend(s.boundaries())
+    return PiecewiseSatSet.from_boundaries(
+        boundaries,
+        lambda t: op([s.at(t) for s in sets]),
+        t0,
+        t1,
+    )

@@ -1,0 +1,243 @@
+"""Statistical (Monte-Carlo) model checking of local path formulas.
+
+An entirely independent route to the quantities the analytic checkers
+compute: sample paths of the time-inhomogeneous local CTMC (rates frozen
+along the mean-field trajectory) and count how many satisfy the path
+formula.  Used to validate the Kolmogorov-equation algorithms (bench A2)
+and available to users as a sanity-check tool.
+
+The path predicate is evaluated exactly on each sampled timed path, so
+the estimate is unbiased; the returned :class:`Estimate` carries a
+normal-approximation confidence interval.
+
+Only *time-independent* operand formulas (boolean combinations of atomic
+propositions) are supported — nested probabilistic operands would require
+checking a satisfaction set at every jump time of every sample, which is
+exactly the expensive blow-up the paper's analytic algorithms avoid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.checking.context import EvaluationContext
+from repro.ctmc.paths import Path, sample_inhomogeneous_path
+from repro.exceptions import UnsupportedFormulaError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    CslFormula,
+    CslTrue,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    Until,
+)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo probability estimate with its uncertainty."""
+
+    value: float
+    stderr: float
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Normal-approximation CI (default 95%), clipped to [0, 1]."""
+        return (
+            max(0.0, self.value - z * self.stderr),
+            min(1.0, self.value + z * self.stderr),
+        )
+
+
+def _static_sat(ctx: EvaluationContext, formula: CslFormula) -> FrozenSet[int]:
+    """Satisfaction set of a time-independent (label-only) formula."""
+    k = ctx.num_states
+    if isinstance(formula, CslTrue):
+        return frozenset(range(k))
+    if isinstance(formula, Atomic):
+        return ctx.model.local.states_with_label(formula.name)
+    if isinstance(formula, Not):
+        return frozenset(range(k)) - _static_sat(ctx, formula.operand)
+    if isinstance(formula, And):
+        return _static_sat(ctx, formula.left) & _static_sat(ctx, formula.right)
+    if isinstance(formula, Or):
+        return _static_sat(ctx, formula.left) | _static_sat(ctx, formula.right)
+    raise UnsupportedFormulaError(
+        "the statistical checker supports boolean label formulas as until "
+        f"operands only; got {formula!r}"
+    )
+
+
+def path_satisfies_until(
+    path: Path,
+    gamma1: FrozenSet[int],
+    gamma2: FrozenSet[int],
+    t1: float,
+    t2: float,
+) -> bool:
+    """Exact check of ``Φ1 U^[t1,t2] Φ2`` on a sampled timed path.
+
+    Walks the jump skeleton: the until holds iff some state visited while
+    the window ``[t1, t2]`` is open satisfies ``Γ2``, with every earlier
+    sojourn spent in ``Γ1`` states.
+    """
+    entry_times = [0.0] + list(path.jump_times)
+    for i, state in enumerate(path.states):
+        entered = entry_times[i]
+        left = (
+            path.jump_times[i] if i < len(path.jump_times) else path.end_time
+        )
+        if state in gamma2:
+            # The witness instant is t' = max(entered, t1); it must fall
+            # inside both the window and this sojourn, and Φ1 must hold
+            # on [entered, t') — i.e. waiting inside this state for the
+            # window to open is only allowed when the state is also Γ1.
+            witness = max(entered, t1)
+            in_window = witness <= t2
+            in_sojourn = witness <= left
+            survives_wait = witness == entered or state in gamma1
+            if in_window and in_sojourn and survives_wait:
+                return True
+        if state not in gamma1:
+            # Path sits in a ¬Γ1 state without a valid Γ2 witness: dead.
+            return False
+        if entered > t2:
+            return False
+    return False
+
+
+def path_satisfies_next(
+    path: Path, sat: FrozenSet[int], t1: float, t2: float
+) -> bool:
+    """Exact check of ``X^[t1,t2] Φ`` on a sampled timed path."""
+    if not path.jump_times:
+        return False
+    first_jump = path.jump_times[0]
+    return t1 <= first_jump <= t2 and path.states[1] in sat
+
+
+class StatisticalChecker:
+    """Monte-Carlo estimator of local path probabilities.
+
+    Parameters
+    ----------
+    ctx:
+        Evaluation context fixing the occupancy trajectory.
+    samples:
+        Number of sampled paths per estimate.
+    seed:
+        Seed of the master RNG (per-path RNGs are derived from it).
+    """
+
+    def __init__(
+        self,
+        ctx: EvaluationContext,
+        samples: int = 2000,
+        seed: int = 0,
+    ):
+        self.ctx = ctx
+        self.samples = int(samples)
+        self.seed = int(seed)
+
+    def path_probability(
+        self,
+        path_formula: PathFormula,
+        state: "str | int",
+        rate_bound: Optional[float] = None,
+    ) -> Estimate:
+        """Estimate ``Prob(s, φ, m̄)`` by sampling.
+
+        ``rate_bound`` is the thinning bound forwarded to the sampler;
+        when omitted it is probed from the generator along the trajectory.
+        """
+        if isinstance(state, str):
+            start = self.ctx.model.local.index(state)
+        else:
+            start = int(state)
+        if isinstance(path_formula, Until):
+            gamma1 = _static_sat(self.ctx, path_formula.left)
+            gamma2 = _static_sat(self.ctx, path_formula.right)
+            horizon = path_formula.interval.upper
+
+            def satisfied(path: Path) -> bool:
+                return path_satisfies_until(
+                    path,
+                    gamma1,
+                    gamma2,
+                    path_formula.interval.lower,
+                    path_formula.interval.upper,
+                )
+
+        elif isinstance(path_formula, Next):
+            sat = _static_sat(self.ctx, path_formula.operand)
+            horizon = path_formula.interval.upper
+
+            def satisfied(path: Path) -> bool:
+                return path_satisfies_next(
+                    path,
+                    sat,
+                    path_formula.interval.lower,
+                    path_formula.interval.upper,
+                )
+
+        else:
+            raise UnsupportedFormulaError(
+                f"not a path formula: {path_formula!r}"
+            )
+        if not np.isfinite(horizon):
+            raise UnsupportedFormulaError(
+                "statistical checking needs a bounded time interval"
+            )
+
+        q_of_t = self.ctx.generator_function()
+        self.ctx.trajectory(horizon + self.ctx.options.horizon_margin)
+        master = np.random.default_rng(self.seed)
+        hits = 0
+        for _ in range(self.samples):
+            rng = np.random.default_rng(master.integers(0, 2**63))
+            path = sample_inhomogeneous_path(
+                q_of_t, start, horizon, rng, rate_bound=rate_bound
+            )
+            if satisfied(path):
+                hits += 1
+        value = hits / self.samples
+        stderr = math.sqrt(max(value * (1.0 - value), 1e-12) / self.samples)
+        return Estimate(value=value, stderr=stderr, samples=self.samples)
+
+    def expected_probability(
+        self,
+        path_formula: PathFormula,
+        rate_bound: Optional[float] = None,
+    ) -> Estimate:
+        """Estimate the MF-CSL ``EP`` value: start states drawn from ``m̄``.
+
+        A random object's state is distributed according to the occupancy
+        vector, so the estimator samples the start state from ``m̄`` and
+        then one path from it.
+        """
+        per_state = [
+            self.path_probability(path_formula, s, rate_bound=rate_bound)
+            for s in range(self.ctx.num_states)
+        ]
+        value = float(
+            sum(self.ctx.initial[s] * per_state[s].value
+                for s in range(self.ctx.num_states))
+        )
+        variance = float(
+            sum(
+                (self.ctx.initial[s] * per_state[s].stderr) ** 2
+                for s in range(self.ctx.num_states)
+            )
+        )
+        return Estimate(
+            value=value,
+            stderr=math.sqrt(variance),
+            samples=self.samples * self.ctx.num_states,
+        )

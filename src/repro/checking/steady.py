@@ -1,0 +1,73 @@
+"""The steady-state operator — Section IV-D.
+
+For a mean-field model whose fluid limit settles to a stationary point
+``m̃``, the long-run distribution of a random individual object *is*
+``m̃`` regardless of its current state (the individual's time-averaged
+behaviour mirrors the population).  Equation (14) therefore reduces the
+steady-state probability to a sum of stationary occupancies:
+
+.. math::
+
+    π^{M^l}(s, Sat(Φ, m̃)) = \\sum_{s_j ∈ Sat(Φ, m̃)} m̃_j,
+
+independent of both the starting state ``s`` and the evaluation time
+(Equation (15)).  Consequently the satisfaction set of ``S⋈p(Φ)`` is
+always either *all* local states or *none* (Equation (17)), and the
+global ``ES⋈p(Φ)`` operator evaluates to the same number (Section V-A).
+
+The paper stresses (and we re-raise the warning through
+:class:`~repro.exceptions.SteadyStateError`) that this is only meaningful
+for models whose mean-field approximation is valid in the large-time
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.checking.context import EvaluationContext
+
+
+def steady_state_probability(
+    ctx: EvaluationContext, sat_states: FrozenSet[int]
+) -> float:
+    """``π(s, Sat)``: total stationary mass of the given states.
+
+    Identical for every starting state ``s`` (Equation (14)); raises
+    :class:`~repro.exceptions.SteadyStateError` when the model has no
+    reachable stationary point from the context's initial occupancy.
+    """
+    steady = ctx.steady_state()
+    return float(sum(steady[j] for j in sat_states))
+
+
+def steady_sat_states(
+    ctx: EvaluationContext, sat_states: FrozenSet[int], bound
+) -> FrozenSet[int]:
+    """Satisfaction set of ``S⋈p(Φ)`` given ``Sat(Φ, m̃)`` — Equation (17).
+
+    Either the full state space or the empty set, since the steady-state
+    probability does not depend on the starting state.
+    """
+    value = steady_state_probability(ctx, sat_states)
+    if bound.holds(value):
+        return frozenset(range(ctx.num_states))
+    return frozenset()
+
+
+def expected_steady_state_value(
+    ctx: EvaluationContext, sat_states: FrozenSet[int]
+) -> float:
+    """The value compared against ``p`` in ``ES⋈p(Φ)`` (Section V-A).
+
+    ``Σ_j m_j · π(s_j, Sat(Φ)) = π(·, Sat(Φ))`` because the inner
+    probability is the same for every ``s_j`` and ``Σ_j m_j = 1``.
+    """
+    return steady_state_probability(ctx, sat_states)
+
+
+def occupancy_weighted(m: np.ndarray, values: np.ndarray) -> float:
+    """Convenience: ``Σ_j m_j · values_j`` (used by E and EP operators)."""
+    return float(np.asarray(m, dtype=float) @ np.asarray(values, dtype=float))

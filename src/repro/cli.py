@@ -1,0 +1,180 @@
+"""Command-line interface: check MF-CSL formulas against built-in models.
+
+Examples
+--------
+Check the paper's Example 1 formula::
+
+    mfcsl check --model virus1 --occupancy 0.8,0.15,0.05 \
+        "EP[<0.3](not_infected U[0,1] infected)"
+
+Compute the conditional satisfaction set over a horizon::
+
+    mfcsl csat --model virus1 --occupancy 0.8,0.15,0.05 --theta 20 \
+        "EP[<0.3](not_infected U[0,1] infected)"
+
+List the models and their atomic propositions::
+
+    mfcsl models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.checking import CheckOptions, MFModelChecker
+from repro.exceptions import ReproError
+from repro.meanfield.overall_model import MeanFieldModel
+from repro.models.botnet import botnet_model
+from repro.models.diurnal import diurnal_virus_model
+from repro.models.epidemic import sir_model, sis_model
+from repro.models.gossip import gossip_model
+from repro.models.load_balancing import load_balancing_model
+from repro.models.virus import SETTING_1, SETTING_2, virus_model
+
+MODELS: Dict[str, Callable[[], MeanFieldModel]] = {
+    "virus1": lambda: virus_model(SETTING_1),
+    "virus2": lambda: virus_model(SETTING_2),
+    "botnet": botnet_model,
+    "sis": sis_model,
+    "sir": sir_model,
+    "gossip": gossip_model,
+    "diurnal": diurnal_virus_model,
+    "loadbalance": load_balancing_model,
+}
+
+
+def _parse_occupancy(text: str) -> np.ndarray:
+    try:
+        return np.array([float(x) for x in text.split(",")])
+    except ValueError:
+        raise SystemExit(f"error: cannot parse occupancy vector {text!r}")
+
+
+def _build_checker(args: argparse.Namespace) -> MFModelChecker:
+    options = CheckOptions(start_convention=args.convention)
+    if getattr(args, "model_file", None):
+        from repro.io import load_model
+
+        return MFModelChecker(load_model(args.model_file), options)
+    if args.model not in MODELS:
+        raise SystemExit(
+            f"error: unknown model {args.model!r}; choose from "
+            f"{', '.join(sorted(MODELS))}"
+        )
+    return MFModelChecker(MODELS[args.model](), options)
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    for name in sorted(MODELS):
+        model = MODELS[name]()
+        local = model.local
+        print(f"{name}: states={list(local.states)}")
+        print(f"    atomic propositions: {sorted(local.atomic_propositions)}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    checker = _build_checker(args)
+    occupancy = _parse_occupancy(args.occupancy)
+    verdict = checker.check(args.formula, occupancy)
+    print("SATISFIED" if verdict else "NOT SATISFIED")
+    if args.explain:
+        for text, value, holds in checker.explain(args.formula, occupancy):
+            print(f"    {text}: value={value:.6f} -> {holds}")
+    return 0 if verdict else 1
+
+
+def _cmd_value(args: argparse.Namespace) -> int:
+    checker = _build_checker(args)
+    occupancy = _parse_occupancy(args.occupancy)
+    print(f"{checker.value(args.formula, occupancy):.10f}")
+    return 0
+
+
+def _cmd_csat(args: argparse.Namespace) -> int:
+    checker = _build_checker(args)
+    occupancy = _parse_occupancy(args.occupancy)
+    result = checker.conditional_sat(args.formula, occupancy, args.theta)
+    if result.is_empty:
+        print("empty")
+    else:
+        for a, b in result.intervals:
+            print(f"[{a:.6f}, {b:.6f}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mfcsl",
+        description="MF-CSL model checking of mean-field models "
+        "(Kolesnichenko et al., DSN 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list built-in models").set_defaults(
+        func=_cmd_models
+    )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="virus1", help="built-in model name")
+        p.add_argument(
+            "--model-file",
+            default=None,
+            help="JSON model document (overrides --model; see repro.io)",
+        )
+        p.add_argument(
+            "--occupancy",
+            required=True,
+            help="comma-separated occupancy vector, e.g. 0.8,0.15,0.05",
+        )
+        p.add_argument(
+            "--convention",
+            default="standard",
+            choices=("standard", "phi1"),
+            help="until start-state convention (see CheckOptions)",
+        )
+        p.add_argument("formula", help="MF-CSL formula text")
+
+    p_check = sub.add_parser("check", help="check m |= Psi")
+    add_common(p_check)
+    p_check.add_argument(
+        "--explain",
+        action="store_true",
+        help="print every expectation leaf's value",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_value = sub.add_parser(
+        "value", help="print an E/ES/EP leaf's expectation value"
+    )
+    add_common(p_value)
+    p_value.set_defaults(func=_cmd_value)
+
+    p_csat = sub.add_parser(
+        "csat", help="conditional satisfaction set over [0, theta]"
+    )
+    add_common(p_csat)
+    p_csat.add_argument("--theta", type=float, default=10.0)
+    p_csat.set_defaults(func=_cmd_csat)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for the ``mfcsl`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

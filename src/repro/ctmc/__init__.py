@@ -1,0 +1,78 @@
+"""Continuous-time Markov chain substrate.
+
+This subpackage provides the plain Markov-chain machinery that the
+mean-field layer (:mod:`repro.meanfield`) and the model checkers
+(:mod:`repro.checking`) are built on:
+
+- :mod:`repro.ctmc.generator` — construction and validation of
+  infinitesimal generator matrices, uniformization, embedded jump chains;
+- :mod:`repro.ctmc.transient` — transient analysis of *time-homogeneous*
+  CTMCs (matrix exponential and uniformization);
+- :mod:`repro.ctmc.stationary` — stationary distributions of homogeneous
+  CTMCs and DTMCs;
+- :mod:`repro.ctmc.dtmc` — discrete-time Markov chain helpers (used by the
+  discrete-time mean-field variant);
+- :mod:`repro.ctmc.inhomogeneous` — Kolmogorov-equation solvers for
+  *time-inhomogeneous* CTMCs, the numerical core of the paper's
+  Equations (5), (6) and (12);
+- :mod:`repro.ctmc.paths` — exact path sampling for both homogeneous and
+  inhomogeneous chains (used by the statistical checker).
+"""
+
+from repro.ctmc.generator import (
+    build_generator,
+    embedded_jump_matrix,
+    exit_rates,
+    is_generator,
+    uniformization_rate,
+    uniformized_matrix,
+    validate_generator,
+)
+from repro.ctmc.transient import (
+    transient_distribution,
+    transient_matrix,
+    transient_matrix_expm,
+    transient_matrix_uniformization,
+)
+from repro.ctmc.stationary import (
+    stationary_distribution,
+    stationary_distribution_dtmc,
+)
+from repro.ctmc.dtmc import (
+    is_stochastic_matrix,
+    power_step_distribution,
+    validate_stochastic_matrix,
+)
+from repro.ctmc.inhomogeneous import (
+    TransitionMatrixPropagator,
+    solve_backward_kolmogorov,
+    solve_forward_kolmogorov,
+)
+from repro.ctmc.paths import (
+    sample_homogeneous_path,
+    sample_inhomogeneous_path,
+)
+
+__all__ = [
+    "build_generator",
+    "embedded_jump_matrix",
+    "exit_rates",
+    "is_generator",
+    "uniformization_rate",
+    "uniformized_matrix",
+    "validate_generator",
+    "transient_distribution",
+    "transient_matrix",
+    "transient_matrix_expm",
+    "transient_matrix_uniformization",
+    "stationary_distribution",
+    "stationary_distribution_dtmc",
+    "is_stochastic_matrix",
+    "power_step_distribution",
+    "validate_stochastic_matrix",
+    "TransitionMatrixPropagator",
+    "solve_backward_kolmogorov",
+    "solve_forward_kolmogorov",
+    "sample_homogeneous_path",
+    "sample_inhomogeneous_path",
+]

@@ -1,0 +1,100 @@
+"""Discrete-time Markov chain helpers.
+
+The paper notes (end of Section II-B) that all its results adapt to
+*discrete-time* mean-field models, where the local model is a DTMC whose
+transition probabilities depend on the occupancy vector.  This module holds
+the stochastic-matrix plumbing for that variant
+(:mod:`repro.meanfield.discrete`) as well as the embedded-chain utilities
+used elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+#: Absolute tolerance for row-stochasticity checks.
+ROW_SUM_ATOL = 1e-9
+
+
+def validate_stochastic_matrix(p: np.ndarray, atol: float = ROW_SUM_ATOL) -> None:
+    """Raise :class:`ModelError` unless ``p`` is row-stochastic."""
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise ModelError(f"stochastic matrix must be square, got shape {p.shape}")
+    if not np.all(np.isfinite(p)):
+        raise ModelError("stochastic matrix contains non-finite entries")
+    if np.any(p < -atol):
+        raise ModelError("stochastic matrix has negative entries")
+    row_sums = p.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > atol):
+        worst = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ModelError(
+            f"stochastic matrix rows must sum to 1; row {worst} sums to {row_sums[worst]!r}"
+        )
+
+
+def is_stochastic_matrix(p: np.ndarray, atol: float = ROW_SUM_ATOL) -> bool:
+    """Return ``True`` iff ``p`` is a row-stochastic matrix."""
+    try:
+        validate_stochastic_matrix(p, atol=atol)
+    except ModelError:
+        return False
+    return True
+
+
+def build_stochastic_matrix(
+    num_states: int,
+    probabilities: Mapping[Tuple[int, int], float],
+) -> np.ndarray:
+    """Assemble a stochastic matrix from sparse ``{(i, j): prob}`` entries.
+
+    Missing probability mass in a row is assigned to the self-loop
+    ``p[i, i]``; rows whose explicit entries already exceed one raise
+    :class:`ModelError`.
+    """
+    if num_states <= 0:
+        raise ModelError(f"num_states must be positive, got {num_states}")
+    p = np.zeros((num_states, num_states), dtype=float)
+    for (i, j), prob in probabilities.items():
+        if not (0 <= i < num_states and 0 <= j < num_states):
+            raise ModelError(
+                f"transition ({i}, {j}) outside state space of size {num_states}"
+            )
+        prob = float(prob)
+        if not np.isfinite(prob) or prob < 0.0:
+            raise ModelError(
+                f"probability for ({i}, {j}) must be finite and >= 0, got {prob}"
+            )
+        p[i, j] += prob
+    for i in range(num_states):
+        off = p[i].sum() - p[i, i]
+        if off > 1.0 + ROW_SUM_ATOL:
+            raise ModelError(f"row {i} probabilities sum to {off} > 1")
+        p[i, i] = max(0.0, p[i, i] + (1.0 - p[i].sum()))
+    validate_stochastic_matrix(p)
+    return p
+
+
+def power_step_distribution(
+    initial: np.ndarray, p: np.ndarray, steps: int
+) -> np.ndarray:
+    """Distribution after ``steps`` applications of ``p`` to ``initial``."""
+    if steps < 0:
+        raise ModelError(f"steps must be >= 0, got {steps}")
+    dist = np.asarray(initial, dtype=float).copy()
+    for _ in range(int(steps)):
+        dist = dist @ p
+    return dist
+
+
+def make_absorbing_dtmc(p: np.ndarray, states: "frozenset[int] | set[int]") -> np.ndarray:
+    """Copy of ``p`` where the given states loop back to themselves."""
+    out = np.array(p, dtype=float, copy=True)
+    for s in states:
+        out[s, :] = 0.0
+        out[s, s] = 1.0
+    return out

@@ -1,0 +1,232 @@
+"""Infinitesimal generator matrices for continuous-time Markov chains.
+
+A generator (or "rate") matrix ``Q`` of a CTMC over ``K`` states has
+non-negative off-diagonal entries ``Q[i, j]`` (the rate of jumping from
+state ``i`` to state ``j``) and diagonal entries chosen so that every row
+sums to zero.  This module offers:
+
+- construction of a generator from a sparse ``{(i, j): rate}`` mapping
+  (:func:`build_generator`),
+- structural validation (:func:`validate_generator`, :func:`is_generator`),
+- the classical derived objects: exit rates, the embedded jump chain, and
+  the uniformized probability matrix used by uniformization-based
+  transient analysis.
+
+All functions operate on plain :class:`numpy.ndarray` objects; the state
+space is always ``range(K)``.  Mapping between named states and indices is
+the job of the higher layers (:class:`repro.meanfield.LocalModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidRateError, ModelError
+
+#: Default absolute tolerance used when checking that rows sum to zero.
+ROW_SUM_ATOL = 1e-9
+
+
+def build_generator(
+    num_states: int,
+    rates: Mapping[Tuple[int, int], float],
+) -> np.ndarray:
+    """Build a dense generator matrix from a sparse rate mapping.
+
+    Parameters
+    ----------
+    num_states:
+        Number of states ``K``; the result is a ``(K, K)`` matrix.
+    rates:
+        Mapping from ``(source, target)`` index pairs to non-negative
+        transition rates.  Self-loops (``source == target``) are rejected,
+        mirroring Definition 1 of the paper ("self-loops are eliminated").
+
+    Returns
+    -------
+    numpy.ndarray
+        A valid generator matrix with the diagonal set to minus the row sum
+        of the off-diagonal entries.
+
+    Raises
+    ------
+    InvalidRateError
+        If a rate is negative or non-finite, or a self-loop is given.
+    ModelError
+        If an index is out of range.
+    """
+    if num_states <= 0:
+        raise ModelError(f"num_states must be positive, got {num_states}")
+    q = np.zeros((num_states, num_states), dtype=float)
+    for (i, j), rate in rates.items():
+        if not (0 <= i < num_states and 0 <= j < num_states):
+            raise ModelError(
+                f"transition ({i}, {j}) outside state space of size {num_states}"
+            )
+        if i == j:
+            raise InvalidRateError(
+                f"self-loop on state {i} is not allowed in a generator"
+            )
+        rate = float(rate)
+        if not np.isfinite(rate) or rate < 0.0:
+            raise InvalidRateError(
+                f"rate for transition ({i}, {j}) must be finite and >= 0, got {rate}"
+            )
+        q[i, j] = rate
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+def fix_diagonal(q: np.ndarray) -> np.ndarray:
+    """Return a copy of ``q`` with the diagonal set to minus the row sums.
+
+    Convenient when a matrix of off-diagonal rates has been assembled
+    element-wise and the diagonal still needs to be normalized.
+    """
+    out = np.array(q, dtype=float, copy=True)
+    np.fill_diagonal(out, 0.0)
+    np.fill_diagonal(out, -out.sum(axis=1))
+    return out
+
+
+def validate_generator(q: np.ndarray, atol: float = ROW_SUM_ATOL) -> None:
+    """Raise :class:`ModelError` unless ``q`` is a valid generator matrix.
+
+    Checks that the matrix is square and finite, off-diagonal entries are
+    non-negative, and each row sums to zero within ``atol``.
+    """
+    q = np.asarray(q, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ModelError(f"generator must be square, got shape {q.shape}")
+    if not np.all(np.isfinite(q)):
+        raise ModelError("generator contains non-finite entries")
+    off_diag = q - np.diag(np.diag(q))
+    if np.any(off_diag < -atol):
+        raise ModelError("generator has negative off-diagonal entries")
+    row_sums = q.sum(axis=1)
+    if np.any(np.abs(row_sums) > atol * max(1.0, float(np.abs(q).max()))):
+        worst = int(np.argmax(np.abs(row_sums)))
+        raise ModelError(
+            f"generator rows must sum to 0; row {worst} sums to {row_sums[worst]!r}"
+        )
+
+
+def is_generator(q: np.ndarray, atol: float = ROW_SUM_ATOL) -> bool:
+    """Return ``True`` iff ``q`` is a valid generator matrix."""
+    try:
+        validate_generator(q, atol=atol)
+    except ModelError:
+        return False
+    return True
+
+
+def exit_rates(q: np.ndarray) -> np.ndarray:
+    """Total rate of leaving each state (``-diag(Q)``)."""
+    q = np.asarray(q, dtype=float)
+    return -np.diag(q)
+
+
+def uniformization_rate(q: np.ndarray, margin: float = 1.02) -> float:
+    """A uniformization constant ``Lambda >= max_i -Q[i, i]``.
+
+    ``margin`` scales the maximal exit rate slightly upward so the
+    uniformized jump chain has strictly positive self-loop probability in
+    the fastest state, which improves numerical behaviour.  For the all-zero
+    generator (every state absorbing), returns ``1.0`` so the uniformized
+    matrix is well defined (the identity).
+    """
+    rate = float(np.max(exit_rates(np.asarray(q, dtype=float)), initial=0.0))
+    if rate <= 0.0:
+        return 1.0
+    return rate * float(margin)
+
+
+def uniformized_matrix(q: np.ndarray, rate: "float | None" = None) -> np.ndarray:
+    """The uniformized stochastic matrix ``P = I + Q / Lambda``.
+
+    Parameters
+    ----------
+    q:
+        Generator matrix.
+    rate:
+        Uniformization constant; computed by :func:`uniformization_rate`
+        when omitted.  Must be at least the maximal exit rate.
+    """
+    q = np.asarray(q, dtype=float)
+    if rate is None:
+        rate = uniformization_rate(q)
+    rate = float(rate)
+    max_exit = float(np.max(exit_rates(q), initial=0.0))
+    if rate < max_exit:
+        raise ModelError(
+            f"uniformization rate {rate} below maximal exit rate {max_exit}"
+        )
+    if rate <= 0.0:
+        raise ModelError(f"uniformization rate must be positive, got {rate}")
+    return np.eye(q.shape[0]) + q / rate
+
+
+def embedded_jump_matrix(q: np.ndarray) -> np.ndarray:
+    """Transition matrix of the embedded (jump) DTMC.
+
+    Absorbing states (zero exit rate) get a self-loop probability of one,
+    which is the standard convention for the embedded chain.
+    """
+    q = np.asarray(q, dtype=float)
+    rates = exit_rates(q)
+    k = q.shape[0]
+    p = np.zeros_like(q)
+    for i in range(k):
+        if rates[i] > 0.0:
+            p[i] = q[i] / rates[i]
+            p[i, i] = 0.0
+        else:
+            p[i, i] = 1.0
+    return p
+
+
+def make_absorbing(q: np.ndarray, states: "frozenset[int] | set[int]") -> np.ndarray:
+    """Return a copy of ``q`` in which the given states are absorbing.
+
+    This is the CTMC transformation written ``M[Phi]`` in the paper (and in
+    Baier et al.): every outgoing transition of an absorbed state is
+    removed, so probability mass that enters such a state stays there.
+    """
+    out = np.array(q, dtype=float, copy=True)
+    for s in states:
+        out[s, :] = 0.0
+    return out
+
+
+def restrict_generator(q: np.ndarray, keep: "list[int]") -> np.ndarray:
+    """Sub-generator over a subset of states (others treated as a sink).
+
+    The returned matrix has rows/columns only for ``keep`` (in the given
+    order); rates into removed states are dropped, so the row sums can be
+    negative — the "missing" mass is absorption.  Useful for first-passage
+    computations.
+    """
+    q = np.asarray(q, dtype=float)
+    idx = np.asarray(keep, dtype=int)
+    sub = q[np.ix_(idx, idx)].copy()
+    # Recompute the diagonal so that the total exit rate (including exits
+    # to dropped states) is preserved.
+    full_exit = exit_rates(q)[idx]
+    np.fill_diagonal(sub, 0.0)
+    np.fill_diagonal(sub, -full_exit)
+    return sub
+
+
+def rate_dict_from_matrix(q: np.ndarray) -> Dict[Tuple[int, int], float]:
+    """Sparse ``{(i, j): rate}`` view of the off-diagonal of ``q``."""
+    q = np.asarray(q, dtype=float)
+    out: Dict[Tuple[int, int], float] = {}
+    k = q.shape[0]
+    for i in range(k):
+        for j in range(k):
+            if i != j and q[i, j] != 0.0:
+                out[(i, j)] = float(q[i, j])
+    return out

@@ -1,0 +1,86 @@
+"""Stationary distributions of homogeneous Markov chains.
+
+For an *irreducible* homogeneous CTMC the stationary distribution ``pi`` is
+the unique probability vector with ``pi Q = 0``.  These routines are the
+time-homogeneous counterpart of the mean-field fixed point of Equation (2)
+of the paper (solved in :mod:`repro.meanfield.stationary`): when the local
+generator does not depend on the occupancy vector, the two coincide, which
+the test suite exploits as a cross-check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctmc.dtmc import validate_stochastic_matrix
+from repro.ctmc.generator import validate_generator
+from repro.exceptions import SteadyStateError
+
+#: Tolerance below which a singular value is treated as zero when
+#: extracting the null space of a generator.
+_NULLSPACE_TOL = 1e-9
+
+
+def stationary_distribution(q: np.ndarray, check_unique: bool = True) -> np.ndarray:
+    """Stationary distribution of a homogeneous CTMC.
+
+    Solves ``pi Q = 0`` with ``sum(pi) = 1`` via the singular value
+    decomposition of ``Q^T`` (the left null space of ``Q``).
+
+    Parameters
+    ----------
+    q:
+        Generator matrix.
+    check_unique:
+        When ``True`` (default) raise :class:`SteadyStateError` if the null
+        space has dimension greater than one (reducible chain with several
+        recurrent classes) — in that case "the" stationary distribution is
+        not well defined.
+
+    Raises
+    ------
+    SteadyStateError
+        If no valid stationary distribution exists or it is not unique.
+    """
+    q = np.asarray(q, dtype=float)
+    validate_generator(q)
+    # Left null space of Q: vectors v with v Q = 0  <=>  Q^T v^T = 0.
+    _, singular_values, vt = np.linalg.svd(q.T)
+    scale = max(1.0, float(singular_values[0])) if singular_values.size else 1.0
+    null_mask = singular_values <= _NULLSPACE_TOL * scale
+    # svd returns singular values padded only to min(m, n); a square matrix
+    # always yields exactly n values, so the mask aligns with rows of vt.
+    null_dim = int(np.sum(null_mask))
+    if null_dim == 0:
+        raise SteadyStateError("generator has no stationary distribution")
+    if check_unique and null_dim > 1:
+        raise SteadyStateError(
+            f"stationary distribution is not unique (null space dim {null_dim})"
+        )
+    vec = vt[-1]  # singular vectors sorted by decreasing singular value
+    total = vec.sum()
+    if abs(total) < _NULLSPACE_TOL:
+        raise SteadyStateError(
+            "null-space vector sums to zero; cannot normalize to a distribution"
+        )
+    pi = vec / total
+    if np.any(pi < -1e-8):
+        raise SteadyStateError(
+            f"stationary solve produced negative probabilities: {pi}"
+        )
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+def stationary_distribution_dtmc(
+    p: np.ndarray, check_unique: bool = True
+) -> np.ndarray:
+    """Stationary distribution of a DTMC: ``pi P = pi``, ``sum(pi) = 1``.
+
+    Implemented by reusing the CTMC solver on the generator ``P - I``
+    (a distribution is invariant for ``P`` iff it is stationary for the
+    continuized chain).
+    """
+    p = np.asarray(p, dtype=float)
+    validate_stochastic_matrix(p)
+    return stationary_distribution(p - np.eye(p.shape[0]), check_unique=check_unique)

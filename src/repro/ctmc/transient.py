@@ -1,0 +1,141 @@
+"""Transient analysis of time-homogeneous CTMCs.
+
+For a homogeneous chain with generator ``Q``, the transient probability
+matrix after time ``t`` is ``Pi(t) = expm(Q t)``; ``Pi(t)[i, j]`` is the
+probability of being in state ``j`` at time ``t`` given a start in state
+``i`` at time 0.  Two independent implementations are provided:
+
+- :func:`transient_matrix_expm` — scipy's Padé matrix exponential, and
+- :func:`transient_matrix_uniformization` — Jensen's uniformization with an
+  a-priori truncation bound on the Poisson series.
+
+Having both lets the test suite cross-check them against each other, and
+the benchmark suite compare their cost; the inhomogeneous solvers in
+:mod:`repro.ctmc.inhomogeneous` degenerate to these when the generator is
+constant, which is the backbone of the "homogeneous baseline" validation in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.ctmc.generator import (
+    uniformization_rate,
+    uniformized_matrix,
+    validate_generator,
+)
+from repro.exceptions import ModelError, NumericalError
+
+
+def transient_matrix_expm(q: np.ndarray, t: float) -> np.ndarray:
+    """Transient probability matrix ``expm(Q t)`` via scipy."""
+    q = np.asarray(q, dtype=float)
+    t = float(t)
+    if t < 0.0:
+        raise ModelError(f"time must be non-negative, got {t}")
+    if t == 0.0:
+        return np.eye(q.shape[0])
+    return expm(q * t)
+
+
+def poisson_truncation_point(rate_times_t: float, epsilon: float) -> int:
+    """Right truncation point of a Poisson(``rate_times_t``) series.
+
+    Smallest ``n`` such that the Poisson tail mass beyond ``n`` is below
+    ``epsilon``.  Computed by accumulating the (numerically stable,
+    log-domain) probability mass.
+    """
+    lam = float(rate_times_t)
+    if lam < 0:
+        raise ModelError(f"Poisson parameter must be >= 0, got {lam}")
+    if lam == 0.0:
+        return 0
+    if epsilon <= 0.0 or epsilon >= 1.0:
+        raise ModelError(f"epsilon must be in (0, 1), got {epsilon}")
+    log_p = -lam  # log of P[N = 0]
+    cumulative = math.exp(log_p)
+    n = 0
+    target = 1.0 - epsilon
+    # The loop terminates: for n > lam the terms decay geometrically.
+    limit = int(lam + 10.0 * math.sqrt(lam) + 50.0)
+    while cumulative < target and n < limit:
+        n += 1
+        log_p += math.log(lam / n)
+        cumulative += math.exp(log_p)
+    return n
+
+
+def transient_matrix_uniformization(
+    q: np.ndarray,
+    t: float,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Transient probability matrix by Jensen's uniformization.
+
+    ``Pi(t) = sum_n PoissonPMF(n; Lambda t) P^n`` with
+    ``P = I + Q / Lambda``.  The series is truncated once the remaining
+    Poisson mass is below ``epsilon``; the result is therefore a slightly
+    sub-stochastic lower bound, re-normalized is *not* applied so that error
+    control stays transparent to the caller.
+    """
+    q = np.asarray(q, dtype=float)
+    t = float(t)
+    if t < 0.0:
+        raise ModelError(f"time must be non-negative, got {t}")
+    k = q.shape[0]
+    if t == 0.0:
+        return np.eye(k)
+    lam = uniformization_rate(q)
+    p = uniformized_matrix(q, lam)
+    lam_t = lam * t
+    n_max = poisson_truncation_point(lam_t, epsilon)
+    result = np.zeros((k, k))
+    term = np.eye(k)  # P^0
+    log_w = -lam_t  # log PoissonPMF(0)
+    for n in range(n_max + 1):
+        weight = math.exp(log_w)
+        result += weight * term
+        if n < n_max:
+            term = term @ p
+            log_w += math.log(lam_t / (n + 1))
+    return result
+
+
+def transient_matrix(
+    q: np.ndarray,
+    t: float,
+    method: str = "expm",
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Dispatch between the two homogeneous transient solvers.
+
+    Parameters
+    ----------
+    method:
+        ``"expm"`` (default) or ``"uniformization"``.
+    epsilon:
+        Truncation error bound for the uniformization method; ignored by
+        ``expm``.
+    """
+    validate_generator(q)
+    if method == "expm":
+        return transient_matrix_expm(q, t)
+    if method == "uniformization":
+        return transient_matrix_uniformization(q, t, epsilon=epsilon)
+    raise NumericalError(f"unknown transient method {method!r}")
+
+
+def transient_distribution(
+    initial: np.ndarray,
+    q: np.ndarray,
+    t: float,
+    method: str = "expm",
+) -> np.ndarray:
+    """Distribution at time ``t`` starting from ``initial`` at time 0."""
+    initial = np.asarray(initial, dtype=float)
+    pi = transient_matrix(q, t, method=method)
+    return initial @ pi

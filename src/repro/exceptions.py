@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError`, so downstream users can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to distinguish model-definition problems from
+numerical and logic problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ModelError(ReproError):
+    """A model definition is structurally invalid.
+
+    Raised, for example, when a transition references an unknown state, a
+    rate evaluates to a negative number, or an occupancy vector does not lie
+    on the probability simplex.
+    """
+
+
+class InvalidStateError(ModelError):
+    """A state name does not exist in the local model."""
+
+
+class InvalidRateError(ModelError):
+    """A transition rate is negative, non-finite, or otherwise malformed."""
+
+
+class InvalidOccupancyError(ModelError):
+    """An occupancy vector is not a probability distribution over states."""
+
+
+class FormulaError(ReproError):
+    """A logic formula is malformed or used in an unsupported position."""
+
+
+class ParseError(FormulaError):
+    """The textual formula could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which parsing failed, or ``None``
+        when the failure is not tied to a specific offset.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFormulaError(FormulaError):
+    """The formula is syntactically valid but not checkable.
+
+    The paper's algorithms only cover time-*bounded* path operators; an
+    unbounded until, for instance, raises this error instead of silently
+    producing a wrong answer.
+    """
+
+
+class CheckingError(ReproError):
+    """A model-checking computation could not be carried out."""
+
+
+class SteadyStateError(CheckingError):
+    """No (unique) stationary point of the mean-field ODE could be found.
+
+    The steady-state operators of MF-CSL are only meaningful for models whose
+    fluid limit has a well-behaved stationary regime (see Section IV-D of the
+    paper); this error signals that the fixed-point computation failed to
+    converge or found an ambiguous answer.
+    """
+
+
+class NumericalError(CheckingError):
+    """A numerical routine (ODE solver, root finder) failed to converge."""
+
+
+class HorizonError(CheckingError):
+    """A quantity was requested outside the solved/solvable time horizon."""

@@ -1,0 +1,154 @@
+"""Model files: save and load mean-field models as JSON.
+
+A real tool needs models as *data*, not code.  This module defines a
+JSON document format for local models whose rates are
+:mod:`repro.meanfield.expressions` trees::
+
+    {
+      "format": "repro-meanfield-model",
+      "version": 1,
+      "states": [
+        {"name": "s1", "labels": ["not_infected"]},
+        {"name": "s2", "labels": ["infected", "inactive"]},
+        {"name": "s3", "labels": ["infected", "active"]}
+      ],
+      "transitions": [
+        {"from": "s1", "to": "s2",
+         "rate": {"op": "mul",
+                  "left": {"op": "const", "value": 0.9},
+                  "right": {"op": "guarded_div",
+                            "left": {"op": "occupancy", "index": 2},
+                            "right": {"op": "occupancy", "index": 0},
+                            "floor": 1e-12}}},
+        {"from": "s2", "to": "s1", "rate": {"op": "const", "value": 0.1}}
+      ]
+    }
+
+Constant rates may be written as plain numbers (``"rate": 0.1``) for
+brevity.  ``mfcsl --model-file model.json …`` consumes these documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.meanfield.expressions import Expression, from_dict
+from repro.meanfield.local_model import LocalModel
+from repro.meanfield.overall_model import MeanFieldModel
+
+FORMAT_NAME = "repro-meanfield-model"
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: MeanFieldModel) -> Dict[str, Any]:
+    """Serialize a mean-field model whose rates are all expressions.
+
+    Raises
+    ------
+    ModelError
+        If any transition rate is an opaque Python callable (only
+        :class:`~repro.meanfield.expressions.Expression` rates and plain
+        constants are serializable).
+    """
+    local = model.local
+    transitions = []
+    for tr in local.transitions:
+        rate = tr.rate
+        if isinstance(rate, Expression):
+            rate_doc: Any = rate.to_dict()
+        elif tr.constant:
+            # Constant rates were normalized into closures; evaluating at
+            # any point recovers the constant.
+            rate_doc = float(rate(np.zeros(local.num_states), 0.0))
+        else:
+            raise ModelError(
+                f"transition {local.state_name(tr.source)!r} -> "
+                f"{local.state_name(tr.target)!r} has an opaque callable "
+                "rate; use repro.meanfield.expressions to make the model "
+                "serializable"
+            )
+        transitions.append(
+            {
+                "from": local.state_name(tr.source),
+                "to": local.state_name(tr.target),
+                "rate": rate_doc,
+            }
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "states": [
+            {"name": name, "labels": sorted(local.labels_of(name))}
+            for name in local.states
+        ],
+        "transitions": transitions,
+    }
+
+
+def model_from_dict(data: Dict[str, Any]) -> MeanFieldModel:
+    """Rebuild a mean-field model from its document form."""
+    if not isinstance(data, dict):
+        raise ModelError("model document must be a JSON object")
+    if data.get("format") != FORMAT_NAME:
+        raise ModelError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    states_doc = data.get("states")
+    if not isinstance(states_doc, list) or not states_doc:
+        raise ModelError("model document needs a non-empty 'states' list")
+    names = []
+    labels = {}
+    for entry in states_doc:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ModelError(f"malformed state entry: {entry!r}")
+        name = str(entry["name"])
+        names.append(name)
+        labels[name] = [str(l) for l in entry.get("labels", [])]
+    transitions = {}
+    for entry in data.get("transitions", []):
+        if not isinstance(entry, dict) or "from" not in entry or "to" not in entry:
+            raise ModelError(f"malformed transition entry: {entry!r}")
+        rate_doc = entry.get("rate")
+        if isinstance(rate_doc, (int, float)):
+            rate: Any = float(rate_doc)
+        elif isinstance(rate_doc, dict):
+            rate = from_dict(rate_doc)
+        else:
+            raise ModelError(
+                f"transition rate must be a number or expression dict, "
+                f"got {rate_doc!r}"
+            )
+        key = (str(entry["from"]), str(entry["to"]))
+        if key in transitions:
+            raise ModelError(f"duplicate transition {key} in model document")
+        transitions[key] = rate
+    local = LocalModel(names, transitions, labels)
+    return MeanFieldModel(local)
+
+
+def save_model(model: MeanFieldModel, path: Union[str, Path]) -> None:
+    """Write a model document to ``path`` (pretty-printed JSON)."""
+    document = model_to_dict(model)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def load_model(path: Union[str, Path]) -> MeanFieldModel:
+    """Read a model document from ``path``."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON in model file {path}: {exc}") from exc
+    except OSError as exc:
+        raise ModelError(f"cannot read model file {path}: {exc}") from exc
+    return model_from_dict(data)

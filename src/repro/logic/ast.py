@@ -1,0 +1,383 @@
+"""Abstract syntax of CSL and MF-CSL.
+
+Two formula families are defined, mirroring Definitions 3 and 5 of the
+paper:
+
+- **CSL** (local logic, interpreted over states of the local model given
+  an occupancy vector): state formulas ``tt | lap | !Φ | Φ∧Φ | S⋈p(Φ) |
+  P⋈p(φ)`` and path formulas ``X^I Φ | Φ U^I Φ``.
+- **MF-CSL** (global logic, interpreted over occupancy vectors):
+  ``tt | !Ψ | Ψ∧Ψ | E⋈p(Φ) | ES⋈p(Φ) | EP⋈p(φ)``.
+
+Disjunction is provided as a first-class node in both families for
+convenience; it is semantically the usual derived operator.
+
+All nodes are frozen dataclasses: hashable, comparable by value, safe to
+share between checkers and caches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Union
+
+from repro.exceptions import FormulaError
+
+# ----------------------------------------------------------------------
+# Shared ingredients
+# ----------------------------------------------------------------------
+
+_COMPARATORS = ("<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A probability bound ``⋈ p`` with ``⋈ ∈ {<, <=, >, >=}``.
+
+    The paper writes ``⋈ ∈ {≤, <, >, ≥}`` and ``p ∈ [0, 1]``.
+    """
+
+    comparator: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise FormulaError(
+                f"comparator must be one of {_COMPARATORS}, got "
+                f"{self.comparator!r}"
+            )
+        p = float(self.threshold)
+        if not (0.0 <= p <= 1.0):
+            raise FormulaError(f"probability bound must be in [0, 1], got {p}")
+        object.__setattr__(self, "threshold", p)
+
+    def holds(self, value: float) -> bool:
+        """Whether ``value ⋈ threshold``."""
+        value = float(value)
+        if self.comparator == "<":
+            return value < self.threshold
+        if self.comparator == "<=":
+            return value <= self.threshold
+        if self.comparator == ">":
+            return value > self.threshold
+        return value >= self.threshold
+
+    @property
+    def is_upper_bound(self) -> bool:
+        """``True`` for ``<`` and ``<=`` bounds."""
+        return self.comparator in ("<", "<=")
+
+    def __str__(self) -> str:
+        return f"{self.comparator}{self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A time interval ``I = [lower, upper] ⊆ R_{>=0}``.
+
+    ``upper`` may be ``math.inf`` for an unbounded until; the checking
+    algorithms of the paper only support bounded intervals and raise
+    :class:`~repro.exceptions.UnsupportedFormulaError` on unbounded ones,
+    but the syntax admits them.
+    """
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lower), float(self.upper)
+        if lo < 0.0 or math.isnan(lo) or math.isnan(hi):
+            raise FormulaError(f"interval bounds must be >= 0, got [{lo}, {hi}]")
+        if hi < lo:
+            raise FormulaError(f"empty time interval [{lo}, {hi}]")
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", hi)
+
+    @property
+    def is_bounded(self) -> bool:
+        """``True`` iff the upper bound is finite."""
+        return math.isfinite(self.upper)
+
+    @property
+    def duration(self) -> float:
+        """Length ``upper − lower``."""
+        return self.upper - self.lower
+
+    def __str__(self) -> str:
+        if not self.is_bounded:
+            return f"[{self.lower:g},inf]"
+        return f"[{self.lower:g},{self.upper:g}]"
+
+
+# ----------------------------------------------------------------------
+# CSL state formulas
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CslTrue:
+    """The constant ``tt`` (every state satisfies it)."""
+
+    def __str__(self) -> str:
+        return "tt"
+
+
+@dataclass(frozen=True)
+class Atomic:
+    """A local atomic proposition ``lap ∈ LAP``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise FormulaError(f"invalid atomic proposition name {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation ``!Φ``."""
+
+    operand: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction ``Φ1 & Φ2``."""
+
+    left: "CslFormula"
+    right: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction ``Φ1 | Φ2`` (derived operator)."""
+
+    left: "CslFormula"
+    right: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """The steady-state operator ``S⋈p(Φ)``."""
+
+    bound: Bound
+    operand: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"S[{self.bound}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class Probability:
+    """The probabilistic path operator ``P⋈p(φ)``."""
+
+    bound: Bound
+    path: "PathFormula"
+
+    def __str__(self) -> str:
+        return f"P[{self.bound}]({self.path})"
+
+
+# ----------------------------------------------------------------------
+# CSL path formulas
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Next:
+    """The timed next operator ``X^I Φ``.
+
+    The paper omits next from its worked algorithms (referring to [19]);
+    this library supports it as an extension.
+    """
+
+    interval: TimeInterval
+    operand: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"X{self.interval} ({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until:
+    """The timed until operator ``Φ1 U^I Φ2``."""
+
+    interval: TimeInterval
+    left: "CslFormula"
+    right: "CslFormula"
+
+    def __str__(self) -> str:
+        return f"{self.left} U{self.interval} {self.right}"
+
+
+CslFormula = Union[CslTrue, Atomic, Not, And, Or, SteadyState, Probability]
+PathFormula = Union[Next, Until]
+
+
+# ----------------------------------------------------------------------
+# MF-CSL formulas
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MfTrue:
+    """The MF-CSL constant ``tt``."""
+
+    def __str__(self) -> str:
+        return "tt"
+
+
+@dataclass(frozen=True)
+class MfNot:
+    """MF-CSL negation ``!Ψ``."""
+
+    operand: "MfCslFormula"
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class MfAnd:
+    """MF-CSL conjunction ``Ψ1 & Ψ2``."""
+
+    left: "MfCslFormula"
+    right: "MfCslFormula"
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class MfOr:
+    """MF-CSL disjunction ``Ψ1 | Ψ2`` (derived operator)."""
+
+    left: "MfCslFormula"
+    right: "MfCslFormula"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """``E⋈p(Φ)`` — fraction of objects satisfying the CSL formula now."""
+
+    bound: Bound
+    operand: CslFormula
+
+    def __str__(self) -> str:
+        return f"E[{self.bound}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class ExpectedSteadyState:
+    """``ES⋈p(Φ)`` — fraction satisfying Φ in steady state."""
+
+    bound: Bound
+    operand: CslFormula
+
+    def __str__(self) -> str:
+        return f"ES[{self.bound}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class ExpectedProbability:
+    """``EP⋈p(φ)`` — probability of a random object to satisfy path φ."""
+
+    bound: Bound
+    path: PathFormula
+
+    def __str__(self) -> str:
+        return f"EP[{self.bound}]({self.path})"
+
+
+MfCslFormula = Union[
+    MfTrue, MfNot, MfAnd, MfOr, Expectation, ExpectedSteadyState, ExpectedProbability
+]
+
+AnyFormula = Union[CslFormula, PathFormula, MfCslFormula]
+
+
+# ----------------------------------------------------------------------
+# Structural helpers
+# ----------------------------------------------------------------------
+
+
+def atomic_propositions(formula: AnyFormula) -> FrozenSet[str]:
+    """All atomic propositions occurring anywhere in a formula."""
+    if isinstance(formula, Atomic):
+        return frozenset({formula.name})
+    if isinstance(formula, (CslTrue, MfTrue)):
+        return frozenset()
+    if isinstance(formula, (Not, MfNot)):
+        return atomic_propositions(formula.operand)
+    if isinstance(formula, (And, Or, MfAnd, MfOr, Until)):
+        return atomic_propositions(formula.left) | atomic_propositions(
+            formula.right
+        )
+    if isinstance(formula, (SteadyState, Next, Expectation, ExpectedSteadyState)):
+        return atomic_propositions(formula.operand)
+    if isinstance(formula, (Probability, ExpectedProbability)):
+        return atomic_propositions(formula.path)
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def until_nesting_depth(formula: AnyFormula) -> int:
+    """Maximal nesting depth of timed path operators.
+
+    Depth 0 means no ``P``/``EP`` operator at all; depth 1 a single until;
+    depth 2 a formula like the paper's nested example.  The paper remarks
+    that the number of discontinuity points is bounded by this depth, so
+    it is the main complexity parameter of the nested algorithm.
+    """
+    if isinstance(formula, (CslTrue, Atomic, MfTrue)):
+        return 0
+    if isinstance(formula, (Not, MfNot, SteadyState, Expectation, ExpectedSteadyState)):
+        return until_nesting_depth(formula.operand)
+    if isinstance(formula, (And, Or, MfAnd, MfOr)):
+        return max(
+            until_nesting_depth(formula.left), until_nesting_depth(formula.right)
+        )
+    if isinstance(formula, (Probability, ExpectedProbability)):
+        return 1 + until_nesting_depth(formula.path)
+    if isinstance(formula, Next):
+        return until_nesting_depth(formula.operand)
+    if isinstance(formula, Until):
+        return max(
+            until_nesting_depth(formula.left), until_nesting_depth(formula.right)
+        )
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def is_time_independent(formula: CslFormula) -> bool:
+    """``True`` iff a CSL state formula contains no ``P`` or ``S`` operator.
+
+    Satisfaction of such formulas depends only on the labelling, so their
+    satisfaction sets never change with time (Section IV-A's
+    "time-independent operators").
+    """
+    if isinstance(formula, (CslTrue, Atomic)):
+        return True
+    if isinstance(formula, Not):
+        return is_time_independent(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return is_time_independent(formula.left) and is_time_independent(
+            formula.right
+        )
+    if isinstance(formula, (SteadyState, Probability)):
+        return False
+    raise FormulaError(f"not a CSL state formula: {formula!r}")

@@ -1,0 +1,89 @@
+"""Tokenizer for the textual formula syntax.
+
+The token language is small: identifiers (atomic propositions and the
+reserved operator names), numbers, comparison operators and punctuation.
+Reserved words are case-sensitive, matching the paper's notation:
+``tt``, ``ff``, ``P``, ``S``, ``X``, ``U``, ``E``, ``ES``, ``EP`` and the
+literal ``inf`` inside intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import ParseError
+
+RESERVED = frozenset({"tt", "ff", "P", "S", "X", "U", "E", "ES", "EP", "inf"})
+
+#: Token kinds produced by :func:`tokenize`.
+KIND_IDENT = "IDENT"
+KIND_RESERVED = "RESERVED"
+KIND_NUMBER = "NUMBER"
+KIND_SYMBOL = "SYMBOL"
+KIND_END = "END"
+
+_SYMBOLS = ("<=", ">=", "<", ">", "!", "&", "|", "(", ")", "[", "]", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __str__(self) -> str:
+        if self.kind == KIND_END:
+            return "end of input"
+        return repr(self.text)
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Two-character symbols first, then single-character ones.
+        matched = False
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                yield Token(KIND_SYMBOL, sym, i)
+                i += len(sym)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isdigit() or ch == ".":
+            start = i
+            while i < n and (source[i].isdigit() or source[i] in ".eE+-"):
+                # Stop before +/- that are not exponent signs.
+                if source[i] in "+-" and source[i - 1] not in "eE":
+                    break
+                i += 1
+            text = source[start:i]
+            try:
+                float(text)
+            except ValueError:
+                raise ParseError(f"malformed number {text!r}", position=start)
+            yield Token(KIND_NUMBER, text, start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = KIND_RESERVED if text in RESERVED else KIND_IDENT
+            yield Token(kind, text, start)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i)
+    yield Token(KIND_END, "", n)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a formula string; raises :class:`ParseError` on bad input."""
+    return list(_iter_tokens(source))

@@ -1,0 +1,72 @@
+"""Pretty-printer for CSL and MF-CSL formulas.
+
+:func:`format_formula` produces text in the same syntax the parser
+accepts; ``parse(format(f)) == f`` is a property-tested invariant (modulo
+fully-parenthesized output, which the parser normalizes away).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FormulaError
+from repro.logic.ast import (
+    And,
+    AnyFormula,
+    Atomic,
+    CslTrue,
+    Expectation,
+    ExpectedProbability,
+    ExpectedSteadyState,
+    MfAnd,
+    MfNot,
+    MfOr,
+    MfTrue,
+    Next,
+    Not,
+    Or,
+    Probability,
+    SteadyState,
+    TimeInterval,
+    Until,
+)
+
+
+def _interval(interval: TimeInterval) -> str:
+    if not interval.is_bounded:
+        return f"[{interval.lower:g},inf]"
+    return f"[{interval.lower:g},{interval.upper:g}]"
+
+
+def format_formula(formula: AnyFormula) -> str:
+    """Render any formula node back to parseable text."""
+    if isinstance(formula, (CslTrue, MfTrue)):
+        return "tt"
+    if isinstance(formula, Atomic):
+        return formula.name
+    if isinstance(formula, (Not, MfNot)):
+        return f"!({format_formula(formula.operand)})"
+    if isinstance(formula, (And, MfAnd)):
+        return (
+            f"({format_formula(formula.left)} & {format_formula(formula.right)})"
+        )
+    if isinstance(formula, (Or, MfOr)):
+        return (
+            f"({format_formula(formula.left)} | {format_formula(formula.right)})"
+        )
+    if isinstance(formula, SteadyState):
+        return f"S[{formula.bound}]({format_formula(formula.operand)})"
+    if isinstance(formula, Probability):
+        return f"P[{formula.bound}]({format_formula(formula.path)})"
+    if isinstance(formula, Next):
+        return f"X{_interval(formula.interval)} ({format_formula(formula.operand)})"
+    if isinstance(formula, Until):
+        return (
+            f"({format_formula(formula.left)}) U{_interval(formula.interval)} "
+            f"({format_formula(formula.right)})"
+        )
+    if isinstance(formula, Expectation):
+        return f"E[{formula.bound}]({format_formula(formula.operand)})"
+    if isinstance(formula, ExpectedSteadyState):
+        return f"ES[{formula.bound}]({format_formula(formula.operand)})"
+    if isinstance(formula, ExpectedProbability):
+        return f"EP[{formula.bound}]({format_formula(formula.path)})"
+    raise FormulaError(f"cannot format unknown node {formula!r}")

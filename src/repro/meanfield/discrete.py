@@ -1,0 +1,197 @@
+"""Discrete-time mean-field models.
+
+Section II-B of the paper notes that "all the results in the present paper
+can easily be adapted to discrete-time mean-field models" (referencing the
+gossip-protocol analyses of Bakhshi et al. [4]).  This module provides
+that adaptation's substrate: a local DTMC whose transition *probabilities*
+depend on the occupancy vector, and the overall recursion
+
+.. math::
+
+    m̄(k+1) = m̄(k) \\cdot P(m̄(k)).
+
+The discrete analogue of a dense trajectory is simply the sequence of
+iterates; bounded-until probabilities on the induced time-inhomogeneous
+DTMC reduce to ordered products of modified transition matrices and are
+implemented in :mod:`repro.checking.discrete`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.ctmc.dtmc import validate_stochastic_matrix
+from repro.exceptions import InvalidStateError, ModelError
+from repro.meanfield.overall_model import validate_occupancy
+
+ProbabilityFunction = Callable[[np.ndarray], float]
+ProbabilitySpec = "float | ProbabilityFunction"
+
+
+class DiscreteLocalModel:
+    """A local DTMC with occupancy-dependent transition probabilities.
+
+    Parameters
+    ----------
+    states:
+        Ordered state names.
+    transitions:
+        Mapping ``(source, target) -> probability`` where the probability
+        is a constant in ``[0, 1]`` or a callable of the occupancy vector.
+        Missing mass in each row becomes the self-loop probability; a row
+        whose explicit entries exceed one raises at evaluation time.
+    labels:
+        Mapping ``state -> iterable of atomic propositions``.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        transitions: Mapping[Tuple[str, str], "ProbabilitySpec"],
+        labels: Mapping[str, Iterable[str]],
+    ):
+        self._states = tuple(str(s) for s in states)
+        if len(set(self._states)) != len(self._states):
+            raise ModelError(f"duplicate state names in {self._states}")
+        self._index = {name: i for i, name in enumerate(self._states)}
+        unknown = set(labels) - set(self._states)
+        if unknown:
+            raise InvalidStateError(
+                f"labels given for unknown states: {sorted(unknown)}"
+            )
+        self._labels: Dict[str, FrozenSet[str]] = {
+            name: frozenset(str(l) for l in labels.get(name, ()))
+            for name in self._states
+        }
+        self._transitions: List[Tuple[int, int, ProbabilityFunction]] = []
+        for (src, dst), spec in transitions.items():
+            i, j = self.index(src), self.index(dst)
+            if callable(spec):
+                fn = spec
+            else:
+                value = float(spec)
+                if not 0.0 <= value <= 1.0:
+                    raise ModelError(
+                        f"constant probability for ({src}, {dst}) must be in "
+                        f"[0, 1], got {value}"
+                    )
+                fn = (lambda _m, _v=value: _v)
+            self._transitions.append((i, j, fn))
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        """Ordered state names."""
+        return self._states
+
+    @property
+    def num_states(self) -> int:
+        """Number of local states."""
+        return len(self._states)
+
+    def index(self, state: str) -> int:
+        """Index of a state name."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise InvalidStateError(
+                f"unknown state {state!r}; states are {self._states}"
+            ) from None
+
+    def labels_of(self, state: str) -> FrozenSet[str]:
+        """Atomic propositions of a state."""
+        self.index(state)
+        return self._labels[state]
+
+    def states_with_label(self, label: str) -> FrozenSet[int]:
+        """Indices of states carrying ``label``."""
+        return frozenset(
+            i
+            for i, name in enumerate(self._states)
+            if label in self._labels[name]
+        )
+
+    def matrix(self, m: np.ndarray) -> np.ndarray:
+        """Transition matrix ``P(m̄)``; self-loops absorb missing mass."""
+        m = np.asarray(m, dtype=float)
+        k = self.num_states
+        p = np.zeros((k, k))
+        for i, j, fn in self._transitions:
+            value = float(fn(m))
+            if not np.isfinite(value) or value < 0.0:
+                raise ModelError(
+                    f"probability for transition {self._states[i]!r} -> "
+                    f"{self._states[j]!r} evaluated to {value}"
+                )
+            if i == j:
+                raise ModelError("explicit self-loops are implied; do not declare them")
+            p[i, j] += value
+        for i in range(k):
+            off = p[i].sum()
+            if off > 1.0 + 1e-9:
+                raise ModelError(
+                    f"row {self._states[i]!r} probabilities sum to {off} > 1 "
+                    f"at m={m!r}"
+                )
+            p[i, i] = max(0.0, 1.0 - off)
+        validate_stochastic_matrix(p)
+        return p
+
+
+class DiscreteMeanFieldModel:
+    """Overall discrete-time mean-field model (occupancy recursion)."""
+
+    def __init__(self, local: DiscreteLocalModel):
+        self._local = local
+
+    @property
+    def local(self) -> DiscreteLocalModel:
+        """The underlying discrete local model."""
+        return self._local
+
+    def step(self, m: np.ndarray) -> np.ndarray:
+        """One synchronous update ``m̄ -> m̄ P(m̄)``."""
+        m = validate_occupancy(m, self._local.num_states)
+        return m @ self._local.matrix(m)
+
+    def iterate(self, initial: np.ndarray, steps: int) -> np.ndarray:
+        """All iterates ``m̄(0..steps)`` as an ``(steps+1, K)`` array."""
+        if steps < 0:
+            raise ModelError(f"steps must be >= 0, got {steps}")
+        m = validate_occupancy(initial, self._local.num_states)
+        out = np.empty((steps + 1, self._local.num_states))
+        out[0] = m
+        for k in range(steps):
+            m = m @ self._local.matrix(m)
+            out[k + 1] = m
+        return out
+
+    def matrices_along(self, iterates: np.ndarray) -> List[np.ndarray]:
+        """The matrices ``P(m̄(k))`` realized along a run of iterates.
+
+        These define the time-inhomogeneous local DTMC of a random object,
+        the discrete analogue of ``Q(m̄(t))``.
+        """
+        return [self._local.matrix(m) for m in np.asarray(iterates)[:-1]]
+
+    def fixed_point(
+        self,
+        initial: np.ndarray,
+        tol: float = 1e-12,
+        max_steps: int = 1_000_000,
+    ) -> np.ndarray:
+        """Iterate until ``|m̄(k+1) − m̄(k)| < tol``.
+
+        Raises :class:`ModelError` when the recursion has not settled after
+        ``max_steps`` (e.g. for oscillating discrete dynamics).
+        """
+        m = validate_occupancy(initial, self._local.num_states)
+        for _ in range(int(max_steps)):
+            nxt = m @ self._local.matrix(m)
+            if float(np.max(np.abs(nxt - m))) < tol:
+                return nxt
+            m = nxt
+        raise ModelError(
+            f"occupancy recursion did not converge within {max_steps} steps"
+        )

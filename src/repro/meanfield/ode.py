@@ -1,0 +1,160 @@
+"""Dense, lazily extendable solutions of the occupancy ODE (Equation (1)).
+
+The checkers evaluate the occupancy vector at many, a-priori unknown times
+(until windows slide, root finders probe, satisfaction sets are refined on
+grids), so re-solving the ODE per query would dominate the cost.  An
+:class:`OccupancyTrajectory` therefore solves once with dense output and
+*extends itself* when queried past the current horizon, re-using the final
+state of the previous segment as the new initial condition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.exceptions import ModelError, NumericalError
+
+DriftFunction = Callable[[float, np.ndarray], np.ndarray]
+
+#: Default solver tolerances; tight because threshold-crossing times
+#: (Fig. 3 boundaries like t = 14.5412) are read off these solutions.
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 1e-12
+
+
+class _Segment:
+    """One dense solve_ivp segment ``[t_start, t_end]``."""
+
+    __slots__ = ("t_start", "t_end", "interpolant")
+
+    def __init__(self, t_start: float, t_end: float, interpolant):
+        self.t_start = t_start
+        self.t_end = t_end
+        self.interpolant = interpolant
+
+
+class OccupancyTrajectory:
+    """Callable solution ``t -> m̄(t)`` of ``dm̄/dt = m̄ Q(m̄)``.
+
+    Parameters
+    ----------
+    drift:
+        Right-hand side ``f(t, m) -> dm/dt``.  For a mean-field model this
+        is ``m @ Q(m, t)``; the class itself is model-agnostic so the
+        discrete-time layer and tests can reuse it.
+    initial:
+        Occupancy vector at time 0.
+    horizon:
+        Initial solve horizon.  Queries beyond it trigger lazy extension
+        in chunks, up to ``max_horizon``.
+    renormalize:
+        When ``True`` (default) clip tiny negative components and rescale
+        the returned vector to sum to one, guarding downstream code against
+        solver drift off the simplex.
+    """
+
+    def __init__(
+        self,
+        drift: DriftFunction,
+        initial: np.ndarray,
+        horizon: float = 10.0,
+        rtol: float = DEFAULT_RTOL,
+        atol: float = DEFAULT_ATOL,
+        method: str = "RK45",
+        max_horizon: float = 1e6,
+        renormalize: bool = True,
+    ):
+        self._drift = drift
+        self._initial = np.asarray(initial, dtype=float).copy()
+        self._rtol = rtol
+        self._atol = atol
+        self._method = method
+        self._max_horizon = float(max_horizon)
+        self._renormalize = renormalize
+        self._segments: List[_Segment] = []
+        self._end_state = self._initial.copy()
+        self._end_time = 0.0
+        if horizon > 0.0:
+            self._extend_to(float(horizon))
+
+    @property
+    def initial(self) -> np.ndarray:
+        """The initial occupancy vector ``m̄(0)`` (a copy)."""
+        return self._initial.copy()
+
+    @property
+    def horizon(self) -> float:
+        """Largest time solved so far."""
+        return self._end_time
+
+    def _extend_to(self, target: float) -> None:
+        if target <= self._end_time:
+            return
+        if target > self._max_horizon:
+            raise ModelError(
+                f"requested time {target} exceeds max_horizon "
+                f"{self._max_horizon}"
+            )
+        sol = solve_ivp(
+            self._drift,
+            (self._end_time, target),
+            self._end_state,
+            method=self._method,
+            rtol=self._rtol,
+            atol=self._atol,
+            dense_output=True,
+        )
+        if not sol.success:
+            raise NumericalError(
+                f"occupancy ODE solve failed on "
+                f"[{self._end_time}, {target}]: {sol.message}"
+            )
+        self._segments.append(_Segment(self._end_time, target, sol.sol))
+        self._end_time = target
+        self._end_state = sol.y[:, -1].copy()
+
+    def __call__(self, t: float) -> np.ndarray:
+        """Occupancy vector at time ``t`` (lazily extending the solve)."""
+        t = float(t)
+        if t < 0.0:
+            raise ModelError(f"occupancy requested at negative time {t}")
+        if t == 0.0:
+            return self._normalized(self._initial)
+        if t > self._end_time:
+            if t > self._max_horizon:
+                raise ModelError(
+                    f"requested time {t} exceeds max_horizon "
+                    f"{self._max_horizon}"
+                )
+            # Extend generously to amortize (at least 25% beyond the
+            # query) but never past the configured ceiling.
+            self._extend_to(min(max(t * 1.25, t + 1.0), self._max_horizon))
+        for seg in self._segments:
+            if seg.t_start - 1e-12 <= t <= seg.t_end + 1e-12:
+                return self._normalized(seg.interpolant(min(max(t, seg.t_start), seg.t_end)))
+        raise NumericalError(f"no segment covers time {t}")  # pragma: no cover
+
+    def _normalized(self, m: np.ndarray) -> np.ndarray:
+        m = np.asarray(m, dtype=float).copy()
+        if not self._renormalize:
+            return m
+        m = np.clip(m, 0.0, None)
+        total = m.sum()
+        if total <= 0.0:
+            raise NumericalError("occupancy vector collapsed to zero mass")
+        return m / total
+
+    def grid(self, t_end: float, num: int = 200, t_start: float = 0.0) -> "tuple[np.ndarray, np.ndarray]":
+        """Sample the trajectory on a uniform grid.
+
+        Returns ``(times, values)`` with ``values`` of shape
+        ``(num, K)`` — convenient for plotting and discontinuity scans.
+        """
+        if num < 2:
+            raise ModelError(f"grid needs at least 2 points, got {num}")
+        times = np.linspace(float(t_start), float(t_end), int(num))
+        values = np.vstack([self(t) for t in times])
+        return times, values

@@ -1,0 +1,149 @@
+"""The overall mean-field model of Definition 2.
+
+A :class:`MeanFieldModel` wraps a :class:`~repro.meanfield.local_model.LocalModel`
+and provides the overall-model view: the occupancy simplex ``S^o``, the
+mean-field drift of Theorem 1, trajectory integration, and the
+"generator along a trajectory" view that turns the local model into the
+time-inhomogeneous CTMC the checkers operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidOccupancyError
+from repro.meanfield.local_model import LocalModel
+from repro.meanfield.ode import DEFAULT_ATOL, DEFAULT_RTOL, OccupancyTrajectory
+
+#: Tolerance for occupancy-simplex membership checks.
+SIMPLEX_ATOL = 1e-6
+
+
+def validate_occupancy(m: np.ndarray, num_states: int, atol: float = SIMPLEX_ATOL) -> np.ndarray:
+    """Validate and return an occupancy vector as a float array.
+
+    Checks length, non-negativity (within ``atol``) and that the entries
+    sum to one (within ``atol``), i.e. membership of the simplex ``S^o`` of
+    Definition 2.
+    """
+    m = np.asarray(m, dtype=float)
+    if m.shape != (num_states,):
+        raise InvalidOccupancyError(
+            f"occupancy vector must have shape ({num_states},), got {m.shape}"
+        )
+    if not np.all(np.isfinite(m)):
+        raise InvalidOccupancyError(f"occupancy vector has non-finite entries: {m}")
+    if np.any(m < -atol):
+        raise InvalidOccupancyError(f"occupancy vector has negative entries: {m}")
+    total = float(m.sum())
+    if abs(total - 1.0) > atol:
+        raise InvalidOccupancyError(
+            f"occupancy vector must sum to 1, sums to {total}: {m}"
+        )
+    m = np.clip(m, 0.0, None)
+    return m / m.sum()
+
+
+class MeanFieldModel:
+    """Overall mean-field model ``(S^o, Q)`` built from a local model.
+
+    Parameters
+    ----------
+    local:
+        The local model whose ``N -> infinity`` population this overall
+        model describes.
+    rtol, atol:
+        Default tolerances for occupancy-ODE solves started from this
+        model.
+    """
+
+    def __init__(
+        self,
+        local: LocalModel,
+        rtol: float = DEFAULT_RTOL,
+        atol: float = DEFAULT_ATOL,
+    ):
+        self._local = local
+        self._rtol = rtol
+        self._atol = atol
+
+    @property
+    def local(self) -> LocalModel:
+        """The underlying local model."""
+        return self._local
+
+    @property
+    def num_states(self) -> int:
+        """Dimension ``K`` of the occupancy vector."""
+        return self._local.num_states
+
+    # ------------------------------------------------------------------
+    # Dynamics (Theorem 1, Equation (1))
+    # ------------------------------------------------------------------
+
+    def drift(self, t: float, m: np.ndarray) -> np.ndarray:
+        """Mean-field drift ``m̄ Q(m̄)`` at time ``t``.
+
+        Signature matches scipy's ``solve_ivp`` convention ``f(t, y)``.
+        The drift is evaluated at the clipped (non-negative) point: ODE
+        steppers probe slightly outside the simplex, where rate functions
+        like ``m3/m1`` are meaningless, and occupancy fractions can never
+        be negative in the limit system anyway.
+        """
+        m = np.clip(np.asarray(m, dtype=float), 0.0, None)
+        return m @ self._local.generator(m, t)
+
+    def trajectory(
+        self,
+        initial: np.ndarray,
+        horizon: float = 10.0,
+        rtol: Optional[float] = None,
+        atol: Optional[float] = None,
+    ) -> OccupancyTrajectory:
+        """Solve Equation (1) from ``initial``, returning a dense trajectory."""
+        initial = validate_occupancy(initial, self.num_states)
+        return OccupancyTrajectory(
+            self.drift,
+            initial,
+            horizon=horizon,
+            rtol=self._rtol if rtol is None else rtol,
+            atol=self._atol if atol is None else atol,
+        )
+
+    # ------------------------------------------------------------------
+    # The induced time-inhomogeneous local CTMC
+    # ------------------------------------------------------------------
+
+    def generator_along(
+        self, trajectory: OccupancyTrajectory
+    ) -> Callable[[float], np.ndarray]:
+        """Generator function ``t -> Q(m̄(t))`` along a trajectory.
+
+        This is the "limit local model" of Section II-B: the
+        time-inhomogeneous CTMC of a random individual object, whose rates
+        follow the deterministic occupancy flow.  The returned callable is
+        what the :mod:`repro.ctmc.inhomogeneous` solvers consume.
+        """
+
+        def q_of_t(t: float) -> np.ndarray:
+            return self._local.generator(trajectory(t), t)
+
+        return q_of_t
+
+    def occupancy_of_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Normalize a vector of object counts to an occupancy vector.
+
+        For finite ``N`` the occupancy vector takes values in
+        ``{0, 1/N, ..., 1}`` (Definition 2); this helper maps raw counts
+        from the finite-N simulator onto the simplex.
+        """
+        counts = np.asarray(counts, dtype=float)
+        total = counts.sum()
+        if total <= 0:
+            raise InvalidOccupancyError("counts must sum to a positive number")
+        return counts / total
+
+    def __repr__(self) -> str:
+        return f"MeanFieldModel(local={self._local!r})"

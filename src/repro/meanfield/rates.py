@@ -1,0 +1,107 @@
+"""Normalization of transition-rate specifications.
+
+Definition 1 of the paper allows local transition rates to depend on the
+overall system state (the occupancy vector ``m̄``), and the paper notes
+that everything extends to rates that depend explicitly on global time.
+This module accepts all the convenient spellings a modeller might use and
+normalizes them to one canonical signature ``rate(m, t) -> float``:
+
+- a non-negative number — a constant rate;
+- a callable ``f(m)`` — depends on the occupancy vector only;
+- a callable ``f(m, t)`` — depends on occupancy and global time.
+
+The arity is detected once, at model-construction time, so the hot path
+(generator assembly inside ODE right-hand sides) pays no inspection cost.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidRateError
+
+RateSpec = Union[float, int, Callable]
+RateFunction = Callable[[np.ndarray, float], float]
+
+
+def _positional_arity(func: Callable) -> int:
+    """Number of positional parameters a callable accepts (capped at 2)."""
+    try:
+        sig = inspect.signature(func)
+    except (TypeError, ValueError):
+        # Builtins / numpy ufuncs without introspectable signatures: assume
+        # the full (m, t) form and let the call fail loudly if wrong.
+        return 2
+    count = 0
+    for param in sig.parameters.values():
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+        elif param.kind == inspect.Parameter.VAR_POSITIONAL:
+            return 2
+    return count
+
+
+def normalize_rate(spec: RateSpec) -> RateFunction:
+    """Convert any accepted rate specification to ``f(m, t) -> float``.
+
+    Raises
+    ------
+    InvalidRateError
+        If a constant rate is negative or non-finite, or a callable takes
+        no positional arguments.
+    """
+    if callable(spec):
+        arity = _positional_arity(spec)
+        if arity >= 2:
+            return spec
+        if arity == 1:
+            def rate_m_only(m: np.ndarray, t: float, _f=spec) -> float:
+                return _f(m)
+
+            return rate_m_only
+        raise InvalidRateError(
+            f"rate callable {spec!r} must accept (m) or (m, t)"
+        )
+    value = float(spec)
+    if not np.isfinite(value) or value < 0.0:
+        raise InvalidRateError(
+            f"constant rate must be finite and >= 0, got {value}"
+        )
+
+    def constant_rate(m: np.ndarray, t: float, _v=value) -> float:
+        return _v
+
+    return constant_rate
+
+
+def is_constant_rate(spec: RateSpec) -> bool:
+    """``True`` iff the rate can never change (number or constant expression)."""
+    if not callable(spec):
+        return True
+    from repro.meanfield.expressions import Expression, is_constant
+
+    if isinstance(spec, Expression):
+        return is_constant(spec)
+    return False
+
+
+def evaluate_rate(rate: RateFunction, m: np.ndarray, t: float) -> float:
+    """Evaluate a normalized rate and validate the result.
+
+    Raises :class:`InvalidRateError` on negative or non-finite values, with
+    enough context to locate the offending model ingredient.
+    """
+    value = float(rate(m, t))
+    if not np.isfinite(value) or value < -1e-9:
+        raise InvalidRateError(
+            f"rate evaluated to {value} at m={np.asarray(m)!r}, t={t}"
+        )
+    # Tolerate (and clamp) round-off-level negatives produced by ODE
+    # solvers stepping marginally off the simplex.
+    return max(value, 0.0)

@@ -1,0 +1,59 @@
+"""A zoo of ready-made mean-field models.
+
+- :mod:`repro.models.virus` — the paper's running example: computer-virus
+  spread with three local states (Figure 2, Table II), in both
+  infection-rate variants discussed in Example 1;
+- :mod:`repro.models.botnet` — a richer peer-to-peer botnet model in the
+  spirit of the paper's reference [6] (van Ruitenbeek & Sanders style);
+- :mod:`repro.models.epidemic` — classical SIS and SIR epidemics as
+  mean-field models;
+- :mod:`repro.models.gossip` — a push-pull gossip/information-dissemination
+  model (reference [4] motivates these);
+- :mod:`repro.models.load_balancing` — a power-of-d-choices service pool,
+  a standard mean-field benchmark with a larger local state space;
+- :mod:`repro.models.diurnal` — a virus model with explicitly
+  time-dependent rates (the paper's footnote-4 extension).
+"""
+
+from repro.models.virus import (
+    SETTING_1,
+    SETTING_2,
+    VirusParameters,
+    virus_model,
+    virus_model_declarative,
+    virus_model_epidemiological,
+)
+from repro.models.botnet import BotnetParameters, botnet_model
+from repro.models.epidemic import (
+    SirParameters,
+    SisParameters,
+    sir_model,
+    sis_model,
+)
+from repro.models.diurnal import DiurnalParameters, diurnal_virus_model
+from repro.models.gossip import GossipParameters, gossip_model
+from repro.models.load_balancing import (
+    LoadBalancingParameters,
+    load_balancing_model,
+)
+
+__all__ = [
+    "SETTING_1",
+    "SETTING_2",
+    "VirusParameters",
+    "virus_model",
+    "virus_model_declarative",
+    "virus_model_epidemiological",
+    "BotnetParameters",
+    "botnet_model",
+    "SirParameters",
+    "SisParameters",
+    "sir_model",
+    "sis_model",
+    "DiurnalParameters",
+    "diurnal_virus_model",
+    "GossipParameters",
+    "gossip_model",
+    "LoadBalancingParameters",
+    "load_balancing_model",
+]

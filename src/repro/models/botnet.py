@@ -1,0 +1,89 @@
+"""A peer-to-peer botnet propagation model (in the spirit of [6]/[15]).
+
+The paper's running example is "a simplified version of the models used
+in [6]" — the EPEW 2011 botnet study by the same authors, itself based on
+van Ruitenbeek & Sanders [15].  This module provides a richer,
+five-state variant so the library is exercised on a local model larger
+than the 3-state running example:
+
+- ``clean``         — vulnerable, not infected;
+- ``dormant``       — initial infection installed, bot not yet connected;
+- ``connected``     — bot joined the P2P network (propagating);
+- ``active``        — bot actively attacking (propagating, detectable);
+- ``quarantined``   — machine isolated by the security team.
+
+Infection pressure comes from connected and active bots scanning the
+network: a clean machine is compromised at rate ``attack · (m_connected
++ m_active)`` (the epidemiological form, smooth on the whole simplex).
+Quarantined machines are re-imaged back to clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.meanfield.local_model import LocalModelBuilder
+from repro.meanfield.overall_model import MeanFieldModel
+
+@dataclass(frozen=True)
+class BotnetParameters:
+    """Rates of the five-state botnet model."""
+
+    attack: float = 1.2  # per-bot scan/attack rate (new dormant infections)
+    connect: float = 0.8  # dormant -> connected
+    activate: float = 0.3  # connected -> active
+    deactivate: float = 0.4  # active -> connected (lying low)
+    detect_dormant: float = 0.05  # dormant -> quarantined
+    detect_connected: float = 0.1  # connected -> quarantined
+    detect_active: float = 0.6  # active -> quarantined (attacks are loud)
+    reimage: float = 0.25  # quarantined -> clean
+
+    def __post_init__(self) -> None:
+        for name in (
+            "attack",
+            "connect",
+            "activate",
+            "deactivate",
+            "detect_dormant",
+            "detect_connected",
+            "detect_active",
+            "reimage",
+        ):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ModelError(f"{name} must be finite and >= 0, got {value}")
+
+
+def botnet_model(params: BotnetParameters = BotnetParameters()) -> MeanFieldModel:
+    """The five-state P2P botnet mean-field model."""
+    p = params
+
+    def infection_rate(m: np.ndarray) -> float:
+        # m = (clean, dormant, connected, active, quarantined); connected
+        # and active bots scan the whole address space, so a clean machine
+        # is hit at a rate proportional to the propagating fraction (the
+        # epidemiological form — smooth on the entire simplex, unlike the
+        # clean-targeting normalization of the 3-state running example).
+        propagating = m[2] + m[3]
+        return p.attack * propagating
+
+    builder = (
+        LocalModelBuilder()
+        .state("clean", "clean", "vulnerable")
+        .state("dormant", "infected", "hidden")
+        .state("connected", "infected", "bot", "propagating")
+        .state("active", "infected", "bot", "propagating", "attacking")
+        .state("quarantined", "quarantined", "offline")
+        .transition("clean", "dormant", infection_rate)
+        .transition("dormant", "connected", p.connect)
+        .transition("dormant", "quarantined", p.detect_dormant)
+        .transition("connected", "active", p.activate)
+        .transition("connected", "quarantined", p.detect_connected)
+        .transition("active", "connected", p.deactivate)
+        .transition("active", "quarantined", p.detect_active)
+        .transition("quarantined", "clean", p.reimage)
+    )
+    return MeanFieldModel(builder.build())

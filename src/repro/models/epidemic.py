@@ -1,0 +1,96 @@
+"""Classical epidemic models as mean-field models.
+
+The mean-field literature's canonical examples (also the intuition behind
+the paper's virus model): SIS and SIR dynamics where each individual is a
+small CTMC and the infection rate depends on the infected fraction.
+
+These models exercise different qualitative regimes than the virus
+model:
+
+- SIS has two fixed points (disease-free and endemic) whose stability
+  switches at the epidemic threshold ``beta/gamma = 1`` — good test
+  material for the steady-state operators and the stability classifier;
+- SIR has an absorbing macroscopic flow (everyone ends susceptible or
+  recovered), so time-bounded properties are the only meaningful ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.meanfield.local_model import LocalModelBuilder
+from repro.meanfield.overall_model import MeanFieldModel
+
+
+@dataclass(frozen=True)
+class SisParameters:
+    """SIS rates: infection ``beta`` (per infected contact), cure ``gamma``."""
+
+    beta: float = 2.0
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("beta", "gamma"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ModelError(f"{name} must be finite and >= 0, got {value}")
+
+    @property
+    def reproduction_number(self) -> float:
+        """``R0 = beta / gamma``; the endemic fixed point exists iff > 1."""
+        if self.gamma == 0:
+            return float("inf")
+        return self.beta / self.gamma
+
+
+def sis_model(params: SisParameters = SisParameters()) -> MeanFieldModel:
+    """Susceptible–Infected–Susceptible: 2 local states.
+
+    Susceptibles get infected at rate ``beta · m_I``; infected recover at
+    rate ``gamma``.  The endemic fixed point is ``m_I = 1 − 1/R0``.
+    """
+    builder = (
+        LocalModelBuilder()
+        .state("S", "susceptible", "healthy")
+        .state("I", "infected")
+        .transition("S", "I", lambda m: params.beta * m[1])
+        .transition("I", "S", params.gamma)
+    )
+    return MeanFieldModel(builder.build())
+
+
+@dataclass(frozen=True)
+class SirParameters:
+    """SIR rates: infection ``beta``, recovery ``gamma``, immunity loss ``xi``.
+
+    ``xi = 0`` gives the classical SIR with permanent immunity; ``xi > 0``
+    is SIRS, which has a proper endemic steady state.
+    """
+
+    beta: float = 3.0
+    gamma: float = 1.0
+    xi: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("beta", "gamma", "xi"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ModelError(f"{name} must be finite and >= 0, got {value}")
+
+
+def sir_model(params: SirParameters = SirParameters()) -> MeanFieldModel:
+    """Susceptible–Infected–Recovered(–Susceptible): 3 local states."""
+    builder = (
+        LocalModelBuilder()
+        .state("S", "susceptible", "healthy")
+        .state("I", "infected")
+        .state("R", "recovered", "healthy")
+        .transition("S", "I", lambda m: params.beta * m[1])
+        .transition("I", "R", params.gamma)
+    )
+    if params.xi > 0:
+        builder.transition("R", "S", params.xi)
+    return MeanFieldModel(builder.build())

@@ -1,0 +1,70 @@
+"""A push–pull gossip (information dissemination) mean-field model.
+
+Reference [4] of the paper (Bakhshi et al.) analyses gossip protocols by
+mean-field methods; this module provides a continuous-time analogue with
+three local states per node:
+
+- ``ignorant`` — has not heard the rumour;
+- ``spreader`` — knows the rumour and actively gossips;
+- ``stifler`` — knows the rumour but stopped spreading.
+
+Dynamics (all contacts are uniform, which is exactly the mean-field
+assumption):
+
+- *push*: a spreader contacts a random node at rate ``push``; if the
+  target is ignorant it becomes a spreader — per-ignorant rate
+  ``push · m_spreader``;
+- *pull*: an ignorant node queries a random node at rate ``pull``; if it
+  hits a spreader it becomes a spreader — per-ignorant rate
+  ``pull · m_spreader``;
+- *stifling*: a spreader contacting a non-ignorant node loses interest
+  with probability one — per-spreader rate
+  ``push · (m_spreader + m_stifler)``;
+- *forgetting*: spreaders spontaneously retire at rate ``forget``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.meanfield.local_model import LocalModelBuilder
+from repro.meanfield.overall_model import MeanFieldModel
+
+
+@dataclass(frozen=True)
+class GossipParameters:
+    """Contact and retirement rates of the gossip protocol."""
+
+    push: float = 1.0
+    pull: float = 0.5
+    forget: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("push", "pull", "forget"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ModelError(f"{name} must be finite and >= 0, got {value}")
+
+
+def gossip_model(params: GossipParameters = GossipParameters()) -> MeanFieldModel:
+    """Three-state rumour spreading model (ignorant/spreader/stifler)."""
+    builder = (
+        LocalModelBuilder()
+        .state("ignorant", "ignorant", "uninformed")
+        .state("spreader", "informed", "active")
+        .state("stifler", "informed", "passive")
+        .transition(
+            "ignorant",
+            "spreader",
+            lambda m: (params.push + params.pull) * m[1],
+        )
+        .transition(
+            "spreader",
+            "stifler",
+            lambda m: params.forget + params.push * (m[1] + m[2]),
+        )
+    )
+    return MeanFieldModel(builder.build())

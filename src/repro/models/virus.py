@@ -1,0 +1,162 @@
+"""The computer-virus spread model — the paper's running example.
+
+Figure 2 of the paper: each computer is *not infected* (``s1``),
+*infected & inactive* (``s2``) or *infected & active* (``s3``), with
+rates
+
+- ``k1*`` — infection (occupancy-dependent, see below),
+- ``k2``  — recovery of an inactive infected computer (``s2 -> s1``),
+- ``k3``  — activation (``s2 -> s3``),
+- ``k4``  — deactivation (``s3 -> s2``),
+- ``k5``  — recovery of an active infected computer (``s3 -> s1``).
+
+Two variants of the infection rate are discussed in Example 1:
+
+- the "smart virus" used throughout Section VI:
+  ``k1*(t) = k1 · m3(t) / m1(t)`` — the total attack rate of all active
+  computers is spread over the not-infected ones (the per-object rates
+  then sum to ``k1 · m3``, making the *overall* ODE (21) linear);
+- the epidemiological variant ``k1*(t) = k1 · m3(t)`` (infection
+  proportional to the active fraction only).
+
+Table II's two parameter settings are provided as :data:`SETTING_1` and
+:data:`SETTING_2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.meanfield.local_model import LocalModel, LocalModelBuilder
+from repro.meanfield.overall_model import MeanFieldModel
+
+#: Guard against division by zero when the not-infected fraction hits 0;
+#: the product ``m1 · k1*`` stays bounded because the outflow of ``s1`` is
+#: weighted by ``m1`` itself.
+_M1_FLOOR = 1e-12
+
+#: State names, in occupancy-vector order.
+STATE_NOT_INFECTED = "s1"
+STATE_INACTIVE = "s2"
+STATE_ACTIVE = "s3"
+
+
+@dataclass(frozen=True)
+class VirusParameters:
+    """The five rate constants of Figure 2 / Table II."""
+
+    k1: float  # attack rate
+    k2: float  # inactive computer recovery
+    k3: float  # inactive computer becomes active
+    k4: float  # active computer returns to inactive
+    k5: float  # active computer recovery
+
+    def __post_init__(self) -> None:
+        for name in ("k1", "k2", "k3", "k4", "k5"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ModelError(f"{name} must be finite and >= 0, got {value}")
+
+
+#: Table II, Setting 1.
+SETTING_1 = VirusParameters(k1=0.9, k2=0.1, k3=0.01, k4=0.3, k5=0.3)
+#: Table II, Setting 2.
+SETTING_2 = VirusParameters(k1=5.0, k2=0.02, k3=0.01, k4=0.5, k5=0.5)
+
+
+def _local_model(params: VirusParameters, smart: bool) -> LocalModel:
+    if smart:
+
+        def infection_rate(m: np.ndarray) -> float:
+            return params.k1 * m[2] / max(m[0], _M1_FLOOR)
+
+    else:
+
+        def infection_rate(m: np.ndarray) -> float:
+            return params.k1 * m[2]
+
+    builder = (
+        LocalModelBuilder()
+        .state(STATE_NOT_INFECTED, "not_infected")
+        .state(STATE_INACTIVE, "infected", "inactive")
+        .state(STATE_ACTIVE, "infected", "active")
+        .transition(STATE_NOT_INFECTED, STATE_INACTIVE, infection_rate)
+        .transition(STATE_INACTIVE, STATE_NOT_INFECTED, params.k2)
+        .transition(STATE_INACTIVE, STATE_ACTIVE, params.k3)
+        .transition(STATE_ACTIVE, STATE_INACTIVE, params.k4)
+        .transition(STATE_ACTIVE, STATE_NOT_INFECTED, params.k5)
+    )
+    return builder.build()
+
+
+def virus_model(params: VirusParameters = SETTING_1) -> MeanFieldModel:
+    """The Section-VI model: smart virus, ``k1* = k1 · m3 / m1``."""
+    return MeanFieldModel(_local_model(params, smart=True))
+
+
+def virus_model_epidemiological(
+    params: VirusParameters = SETTING_1,
+) -> MeanFieldModel:
+    """The epidemiological variant: ``k1* = k1 · m3``."""
+    return MeanFieldModel(_local_model(params, smart=False))
+
+
+def virus_model_declarative(params: VirusParameters = SETTING_1) -> MeanFieldModel:
+    """The smart-virus model with *expression* rates.
+
+    Identical dynamics to :func:`virus_model`, but every rate is a
+    :mod:`repro.meanfield.expressions` tree, so the model round-trips
+    through :mod:`repro.io` model files.
+    """
+    from repro.meanfield.expressions import Const, Occupancy
+    from repro.meanfield.local_model import LocalModel
+
+    infection = Const(params.k1) * Occupancy(2).guarded_div(
+        Occupancy(0), _M1_FLOOR
+    )
+    return MeanFieldModel(
+        LocalModel(
+            (STATE_NOT_INFECTED, STATE_INACTIVE, STATE_ACTIVE),
+            {
+                (STATE_NOT_INFECTED, STATE_INACTIVE): infection,
+                (STATE_INACTIVE, STATE_NOT_INFECTED): Const(params.k2),
+                (STATE_INACTIVE, STATE_ACTIVE): Const(params.k3),
+                (STATE_ACTIVE, STATE_INACTIVE): Const(params.k4),
+                (STATE_ACTIVE, STATE_NOT_INFECTED): Const(params.k5),
+            },
+            {
+                STATE_NOT_INFECTED: ["not_infected"],
+                STATE_INACTIVE: ["infected", "inactive"],
+                STATE_ACTIVE: ["infected", "active"],
+            },
+        )
+    )
+
+
+def overall_ode_matrix(params: VirusParameters) -> np.ndarray:
+    """The matrix ``A`` of the linear overall ODE (21), ``ṁ = m A``.
+
+    For the smart-virus variant the mean-field drift is linear:
+
+    .. code-block:: text
+
+        ṁ1 = −k1·m3 + k2·m2 + k5·m3
+        ṁ2 = (k1 + k4)·m3 − (k2 + k3)·m2
+        ṁ3 = k3·m2 − (k4 + k5)·m3
+
+    so the occupancy flow has the closed form ``m(t) = m(0) · expm(A t)``,
+    which the test suite uses to validate the ODE integrator.
+    """
+    k1, k2, k3, k4, k5 = params.k1, params.k2, params.k3, params.k4, params.k5
+    # Column j of A collects the coefficients of ṁ_j; rows are m_i in
+    # ``ṁ = m A`` (row-vector convention).
+    return np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [k2, -(k2 + k3), k3],
+            [-k1 + k5, k1 + k4, -(k4 + k5)],
+        ]
+    )

@@ -1,0 +1,88 @@
+"""Tests for EvaluationContext and CheckOptions."""
+
+import numpy as np
+import pytest
+
+from repro.checking.context import EvaluationContext
+from repro.checking.options import CheckOptions
+from repro.exceptions import InvalidOccupancyError, ModelError
+
+
+class TestCheckOptions:
+    def test_defaults_valid(self):
+        options = CheckOptions()
+        assert options.until_method == "auto"
+        assert options.curve_method == "propagate"
+        assert options.start_convention == "standard"
+
+    def test_with_replaces_fields(self):
+        options = CheckOptions().with_(grid_points=65)
+        assert options.grid_points == 65
+        assert options.ode_rtol == CheckOptions().ode_rtol
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid_points": 2},
+            {"until_method": "bogus"},
+            {"curve_method": "bogus"},
+            {"start_convention": "bogus"},
+            {"ode_rtol": 0.0},
+            {"crossing_xtol": -1.0},
+            {"horizon_margin": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            CheckOptions(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CheckOptions().grid_points = 5
+
+
+class TestEvaluationContext:
+    def test_initial_normalized_copy(self, virus1):
+        raw = [0.8, 0.15, 0.05]
+        ctx = EvaluationContext(virus1, raw)
+        assert ctx.initial.sum() == pytest.approx(1.0)
+        assert ctx.num_states == 3
+
+    def test_invalid_initial_rejected(self, virus1):
+        with pytest.raises(InvalidOccupancyError):
+            EvaluationContext(virus1, [0.5, 0.1, 0.1])
+
+    def test_trajectory_cached(self, ctx1):
+        assert ctx1.trajectory is ctx1.trajectory
+
+    def test_occupancy_evolves(self, ctx1):
+        m0 = ctx1.occupancy(0.0)
+        m5 = ctx1.occupancy(5.0)
+        assert not np.allclose(m0, m5)
+
+    def test_generator_function_tracks_trajectory(self, ctx1):
+        q_of_t = ctx1.generator_function()
+        assert q_of_t(0.0)[0, 1] == pytest.approx(0.9 * 0.05 / 0.8)
+
+    def test_steady_state_cached_and_correct(self, ctx1):
+        steady = ctx1.steady_state()
+        assert np.allclose(steady, [1.0, 0.0, 0.0], atol=1e-6)
+        # Returned arrays are copies: mutating one must not leak.
+        steady[0] = 0.0
+        assert ctx1.steady_state()[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_steady_context_is_fixed_point(self, ctx1):
+        sctx = ctx1.steady_context()
+        m0 = sctx.occupancy(0.0)
+        m9 = sctx.occupancy(9.0)
+        assert np.allclose(m0, m9, atol=1e-7)
+
+    def test_steady_context_cached(self, ctx1):
+        assert ctx1.steady_context() is ctx1.steady_context()
+
+    def test_at_time_zero_is_self(self, ctx1):
+        assert ctx1.at_time(0.0) is ctx1
+
+    def test_at_time_shifts_origin(self, ctx1):
+        shifted = ctx1.at_time(3.0)
+        assert np.allclose(shifted.initial, ctx1.occupancy(3.0), atol=1e-9)

@@ -1,0 +1,120 @@
+"""Cross-validation: independent algorithms must agree.
+
+This is the backbone of the reproduction's trust story (DESIGN.md §5):
+
+1. on *constant-rate* models the inhomogeneous mean-field checker must
+   match the classical uniformization-based CSL checker;
+2. the Monte-Carlo (statistical) checker must agree with the analytic
+   probabilities within sampling error;
+3. the two curve evaluation methods (window-shift ODE vs recomputation)
+   must coincide — covered in test_reachability/test_nested and
+   benchmarked in A3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking.context import EvaluationContext
+from repro.checking.homogeneous import HomogeneousChecker
+from repro.checking.local import LocalChecker
+from repro.checking.statistical import StatisticalChecker
+from repro.logic.parser import parse_csl, parse_path
+
+
+@pytest.fixture
+def pair(homogeneous_model):
+    """(mean-field local checker, classical checker) on the same chain."""
+    ctx = EvaluationContext(homogeneous_model, np.array([0.4, 0.3, 0.3]))
+    q = homogeneous_model.local.constant_generator()
+    labels = {
+        i: homogeneous_model.local.labels_of(name)
+        for i, name in enumerate(homogeneous_model.local.states)
+    }
+    return LocalChecker(ctx), HomogeneousChecker(q, labels)
+
+
+PATH_FORMULAS = [
+    "tt U[0,1] goal",
+    "tt U[0,3] goal",
+    "low U[0,2] mid",
+    "!goal U[0.5,2] goal",
+    "(low | mid) U[1,4] high",
+    "X[0,1] mid",
+    "X[0.3,2] goal",
+]
+
+
+class TestHomogeneousAgreement:
+    @pytest.mark.parametrize("text", PATH_FORMULAS)
+    def test_path_probabilities_match(self, pair, text):
+        local, classical = pair
+        path = parse_path(text)
+        ours = local.path_probabilities(path)
+        baseline = classical.path_probabilities(path)
+        assert np.allclose(ours, baseline, atol=1e-6), text
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P[>0.5](tt U[0,2] goal)",
+            "P[<0.2](low U[0,1] high)",
+            "!P[>=0.3](tt U[0,1] goal) | mid",
+        ],
+    )
+    def test_sat_sets_match(self, pair, text):
+        local, classical = pair
+        phi = parse_csl(text)
+        assert local.sat_at(phi) == classical.sat(phi), text
+
+    def test_steady_state_matches(self, pair):
+        local, classical = pair
+        phi = parse_csl("S[>0.3](goal)")
+        assert local.sat_at(phi) == classical.sat(phi)
+
+    def test_evaluation_time_is_irrelevant_for_constant_rates(self, pair):
+        local, _ = pair
+        path = parse_path("tt U[0,2] goal")
+        p0 = local.path_probabilities(path, 0.0)
+        p5 = local.path_probabilities(path, 5.0)
+        assert np.allclose(p0, p5, atol=1e-6)
+
+
+class TestStatisticalAgreement:
+    def test_until_probability_within_ci(self, ctx1):
+        """Monte-Carlo vs Kolmogorov on the (inhomogeneous) virus model."""
+        local = LocalChecker(ctx1)
+        path = parse_path("not_infected U[0,1] infected")
+        analytic = local.path_probabilities(path)
+        stat = StatisticalChecker(ctx1, samples=3000, seed=42)
+        estimate = stat.path_probability(path, "s1")
+        lo, hi = estimate.confidence_interval(z=3.5)
+        assert lo <= analytic[0] <= hi
+
+    def test_trivially_satisfied_start(self, ctx1):
+        stat = StatisticalChecker(ctx1, samples=200, seed=1)
+        path = parse_path("tt U[0,1] infected")
+        estimate = stat.path_probability(path, "s2")
+        assert estimate.value == 1.0
+
+    def test_expected_probability_within_ci(self, ctx1):
+        from repro.checking.global_ import MFModelChecker
+
+        checker = MFModelChecker(ctx1.model, ctx1.options)
+        analytic = checker.value(
+            "EP[<1](not_infected U[0,1] infected)", ctx1.initial
+        )
+        stat = StatisticalChecker(ctx1, samples=2000, seed=7)
+        estimate = stat.expected_probability(
+            parse_path("not_infected U[0,1] infected")
+        )
+        lo, hi = estimate.confidence_interval(z=3.5)
+        assert lo <= analytic <= hi
+
+    def test_next_estimate(self, ctx1):
+        local = LocalChecker(ctx1)
+        path = parse_path("X[0,1] infected")
+        analytic = local.path_probabilities(path)[1]
+        stat = StatisticalChecker(ctx1, samples=3000, seed=9)
+        estimate = stat.path_probability(path, "s2")
+        lo, hi = estimate.confidence_interval(z=3.5)
+        assert lo <= analytic <= hi

@@ -1,0 +1,108 @@
+"""Tests for the discrete-time checking adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.checking.discrete import DiscreteMFChecker
+from repro.exceptions import UnsupportedFormulaError
+from repro.logic.ast import Bound
+from repro.logic.parser import parse_csl
+from repro.meanfield.discrete import DiscreteLocalModel, DiscreteMeanFieldModel
+
+
+@pytest.fixture
+def model() -> DiscreteMeanFieldModel:
+    """Discrete SIS-like model with occupancy-dependent infection."""
+    local = DiscreteLocalModel(
+        states=("healthy", "sick"),
+        transitions={
+            ("healthy", "sick"): lambda m: 0.4 * m[1],
+            ("sick", "healthy"): 0.2,
+        },
+        labels={"healthy": ["healthy"], "sick": ["sick"]},
+    )
+    return DiscreteMeanFieldModel(local)
+
+
+@pytest.fixture
+def checker(model) -> DiscreteMFChecker:
+    return DiscreteMFChecker(model)
+
+
+HEALTHY = parse_csl("healthy")
+SICK = parse_csl("sick")
+TT = parse_csl("tt")
+
+
+class TestUntilProbabilities:
+    def test_zero_steps(self, checker):
+        probs = checker.until_probabilities(
+            HEALTHY, SICK, 0, np.array([0.7, 0.3])
+        )
+        # No step taken: only already-sick states satisfy.
+        assert probs[0] == 0.0
+        assert probs[1] == 1.0
+
+    def test_monotone_in_steps(self, checker):
+        m0 = np.array([0.7, 0.3])
+        p1 = checker.until_probabilities(HEALTHY, SICK, 1, m0)[0]
+        p5 = checker.until_probabilities(HEALTHY, SICK, 5, m0)[0]
+        assert 0 < p1 < p5 <= 1
+
+    def test_one_step_probability_exact(self, checker, model):
+        m0 = np.array([0.7, 0.3])
+        p = checker.until_probabilities(HEALTHY, SICK, 1, m0)[0]
+        assert p == pytest.approx(0.4 * 0.3)
+
+    def test_blocking_phi1(self, checker):
+        # Φ1 = sick means healthy states are absorbing failures.
+        probs = checker.until_probabilities(
+            SICK, HEALTHY, 3, np.array([0.5, 0.5])
+        )
+        assert probs[1] > 0  # sick can recover within 3 steps
+        assert probs[0] == 1.0  # already healthy (Φ2 start)
+
+    def test_start_step_changes_rates(self, checker):
+        """Later start means more infection pressure (spread grows)."""
+        m0 = np.array([0.7, 0.3])
+        early = checker.until_probabilities(HEALTHY, SICK, 1, m0)[0]
+        later = checker.until_probabilities(
+            HEALTHY, SICK, 1, m0, start_step=10
+        )[0]
+        assert later > early
+
+    def test_negative_steps_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.until_probabilities(TT, SICK, -1, np.array([1.0, 0.0]))
+
+    def test_nested_formula_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.until_probabilities(
+                parse_csl("P[>0.5](tt U[0,1] sick)"),
+                SICK,
+                2,
+                np.array([1.0, 0.0]),
+            )
+
+
+class TestGlobalOperators:
+    def test_expectation_value(self, checker):
+        assert checker.expectation_value(SICK, np.array([0.7, 0.3])) == 0.3
+        assert checker.expectation_value(
+            parse_csl("!sick"), np.array([0.7, 0.3])
+        ) == pytest.approx(0.7)
+
+    def test_check_expectation(self, checker):
+        assert checker.check_expectation(SICK, Bound("<", 0.5), np.array([0.7, 0.3]))
+        assert not checker.check_expectation(SICK, Bound(">", 0.5), np.array([0.7, 0.3]))
+
+    def test_expected_probability(self, checker):
+        m0 = np.array([0.7, 0.3])
+        value = checker.expected_probability_value(TT, SICK, 2, m0)
+        assert 0.3 < value < 1.0
+
+    def test_check_expected_probability(self, checker):
+        m0 = np.array([0.7, 0.3])
+        assert checker.check_expected_probability(
+            TT, SICK, 2, Bound(">", 0.3), m0
+        )

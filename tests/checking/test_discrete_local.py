@@ -1,0 +1,192 @@
+"""Tests for the full discrete-time local checker (nested formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.checking.discrete import DiscreteLocalChecker
+from repro.exceptions import UnsupportedFormulaError
+from repro.logic.parser import parse_csl, parse_path
+from repro.meanfield.discrete import DiscreteLocalModel, DiscreteMeanFieldModel
+
+
+@pytest.fixture
+def model() -> DiscreteMeanFieldModel:
+    """Discrete SIS-like model: infection pressure grows with spread."""
+    local = DiscreteLocalModel(
+        states=("healthy", "sick"),
+        transitions={
+            ("healthy", "sick"): lambda m: 0.4 * m[1],
+            ("sick", "healthy"): 0.2,
+        },
+        labels={"healthy": ["healthy"], "sick": ["sick"]},
+    )
+    return DiscreteMeanFieldModel(local)
+
+
+@pytest.fixture
+def checker(model) -> DiscreteLocalChecker:
+    return DiscreteLocalChecker(model, np.array([0.7, 0.3]))
+
+
+@pytest.fixture
+def homogeneous_checker() -> DiscreteLocalChecker:
+    """Constant transition probabilities: an ordinary DTMC."""
+    local = DiscreteLocalModel(
+        states=("a", "b", "c"),
+        transitions={
+            ("a", "b"): 0.5,
+            ("b", "c"): 0.3,
+            ("b", "a"): 0.2,
+            ("c", "a"): 0.1,
+        },
+        labels={"a": ["start"], "b": ["mid"], "c": ["goal"]},
+    )
+    model = DiscreteMeanFieldModel(local)
+    return DiscreteLocalChecker(model, np.array([1.0, 0.0, 0.0]))
+
+
+class TestBooleanLayer:
+    def test_atoms_and_connectives(self, checker):
+        assert checker.sat_at(parse_csl("sick")) == frozenset({1})
+        assert checker.sat_at(parse_csl("!sick")) == frozenset({0})
+        assert checker.sat_at(parse_csl("sick | healthy")) == frozenset({0, 1})
+        assert checker.sat_at(parse_csl("sick & healthy")) == frozenset()
+
+    def test_occupancy_iterates_extend(self, checker):
+        m10 = checker.occupancy(10)
+        assert m10.sum() == pytest.approx(1.0)
+        assert m10[1] > 0.3  # infection grows
+
+    def test_negative_step_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.occupancy(-1)
+
+
+class TestUntilAgainstHandComputation:
+    def test_one_step_until(self, checker):
+        """P(healthy U[0,1] sick) from healthy = 0.4·m1(0) = 0.12."""
+        probs = checker.path_probabilities(parse_path("healthy U[0,1] sick"))
+        assert probs[0] == pytest.approx(0.4 * 0.3)
+        assert probs[1] == 1.0  # already sick
+
+    def test_two_step_until(self, checker, model):
+        """Hand-rolled two-step computation."""
+        m0 = np.array([0.7, 0.3])
+        m1 = model.step(m0)
+        p0 = 0.4 * m0[1]
+        p1 = 0.4 * m1[1]
+        expected = p0 + (1 - p0) * p1
+        probs = checker.path_probabilities(parse_path("healthy U[0,2] sick"))
+        assert probs[0] == pytest.approx(expected, abs=1e-12)
+
+    def test_lower_bound_blocks_early_success(self, checker):
+        """U[1,2]: becoming sick during step 1 does not count if the path
+        is no longer healthy... more precisely Φ1 must hold at step 0."""
+        probs = checker.path_probabilities(parse_path("healthy U[1,2] sick"))
+        # From sick: Φ1 = healthy fails at step 0 -> 0.
+        assert probs[1] == 0.0
+        # From healthy: must be healthy at step 0 (given) and sick at
+        # step 1 or (healthy at 1 and sick at 2).
+        m0 = np.array([0.7, 0.3])
+        m1 = checker.model.step(m0)
+        p0 = 0.4 * m0[1]
+        p1 = 0.4 * m1[1]
+        assert probs[0] == pytest.approx(p0 + (1 - p0) * p1)
+
+    def test_zero_window(self, checker):
+        probs = checker.path_probabilities(parse_path("healthy U[0,0] sick"))
+        assert probs[0] == 0.0
+        assert probs[1] == 1.0
+
+    def test_non_integer_bounds_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.path_probabilities(parse_path("healthy U[0,1.5] sick"))
+
+    def test_unbounded_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.path_probabilities(parse_path("healthy U sick"))
+
+
+class TestUntilAgainstMonteCarlo:
+    def test_simulation_agreement(self, checker, model):
+        """Sample the inhomogeneous DTMC directly and compare."""
+        rng = np.random.default_rng(5)
+        matrices = [
+            model.local.matrix(checker.occupancy(j)) for j in range(6)
+        ]
+        hits = 0
+        n = 20000
+        for _ in range(n):
+            state = 0
+            satisfied = False
+            for j in range(5):
+                if state == 1:
+                    satisfied = True
+                    break
+                state = int(rng.random() > matrices[j][state, 0])
+            if satisfied or state == 1:
+                satisfied = True
+            if satisfied:
+                hits += 1
+        estimate = hits / n
+        probs = checker.path_probabilities(parse_path("healthy U[0,5] sick"))
+        assert probs[0] == pytest.approx(estimate, abs=0.02)
+
+
+class TestHomogeneousReduction:
+    def test_matches_absorbing_powers(self, homogeneous_checker):
+        """Constant matrices: until = absorbing-chain matrix powers."""
+        from repro.ctmc.dtmc import make_absorbing_dtmc
+
+        checker = homogeneous_checker
+        p = checker.model.local.matrix(np.array([1.0, 0.0, 0.0]))
+        mod = make_absorbing_dtmc(p, {2})
+        expected = np.linalg.matrix_power(mod, 4)[:, 2]
+        probs = checker.path_probabilities(parse_path("tt U[0,4] goal"))
+        assert np.allclose(probs, expected, atol=1e-12)
+
+
+class TestNestedFormulas:
+    def test_nested_probability_operand(self, checker):
+        """P-thresholded operand inside an until: the inner satisfaction
+        set changes per step as infection pressure grows."""
+        inner = "P[>0.15](healthy U[0,1] sick)"
+        # The inner probability for 'healthy' is 0.4·m1(step); it crosses
+        # 0.15 when m1 > 0.375.
+        inner_phi = parse_csl(inner)
+        sat_now = checker.sat_at(inner_phi, 0)
+        assert sat_now == frozenset({1})  # sick state has prob 1
+        # After enough steps the healthy state joins.
+        later = next(
+            step for step in range(40) if 0 in checker.sat_at(inner_phi, step)
+        )
+        assert later > 0
+        assert checker.occupancy(later)[1] > 0.375 - 0.02
+
+        outer = parse_path(f"healthy U[0,30] ({inner})")
+        probs = checker.path_probabilities(outer)
+        assert 0.0 < probs[0] <= 1.0
+        assert probs[1] == 1.0
+
+    def test_steady_state_operator(self, checker):
+        # The discrete SIS grows to everyone sick (no recovery pressure
+        # can hold it at 0.2 < 0.4 saturation? compute from fixed point).
+        phi = parse_csl("S[>0.5](sick)")
+        sat = checker.sat_at(phi)
+        steady = checker.model.fixed_point(np.array([0.7, 0.3]))
+        expected = (
+            frozenset({0, 1}) if steady[1] > 0.5 else frozenset()
+        )
+        assert sat == expected
+
+
+class TestNextOperator:
+    def test_single_step(self, checker):
+        probs = checker.path_probabilities(parse_path("X[0,1] sick"))
+        assert probs[0] == pytest.approx(0.4 * 0.3)
+        # sick stays sick with prob 0.8
+        assert probs[1] == pytest.approx(0.8)
+
+    def test_window_excluding_one_is_zero(self, checker):
+        probs = checker.path_probabilities(parse_path("X[2,3] sick"))
+        assert np.allclose(probs, 0.0)

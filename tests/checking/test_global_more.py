@@ -1,0 +1,103 @@
+"""Additional MF-CSL checker coverage: boolean layers, context reuse,
+curve consistency, and cross-model sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.checking import CheckOptions, MFModelChecker
+from repro.models.epidemic import SisParameters, sis_model
+from repro.models.gossip import gossip_model
+
+
+class TestBooleanCompleteness:
+    @pytest.fixture
+    def checker(self, virus1):
+        return MFModelChecker(virus1)
+
+    def test_or_short_circuit_semantics(self, checker, m_example1):
+        assert checker.check("E[>0.9](infected) | E[>0.1](infected)", m_example1)
+        assert not checker.check(
+            "E[>0.9](infected) | E[>0.9](not_infected) & ff", m_example1
+        )
+
+    def test_de_morgan_on_verdicts(self, checker, m_example1):
+        a = "E[>0.1](infected)"
+        b = "E[>0.1](active)"
+        lhs = checker.check(f"!({a} & {b})", m_example1)
+        rhs = checker.check(f"!({a}) | !({b})", m_example1)
+        assert lhs == rhs
+
+    def test_context_reuse(self, checker, m_example1):
+        ctx = checker.context(m_example1)
+        first = checker.check("E[>0.1](infected)", m_example1, ctx=ctx)
+        second = checker.check("EP[<0.5](not_infected U[0,1] infected)",
+                               m_example1, ctx=ctx)
+        assert first and second
+
+
+class TestCurveConsistency:
+    def test_expectation_curve_matches_check_at_zero(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        g = checker.expectation_curve("infected", m_example1, theta=5.0)
+        assert g(0.0) == pytest.approx(
+            checker.value("E[>0](infected)", m_example1)
+        )
+
+    def test_ep_curve_matches_value_at_zero(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        g = checker.expected_probability_curve(
+            "not_infected U[0,1] infected", m_example1, theta=5.0
+        )
+        assert g(0.0) == pytest.approx(
+            checker.value(
+                "EP[<1](not_infected U[0,1] infected)", m_example1
+            ),
+            abs=1e-8,
+        )
+
+    def test_csat_consistent_with_pointwise_checks(self, virus1, m_example1):
+        """Membership of t in cSat must agree with re-checking at m̄(t)."""
+        checker = MFModelChecker(virus1)
+        psi = "E[>=0.15](infected)"
+        csat = checker.conditional_sat(psi, m_example1, 20.0)
+        traj = virus1.trajectory(m_example1, horizon=20.0)
+        for t in (0.0, 3.0, 10.0, 19.0):
+            pointwise = checker.check(psi, traj(t))
+            assert csat.contains(t, tol=1e-6) == pointwise, f"t={t}"
+
+
+class TestAcrossModels:
+    def test_sis_threshold_story(self):
+        sub = MFModelChecker(sis_model(SisParameters(beta=0.5, gamma=1.0)))
+        sup = MFModelChecker(sis_model(SisParameters(beta=3.0, gamma=1.0)))
+        m0 = np.array([0.7, 0.3])
+        # Below threshold the infection dies in steady state; above it
+        # persists at 1 - 1/R0 = 2/3.
+        assert sub.check("ES[<0.01](infected)", m0)
+        assert sup.check("ES[>0.6](infected)", m0)
+        assert sup.check("ES[<0.7](infected)", m0)
+
+    def test_gossip_epidemic_of_information(self):
+        checker = MFModelChecker(gossip_model())
+        m0 = np.array([0.9, 0.1, 0.0])
+        # A random ignorant node eventually (within 10 units) hears the
+        # rumour with substantial probability.
+        value = checker.value(
+            "EP[<1](ignorant U[0,10] informed)", m0
+        )
+        assert value > 0.5
+
+    def test_phi1_convention_is_never_larger(self, virus1, m_example1):
+        """The Φ1-start convention can only remove probability mass."""
+        standard = MFModelChecker(virus1)
+        phi1 = MFModelChecker(
+            virus1, CheckOptions(start_convention="phi1")
+        )
+        for formula in (
+            "EP[<1](not_infected U[0,1] infected)",
+            "EP[<1](infected U[0,5] not_infected)",
+            "EP[<1](tt U[0,2] active)",
+        ):
+            assert phi1.value(formula, m_example1) <= standard.value(
+                formula, m_example1
+            ) + 1e-9

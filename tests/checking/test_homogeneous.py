@@ -1,0 +1,152 @@
+"""Tests for the classical (Baier et al.) homogeneous CSL checker."""
+
+import numpy as np
+import pytest
+
+from repro.checking.homogeneous import HomogeneousChecker
+from repro.ctmc.generator import build_generator
+from repro.exceptions import FormulaError, InvalidStateError, UnsupportedFormulaError
+from repro.logic.parser import parse_csl, parse_path
+
+
+@pytest.fixture
+def checker() -> HomogeneousChecker:
+    """Irreducible 3-state chain: a <-> b <-> c (+ c -> a)."""
+    q = build_generator(
+        3,
+        {(0, 1): 1.2, (1, 0): 0.4, (1, 2): 0.7, (2, 1): 0.2, (2, 0): 0.1},
+    )
+    labels = {
+        0: frozenset({"low"}),
+        1: frozenset({"mid"}),
+        2: frozenset({"high", "goal"}),
+    }
+    return HomogeneousChecker(q, labels)
+
+
+@pytest.fixture
+def absorbing_checker() -> HomogeneousChecker:
+    """Chain with two absorbing states (two BSCCs)."""
+    q = build_generator(4, {(0, 1): 1.0, (0, 2): 1.0, (1, 3): 0.5})
+    labels = {2: frozenset({"sink_a"}), 3: frozenset({"sink_b"})}
+    return HomogeneousChecker(q, labels)
+
+
+class TestStateFormulas:
+    def test_boolean_layer(self, checker):
+        assert checker.sat(parse_csl("tt")) == frozenset({0, 1, 2})
+        assert checker.sat(parse_csl("low | high")) == frozenset({0, 2})
+        assert checker.sat(parse_csl("!mid")) == frozenset({0, 2})
+        assert checker.sat(parse_csl("high & goal")) == frozenset({2})
+
+    def test_check_single_state(self, checker):
+        assert checker.check(parse_csl("low"), 0)
+        assert not checker.check(parse_csl("low"), 1)
+        with pytest.raises(InvalidStateError):
+            checker.check(parse_csl("tt"), 5)
+
+    def test_rejects_path_formula(self, checker):
+        with pytest.raises(FormulaError):
+            checker.sat(parse_path("a U[0,1] b"))
+
+
+class TestUntil:
+    def test_probability_in_unit_interval(self, checker):
+        probs = checker.path_probabilities(parse_path("tt U[0,2] goal"))
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        assert probs[2] == pytest.approx(1.0)
+        assert 0 < probs[0] < 1
+
+    def test_monotone_in_horizon(self, checker):
+        p1 = checker.path_probabilities(parse_path("tt U[0,1] goal"))[0]
+        p2 = checker.path_probabilities(parse_path("tt U[0,5] goal"))[0]
+        assert p2 > p1
+
+    def test_interval_lower_bound(self, checker):
+        whole = checker.path_probabilities(parse_path("low U[0,2] mid"))[0]
+        late = checker.path_probabilities(parse_path("low U[1,2] mid"))[0]
+        assert late < whole
+
+    def test_unbounded_until_reaches_goal_almost_surely(self, checker):
+        # Irreducible chain: the goal is reached eventually with prob 1.
+        probs = checker.path_probabilities(parse_path("tt U goal"))
+        assert np.allclose(probs, 1.0, atol=1e-9)
+
+    def test_unbounded_until_with_constraint(self, absorbing_checker):
+        # From 0: reach sink_a avoiding sink_b: only the direct jump counts.
+        probs = absorbing_checker.path_probabilities(
+            parse_path("!sink_b U sink_a")
+        )
+        assert probs[2] == 1.0
+        assert probs[3] == 0.0
+        assert probs[0] == pytest.approx(0.5)  # two equal-rate exits
+        assert probs[1] == 0.0  # state 1 can only go to sink_b
+
+    def test_unbounded_with_lower_bound_rejected(self, checker):
+        with pytest.raises(UnsupportedFormulaError):
+            checker.path_probabilities(parse_path("tt U[1,inf] goal"))
+
+
+class TestNext:
+    def test_closed_form(self, checker):
+        probs = checker.path_probabilities(parse_path("X[0,1] mid"))
+        # State 0 has a single outgoing transition 0 -> 1 at rate 1.2.
+        expected0 = 1 - np.exp(-1.2)
+        assert probs[0] == pytest.approx(expected0, abs=1e-12)
+        # State 1 jumps to mid never (its targets are 0 and 2).
+        assert probs[1] == 0.0
+        # State 2 jumps to mid with rate 0.2 out of 0.3 total.
+        expected2 = (1 - np.exp(-0.3)) * 0.2 / 0.3
+        assert probs[2] == pytest.approx(expected2, abs=1e-12)
+
+    def test_unbounded_next(self, checker):
+        probs = checker.path_probabilities(parse_path("X mid"))
+        assert probs[0] == pytest.approx(1.0)  # only exit goes to mid
+        assert probs[2] == pytest.approx(0.2 / 0.3)
+
+    def test_absorbing_state_never_jumps(self, absorbing_checker):
+        probs = absorbing_checker.path_probabilities(parse_path("X tt"))
+        assert probs[2] == 0.0
+        assert probs[3] == 0.0
+
+
+class TestSteadyState:
+    def test_irreducible_chain_same_for_all_states(self, checker):
+        sat = checker.sat(parse_csl("S[>0.1](goal)"))
+        assert sat in (frozenset(), frozenset({0, 1, 2}))
+        values = checker.steady_state_probabilities(frozenset({2}))
+        assert np.allclose(values, values[0])
+
+    def test_bsccs_identified(self, absorbing_checker):
+        comps = absorbing_checker.bsccs()
+        assert frozenset({2}) in comps
+        assert frozenset({3}) in comps
+        assert len(comps) == 2
+
+    def test_absorption_probabilities(self, absorbing_checker):
+        absorb = absorbing_checker.absorption_probabilities()
+        assert absorb.shape == (4, 2)
+        assert np.allclose(absorb.sum(axis=1), 1.0)
+        # From state 0: 50/50 between (via 1 -> 3) and direct 2.
+        comps = absorbing_checker.bsccs()
+        idx_2 = comps.index(frozenset({2}))
+        idx_3 = comps.index(frozenset({3}))
+        assert absorb[0, idx_2] == pytest.approx(0.5)
+        assert absorb[0, idx_3] == pytest.approx(0.5)
+
+    def test_steady_state_depends_on_start_in_reducible_chain(
+        self, absorbing_checker
+    ):
+        values = absorbing_checker.steady_state_probabilities(frozenset({2}))
+        assert values[2] == 1.0
+        assert values[3] == 0.0
+        assert values[0] == pytest.approx(0.5)
+
+    def test_steady_operator_per_state(self, absorbing_checker):
+        sat = absorbing_checker.sat(parse_csl("S[>=0.99](sink_a)"))
+        assert sat == frozenset({2})
+
+    def test_nested_steady_state(self, checker):
+        # S over a P formula: exercised end to end.
+        sat = checker.sat(parse_csl("S[>0](P[>0.5](tt U[0,10] goal))"))
+        assert sat in (frozenset(), frozenset({0, 1, 2}))

@@ -1,0 +1,138 @@
+"""Tests for the IntervalSet algebra."""
+
+import pytest
+
+from repro.checking.intervals import IntervalSet, from_indicator_grid
+from repro.exceptions import ModelError
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty
+        assert IntervalSet.empty().measure() == 0.0
+
+    def test_whole(self):
+        s = IntervalSet.whole(5.0)
+        assert s.intervals == ((0.0, 5.0),)
+        assert s.measure() == 5.0
+
+    def test_point(self):
+        s = IntervalSet.point(2.0)
+        assert s.contains(2.0)
+        assert s.measure() == 0.0
+
+    def test_merging_overlaps(self):
+        s = IntervalSet([(0, 2), (1, 3), (5, 6)])
+        assert s.intervals == ((0.0, 3.0), (5.0, 6.0))
+
+    def test_merging_touching(self):
+        s = IntervalSet([(0, 1), (1, 2)])
+        assert s.intervals == ((0.0, 2.0),)
+
+    def test_sorting(self):
+        s = IntervalSet([(5, 6), (0, 1)])
+        assert s.intervals == ((0.0, 1.0), (5.0, 6.0))
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ModelError):
+            IntervalSet([(2.0, 1.0)])
+
+
+class TestQueries:
+    def test_contains(self):
+        s = IntervalSet([(1, 2), (4, 5)])
+        assert 1.5 in s
+        assert 1.0 in s  # closed endpoints
+        assert 3.0 not in s
+        assert s.contains(2.0000001, tol=1e-3)
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 1), (2, 3)])
+        b = IntervalSet([(2, 3), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IntervalSet([(0, 1)])
+
+    def test_approx_equal(self):
+        a = IntervalSet([(0, 1.0)])
+        b = IntervalSet([(1e-8, 1.0 - 1e-8)])
+        assert a.approx_equal(b, tol=1e-6)
+        assert not a.approx_equal(IntervalSet([(0, 0.5)]), tol=1e-6)
+        assert not a.approx_equal(IntervalSet.empty(), tol=1e-6)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(0, 1)])
+        b = IntervalSet([(0.5, 2)])
+        assert a.union(b).intervals == ((0.0, 2.0),)
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 2), (3, 5)])
+        b = IntervalSet([(1, 4)])
+        assert a.intersection(b).intervals == ((1.0, 2.0), (3.0, 4.0))
+
+    def test_intersection_disjoint(self):
+        a = IntervalSet([(0, 1)])
+        b = IntervalSet([(2, 3)])
+        assert a.intersection(b).is_empty
+
+    def test_complement(self):
+        s = IntervalSet([(1, 2), (4, 5)])
+        c = s.complement(6.0)
+        assert c.intervals == ((0.0, 1.0), (2.0, 4.0), (5.0, 6.0))
+
+    def test_complement_of_empty_is_whole(self):
+        assert IntervalSet.empty().complement(3.0) == IntervalSet.whole(3.0)
+
+    def test_complement_of_whole_is_empty(self):
+        assert IntervalSet.whole(3.0).complement(3.0).measure() == pytest.approx(0.0)
+
+    def test_double_complement_preserves_measure(self):
+        s = IntervalSet([(0.5, 1.5), (2.0, 2.5)])
+        back = s.complement(4.0).complement(4.0)
+        assert back.approx_equal(s, tol=1e-9)
+
+    def test_de_morgan(self):
+        theta = 10.0
+        a = IntervalSet([(1, 4)])
+        b = IntervalSet([(3, 7)])
+        lhs = a.intersection(b).complement(theta)
+        rhs = a.complement(theta).union(b.complement(theta))
+        assert lhs.approx_equal(rhs, tol=1e-9)
+
+    def test_difference(self):
+        a = IntervalSet([(0, 5)])
+        b = IntervalSet([(1, 2)])
+        d = a.difference(b, theta=5.0)
+        assert d.intervals == ((0.0, 1.0), (2.0, 5.0))
+
+    def test_clip(self):
+        s = IntervalSet([(0, 10)])
+        assert s.clip(2, 3).intervals == ((2.0, 3.0),)
+
+    def test_shift(self):
+        s = IntervalSet([(1, 2)])
+        assert s.shift(0.5).intervals == ((1.5, 2.5),)
+
+
+class TestIndicatorGrid:
+    def test_simple_runs(self):
+        times = [0, 1, 2, 3, 4, 5]
+        truth = [True, True, False, False, True, True]
+        s = from_indicator_grid(times, truth)
+        assert s.intervals == ((0.0, 1.0), (4.0, 5.0))
+
+    def test_all_false(self):
+        assert from_indicator_grid([0, 1], [False, False]).is_empty
+
+    def test_all_true(self):
+        assert from_indicator_grid([0, 1, 2], [True] * 3).intervals == ((0.0, 2.0),)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ModelError):
+            from_indicator_grid([0, 1], [True])
+
+    def test_repr(self):
+        assert "IntervalSet" in repr(IntervalSet([(0, 1)]))
+        assert "empty" in repr(IntervalSet.empty())

@@ -1,0 +1,168 @@
+"""Tests for time-varying-set reachability (Section IV-C / Appendix)."""
+
+import numpy as np
+import pytest
+
+from repro.checking.context import EvaluationContext
+from repro.checking.nested import TimeVaryingUntil
+from repro.checking.reachability import until_probabilities_simple
+from repro.checking.satsets import Piece, PiecewiseSatSet
+from repro.exceptions import CheckingError
+from repro.logic.ast import TimeInterval
+
+NOT_INFECTED = frozenset({0})
+INFECTED = frozenset({1, 2})
+ALL = frozenset({0, 1, 2})
+
+
+def constant_sets(theta, upper):
+    g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, theta + upper)
+    g2 = PiecewiseSatSet.constant(INFECTED, 0.0, theta + upper)
+    return g1, g2
+
+
+class TestAgainstSimpleAlgorithm:
+    """With constant sets the nested machinery must equal Equation (4)."""
+
+    def test_probabilities_match_simple(self, ctx1):
+        g1, g2 = constant_sets(0.0, 1.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, TimeInterval(0, 1))
+        nested = solver.probabilities(0.0)
+        simple = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+        assert np.allclose(nested, simple, atol=1e-7)
+
+    def test_positive_lower_bound_matches_simple(self, ctx1):
+        theta, interval = 0.0, TimeInterval(0.5, 2.0)
+        g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, 2.0)
+        g2 = PiecewiseSatSet.constant(INFECTED, 0.0, 2.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, interval, theta=theta)
+        nested = solver.probabilities(0.0)
+        simple = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, interval
+        )
+        assert np.allclose(nested, simple, atol=1e-7)
+
+    def test_later_evaluation_matches_simple(self, ctx1):
+        theta, interval = 3.0, TimeInterval(0, 1)
+        g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, theta + 1.0)
+        g2 = PiecewiseSatSet.constant(INFECTED, 0.0, theta + 1.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, interval, theta=theta)
+        assert np.allclose(
+            solver.probabilities(3.0),
+            until_probabilities_simple(
+                ctx1, NOT_INFECTED, INFECTED, interval, t=3.0
+            ),
+            atol=1e-6,
+        )
+
+
+class TestTimeVaryingSets:
+    @pytest.fixture
+    def solver(self, ctx2):
+        """The paper's Example 2 set-up: Γ2 grows at T1 = 10.443."""
+        g2 = PiecewiseSatSet(
+            [
+                Piece(0.0, 10.443, INFECTED),
+                Piece(10.443, 15.0, ALL),
+            ]
+        )
+        g1 = PiecewiseSatSet.constant(INFECTED, 0.0, 15.0)
+        return TimeVaryingUntil(ctx2, g1, g2, TimeInterval(0, 15))
+
+    def test_events_detected(self, solver):
+        assert solver._events_in(0.0, 15.0) == [10.443]
+
+    def test_paper_example_2_probabilities(self, solver, m_example2):
+        """Prob = (0, 1, 1) and the E-value 0.15 (paper, Section VI)."""
+        probs = solver.probabilities(0.0)
+        assert probs[0] == pytest.approx(0.0, abs=1e-9)
+        assert probs[1] == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(1.0)
+        assert m_example2 @ probs == pytest.approx(0.15, abs=1e-9)
+
+    def test_paper_literal_upsilon(self, solver):
+        """The literal construction reproduces Υ_{s1,s*} ≈ 0.47."""
+        ups = solver.upsilon_literal(0.0, 15.0)
+        assert ups[0, 3] == pytest.approx(0.4698, abs=2e-3)
+
+    def test_corrected_upsilon_zeroes_dead_paths(self, solver):
+        ups = solver.upsilon(0.0, 15.0)
+        # s1 is a fail state throughout phase 1 -> no live mass reaches s*.
+        assert ups[0, 3] == pytest.approx(0.0, abs=1e-12)
+
+    def test_upsilon_identity_for_empty_window(self, solver):
+        assert np.allclose(solver.upsilon(3.0, 3.0), np.eye(4))
+
+    def test_upsilon_rejects_reversed_window(self, solver):
+        with pytest.raises(CheckingError):
+            solver.upsilon(5.0, 3.0)
+
+
+class TestSurvival:
+    def test_constant_live_set(self, ctx1):
+        g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, 5.0)
+        g2 = PiecewiseSatSet.constant(frozenset(), 0.0, 5.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, TimeInterval(0, 5))
+        surv = solver.survival(0.0, 2.0)
+        # Only the live state's column can be non-zero.
+        assert np.all(surv[:, 1] == 0.0)
+        assert np.all(surv[:, 2] == 0.0)
+        assert 0.0 < surv[0, 0] < 1.0
+
+    def test_shrinking_live_set_kills_mass(self, ctx1):
+        g1 = PiecewiseSatSet(
+            [
+                Piece(0.0, 1.0, ALL),
+                Piece(1.0, 5.0, INFECTED),
+            ]
+        )
+        g2 = PiecewiseSatSet.constant(frozenset(), 0.0, 5.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, TimeInterval(0, 5))
+        surv = solver.survival(0.0, 2.0)
+        # Mass that was still in s1 at the boundary is lost.
+        row_sums = surv.sum(axis=1)
+        assert row_sums[0] < 1.0
+
+    def test_zero_duration_is_live_projection(self, ctx1):
+        g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, 5.0)
+        g2 = PiecewiseSatSet.constant(frozenset(), 0.0, 5.0)
+        solver = TimeVaryingUntil(ctx1, g1, g2, TimeInterval(0, 5))
+        surv = solver.survival(2.0, 2.0)
+        assert surv[0, 0] == 1.0
+        assert surv[1, 1] == 0.0
+
+
+class TestCurve:
+    def test_propagate_matches_recompute(self, ctx2):
+        g2 = PiecewiseSatSet(
+            [Piece(0.0, 13.0, INFECTED), Piece(13.0, 18.0, ALL)]
+        )
+        g1 = PiecewiseSatSet.constant(INFECTED, 0.0, 18.0)
+        solver = TimeVaryingUntil(
+            ctx2, g1, g2, TimeInterval(0, 15), theta=3.0
+        )
+        fast = solver.curve(method="propagate")
+        slow = solver.curve(method="recompute")
+        for t in (0.0, 1.0, 2.5, 3.0):
+            assert np.allclose(
+                fast.values(t), slow.values(t), atol=1e-5
+            ), f"t={t}"
+
+    def test_curve_discontinuities_exposed(self, ctx2):
+        g2 = PiecewiseSatSet(
+            [Piece(0.0, 5.0, INFECTED), Piece(5.0, 16.0, ALL)]
+        )
+        g1 = PiecewiseSatSet.constant(INFECTED, 0.0, 16.0)
+        solver = TimeVaryingUntil(
+            ctx2, g1, g2, TimeInterval(0, 10), theta=6.0
+        )
+        curve = solver.curve(method="recompute")
+        assert any(abs(d - 5.0) < 1e-9 for d in curve.discontinuities)
+
+    def test_sets_must_cover_needed_window(self, ctx1):
+        g1 = PiecewiseSatSet.constant(NOT_INFECTED, 0.0, 2.0)
+        g2 = PiecewiseSatSet.constant(INFECTED, 0.0, 2.0)
+        with pytest.raises(CheckingError):
+            TimeVaryingUntil(ctx1, g1, g2, TimeInterval(0, 5), theta=0.0)

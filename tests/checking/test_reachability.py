@@ -1,0 +1,197 @@
+"""Tests for single-until probabilities and curves (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.checking.context import EvaluationContext
+from repro.checking.options import CheckOptions
+from repro.checking.reachability import (
+    ProbabilityCurve,
+    SimpleUntilCurve,
+    until_probabilities_simple,
+)
+from repro.exceptions import CheckingError, UnsupportedFormulaError
+from repro.logic.ast import TimeInterval
+
+NOT_INFECTED = frozenset({0})
+INFECTED = frozenset({1, 2})
+
+
+class TestUntilProbabilities:
+    def test_paper_example_structure(self, ctx1):
+        """`¬inf U[0,1] inf` from each state, standard semantics."""
+        probs = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+        # s1 has a small infection probability; infected states satisfy
+        # the until trivially (they are Φ2 states at time 0).
+        assert 0.0 < probs[0] < 0.2
+        assert probs[1] == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(1.0)
+
+    def test_phi1_convention_zeroes_phi2_starts(self, virus1, m_example1):
+        ctx = EvaluationContext(
+            virus1, m_example1, CheckOptions(start_convention="phi1")
+        )
+        probs = until_probabilities_simple(
+            ctx, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+        assert probs[1] == 0.0
+        assert probs[2] == 0.0
+        assert probs[0] > 0.0
+
+    def test_survival_complement(self, ctx1):
+        """P(reach infected by T) + P(stay clean) == 1 from s1."""
+        probs = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 4)
+        )
+        # With only one transient state, survival = 1 - reach.
+        from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+        from repro.checking.transform import absorbing_generator_function
+
+        q_mod = absorbing_generator_function(
+            ctx1.generator_function(), INFECTED
+        )
+        pi = solve_forward_kolmogorov(q_mod, 0.0, 4.0)
+        assert probs[0] == pytest.approx(1.0 - pi[0, 0], abs=1e-7)
+
+    def test_interval_with_positive_lower_bound(self, ctx1):
+        """t1 > 0 requires surviving in Φ1 first."""
+        whole = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 2)
+        )
+        late = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(1, 2)
+        )
+        assert late[0] < whole[0]
+        # An infected start cannot satisfy a positive-lower-bound until
+        # whose Φ1 excludes it.
+        assert late[1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_monotone_in_horizon(self, ctx1):
+        p_short = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 0.5)
+        )[0]
+        p_long = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 2.0)
+        )[0]
+        assert p_long > p_short
+
+    def test_empty_gamma2_gives_zero(self, ctx1):
+        probs = until_probabilities_simple(
+            ctx1, NOT_INFECTED, frozenset(), TimeInterval(0, 1)
+        )
+        assert np.allclose(probs, 0.0)
+
+    def test_unbounded_interval_rejected(self, ctx1):
+        with pytest.raises(UnsupportedFormulaError):
+            until_probabilities_simple(
+                ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, float("inf"))
+            )
+
+
+class TestSimpleUntilCurve:
+    def test_curve_at_zero_matches_pointwise(self, ctx1):
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), theta=10.0
+        )
+        direct = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+        assert np.allclose(curve.values(0.0), direct, atol=1e-7)
+
+    def test_propagate_matches_recompute(self, ctx1):
+        kwargs = dict(
+            gamma1=NOT_INFECTED,
+            gamma2=INFECTED,
+            interval=TimeInterval(0, 1),
+            theta=8.0,
+        )
+        fast = SimpleUntilCurve(ctx1, method="propagate", **kwargs)
+        slow = SimpleUntilCurve(ctx1, method="recompute", **kwargs)
+        for t in (0.0, 2.0, 5.0, 8.0):
+            assert np.allclose(
+                fast.values(t), slow.values(t), atol=1e-6
+            ), f"t={t}"
+
+    def test_positive_lower_bound_curve(self, ctx1):
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0.5, 1.5), theta=5.0
+        )
+        direct = until_probabilities_simple(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0.5, 1.5), t=3.0
+        )
+        assert np.allclose(curve.values(3.0), direct, atol=1e-6)
+
+    def test_out_of_range_rejected(self, ctx1):
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), theta=2.0
+        )
+        with pytest.raises(CheckingError):
+            curve.values(5.0)
+
+    def test_decaying_infection_curve_is_decreasing(self, ctx1):
+        """Setting 1 kills the virus, so the infection probability of a
+        clean computer shrinks over time (our measured Figure-3 shape)."""
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), theta=15.0
+        )
+        values = [curve.value(t, 0) for t in (0.0, 5.0, 10.0, 15.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestProbabilityCurve:
+    def test_grid(self, ctx1):
+        curve = SimpleUntilCurve(
+            ctx1, NOT_INFECTED, INFECTED, TimeInterval(0, 1), theta=4.0
+        )
+        times, values = curve.grid(9)
+        assert times.shape == (9,)
+        assert values.shape == (9, 3)
+
+    def test_crossing_times_found_and_refined(self):
+        """A synthetic curve with a known crossing."""
+        curve = ProbabilityCurve(
+            lambda t: np.array([np.sin(t), 0.0]),
+            0.0,
+            3.0,
+            2,
+        )
+        crossings = curve.crossing_times(0, 0.5, grid_points=65)
+        assert len(crossings) == 2
+        assert crossings[0] == pytest.approx(np.arcsin(0.5), abs=1e-8)
+        assert crossings[1] == pytest.approx(np.pi - np.arcsin(0.5), abs=1e-8)
+
+    def test_jump_discontinuity_reported(self):
+        curve = ProbabilityCurve(
+            lambda t: np.array([0.2 if t < 1.0 else 0.9]),
+            0.0,
+            2.0,
+            1,
+            discontinuities=[1.0],
+        )
+        crossings = curve.crossing_times(0, 0.5, grid_points=17)
+        assert crossings == [pytest.approx(1.0)]
+
+    def test_sat_boundaries_union(self):
+        curve = ProbabilityCurve(
+            lambda t: np.array([t / 10.0, 1.0 - t / 10.0]),
+            0.0,
+            10.0,
+            2,
+        )
+        boundaries = curve.sat_boundaries(0.25, grid_points=33)
+        assert len(boundaries) == 2
+        assert boundaries[0] == pytest.approx(2.5, abs=1e-6)
+        assert boundaries[1] == pytest.approx(7.5, abs=1e-6)
+
+    def test_values_clipped_to_unit_interval(self):
+        curve = ProbabilityCurve(
+            lambda t: np.array([1.0 + 1e-9]), 0.0, 1.0, 1
+        )
+        assert curve.value(0.5, 0) == 1.0
+
+    def test_bad_evaluator_shape_rejected(self):
+        curve = ProbabilityCurve(lambda t: np.zeros(3), 0.0, 1.0, 2)
+        with pytest.raises(CheckingError):
+            curve.values(0.5)

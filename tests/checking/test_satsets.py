@@ -1,0 +1,143 @@
+"""Tests for piecewise-constant satisfaction sets."""
+
+import pytest
+
+from repro.checking.satsets import Piece, PiecewiseSatSet, combine
+from repro.exceptions import CheckingError, ModelError
+
+
+@pytest.fixture
+def switching() -> PiecewiseSatSet:
+    """{0} on [0, 2), {0,1} on [2, 5)."""
+    return PiecewiseSatSet(
+        [
+            Piece(0.0, 2.0, frozenset({0})),
+            Piece(2.0, 5.0, frozenset({0, 1})),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_constant(self):
+        s = PiecewiseSatSet.constant(frozenset({1}), 0.0, 3.0)
+        assert s.is_constant
+        assert s.at(1.5) == frozenset({1})
+        assert s.boundaries() == []
+
+    def test_adjacent_equal_pieces_merge(self):
+        s = PiecewiseSatSet(
+            [
+                Piece(0.0, 1.0, frozenset({0})),
+                Piece(1.0, 2.0, frozenset({0})),
+            ]
+        )
+        assert s.is_constant
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ModelError):
+            PiecewiseSatSet(
+                [
+                    Piece(0.0, 1.0, frozenset()),
+                    Piece(2.0, 3.0, frozenset()),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            PiecewiseSatSet([])
+
+    def test_from_boundaries(self):
+        s = PiecewiseSatSet.from_boundaries(
+            [2.0],
+            lambda t: frozenset({0}) if t < 2.0 else frozenset({0, 1}),
+            0.0,
+            5.0,
+        )
+        assert s.boundaries() == [2.0]
+        assert s.at(1.0) == frozenset({0})
+        assert s.at(3.0) == frozenset({0, 1})
+
+    def test_from_boundaries_ignores_out_of_window(self):
+        s = PiecewiseSatSet.from_boundaries(
+            [-1.0, 0.0, 5.0, 7.0],
+            lambda t: frozenset({0}),
+            0.0,
+            5.0,
+        )
+        assert s.is_constant
+
+
+class TestQueries:
+    def test_at_respects_pieces(self, switching):
+        assert switching.at(0.0) == frozenset({0})
+        assert switching.at(1.999) == frozenset({0})
+        assert switching.at(2.0) == frozenset({0, 1})
+        assert switching.at(5.0) == frozenset({0, 1})
+
+    def test_at_out_of_window(self, switching):
+        with pytest.raises(CheckingError):
+            switching.at(9.0)
+        with pytest.raises(CheckingError):
+            switching.at(-1.0)
+
+    def test_window_properties(self, switching):
+        assert switching.t_start == 0.0
+        assert switching.t_end == 5.0
+        assert not switching.is_constant
+
+    def test_boundaries(self, switching):
+        assert switching.boundaries() == [2.0]
+
+
+class TestRestrict:
+    def test_inside_single_piece(self, switching):
+        r = switching.restrict(0.5, 1.5)
+        assert r.is_constant
+        assert r.t_start == 0.5 and r.t_end == 1.5
+
+    def test_across_boundary(self, switching):
+        r = switching.restrict(1.0, 3.0)
+        assert r.boundaries() == [2.0]
+        assert r.at(1.5) == frozenset({0})
+        assert r.at(2.5) == frozenset({0, 1})
+
+    def test_outside_rejected(self, switching):
+        with pytest.raises(CheckingError):
+            switching.restrict(0.0, 9.0)
+
+    def test_empty_window_rejected(self, switching):
+        with pytest.raises(ModelError):
+            switching.restrict(3.0, 2.0)
+
+
+class TestCombine:
+    def test_intersection_of_sets(self, switching):
+        other = PiecewiseSatSet.constant(frozenset({1, 2}), 0.0, 5.0)
+        both = combine([switching, other], lambda vals: vals[0] & vals[1])
+        assert both.at(1.0) == frozenset()
+        assert both.at(3.0) == frozenset({1})
+
+    def test_union_boundaries_merge(self):
+        a = PiecewiseSatSet(
+            [Piece(0.0, 1.0, frozenset({0})), Piece(1.0, 4.0, frozenset())]
+        )
+        b = PiecewiseSatSet(
+            [Piece(0.0, 3.0, frozenset()), Piece(3.0, 4.0, frozenset({1}))]
+        )
+        union = combine([a, b], lambda vals: vals[0] | vals[1])
+        assert union.boundaries() == [1.0, 3.0]
+        assert union.at(0.5) == frozenset({0})
+        assert union.at(2.0) == frozenset()
+        assert union.at(3.5) == frozenset({1})
+
+    def test_mismatched_windows_rejected(self, switching):
+        other = PiecewiseSatSet.constant(frozenset(), 0.0, 9.0)
+        with pytest.raises(CheckingError):
+            combine([switching, other], lambda vals: vals[0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ModelError):
+            combine([], lambda vals: frozenset())
+
+    def test_repr(self, switching):
+        assert "PiecewiseSatSet" in repr(switching)

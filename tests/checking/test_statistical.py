@@ -1,0 +1,131 @@
+"""Unit tests for the statistical checker's internals."""
+
+import numpy as np
+import pytest
+
+from repro.checking.statistical import (
+    Estimate,
+    StatisticalChecker,
+    path_satisfies_next,
+    path_satisfies_until,
+)
+from repro.ctmc.paths import Path
+from repro.exceptions import UnsupportedFormulaError
+from repro.logic.parser import parse_path
+
+G1 = frozenset({0})
+G2 = frozenset({1, 2})
+
+
+class TestEstimate:
+    def test_confidence_interval_symmetric(self):
+        est = Estimate(value=0.5, stderr=0.05, samples=100)
+        lo, hi = est.confidence_interval()
+        assert lo == pytest.approx(0.5 - 1.96 * 0.05)
+        assert hi == pytest.approx(0.5 + 1.96 * 0.05)
+
+    def test_confidence_interval_clipped(self):
+        est = Estimate(value=0.01, stderr=0.05, samples=100)
+        lo, hi = est.confidence_interval()
+        assert lo == 0.0
+        assert hi < 1.0
+        est_high = Estimate(value=0.99, stderr=0.05, samples=100)
+        assert est_high.confidence_interval()[1] == 1.0
+
+
+class TestPathPredicateUntil:
+    def test_direct_hit(self):
+        # 0 --(t=0.3)--> 1 within window [0, 1].
+        path = Path(states=[0, 1], jump_times=[0.3], end_time=2.0)
+        assert path_satisfies_until(path, G1, G2, 0.0, 1.0)
+
+    def test_hit_after_window_fails(self):
+        path = Path(states=[0, 1], jump_times=[1.5], end_time=2.0)
+        assert not path_satisfies_until(path, G1, G2, 0.0, 1.0)
+
+    def test_start_in_gamma2_with_open_window(self):
+        path = Path(states=[1], end_time=2.0)
+        assert path_satisfies_until(path, G1, G2, 0.0, 1.0)
+
+    def test_start_in_gamma2_waiting_needs_gamma1(self):
+        path = Path(states=[1, 2], jump_times=[0.2], end_time=2.0)
+        # Window open at time 0: immediate witness, no waiting needed.
+        assert path_satisfies_until(path, G1, G2, 0.0, 1.0)
+        # Window opens at 0.1: the path must *wait* in state 1, which is
+        # not a Γ1 state, so Φ1 is violated on [0, 0.1) and the until
+        # fails — even though state 1 is a Γ2 state.
+        assert not path_satisfies_until(path, G1, G2, 0.1, 1.0)
+        # If state 1 also satisfies Γ1, waiting is allowed.
+        assert path_satisfies_until(
+            path, frozenset({0, 1}), G2, 0.1, 1.0
+        )
+
+    def test_gamma1_violation_blocks(self):
+        # 0 -> 3 (neither Γ1 nor Γ2) -> 1: the detour kills the path.
+        path = Path(states=[0, 3, 1], jump_times=[0.2, 0.4], end_time=2.0)
+        gamma2 = frozenset({1})
+        assert not path_satisfies_until(path, G1, gamma2, 0.0, 1.0)
+
+    def test_waiting_in_gamma1_only_fails(self):
+        path = Path(states=[0], end_time=5.0)
+        assert not path_satisfies_until(path, G1, G2, 0.0, 1.0)
+
+    def test_lower_bound_requires_survival(self):
+        # Hit Γ2 at 0.3 but the window is [0.5, 1]: the path sits in the
+        # Γ2 state through 0.5, and Γ2 states here are not in Γ1...
+        path = Path(states=[0, 1], jump_times=[0.3], end_time=2.0)
+        # σ@t for t in [0.3, 2] is state 1 ∈ Γ2: satisfied at t' = 0.5
+        # provided Φ1 holds before 0.5 — but state 1 ∉ Γ1 on [0.3, 0.5).
+        assert not path_satisfies_until(path, G1, frozenset({1}), 0.5, 1.0)
+        # With Γ1 including state 1 the same path succeeds.
+        assert path_satisfies_until(
+            path, frozenset({0, 1}), frozenset({1}), 0.5, 1.0
+        )
+
+
+class TestPathPredicateNext:
+    def test_first_jump_in_window(self):
+        path = Path(states=[0, 2], jump_times=[0.7], end_time=2.0)
+        assert path_satisfies_next(path, frozenset({2}), 0.5, 1.0)
+
+    def test_first_jump_outside_window(self):
+        path = Path(states=[0, 2], jump_times=[1.7], end_time=2.0)
+        assert not path_satisfies_next(path, frozenset({2}), 0.5, 1.0)
+
+    def test_wrong_target(self):
+        path = Path(states=[0, 1], jump_times=[0.7], end_time=2.0)
+        assert not path_satisfies_next(path, frozenset({2}), 0.5, 1.0)
+
+    def test_no_jump(self):
+        path = Path(states=[0], end_time=2.0)
+        assert not path_satisfies_next(path, frozenset({0}), 0.0, 1.0)
+
+
+class TestCheckerValidation:
+    def test_nested_operand_rejected(self, ctx1):
+        stat = StatisticalChecker(ctx1, samples=10, seed=0)
+        nested = parse_path("(P[>0.5](tt U[0,1] infected)) U[0,1] infected")
+        with pytest.raises(UnsupportedFormulaError):
+            stat.path_probability(nested, "s1")
+
+    def test_unbounded_rejected(self, ctx1):
+        stat = StatisticalChecker(ctx1, samples=10, seed=0)
+        with pytest.raises(UnsupportedFormulaError):
+            stat.path_probability(parse_path("tt U infected"), "s1")
+
+    def test_reproducible_with_seed(self, ctx1):
+        path = parse_path("not_infected U[0,1] infected")
+        a = StatisticalChecker(ctx1, samples=200, seed=3).path_probability(
+            path, "s1"
+        )
+        b = StatisticalChecker(ctx1, samples=200, seed=3).path_probability(
+            path, "s1"
+        )
+        assert a.value == b.value
+
+    def test_state_by_index(self, ctx1):
+        path = parse_path("tt U[0,0.5] infected")
+        est = StatisticalChecker(ctx1, samples=50, seed=1).path_probability(
+            path, 1
+        )
+        assert est.value == 1.0  # s2 is already infected

@@ -1,0 +1,159 @@
+"""Tests for the until-checking CTMC transformations (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.checking.transform import (
+    UntilPartition,
+    absorbing_generator,
+    absorbing_generator_function,
+    goal_generator,
+    goal_generator_function,
+    goal_generator_literal,
+    survival_zeta,
+    zeta_matrix,
+    zeta_matrix_literal,
+)
+from repro.ctmc.generator import build_generator
+from repro.exceptions import CheckingError
+
+
+@pytest.fixture
+def q() -> np.ndarray:
+    return build_generator(
+        4,
+        {
+            (0, 1): 1.0,
+            (1, 2): 2.0,
+            (1, 0): 0.5,
+            (2, 3): 0.7,
+            (3, 0): 0.3,
+        },
+    )
+
+
+class TestPartition:
+    def test_success_wins_over_live(self):
+        p = UntilPartition.from_sets(3, frozenset({0, 1}), frozenset({1, 2}))
+        assert p.live == frozenset({0})
+        assert p.success == frozenset({1, 2})
+        assert p.fail == frozenset()
+
+    def test_fail_is_the_rest(self):
+        p = UntilPartition.from_sets(4, frozenset({1}), frozenset({2}))
+        assert p.fail == frozenset({0, 3})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CheckingError):
+            UntilPartition.from_sets(2, frozenset({5}), frozenset())
+
+
+class TestAbsorbing:
+    def test_rows_zeroed(self, q):
+        mod = absorbing_generator(q, frozenset({1, 3}))
+        assert np.all(mod[1] == 0.0)
+        assert np.all(mod[3] == 0.0)
+        assert np.array_equal(mod[0], q[0])
+
+    def test_function_wrapper(self, q):
+        fn = absorbing_generator_function(lambda t: q * (1 + t), frozenset({0}))
+        mod = fn(1.0)
+        assert np.all(mod[0] == 0.0)
+        assert mod[1, 2] == pytest.approx(4.0)
+
+
+class TestGoalGenerator:
+    def test_shape_and_absorbing_rows(self, q):
+        part = UntilPartition.from_sets(4, frozenset({0, 1}), frozenset({2}))
+        g = goal_generator(q, part)
+        assert g.shape == (5, 5)
+        assert np.all(g[2] == 0.0)  # success absorbing
+        assert np.all(g[3] == 0.0)  # fail absorbing
+        assert np.all(g[4] == 0.0)  # goal absorbing
+
+    def test_redirection_into_goal(self, q):
+        part = UntilPartition.from_sets(4, frozenset({0, 1}), frozenset({2}))
+        g = goal_generator(q, part)
+        # live state 1 had rate 2.0 into success state 2 -> goes to goal.
+        assert g[1, 2] == 0.0
+        assert g[1, 4] == pytest.approx(2.0)
+        # rates between live states survive
+        assert g[1, 0] == pytest.approx(0.5)
+        # rows still sum to zero
+        assert np.allclose(g.sum(axis=1), 0.0)
+
+    def test_transitions_into_fail_kept(self, q):
+        part = UntilPartition.from_sets(4, frozenset({1, 2}), frozenset({3}))
+        g = goal_generator(q, part)
+        # live 1 -> fail 0 stays in place (mass dies there)
+        assert g[1, 0] == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self, q):
+        part = UntilPartition.from_sets(3, frozenset({0}), frozenset({1}))
+        with pytest.raises(CheckingError):
+            goal_generator(q, part)
+
+    def test_function_wrapper(self, q):
+        part = UntilPartition.from_sets(4, frozenset({0, 1}), frozenset({2}))
+        fn = goal_generator_function(lambda t: q, part)
+        assert np.array_equal(fn(0.0), goal_generator(q, part))
+
+
+class TestGoalGeneratorLiteral:
+    def test_fail_states_keep_transitions(self, q):
+        # Γ1 = {1}, Γ2 = {2}: the literal construction freezes 1 but
+        # lets fail state 0 keep moving (redirected into s*).
+        part = UntilPartition.from_sets(4, frozenset({1}), frozenset({2}))
+        g = goal_generator_literal(q, part)
+        assert np.all(g[1] == 0.0)  # live (Γ1) frozen in the literal reading
+        assert g[0, 1] == pytest.approx(1.0)  # fail keeps its transition
+        assert np.all(g[2] == 0.0)
+
+    def test_redirect_from_fail_to_goal(self, q):
+        part = UntilPartition.from_sets(4, frozenset({3}), frozenset({2}))
+        g = goal_generator_literal(q, part)
+        # fail state 1 had rate 2.0 into success 2 -> redirected to goal.
+        assert g[1, 2] == 0.0
+        assert g[1, 4] == pytest.approx(2.0)
+
+
+class TestZeta:
+    def test_live_to_success_transfers_to_goal(self):
+        before = UntilPartition.from_sets(3, frozenset({0, 1}), frozenset({2}))
+        after = UntilPartition.from_sets(3, frozenset({1}), frozenset({0, 2}))
+        z = zeta_matrix(before, after)
+        assert z[0, 3] == 1.0  # live -> success: mass to goal
+        assert z[1, 1] == 1.0  # stays live
+        assert z[3, 3] == 1.0  # goal preserved
+
+    def test_live_to_fail_loses_mass(self):
+        before = UntilPartition.from_sets(2, frozenset({0}), frozenset())
+        after = UntilPartition.from_sets(2, frozenset(), frozenset())
+        z = zeta_matrix(before, after)
+        assert np.all(z[0] == 0.0)
+
+    def test_success_before_row_zero(self):
+        before = UntilPartition.from_sets(2, frozenset(), frozenset({0}))
+        after = UntilPartition.from_sets(2, frozenset(), frozenset({0}))
+        z = zeta_matrix(before, after)
+        assert np.all(z[0] == 0.0)
+
+    def test_size_mismatch_rejected(self):
+        a = UntilPartition.from_sets(2, frozenset(), frozenset())
+        b = UntilPartition.from_sets(3, frozenset(), frozenset())
+        with pytest.raises(CheckingError):
+            zeta_matrix(a, b)
+
+    def test_literal_zeta_matches_paper(self):
+        z = zeta_matrix_literal(3)
+        expected = np.zeros((4, 4))
+        expected[3, 3] = 1.0
+        assert np.array_equal(z, expected)
+
+
+class TestSurvivalZeta:
+    def test_keeps_intersection(self):
+        z = survival_zeta(3, frozenset({0, 1}), frozenset({1, 2}))
+        assert z[1, 1] == 1.0
+        assert np.all(z[0] == 0.0)
+        assert np.all(z[2] == 0.0)

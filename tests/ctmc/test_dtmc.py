@@ -1,0 +1,78 @@
+"""Tests for DTMC helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.dtmc import (
+    build_stochastic_matrix,
+    is_stochastic_matrix,
+    make_absorbing_dtmc,
+    power_step_distribution,
+    validate_stochastic_matrix,
+)
+from repro.exceptions import ModelError
+
+
+class TestValidation:
+    def test_valid_matrix(self):
+        p = np.array([[0.5, 0.5], [0.2, 0.8]])
+        validate_stochastic_matrix(p)
+        assert is_stochastic_matrix(p)
+
+    def test_rejects_negative(self):
+        assert not is_stochastic_matrix(np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_rejects_bad_row_sum(self):
+        assert not is_stochastic_matrix(np.array([[0.5, 0.4], [0.2, 0.8]]))
+
+    def test_rejects_nonsquare(self):
+        assert not is_stochastic_matrix(np.ones((2, 3)) / 3)
+
+    def test_rejects_nan(self):
+        assert not is_stochastic_matrix(np.array([[np.nan, 1.0], [0.5, 0.5]]))
+
+
+class TestBuild:
+    def test_missing_mass_goes_to_self_loop(self):
+        p = build_stochastic_matrix(2, {(0, 1): 0.3})
+        assert p[0, 0] == pytest.approx(0.7)
+        assert p[1, 1] == pytest.approx(1.0)
+
+    def test_rejects_overfull_row(self):
+        with pytest.raises(ModelError):
+            build_stochastic_matrix(2, {(0, 1): 1.5})
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ModelError):
+            build_stochastic_matrix(2, {(0, 7): 0.5})
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ModelError):
+            build_stochastic_matrix(2, {(0, 1): -0.1})
+
+
+class TestPowerStep:
+    def test_zero_steps(self):
+        p = build_stochastic_matrix(2, {(0, 1): 0.3, (1, 0): 0.6})
+        initial = np.array([1.0, 0.0])
+        assert np.array_equal(power_step_distribution(initial, p, 0), initial)
+
+    def test_converges_to_stationary(self):
+        p = build_stochastic_matrix(2, {(0, 1): 0.3, (1, 0): 0.6})
+        dist = power_step_distribution(np.array([1.0, 0.0]), p, 500)
+        # stationary: pi0 * 0.3 = pi1 * 0.6
+        assert dist[0] == pytest.approx(2.0 / 3.0, abs=1e-9)
+
+    def test_rejects_negative_steps(self):
+        p = np.eye(2)
+        with pytest.raises(ModelError):
+            power_step_distribution(np.array([1.0, 0.0]), p, -1)
+
+
+class TestAbsorbing:
+    def test_absorbed_state_self_loops(self):
+        p = build_stochastic_matrix(3, {(0, 1): 0.5, (1, 2): 0.5, (2, 0): 1.0})
+        mod = make_absorbing_dtmc(p, {2})
+        assert mod[2, 2] == 1.0
+        assert np.all(mod[2, :2] == 0.0)
+        assert np.array_equal(mod[0], p[0])

@@ -1,0 +1,142 @@
+"""Tests for generator-matrix construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.generator import (
+    build_generator,
+    embedded_jump_matrix,
+    exit_rates,
+    fix_diagonal,
+    is_generator,
+    make_absorbing,
+    rate_dict_from_matrix,
+    restrict_generator,
+    uniformization_rate,
+    uniformized_matrix,
+    validate_generator,
+)
+from repro.exceptions import InvalidRateError, ModelError
+
+
+@pytest.fixture
+def q3() -> np.ndarray:
+    return build_generator(
+        3, {(0, 1): 2.0, (1, 0): 1.0, (1, 2): 0.5, (2, 0): 0.25}
+    )
+
+
+class TestBuildGenerator:
+    def test_diagonal_is_minus_row_sum(self, q3):
+        assert np.allclose(q3.sum(axis=1), 0.0)
+        assert q3[0, 0] == -2.0
+        assert q3[1, 1] == -1.5
+
+    def test_offdiagonal_entries(self, q3):
+        assert q3[0, 1] == 2.0
+        assert q3[1, 2] == 0.5
+        assert q3[2, 1] == 0.0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidRateError):
+            build_generator(2, {(0, 0): 1.0})
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidRateError):
+            build_generator(2, {(0, 1): -1.0})
+
+    def test_rejects_nan_rate(self):
+        with pytest.raises(InvalidRateError):
+            build_generator(2, {(0, 1): float("nan")})
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ModelError):
+            build_generator(2, {(0, 5): 1.0})
+
+    def test_rejects_empty_state_space(self):
+        with pytest.raises(ModelError):
+            build_generator(0, {})
+
+    def test_empty_rates_gives_zero_matrix(self):
+        q = build_generator(3, {})
+        assert np.array_equal(q, np.zeros((3, 3)))
+
+
+class TestValidation:
+    def test_valid_generator_passes(self, q3):
+        validate_generator(q3)
+        assert is_generator(q3)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ModelError):
+            validate_generator(np.zeros((2, 3)))
+
+    def test_rejects_negative_offdiagonal(self):
+        q = np.array([[-1.0, 1.0], [-0.5, 0.5]])
+        # row sums are zero but (1, 0) is negative
+        assert not is_generator(q)
+
+    def test_rejects_nonzero_row_sum(self):
+        q = np.array([[-1.0, 2.0], [0.5, -0.5]])
+        assert not is_generator(q)
+
+    def test_rejects_non_finite(self):
+        q = np.array([[-np.inf, np.inf], [0.0, 0.0]])
+        assert not is_generator(q)
+
+    def test_fix_diagonal(self):
+        raw = np.array([[99.0, 2.0], [1.0, -5.0]])
+        fixed = fix_diagonal(raw)
+        validate_generator(fixed)
+        assert fixed[0, 1] == 2.0
+        assert fixed[0, 0] == -2.0
+
+
+class TestDerivedObjects:
+    def test_exit_rates(self, q3):
+        assert np.allclose(exit_rates(q3), [2.0, 1.5, 0.25])
+
+    def test_uniformization_rate_covers_max_exit(self, q3):
+        lam = uniformization_rate(q3)
+        assert lam >= 2.0
+
+    def test_uniformization_rate_zero_generator(self):
+        assert uniformization_rate(np.zeros((2, 2))) == 1.0
+
+    def test_uniformized_matrix_is_stochastic(self, q3):
+        p = uniformized_matrix(q3)
+        assert np.all(p >= 0)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_uniformized_matrix_rejects_small_rate(self, q3):
+        with pytest.raises(ModelError):
+            uniformized_matrix(q3, rate=1.0)
+
+    def test_embedded_jump_matrix(self, q3):
+        p = embedded_jump_matrix(q3)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p[0, 1] == 1.0
+        assert p[1, 0] == pytest.approx(1.0 / 1.5)
+        assert np.all(np.diag(p)[:2] == 0.0)
+
+    def test_embedded_jump_matrix_absorbing_state(self):
+        q = build_generator(2, {(0, 1): 1.0})
+        p = embedded_jump_matrix(q)
+        assert p[1, 1] == 1.0
+
+    def test_make_absorbing(self, q3):
+        q = make_absorbing(q3, {1})
+        assert np.all(q[1] == 0.0)
+        assert np.array_equal(q[0], q3[0])
+
+    def test_restrict_generator_preserves_exit_rates(self, q3):
+        sub = restrict_generator(q3, [0, 1])
+        assert sub[0, 0] == q3[0, 0]
+        assert sub[1, 1] == q3[1, 1]
+        # the 1 -> 2 rate disappears from off-diagonals
+        assert sub[1, 0] == q3[1, 0]
+
+    def test_rate_dict_roundtrip(self, q3):
+        rates = rate_dict_from_matrix(q3)
+        rebuilt = build_generator(3, rates)
+        assert np.allclose(rebuilt, q3)

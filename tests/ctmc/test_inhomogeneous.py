@@ -1,0 +1,118 @@
+"""Tests for the time-inhomogeneous Kolmogorov solvers (Eqs. 5, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.generator import build_generator
+from repro.ctmc.inhomogeneous import (
+    TransitionMatrixPropagator,
+    rk4_matrix_ode,
+    solve_backward_kolmogorov,
+    solve_forward_kolmogorov,
+    solve_forward_stepwise,
+)
+from repro.ctmc.transient import transient_matrix_expm
+from repro.exceptions import HorizonError, ModelError
+
+
+@pytest.fixture
+def q_const() -> np.ndarray:
+    return build_generator(
+        3, {(0, 1): 1.0, (1, 0): 0.5, (1, 2): 0.3, (2, 1): 0.2}
+    )
+
+
+@pytest.fixture
+def q_of_t(q_const):
+    """A smoothly varying generator (sinusoidal modulation)."""
+
+    def gen(t: float) -> np.ndarray:
+        return q_const * (1.0 + 0.5 * np.sin(t))
+
+    return gen
+
+
+class TestForwardKolmogorov:
+    def test_constant_generator_matches_expm(self, q_const):
+        pi = solve_forward_kolmogorov(lambda t: q_const, 0.0, 2.5)
+        assert np.allclose(pi, transient_matrix_expm(q_const, 2.5), atol=1e-7)
+
+    def test_zero_duration_identity(self, q_of_t):
+        assert np.allclose(solve_forward_kolmogorov(q_of_t, 1.0, 0.0), np.eye(3))
+
+    def test_rows_are_distributions(self, q_of_t):
+        pi = solve_forward_kolmogorov(q_of_t, 0.5, 4.0)
+        assert np.all(pi >= -1e-9)
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_chapman_kolmogorov(self, q_of_t):
+        """Pi(0, 3) == Pi(0, 1) @ Pi(1, 3) for inhomogeneous chains."""
+        whole = solve_forward_kolmogorov(q_of_t, 0.0, 3.0)
+        first = solve_forward_kolmogorov(q_of_t, 0.0, 1.0)
+        second = solve_forward_kolmogorov(q_of_t, 1.0, 2.0)
+        assert np.allclose(whole, first @ second, atol=1e-7)
+
+    def test_negative_duration_rejected(self, q_of_t):
+        with pytest.raises(ModelError):
+            solve_forward_kolmogorov(q_of_t, 0.0, -1.0)
+
+    def test_dense_output(self, q_of_t):
+        dense = solve_forward_kolmogorov(q_of_t, 0.0, 2.0, dense=True)
+        direct = solve_forward_kolmogorov(q_of_t, 0.0, 1.3)
+        assert np.allclose(dense(1.3), direct, atol=1e-7)
+        with pytest.raises(HorizonError):
+            dense(5.0)
+
+
+class TestBackwardKolmogorov:
+    def test_matches_forward(self, q_of_t):
+        fwd = solve_forward_kolmogorov(q_of_t, 0.5, 2.5)
+        bwd = solve_backward_kolmogorov(q_of_t, 0.5, 3.0)
+        assert np.allclose(fwd, bwd, atol=1e-7)
+
+    def test_degenerate_interval(self, q_of_t):
+        assert np.allclose(solve_backward_kolmogorov(q_of_t, 2.0, 2.0), np.eye(3))
+
+    def test_rejects_reversed_interval(self, q_of_t):
+        with pytest.raises(ModelError):
+            solve_backward_kolmogorov(q_of_t, 3.0, 2.0)
+
+
+class TestStepwiseProduct:
+    def test_matches_ode_solution(self, q_of_t):
+        ode = solve_forward_kolmogorov(q_of_t, 0.0, 2.0)
+        product = solve_forward_stepwise(q_of_t, 0.0, 2.0, steps=500)
+        assert np.allclose(ode, product, atol=1e-6)
+
+    def test_rejects_bad_steps(self, q_of_t):
+        with pytest.raises(ModelError):
+            solve_forward_stepwise(q_of_t, 0.0, 1.0, steps=0)
+
+
+class TestRk4:
+    def test_matches_scipy_on_linear_ode(self, q_const):
+        rhs = lambda t, y: y @ q_const
+        result = rk4_matrix_ode(rhs, np.eye(3), 0.0, 2.0, steps=800)
+        assert np.allclose(result, transient_matrix_expm(q_const, 2.0), atol=1e-8)
+
+
+class TestPropagator:
+    def test_matches_direct_solve(self, q_of_t):
+        prop = TransitionMatrixPropagator(q_of_t, window=1.5, t0=0.0, horizon=4.0)
+        for t in (0.0, 1.0, 2.7, 4.0):
+            direct = solve_forward_kolmogorov(q_of_t, t, 1.5)
+            assert np.allclose(prop(t), direct, atol=1e-6), f"t={t}"
+
+    def test_zero_window(self, q_of_t):
+        prop = TransitionMatrixPropagator(q_of_t, window=0.0, t0=0.0, horizon=2.0)
+        assert np.allclose(prop(1.0), np.eye(3), atol=1e-7)
+
+    def test_out_of_range_rejected(self, q_of_t):
+        prop = TransitionMatrixPropagator(q_of_t, window=1.0, t0=0.0, horizon=2.0)
+        with pytest.raises(HorizonError):
+            prop(3.0)
+
+    def test_degenerate_horizon(self, q_of_t):
+        prop = TransitionMatrixPropagator(q_of_t, window=1.0, t0=1.0, horizon=1.0)
+        direct = solve_forward_kolmogorov(q_of_t, 1.0, 1.0)
+        assert np.allclose(prop(1.0), direct, atol=1e-8)

@@ -1,0 +1,103 @@
+"""Tests for the CTMC path samplers."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.generator import build_generator
+from repro.ctmc.paths import (
+    Path,
+    sample_homogeneous_path,
+    sample_inhomogeneous_path,
+)
+from repro.ctmc.transient import transient_matrix_expm
+from repro.exceptions import ModelError, NumericalError
+
+
+@pytest.fixture
+def q() -> np.ndarray:
+    return build_generator(
+        3, {(0, 1): 1.0, (1, 0): 0.5, (1, 2): 0.3, (2, 1): 0.2}
+    )
+
+
+class TestPathObject:
+    def test_state_at(self):
+        path = Path(states=[0, 1, 2], jump_times=[1.0, 2.5], end_time=5.0)
+        assert path.state_at(0.0) == 0
+        assert path.state_at(0.99) == 0
+        assert path.state_at(1.5) == 1
+        assert path.state_at(3.0) == 2
+        assert path.state_at(5.0) == 2
+
+    def test_state_at_out_of_range(self):
+        path = Path(states=[0], end_time=1.0)
+        with pytest.raises(ModelError):
+            path.state_at(2.0)
+
+    def test_len(self):
+        assert len(Path(states=[0, 1], jump_times=[0.5], end_time=1.0)) == 2
+
+
+class TestHomogeneousSampler:
+    def test_jump_times_sorted_and_within_horizon(self, q):
+        rng = np.random.default_rng(0)
+        path = sample_homogeneous_path(q, 0, 10.0, rng)
+        times = np.asarray(path.jump_times)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times <= 10.0)
+        assert len(path.states) == len(path.jump_times) + 1
+
+    def test_absorbing_state_stops(self):
+        q = build_generator(2, {(0, 1): 5.0})
+        rng = np.random.default_rng(1)
+        path = sample_homogeneous_path(q, 0, 100.0, rng)
+        assert path.states[-1] == 1
+        assert len(path.states) == 2
+
+    def test_empirical_distribution_matches_transient(self, q):
+        """The sampled state at t=1 follows expm(Q)[0]."""
+        rng = np.random.default_rng(42)
+        counts = np.zeros(3)
+        n = 3000
+        for _ in range(n):
+            path = sample_homogeneous_path(q, 0, 1.0, rng)
+            counts[path.state_at(1.0)] += 1
+        expected = transient_matrix_expm(q, 1.0)[0]
+        assert np.allclose(counts / n, expected, atol=0.03)
+
+
+class TestInhomogeneousSampler:
+    def test_constant_generator_matches_homogeneous_statistics(self, q):
+        rng = np.random.default_rng(7)
+        counts = np.zeros(3)
+        n = 3000
+        for _ in range(n):
+            path = sample_inhomogeneous_path(lambda t: q, 0, 1.0, rng)
+            counts[path.state_at(1.0)] += 1
+        expected = transient_matrix_expm(q, 1.0)[0]
+        assert np.allclose(counts / n, expected, atol=0.03)
+
+    def test_bound_violation_raises(self, q):
+        # Rates grow past the probed bound -> loud failure, not silence.
+        def growing(t: float) -> np.ndarray:
+            return q * (1.0 + 100.0 * t)
+
+        rng = np.random.default_rng(3)
+        with pytest.raises(NumericalError):
+            for _ in range(200):
+                sample_inhomogeneous_path(
+                    growing, 0, 10.0, rng, rate_bound=0.5
+                )
+
+    def test_negative_horizon_rejected(self, q):
+        with pytest.raises(ModelError):
+            sample_inhomogeneous_path(
+                lambda t: q, 0, -1.0, np.random.default_rng(0)
+            )
+
+    def test_zero_horizon(self, q):
+        path = sample_inhomogeneous_path(
+            lambda t: q, 1, 0.0, np.random.default_rng(0)
+        )
+        assert path.states == [1]
+        assert path.jump_times == []

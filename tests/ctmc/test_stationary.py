@@ -1,0 +1,75 @@
+"""Tests for stationary distributions of homogeneous chains."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.generator import build_generator
+from repro.ctmc.stationary import (
+    stationary_distribution,
+    stationary_distribution_dtmc,
+)
+from repro.ctmc.transient import transient_matrix_expm
+from repro.exceptions import SteadyStateError
+
+
+class TestStationaryCtmc:
+    def test_birth_death_chain_analytic(self):
+        # Birth rate b, death rate d: pi_i ∝ (b/d)^i.
+        b, d = 1.0, 2.0
+        q = build_generator(
+            3, {(0, 1): b, (1, 2): b, (1, 0): d, (2, 1): d}
+        )
+        pi = stationary_distribution(q)
+        rho = b / d
+        expected = np.array([1.0, rho, rho**2])
+        expected /= expected.sum()
+        assert np.allclose(pi, expected, atol=1e-10)
+
+    def test_is_left_null_vector(self):
+        q = build_generator(
+            4,
+            {(0, 1): 0.3, (1, 2): 0.7, (2, 3): 0.1, (3, 0): 0.9, (1, 0): 0.2},
+        )
+        pi = stationary_distribution(q)
+        assert np.allclose(pi @ q, 0.0, atol=1e-9)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_matches_long_run_transient(self):
+        q = build_generator(
+            3, {(0, 1): 1.0, (1, 0): 0.5, (1, 2): 0.3, (2, 0): 0.4}
+        )
+        pi = stationary_distribution(q)
+        long_run = transient_matrix_expm(q, 200.0)[0]
+        assert np.allclose(pi, long_run, atol=1e-8)
+
+    def test_absorbing_state(self):
+        q = build_generator(2, {(0, 1): 1.0})
+        pi = stationary_distribution(q)
+        assert np.allclose(pi, [0.0, 1.0], atol=1e-9)
+
+    def test_reducible_chain_not_unique(self):
+        # Two disconnected components: no unique stationary distribution.
+        q = build_generator(4, {(0, 1): 1.0, (1, 0): 1.0, (2, 3): 1.0, (3, 2): 1.0})
+        with pytest.raises(SteadyStateError):
+            stationary_distribution(q)
+
+    def test_reducible_chain_allowed_when_not_checking(self):
+        q = build_generator(4, {(0, 1): 1.0, (1, 0): 1.0, (2, 3): 1.0, (3, 2): 1.0})
+        pi = stationary_distribution(q, check_unique=False)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestStationaryDtmc:
+    def test_two_state_chain(self):
+        p = np.array([[0.9, 0.1], [0.3, 0.7]])
+        pi = stationary_distribution_dtmc(p)
+        # detailed balance: pi0 * 0.1 = pi1 * 0.3
+        assert pi[0] == pytest.approx(0.75)
+        assert pi[1] == pytest.approx(0.25)
+
+    def test_invariance(self):
+        rng = np.random.default_rng(3)
+        raw = rng.random((4, 4)) + 0.05
+        p = raw / raw.sum(axis=1, keepdims=True)
+        pi = stationary_distribution_dtmc(p)
+        assert np.allclose(pi @ p, pi, atol=1e-9)

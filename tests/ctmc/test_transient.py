@@ -1,0 +1,107 @@
+"""Tests for homogeneous transient analysis (expm vs uniformization)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.generator import build_generator
+from repro.ctmc.transient import (
+    poisson_truncation_point,
+    transient_distribution,
+    transient_matrix,
+    transient_matrix_expm,
+    transient_matrix_uniformization,
+)
+from repro.exceptions import ModelError, NumericalError
+
+
+@pytest.fixture
+def q() -> np.ndarray:
+    return build_generator(
+        3, {(0, 1): 1.0, (1, 0): 0.5, (1, 2): 0.3, (2, 1): 0.2}
+    )
+
+
+class TestExpm:
+    def test_zero_time_is_identity(self, q):
+        assert np.allclose(transient_matrix_expm(q, 0.0), np.eye(3))
+
+    def test_rows_are_distributions(self, q):
+        pi = transient_matrix_expm(q, 3.0)
+        assert np.all(pi >= -1e-12)
+        assert np.allclose(pi.sum(axis=1), 1.0)
+
+    def test_semigroup_property(self, q):
+        pi1 = transient_matrix_expm(q, 1.0)
+        pi2 = transient_matrix_expm(q, 2.0)
+        assert np.allclose(pi1 @ pi1, pi2, atol=1e-10)
+
+    def test_negative_time_rejected(self, q):
+        with pytest.raises(ModelError):
+            transient_matrix_expm(q, -1.0)
+
+
+class TestUniformization:
+    def test_matches_expm(self, q):
+        for t in (0.1, 1.0, 5.0, 20.0):
+            a = transient_matrix_expm(q, t)
+            b = transient_matrix_uniformization(q, t, epsilon=1e-13)
+            assert np.allclose(a, b, atol=1e-9), f"mismatch at t={t}"
+
+    def test_zero_generator(self):
+        q0 = np.zeros((2, 2))
+        assert np.allclose(
+            transient_matrix_uniformization(q0, 5.0), np.eye(2)
+        )
+
+    def test_truncation_error_bounded(self, q):
+        coarse = transient_matrix_uniformization(q, 2.0, epsilon=1e-3)
+        fine = transient_matrix_uniformization(q, 2.0, epsilon=1e-13)
+        # Coarse truncation loses at most epsilon of mass.
+        assert np.all(fine - coarse >= -1e-12)
+        assert np.abs(coarse - fine).max() < 1e-3
+
+
+class TestPoissonTruncation:
+    def test_zero_lambda(self):
+        assert poisson_truncation_point(0.0, 1e-6) == 0
+
+    def test_grows_with_lambda(self):
+        n_small = poisson_truncation_point(1.0, 1e-9)
+        n_large = poisson_truncation_point(50.0, 1e-9)
+        assert n_large > n_small > 0
+
+    def test_covers_mass(self):
+        import math
+
+        lam = 7.5
+        n = poisson_truncation_point(lam, 1e-9)
+        mass = sum(
+            math.exp(-lam) * lam**k / math.factorial(k) for k in range(n + 1)
+        )
+        assert mass >= 1.0 - 1e-9
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ModelError):
+            poisson_truncation_point(1.0, 2.0)
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ModelError):
+            poisson_truncation_point(-1.0, 1e-6)
+
+
+class TestDispatch:
+    def test_methods_agree(self, q):
+        a = transient_matrix(q, 1.5, method="expm")
+        b = transient_matrix(q, 1.5, method="uniformization")
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_unknown_method(self, q):
+        with pytest.raises(NumericalError):
+            transient_matrix(q, 1.0, method="magic")
+
+    def test_distribution_propagation(self, q):
+        initial = np.array([1.0, 0.0, 0.0])
+        dist = transient_distribution(initial, q, 2.0)
+        assert dist.shape == (3,)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[1] > 0  # mass has moved

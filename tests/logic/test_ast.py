@@ -1,0 +1,167 @@
+"""Tests for the formula AST (Definitions 3 and 5)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import FormulaError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Bound,
+    CslTrue,
+    Expectation,
+    ExpectedProbability,
+    ExpectedSteadyState,
+    MfAnd,
+    MfNot,
+    MfTrue,
+    Next,
+    Not,
+    Or,
+    Probability,
+    SteadyState,
+    TimeInterval,
+    Until,
+    atomic_propositions,
+    is_time_independent,
+    until_nesting_depth,
+)
+
+
+class TestBound:
+    def test_holds_semantics(self):
+        assert Bound("<", 0.5).holds(0.4)
+        assert not Bound("<", 0.5).holds(0.5)
+        assert Bound("<=", 0.5).holds(0.5)
+        assert Bound(">", 0.5).holds(0.6)
+        assert not Bound(">", 0.5).holds(0.5)
+        assert Bound(">=", 0.5).holds(0.5)
+
+    def test_is_upper_bound(self):
+        assert Bound("<", 0.1).is_upper_bound
+        assert Bound("<=", 0.1).is_upper_bound
+        assert not Bound(">", 0.1).is_upper_bound
+
+    def test_rejects_bad_comparator(self):
+        with pytest.raises(FormulaError):
+            Bound("==", 0.5)
+
+    def test_rejects_out_of_range_threshold(self):
+        with pytest.raises(FormulaError):
+            Bound("<", 1.5)
+        with pytest.raises(FormulaError):
+            Bound("<", -0.1)
+
+    def test_str(self):
+        assert str(Bound(">=", 0.1)) == ">=0.1"
+
+
+class TestTimeInterval:
+    def test_bounded(self):
+        interval = TimeInterval(1.0, 2.5)
+        assert interval.is_bounded
+        assert interval.duration == 1.5
+
+    def test_unbounded(self):
+        interval = TimeInterval(0.0, math.inf)
+        assert not interval.is_bounded
+
+    def test_rejects_negative_lower(self):
+        with pytest.raises(FormulaError):
+            TimeInterval(-1.0, 2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FormulaError):
+            TimeInterval(3.0, 2.0)
+
+    def test_point_interval_allowed(self):
+        assert TimeInterval(2.0, 2.0).duration == 0.0
+
+    def test_str(self):
+        assert str(TimeInterval(0, 5)) == "[0,5]"
+        assert "inf" in str(TimeInterval(0, math.inf))
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        a = Probability(Bound("<", 0.3), Until(TimeInterval(0, 1), Atomic("x"), Atomic("y")))
+        b = Probability(Bound("<", 0.3), Until(TimeInterval(0, 1), Atomic("x"), Atomic("y")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Atomic("x") != Atomic("y")
+        assert Not(CslTrue()) != CslTrue()
+
+    def test_usable_as_dict_key(self):
+        cache = {Atomic("x"): 1}
+        assert cache[Atomic("x")] == 1
+
+
+class TestAtomic:
+    def test_rejects_empty_name(self):
+        with pytest.raises(FormulaError):
+            Atomic("")
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(FormulaError):
+            Atomic("has space")
+
+    def test_underscores_allowed(self):
+        assert Atomic("not_infected").name == "not_infected"
+
+
+class TestWalkers:
+    @pytest.fixture
+    def nested(self):
+        inner = Probability(
+            Bound(">", 0.8),
+            Until(TimeInterval(0, 0.5), CslTrue(), Atomic("infected")),
+        )
+        outer = Probability(
+            Bound(">", 0.9),
+            Until(TimeInterval(0, 15), Atomic("infected"), inner),
+        )
+        return MfAnd(
+            Expectation(Bound(">", 0.8), outer),
+            Expectation(Bound("<", 0.1), Atomic("active")),
+        )
+
+    def test_atomic_propositions(self, nested):
+        assert atomic_propositions(nested) == frozenset({"infected", "active"})
+
+    def test_until_nesting_depth(self, nested):
+        assert until_nesting_depth(nested) == 2
+        assert until_nesting_depth(Atomic("x")) == 0
+        assert until_nesting_depth(MfTrue()) == 0
+        simple = ExpectedProbability(
+            Bound("<", 0.4),
+            Until(TimeInterval(0, 5), Atomic("a"), Atomic("b")),
+        )
+        assert until_nesting_depth(simple) == 1
+
+    def test_next_depth_counts_operand(self):
+        formula = Probability(
+            Bound("<", 0.5), Next(TimeInterval(0, 1), Atomic("a"))
+        )
+        assert until_nesting_depth(formula) == 1
+
+    def test_time_independence(self):
+        assert is_time_independent(And(Atomic("a"), Not(Atomic("b"))))
+        assert is_time_independent(Or(CslTrue(), Atomic("a")))
+        timed = Probability(
+            Bound("<", 0.5),
+            Until(TimeInterval(0, 1), CslTrue(), Atomic("a")),
+        )
+        assert not is_time_independent(timed)
+        assert not is_time_independent(SteadyState(Bound("<", 0.5), Atomic("a")))
+
+    def test_es_counts_operand_depth(self):
+        formula = ExpectedSteadyState(Bound("<", 0.5), Atomic("a"))
+        assert until_nesting_depth(formula) == 0
+        assert atomic_propositions(formula) == frozenset({"a"})
+
+    def test_mfnot_walker(self):
+        formula = MfNot(Expectation(Bound("<", 0.5), Atomic("z")))
+        assert atomic_propositions(formula) == frozenset({"z"})

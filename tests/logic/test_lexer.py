@@ -1,0 +1,64 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.logic.lexer import (
+    KIND_END,
+    KIND_IDENT,
+    KIND_NUMBER,
+    KIND_RESERVED,
+    KIND_SYMBOL,
+    tokenize,
+)
+
+
+class TestTokenKinds:
+    def test_reserved_words(self):
+        tokens = tokenize("tt ff P S X U E ES EP inf")[:-1]  # drop END
+        assert all(tok.kind == KIND_RESERVED for tok in tokens)
+
+    def test_identifiers(self):
+        tokens = tokenize("infected not_infected x1")
+        assert [t.kind for t in tokens[:-1]] == [KIND_IDENT] * 3
+
+    def test_numbers(self):
+        tokens = tokenize("0.5 14.5412 1e-3 2")
+        assert [t.kind for t in tokens[:-1]] == [KIND_NUMBER] * 4
+        assert float(tokens[1].text) == 14.5412
+
+    def test_symbols_including_two_char(self):
+        tokens = tokenize("<= >= < > ! & | ( ) [ ] ,")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["<=", ">=", "<", ">", "!", "&", "|", "(", ")", "[", "]", ","]
+        assert all(t.kind == KIND_SYMBOL for t in tokens[:-1])
+
+    def test_end_token(self):
+        tokens = tokenize("a")
+        assert tokens[-1].kind == KIND_END
+
+    def test_positions(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_whitespace_only(self):
+        tokens = tokenize("   \t\n ")
+        assert len(tokens) == 1
+        assert tokens[0].kind == KIND_END
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a $ b")
+        assert info.value.position == 2
+
+    def test_malformed_number(self):
+        with pytest.raises(ParseError):
+            tokenize("0.5.5")
+
+    def test_case_sensitivity(self):
+        # lowercase p is an identifier, not the P operator
+        tokens = tokenize("p")
+        assert tokens[0].kind == KIND_IDENT

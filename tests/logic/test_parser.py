@@ -1,0 +1,191 @@
+"""Tests for the CSL / MF-CSL parser."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Bound,
+    CslTrue,
+    Expectation,
+    ExpectedProbability,
+    ExpectedSteadyState,
+    MfAnd,
+    MfNot,
+    MfOr,
+    MfTrue,
+    Next,
+    Not,
+    Or,
+    Probability,
+    SteadyState,
+    TimeInterval,
+    Until,
+)
+from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
+
+
+class TestCslParsing:
+    def test_tt(self):
+        assert parse_csl("tt") == CslTrue()
+
+    def test_ff_desugars(self):
+        assert parse_csl("ff") == Not(CslTrue())
+
+    def test_atomic(self):
+        assert parse_csl("not_infected") == Atomic("not_infected")
+
+    def test_negation(self):
+        assert parse_csl("!infected") == Not(Atomic("infected"))
+
+    def test_double_negation(self):
+        assert parse_csl("!!x") == Not(Not(Atomic("x")))
+
+    def test_conjunction_left_associative(self):
+        assert parse_csl("a & b & c") == And(And(Atomic("a"), Atomic("b")), Atomic("c"))
+
+    def test_precedence_not_over_and_over_or(self):
+        assert parse_csl("!a & b | c") == Or(
+            And(Not(Atomic("a")), Atomic("b")), Atomic("c")
+        )
+
+    def test_parentheses(self):
+        assert parse_csl("a & (b | c)") == And(
+            Atomic("a"), Or(Atomic("b"), Atomic("c"))
+        )
+
+    def test_probability_until(self):
+        formula = parse_csl("P[<0.3](a U[0,1] b)")
+        assert formula == Probability(
+            Bound("<", 0.3),
+            Until(TimeInterval(0, 1), Atomic("a"), Atomic("b")),
+        )
+
+    def test_probability_next(self):
+        formula = parse_csl("P[>=0.5](X[1,2] a)")
+        assert formula == Probability(
+            Bound(">=", 0.5), Next(TimeInterval(1, 2), Atomic("a"))
+        )
+
+    def test_next_without_interval_is_unbounded(self):
+        formula = parse_csl("P[>0.1](X a)")
+        assert isinstance(formula.path, Next)
+        assert formula.path.interval.upper == math.inf
+
+    def test_steady_state(self):
+        assert parse_csl("S[>0.9](up)") == SteadyState(
+            Bound(">", 0.9), Atomic("up")
+        )
+
+    def test_nested_paper_formula(self):
+        text = "P[>0.9](infected U[0,15] (P[>0.8](tt U[0,0.5] infected)))"
+        formula = parse_csl(text)
+        assert isinstance(formula, Probability)
+        inner = formula.path.right
+        assert isinstance(inner, Probability)
+        assert inner.path.interval == TimeInterval(0, 0.5)
+
+    def test_interval_with_inf(self):
+        formula = parse_csl("P[>0](a U[0,inf] b)")
+        assert not formula.path.interval.is_bounded
+
+    def test_until_without_interval_is_unbounded(self):
+        formula = parse_csl("P[>0](a U b)")
+        assert formula.path.interval.upper == math.inf
+
+
+class TestMfcslParsing:
+    def test_tt_and_ff(self):
+        assert parse_mfcsl("tt") == MfTrue()
+        assert parse_mfcsl("ff") == MfNot(MfTrue())
+
+    def test_expectation(self):
+        assert parse_mfcsl("E[>0.8](infected)") == Expectation(
+            Bound(">", 0.8), Atomic("infected")
+        )
+
+    def test_expected_steady_state(self):
+        assert parse_mfcsl("ES[>=0.1](infected)") == ExpectedSteadyState(
+            Bound(">=", 0.1), Atomic("infected")
+        )
+
+    def test_expected_probability(self):
+        formula = parse_mfcsl("EP[<0.4](infected U[0,5] not_infected)")
+        assert formula == ExpectedProbability(
+            Bound("<", 0.4),
+            Until(TimeInterval(0, 5), Atomic("infected"), Atomic("not_infected")),
+        )
+
+    def test_boolean_structure(self):
+        formula = parse_mfcsl("!E[<0.1](a) & tt | E[>0.9](b)")
+        assert isinstance(formula, MfOr)
+        assert isinstance(formula.left, MfAnd)
+        assert isinstance(formula.left.left, MfNot)
+
+    def test_paper_example_2_conjunction(self):
+        text = (
+            "E[>0.8](P[>0.9](infected U[0,15] "
+            "(P[>0.8](tt U[0,0.5] infected)))) & E[<0.1](active)"
+        )
+        formula = parse_mfcsl(text)
+        assert isinstance(formula, MfAnd)
+        assert isinstance(formula.right, Expectation)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "&",
+            "a &",
+            "P[<0.3]",
+            "P[0.3](a U[0,1] b)",
+            "P[<0.3](a U[0,1])",
+            "P[<2](a U[0,1] b)",  # threshold out of range
+            "P[<0.3](a U[5,1] b)",  # empty interval
+            "a b",
+            "E[<0.5](a",
+            "EP[<0.5](a)",  # EP needs a path formula
+            "P[<0.5](X)",
+        ],
+    )
+    def test_rejects_malformed_csl_or_mfcsl(self, text):
+        with pytest.raises(ParseError):
+            # Try both entry points; each must reject.
+            try:
+                parse_csl(text)
+            except ParseError:
+                parse_mfcsl(text)
+                return
+            parse_mfcsl(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_csl("a & & b")
+        assert info.value.position is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_mfcsl("E[<0.5](a) extra")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_csl("a @ b")
+
+
+class TestPathEntryPoint:
+    def test_until(self):
+        path = parse_path("a U[0,3] b")
+        assert isinstance(path, Until)
+
+    def test_next(self):
+        path = parse_path("X[0,1] b")
+        assert isinstance(path, Next)
+
+    def test_rejects_state_formula(self):
+        with pytest.raises(ParseError):
+            parse_path("a & b")

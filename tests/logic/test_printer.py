@@ -1,0 +1,73 @@
+"""Tests for the pretty-printer and parse/print round-trips."""
+
+import pytest
+
+from repro.exceptions import FormulaError
+from repro.logic.ast import (
+    Atomic,
+    Bound,
+    Next,
+    Probability,
+    TimeInterval,
+)
+from repro.logic.parser import parse_csl, parse_mfcsl
+from repro.logic.printer import format_formula
+
+CSL_EXAMPLES = [
+    "tt",
+    "infected",
+    "!infected",
+    "a & b",
+    "a | b & !c",
+    "P[<0.3](not_infected U[0,1] infected)",
+    "P[>=0.5](X[0,2] active)",
+    "S[>0.9](up)",
+    "P[>0.9](infected U[0,15] (P[>0.8](tt U[0,0.5] infected)))",
+    "S[<=0.2](P[>0.1](a U[1,4] b))",
+]
+
+MFCSL_EXAMPLES = [
+    "tt",
+    "E[>0.8](infected)",
+    "ES[>=0.1](infected)",
+    "EP[<0.4](infected U[0,5] not_infected)",
+    "!E[<0.1](a) & E[>0.9](b) | tt",
+    "E[>0.8](P[>0.9](infected U[0,15] (P[>0.8](tt U[0,0.5] infected))))"
+    " & E[<0.1](active)",
+    "EP[<0.5](X[0,1] infected)",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", CSL_EXAMPLES)
+    def test_csl_round_trip(self, text):
+        formula = parse_csl(text)
+        assert parse_csl(format_formula(formula)) == formula
+
+    @pytest.mark.parametrize("text", MFCSL_EXAMPLES)
+    def test_mfcsl_round_trip(self, text):
+        formula = parse_mfcsl(text)
+        assert parse_mfcsl(format_formula(formula)) == formula
+
+    def test_double_round_trip_is_stable(self):
+        formula = parse_mfcsl(MFCSL_EXAMPLES[5])
+        once = format_formula(formula)
+        twice = format_formula(parse_mfcsl(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_unbounded_interval_printed_as_inf(self):
+        formula = Probability(
+            Bound(">", 0.0),
+            Next(TimeInterval(0.0, float("inf")), Atomic("a")),
+        )
+        assert "inf" in format_formula(formula)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(FormulaError):
+            format_formula(object())
+
+    def test_str_dunders_are_parseable(self):
+        formula = parse_csl("P[<0.3](a U[0,1] b)")
+        assert parse_csl(str(formula)) == formula

@@ -1,0 +1,105 @@
+"""Tests for the discrete-time mean-field layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidStateError, ModelError
+from repro.meanfield.discrete import DiscreteLocalModel, DiscreteMeanFieldModel
+
+
+@pytest.fixture
+def local() -> DiscreteLocalModel:
+    """Discrete gossip-like model: informed fraction drives spreading."""
+    return DiscreteLocalModel(
+        states=("ignorant", "informed"),
+        transitions={("ignorant", "informed"): lambda m: 0.5 * m[1]},
+        labels={"ignorant": ["uninformed"], "informed": ["informed"]},
+    )
+
+
+@pytest.fixture
+def model(local) -> DiscreteMeanFieldModel:
+    return DiscreteMeanFieldModel(local)
+
+
+class TestDiscreteLocalModel:
+    def test_structure(self, local):
+        assert local.num_states == 2
+        assert local.index("informed") == 1
+        assert local.states_with_label("informed") == frozenset({1})
+        assert local.labels_of("ignorant") == frozenset({"uninformed"})
+
+    def test_unknown_state(self, local):
+        with pytest.raises(InvalidStateError):
+            local.index("ghost")
+
+    def test_matrix_is_stochastic(self, local):
+        p = local.matrix(np.array([0.6, 0.4]))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p[0, 1] == pytest.approx(0.2)
+        assert p[0, 0] == pytest.approx(0.8)
+        assert p[1, 1] == 1.0
+
+    def test_constant_probability_validated(self):
+        with pytest.raises(ModelError):
+            DiscreteLocalModel(("a", "b"), {("a", "b"): 1.5}, {})
+
+    def test_overfull_row_raises_on_evaluation(self):
+        local = DiscreteLocalModel(
+            ("a", "b", "c"),
+            {("a", "b"): lambda m: 0.8, ("a", "c"): lambda m: 0.8},
+            {},
+        )
+        with pytest.raises(ModelError):
+            local.matrix(np.array([1.0, 0.0, 0.0]))
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteLocalModel(("a", "a"), {}, {})
+
+
+class TestRecursion:
+    def test_step_moves_mass(self, model):
+        m1 = model.step(np.array([0.9, 0.1]))
+        assert m1[1] > 0.1
+        assert m1.sum() == pytest.approx(1.0)
+
+    def test_iterate_shape(self, model):
+        out = model.iterate(np.array([0.9, 0.1]), steps=10)
+        assert out.shape == (11, 2)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_iterate_monotone_spread(self, model):
+        out = model.iterate(np.array([0.9, 0.1]), steps=50)
+        informed = out[:, 1]
+        assert np.all(np.diff(informed) >= -1e-12)
+
+    def test_matrices_along(self, model):
+        iterates = model.iterate(np.array([0.9, 0.1]), steps=5)
+        mats = model.matrices_along(iterates)
+        assert len(mats) == 5
+        for p in mats:
+            assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_fixed_point_everyone_informed(self, model):
+        fp = model.fixed_point(np.array([0.9, 0.1]))
+        assert fp[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_fixed_point_no_spread_from_zero(self, model):
+        fp = model.fixed_point(np.array([1.0, 0.0]))
+        assert fp[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_steps_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.iterate(np.array([0.5, 0.5]), steps=-1)
+
+    def test_nonconvergent_raises(self):
+        # Deterministic two-state flip-flop oscillates forever.
+        local = DiscreteLocalModel(
+            ("a", "b"),
+            {("a", "b"): 1.0, ("b", "a"): 1.0},
+            {},
+        )
+        model = DiscreteMeanFieldModel(local)
+        with pytest.raises(ModelError):
+            model.fixed_point(np.array([1.0, 0.0]), max_steps=100)

@@ -1,0 +1,154 @@
+"""Tests for ordinary lumpability and quotient models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.meanfield import MeanFieldModel
+from repro.meanfield.local_model import LocalModelBuilder
+from repro.meanfield.lumping import (
+    Lumping,
+    find_lumping,
+    label_partition,
+    lumped_mean_field,
+)
+
+
+@pytest.fixture
+def symmetric_model() -> MeanFieldModel:
+    """Two fully symmetric 'infected' states: lumpable by construction.
+
+    clean -> inf_a / inf_b at equal occupancy-dependent rates, identical
+    recovery; inf_a and inf_b carry identical labels.
+    """
+    infect = lambda m: 0.5 * (m[1] + m[2])
+    builder = (
+        LocalModelBuilder()
+        .state("clean", "healthy")
+        .state("inf_a", "infected")
+        .state("inf_b", "infected")
+        .transition("clean", "inf_a", infect)
+        .transition("clean", "inf_b", infect)
+        .transition("inf_a", "clean", 1.0)
+        .transition("inf_b", "clean", 1.0)
+    )
+    return MeanFieldModel(builder.build())
+
+
+@pytest.fixture
+def asymmetric_model() -> MeanFieldModel:
+    """Same labels, different recovery rates: NOT lumpable."""
+    builder = (
+        LocalModelBuilder()
+        .state("clean", "healthy")
+        .state("inf_a", "infected")
+        .state("inf_b", "infected")
+        .transition("clean", "inf_a", 0.3)
+        .transition("clean", "inf_b", 0.3)
+        .transition("inf_a", "clean", 1.0)
+        .transition("inf_b", "clean", 2.0)
+    )
+    return MeanFieldModel(builder.build())
+
+
+class TestLabelPartition:
+    def test_groups_by_labels(self, symmetric_model):
+        partition = label_partition(symmetric_model.local)
+        assert partition == [[0], [1, 2]]
+
+    def test_virus_model_all_distinct(self, virus1):
+        partition = label_partition(virus1.local)
+        assert partition == [[0], [1], [2]]
+
+
+class TestFindLumping:
+    def test_symmetric_states_lumped(self, symmetric_model):
+        lumping = find_lumping(symmetric_model.local)
+        assert lumping.blocks == ((0,), (1, 2))
+        assert not lumping.is_trivial
+        assert lumping.quotient.num_states == 2
+
+    def test_asymmetric_states_not_lumped(self, asymmetric_model):
+        lumping = find_lumping(asymmetric_model.local)
+        assert lumping.is_trivial
+
+    def test_virus_model_trivial(self, virus1):
+        lumping = find_lumping(virus1.local)
+        assert lumping.is_trivial
+
+    def test_block_of_and_occupancy_maps(self, symmetric_model):
+        lumping = find_lumping(symmetric_model.local)
+        assert lumping.block_of(0) == 0
+        assert lumping.block_of(1) == lumping.block_of(2) == 1
+        m = np.array([0.5, 0.3, 0.2])
+        lumped = lumping.lump_occupancy(m)
+        assert np.allclose(lumped, [0.5, 0.5])
+        lifted = lumping.lift_occupancy(lumped)
+        assert np.allclose(lifted, [0.5, 0.25, 0.25])
+
+    def test_lift_validates_length(self, symmetric_model):
+        lumping = find_lumping(symmetric_model.local)
+        with pytest.raises(ModelError):
+            lumping.lift_occupancy(np.array([1.0, 0.0, 0.0]))
+
+    def test_probe_count_validated(self, symmetric_model):
+        with pytest.raises(ModelError):
+            find_lumping(symmetric_model.local, probes=1)
+
+
+class TestQuotientDynamics:
+    def test_quotient_trajectory_matches_projection(self, symmetric_model):
+        """The acid test: integrating the quotient equals projecting the
+        full flow (for every t)."""
+        lumping = find_lumping(symmetric_model.local)
+        quotient = lumped_mean_field(symmetric_model, lumping)
+        m0 = np.array([0.6, 0.3, 0.1])
+        full_traj = symmetric_model.trajectory(m0, horizon=8.0)
+        lumped_traj = quotient.trajectory(
+            lumping.lump_occupancy(m0), horizon=8.0
+        )
+        for t in (0.5, 2.0, 5.0, 8.0):
+            assert np.allclose(
+                lumping.lump_occupancy(full_traj(t)),
+                lumped_traj(t),
+                atol=1e-8,
+            ), f"t={t}"
+
+    def test_quotient_labels(self, symmetric_model):
+        lumping = find_lumping(symmetric_model.local)
+        quotient = lumping.quotient
+        assert quotient.states_with_label("infected") == frozenset({1})
+        assert quotient.states_with_label("healthy") == frozenset({0})
+
+    def test_quotient_checking_agrees(self, symmetric_model):
+        """MF-CSL verdicts transfer between the full and lumped models
+        for label formulas."""
+        from repro.checking import MFModelChecker
+
+        lumping = find_lumping(symmetric_model.local)
+        quotient = lumped_mean_field(symmetric_model, lumping)
+        m0 = np.array([0.6, 0.3, 0.1])
+        m0_lumped = lumping.lump_occupancy(m0)
+        full = MFModelChecker(symmetric_model)
+        lumped = MFModelChecker(quotient)
+        formula = "EP[<0.9](healthy U[0,2] infected)"
+        assert full.value(formula, m0) == pytest.approx(
+            lumped.value(formula, m0_lumped), abs=1e-7
+        )
+
+    def test_intra_block_dependence_rejected(self):
+        """Rates reading an individual member of a would-be block force
+        the trivial lumping (quotient would be ill-defined)."""
+        builder = (
+            LocalModelBuilder()
+            .state("clean", "healthy")
+            .state("inf_a", "infected")
+            .state("inf_b", "infected")
+            # depends on m[1] alone, not on the block total m[1]+m[2]
+            .transition("clean", "inf_a", lambda m: 0.5 * m[1])
+            .transition("clean", "inf_b", lambda m: 0.5 * m[1])
+            .transition("inf_a", "clean", 1.0)
+            .transition("inf_b", "clean", 1.0)
+        )
+        lumping = find_lumping(builder.build())
+        assert lumping.is_trivial

@@ -1,0 +1,94 @@
+"""Tests for OccupancyTrajectory (Equation (1) solutions)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.exceptions import ModelError
+from repro.meanfield.ode import OccupancyTrajectory
+from repro.models.virus import SETTING_1, overall_ode_matrix, virus_model
+
+
+@pytest.fixture
+def linear_drift():
+    """The Setting-1 virus overall ODE, which is linear: ṁ = m A."""
+    a = overall_ode_matrix(SETTING_1)
+    return a, (lambda t, m: m @ a)
+
+
+class TestAgainstClosedForm:
+    def test_matches_matrix_exponential(self, linear_drift):
+        a, drift = linear_drift
+        m0 = np.array([0.8, 0.15, 0.05])
+        traj = OccupancyTrajectory(drift, m0, horizon=10.0)
+        for t in (0.5, 2.0, 7.5, 10.0):
+            exact = m0 @ expm(a * t)
+            assert np.allclose(traj(t), exact, atol=1e-8), f"t={t}"
+
+    def test_initial_returned_exactly(self, linear_drift):
+        _, drift = linear_drift
+        m0 = np.array([0.5, 0.25, 0.25])
+        traj = OccupancyTrajectory(drift, m0, horizon=1.0)
+        assert np.allclose(traj(0.0), m0)
+
+    def test_model_trajectory_matches_closed_form(self):
+        """Full-stack check: MeanFieldModel -> trajectory vs expm."""
+        a = overall_ode_matrix(SETTING_1)
+        model = virus_model(SETTING_1)
+        m0 = np.array([0.8, 0.15, 0.05])
+        traj = model.trajectory(m0, horizon=20.0)
+        for t in (1.0, 5.0, 14.0, 20.0):
+            exact = m0 @ expm(a * t)
+            assert np.allclose(traj(t), exact, atol=1e-7), f"t={t}"
+
+
+class TestLazyExtension:
+    def test_extends_past_horizon(self, linear_drift):
+        a, drift = linear_drift
+        m0 = np.array([0.8, 0.15, 0.05])
+        traj = OccupancyTrajectory(drift, m0, horizon=1.0)
+        value = traj(8.0)  # requires two extensions
+        exact = m0 @ expm(a * 8.0)
+        assert np.allclose(value, exact, atol=1e-7)
+        assert traj.horizon >= 8.0
+
+    def test_max_horizon_enforced(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(
+            drift, np.array([1.0, 0.0, 0.0]), horizon=1.0, max_horizon=5.0
+        )
+        with pytest.raises(ModelError):
+            traj(100.0)
+
+    def test_negative_time_rejected(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([1.0, 0.0, 0.0]), horizon=1.0)
+        with pytest.raises(ModelError):
+            traj(-0.5)
+
+
+class TestSimplexInvariance:
+    def test_stays_normalized(self, linear_drift):
+        _, drift = linear_drift
+        m0 = np.array([0.34, 0.33, 0.33])
+        traj = OccupancyTrajectory(drift, m0, horizon=30.0)
+        for t in np.linspace(0, 30, 13):
+            m = traj(t)
+            assert m.sum() == pytest.approx(1.0, abs=1e-9)
+            assert np.all(m >= 0.0)
+
+
+class TestGrid:
+    def test_grid_shape(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([1.0, 0.0, 0.0]), horizon=5.0)
+        times, values = traj.grid(5.0, num=11)
+        assert times.shape == (11,)
+        assert values.shape == (11, 3)
+        assert np.allclose(values[0], [1.0, 0.0, 0.0])
+
+    def test_grid_rejects_tiny_num(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([1.0, 0.0, 0.0]), horizon=5.0)
+        with pytest.raises(ModelError):
+            traj.grid(5.0, num=1)

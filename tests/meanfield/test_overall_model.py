@@ -1,0 +1,86 @@
+"""Tests for MeanFieldModel and occupancy validation (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidOccupancyError
+from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
+
+
+class TestValidateOccupancy:
+    def test_valid_vector(self):
+        m = validate_occupancy(np.array([0.5, 0.3, 0.2]), 3)
+        assert m.sum() == pytest.approx(1.0)
+
+    def test_list_input(self):
+        m = validate_occupancy([0.5, 0.5], 2)
+        assert isinstance(m, np.ndarray)
+
+    def test_wrong_length(self):
+        with pytest.raises(InvalidOccupancyError):
+            validate_occupancy([0.5, 0.5], 3)
+
+    def test_negative_entry(self):
+        with pytest.raises(InvalidOccupancyError):
+            validate_occupancy([-0.2, 1.2], 2)
+
+    def test_bad_sum(self):
+        with pytest.raises(InvalidOccupancyError):
+            validate_occupancy([0.5, 0.2], 2)
+
+    def test_non_finite(self):
+        with pytest.raises(InvalidOccupancyError):
+            validate_occupancy([np.nan, 1.0], 2)
+
+    def test_tiny_negative_clipped(self):
+        m = validate_occupancy([1.0 + 1e-9, -1e-9], 2)
+        assert np.all(m >= 0.0)
+        assert m.sum() == pytest.approx(1.0)
+
+
+class TestMeanFieldModel:
+    def test_drift_preserves_total_mass(self, virus1):
+        m = np.array([0.8, 0.15, 0.05])
+        drift = virus1.drift(0.0, m)
+        assert drift.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_drift_matches_paper_ode_21(self, virus1):
+        """The drift must equal the paper's explicit ODE system (21)."""
+        k1, k2, k3, k4, k5 = 0.9, 0.1, 0.01, 0.3, 0.3
+        m = np.array([0.8, 0.15, 0.05])
+        expected = np.array(
+            [
+                -k1 * m[2] + k2 * m[1] + k5 * m[2],
+                (k1 + k4) * m[2] - (k2 + k3) * m[1],
+                k3 * m[1] - (k4 + k5) * m[2],
+            ]
+        )
+        assert np.allclose(virus1.drift(0.0, m), expected, atol=1e-12)
+
+    def test_trajectory_validates_initial(self, virus1):
+        with pytest.raises(InvalidOccupancyError):
+            virus1.trajectory(np.array([0.5, 0.1, 0.1]))
+
+    def test_generator_along_trajectory(self, virus1):
+        m0 = np.array([0.8, 0.15, 0.05])
+        traj = virus1.trajectory(m0, horizon=5.0)
+        q_of_t = virus1.generator_along(traj)
+        q0 = q_of_t(0.0)
+        # At time zero the infection rate is k1 * m3 / m1.
+        assert q0[0, 1] == pytest.approx(0.9 * 0.05 / 0.8, rel=1e-9)
+        q5 = q_of_t(5.0)
+        assert q5[0, 1] != pytest.approx(q0[0, 1])
+
+    def test_occupancy_of_counts(self, virus1):
+        occ = virus1.occupancy_of_counts(np.array([80, 15, 5]))
+        assert np.allclose(occ, [0.8, 0.15, 0.05])
+
+    def test_occupancy_of_counts_rejects_zero(self, virus1):
+        with pytest.raises(InvalidOccupancyError):
+            virus1.occupancy_of_counts(np.zeros(3))
+
+    def test_num_states(self, virus1):
+        assert virus1.num_states == 3
+
+    def test_repr(self, virus1):
+        assert "MeanFieldModel" in repr(virus1)

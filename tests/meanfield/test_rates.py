@@ -1,0 +1,66 @@
+"""Tests for rate-specification normalization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidRateError
+from repro.meanfield.rates import (
+    evaluate_rate,
+    is_constant_rate,
+    normalize_rate,
+)
+
+
+class TestNormalize:
+    def test_constant(self):
+        rate = normalize_rate(2.5)
+        assert rate(np.array([1.0]), 0.0) == 2.5
+        assert rate(np.array([0.3]), 99.0) == 2.5
+
+    def test_integer_constant(self):
+        rate = normalize_rate(3)
+        assert rate(np.zeros(2), 0.0) == 3.0
+
+    def test_occupancy_only_callable(self):
+        rate = normalize_rate(lambda m: 2.0 * m[0])
+        assert rate(np.array([0.5, 0.5]), 7.0) == 1.0
+
+    def test_occupancy_and_time_callable(self):
+        rate = normalize_rate(lambda m, t: m[0] + t)
+        assert rate(np.array([0.25]), 1.0) == 1.25
+
+    def test_rejects_negative_constant(self):
+        with pytest.raises(InvalidRateError):
+            normalize_rate(-1.0)
+
+    def test_rejects_infinite_constant(self):
+        with pytest.raises(InvalidRateError):
+            normalize_rate(float("inf"))
+
+    def test_rejects_zero_arg_callable(self):
+        with pytest.raises(InvalidRateError):
+            normalize_rate(lambda: 1.0)
+
+    def test_is_constant_rate(self):
+        assert is_constant_rate(1.0)
+        assert not is_constant_rate(lambda m: m[0])
+
+
+class TestEvaluate:
+    def test_valid_value(self):
+        rate = normalize_rate(lambda m: m[0] * 2)
+        assert evaluate_rate(rate, np.array([0.5]), 0.0) == 1.0
+
+    def test_negative_evaluation_raises(self):
+        rate = normalize_rate(lambda m: -1.0)
+        with pytest.raises(InvalidRateError):
+            evaluate_rate(rate, np.array([0.5]), 0.0)
+
+    def test_nan_evaluation_raises(self):
+        rate = normalize_rate(lambda m: float("nan"))
+        with pytest.raises(InvalidRateError):
+            evaluate_rate(rate, np.array([0.5]), 0.0)
+
+    def test_roundoff_negative_clamped(self):
+        rate = normalize_rate(lambda m: -1e-12)
+        assert evaluate_rate(rate, np.array([0.5]), 0.0) == 0.0

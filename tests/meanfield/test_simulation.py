@@ -1,0 +1,99 @@
+"""Tests for the finite-N Gillespie simulator (Kurtz convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.meanfield.simulation import FiniteNSimulator, occupancy_rmse
+
+
+class TestInitialCounts:
+    def test_exact_fractions(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 100)
+        counts = sim.initial_counts([0.8, 0.15, 0.05])
+        assert counts.tolist() == [80, 15, 5]
+
+    def test_rounding_preserves_total(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 97)
+        counts = sim.initial_counts([0.8, 0.15, 0.05])
+        assert counts.sum() == 97
+        assert np.all(counts >= 0)
+
+    def test_wrong_length_rejected(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 10)
+        with pytest.raises(ModelError):
+            sim.initial_counts([0.5, 0.5])
+
+    def test_population_must_be_positive(self, virus1):
+        with pytest.raises(ModelError):
+            FiniteNSimulator(virus1.local, 0)
+
+
+class TestSimulate:
+    def test_occupancies_stay_on_discrete_simplex(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        emp = sim.simulate(
+            [0.8, 0.15, 0.05], 3.0, rng=np.random.default_rng(0)
+        )
+        for occ in emp.occupancies:
+            assert occ.sum() == pytest.approx(1.0)
+            scaled = occ * 50
+            assert np.allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_callable_interface(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        emp = sim.simulate(
+            [0.8, 0.15, 0.05], 3.0, rng=np.random.default_rng(1)
+        )
+        assert emp(0.0).tolist() == emp.occupancies[0].tolist()
+        assert emp(3.0).tolist() == emp.occupancies[-1].tolist()
+        with pytest.raises(ModelError):
+            emp(10.0)
+
+    def test_negative_horizon_rejected(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        with pytest.raises(ModelError):
+            sim.simulate([0.8, 0.15, 0.05], -1.0)
+
+    def test_ensemble_is_reproducible(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 30)
+        runs_a = sim.simulate_ensemble([0.8, 0.15, 0.05], 2.0, runs=3, seed=5)
+        runs_b = sim.simulate_ensemble([0.8, 0.15, 0.05], 2.0, runs=3, seed=5)
+        for a, b in zip(runs_a, runs_b):
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.occupancies, b.occupancies)
+
+    def test_ensemble_rejects_zero_runs(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 30)
+        with pytest.raises(ModelError):
+            sim.simulate_ensemble([0.8, 0.15, 0.05], 2.0, runs=0)
+
+
+class TestKurtzConvergence:
+    def test_error_decreases_with_population(self, virus1):
+        """The heart of the mean-field method: empirical occupancies
+        approach the ODE solution as N grows (Theorem 1)."""
+        m0 = [0.8, 0.15, 0.05]
+        horizon = 4.0
+        trajectory = virus1.trajectory(np.array(m0), horizon=horizon)
+
+        def mean_rmse(n: int, runs: int = 5) -> float:
+            sim = FiniteNSimulator(virus1.local, n)
+            ensemble = sim.simulate_ensemble(m0, horizon, runs=runs, seed=11)
+            return float(
+                np.mean([occupancy_rmse(e, trajectory) for e in ensemble])
+            )
+
+        small = mean_rmse(50)
+        large = mean_rmse(2000)
+        assert large < small
+        # ~ 1/sqrt(N) scaling: a 40x population should shrink the error
+        # by well over 2x.
+        assert large < small / 2.0
+
+    def test_large_population_is_close(self, virus1):
+        m0 = [0.8, 0.15, 0.05]
+        trajectory = virus1.trajectory(np.array(m0), horizon=4.0)
+        sim = FiniteNSimulator(virus1.local, 5000)
+        emp = sim.simulate(m0, 4.0, rng=np.random.default_rng(2))
+        assert occupancy_rmse(emp, trajectory) < 0.02

@@ -1,0 +1,84 @@
+"""Tests for the botnet model."""
+
+import numpy as np
+import pytest
+
+from repro.checking import MFModelChecker
+from repro.exceptions import ModelError
+from repro.meanfield.stationary import find_fixed_point
+from repro.models.botnet import BotnetParameters, botnet_model
+
+
+@pytest.fixture
+def model():
+    return botnet_model()
+
+
+class TestStructure:
+    def test_five_states(self, model):
+        assert model.num_states == 5
+        assert model.local.states == (
+            "clean",
+            "dormant",
+            "connected",
+            "active",
+            "quarantined",
+        )
+
+    def test_labels(self, model):
+        local = model.local
+        assert local.states_with_label("infected") == frozenset({1, 2, 3})
+        assert local.states_with_label("propagating") == frozenset({2, 3})
+        assert local.states_with_label("bot") == frozenset({2, 3})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            BotnetParameters(attack=-0.5)
+
+
+class TestDynamics:
+    def test_no_bots_no_infection(self, model):
+        m0 = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        traj = model.trajectory(m0, horizon=5.0)
+        assert np.allclose(traj(5.0), m0, atol=1e-8)
+
+    def test_epidemic_from_seed(self, model):
+        m0 = np.array([0.94, 0.02, 0.02, 0.02, 0.0])
+        traj = model.trajectory(m0, horizon=30.0)
+        m_end = traj(30.0)
+        infected = m_end[1] + m_end[2] + m_end[3]
+        assert infected > 0.1
+
+    def test_endemic_fixed_point_exists(self, model):
+        m0 = np.array([0.9, 0.03, 0.03, 0.04, 0.0])
+        traj = model.trajectory(m0, horizon=300.0)
+        candidate = traj(300.0)
+        fp = find_fixed_point(model, candidate, residual_tol=1e-7)
+        assert fp.occupancy[0] > 0.0  # clean machines persist (reimaging)
+        assert fp.occupancy[2] + fp.occupancy[3] > 0.0
+
+    def test_strong_defense_eradicates(self):
+        strong = botnet_model(
+            BotnetParameters(
+                attack=0.1,
+                detect_dormant=1.0,
+                detect_connected=1.0,
+                detect_active=2.0,
+            )
+        )
+        m0 = np.array([0.9, 0.05, 0.03, 0.02, 0.0])
+        traj = strong.trajectory(m0, horizon=300.0)
+        m_end = traj(300.0)
+        assert m_end[1] + m_end[2] + m_end[3] < 1e-4
+
+
+class TestChecking:
+    def test_mfcsl_end_to_end(self, model):
+        checker = MFModelChecker(model)
+        m0 = np.array([0.9, 0.04, 0.03, 0.03, 0.0])
+        assert checker.check("E[<0.2](infected)", m0)
+        assert checker.check(
+            "EP[<0.9](clean U[0,1] infected)", m0
+        )
+        report = checker.explain("E[>0.5](clean) & E[<0.1](attacking)", m0)
+        assert all(holds for _, _, holds in report)

@@ -1,0 +1,108 @@
+"""Tests for explicit time dependence (footnote 4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.checking import EvaluationContext, MFModelChecker
+from repro.checking.local import LocalChecker
+from repro.exceptions import ModelError
+from repro.logic.parser import parse_path
+from repro.models.diurnal import (
+    DiurnalParameters,
+    day_factor,
+    diurnal_virus_model,
+)
+
+M0 = np.array([0.9, 0.1])
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        diurnal_virus_model()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"infect": -1.0}, {"period": 0.0}, {"amplitude": 1.0}],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            DiurnalParameters(**kwargs)
+
+
+class TestTimeDependence:
+    def test_generator_varies_with_time_at_fixed_occupancy(self):
+        model = diurnal_virus_model()
+        params = DiurnalParameters()
+        q_day = model.local.generator(M0, t=params.period / 4.0)  # sin = 1
+        q_night = model.local.generator(M0, t=3 * params.period / 4.0)
+        assert q_day[0, 1] > q_night[0, 1]
+        assert q_day[1, 0] > q_night[1, 0]
+
+    def test_day_factor_bounds(self):
+        params = DiurnalParameters(amplitude=0.9)
+        ts = np.linspace(0, params.period, 50)
+        values = [day_factor(params, t) for t in ts]
+        assert min(values) >= 0.1 - 1e-12
+        assert max(values) <= 1.9 + 1e-12
+
+    def test_trajectory_oscillates(self):
+        model = diurnal_virus_model()
+        traj = model.trajectory(M0, horizon=40.0)
+        infected = np.array([traj(t)[1] for t in np.linspace(20, 40, 200)])
+        # After transients, infection keeps oscillating within a band.
+        assert infected.max() - infected.min() > 0.01
+        assert infected.min() > 0.0
+
+
+class TestCheckingWithExplicitTime:
+    def test_until_probability_depends_on_phase(self):
+        """The same until formula gives different probabilities when
+        evaluated at opposite phases of the cycle — the signature of
+        genuine time inhomogeneity."""
+        params = DiurnalParameters()
+        model = diurnal_virus_model(params)
+        ctx = EvaluationContext(model, M0)
+        checker = LocalChecker(ctx)
+        path = parse_path("clean U[0,0.5] infected")
+        curve = checker.path_curve(path, theta=params.period)
+        quarter = params.period / 4.0
+        p_day = curve.value(quarter, 0)
+        p_night = curve.value(3 * quarter, 0)
+        assert p_day != pytest.approx(p_night, abs=1e-4)
+
+    def test_curve_methods_agree_with_time_dependence(self):
+        model = diurnal_virus_model()
+        from repro.checking import CheckOptions
+
+        path = parse_path("clean U[0,0.5] infected")
+        values = {}
+        for method in ("propagate", "recompute"):
+            ctx = EvaluationContext(
+                model, M0, CheckOptions(curve_method=method)
+            )
+            curve = LocalChecker(ctx).path_curve(path, theta=6.0)
+            values[method] = [curve.value(t, 0) for t in (0.0, 2.0, 5.0)]
+        assert np.allclose(
+            values["propagate"], values["recompute"], atol=1e-6
+        )
+
+    def test_statistical_checker_sees_time_dependence(self):
+        from repro.checking.statistical import StatisticalChecker
+
+        model = diurnal_virus_model()
+        ctx = EvaluationContext(model, M0)
+        analytic = LocalChecker(ctx).path_probabilities(
+            parse_path("clean U[0,2] infected")
+        )[0]
+        stat = StatisticalChecker(ctx, samples=3000, seed=21)
+        estimate = stat.path_probability(
+            parse_path("clean U[0,2] infected"), "clean"
+        )
+        lo, hi = estimate.confidence_interval(z=3.5)
+        assert lo <= analytic <= hi
+
+    def test_mfcsl_end_to_end(self):
+        checker = MFModelChecker(diurnal_virus_model())
+        assert checker.check("E[<0.2](infected)", M0)
+        value = checker.value("EP[<1](clean U[0,1] infected)", M0)
+        assert 0.0 < value < 1.0

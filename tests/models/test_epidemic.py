@@ -1,0 +1,74 @@
+"""Tests for the SIS/SIR epidemic models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models.epidemic import (
+    SirParameters,
+    SisParameters,
+    sir_model,
+    sis_model,
+)
+
+
+class TestSis:
+    def test_reproduction_number(self):
+        assert SisParameters(beta=2.0, gamma=1.0).reproduction_number == 2.0
+        assert SisParameters(beta=1.0, gamma=0.0).reproduction_number == float(
+            "inf"
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            SisParameters(beta=-1.0)
+
+    def test_subcritical_dies_out(self):
+        model = sis_model(SisParameters(beta=0.5, gamma=1.0))
+        traj = model.trajectory(np.array([0.5, 0.5]), horizon=100.0)
+        assert traj(100.0)[1] < 1e-6
+
+    def test_supercritical_endemic_level(self):
+        model = sis_model(SisParameters(beta=3.0, gamma=1.0))
+        traj = model.trajectory(np.array([0.99, 0.01]), horizon=100.0)
+        assert traj(100.0)[1] == pytest.approx(1 - 1 / 3.0, abs=1e-6)
+
+    def test_labels(self):
+        local = sis_model().local
+        assert local.states_with_label("infected") == frozenset({1})
+        assert local.states_with_label("healthy") == frozenset({0})
+
+
+class TestSir:
+    def test_classic_sir_depletes_infected(self):
+        model = sir_model(SirParameters(beta=3.0, gamma=1.0, xi=0.0))
+        traj = model.trajectory(np.array([0.99, 0.01, 0.0]), horizon=100.0)
+        m_end = traj(100.0)
+        assert m_end[1] < 1e-4  # epidemic burns out
+        assert m_end[2] > 0.5  # most got infected at some point
+
+    def test_final_size_relation(self):
+        """Classic SIR final size: s_inf = s0 exp(-R0 (1 - s_inf))."""
+        r0 = 2.0
+        model = sir_model(SirParameters(beta=r0, gamma=1.0, xi=0.0))
+        traj = model.trajectory(np.array([0.999, 0.001, 0.0]), horizon=300.0)
+        s_inf = traj(300.0)[0]
+        # Solve the implicit relation numerically for comparison.
+        from scipy.optimize import brentq
+
+        s0 = 0.999
+        implicit = lambda s: s - s0 * np.exp(-r0 * (1.0 - s + 0.001 * 0))
+        # account for initial infected: s_inf = s0 exp(-R0 (1 - s_inf))
+        root = brentq(lambda s: s - s0 * np.exp(-r0 * (1 - s)), 1e-9, 0.9999)
+        assert s_inf == pytest.approx(root, abs=5e-3)
+
+    def test_sirs_has_endemic_state(self):
+        model = sir_model(SirParameters(beta=3.0, gamma=1.0, xi=0.5))
+        traj = model.trajectory(np.array([0.99, 0.01, 0.0]), horizon=300.0)
+        assert traj(300.0)[1] > 0.05  # infection persists
+
+    def test_sir_without_xi_has_two_states_less(self):
+        model = sir_model(SirParameters(xi=0.0))
+        assert len(model.local.transitions) == 2
+        model2 = sir_model(SirParameters(xi=0.1))
+        assert len(model2.local.transitions) == 3

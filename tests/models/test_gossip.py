@@ -1,0 +1,46 @@
+"""Tests for the gossip model."""
+
+import numpy as np
+import pytest
+
+from repro.checking import MFModelChecker
+from repro.exceptions import ModelError
+from repro.models.gossip import GossipParameters, gossip_model
+
+
+class TestGossip:
+    def test_structure(self):
+        local = gossip_model().local
+        assert local.states == ("ignorant", "spreader", "stifler")
+        assert local.states_with_label("informed") == frozenset({1, 2})
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ModelError):
+            GossipParameters(push=-1.0)
+
+    def test_rumour_spreads_then_stops(self):
+        model = gossip_model(GossipParameters(push=1.0, pull=0.5, forget=0.1))
+        traj = model.trajectory(np.array([0.95, 0.05, 0.0]), horizon=200.0)
+        m_end = traj(200.0)
+        # Spreaders die out; most of the population heard the rumour.
+        assert m_end[1] < 1e-4
+        assert m_end[2] > 0.5
+
+    def test_classic_gossip_gap(self):
+        """Not everyone learns the rumour: a positive ignorant residue
+        remains (the classic Daley–Kendall phenomenon)."""
+        model = gossip_model(GossipParameters(push=1.0, pull=0.0, forget=0.0))
+        traj = model.trajectory(np.array([0.9, 0.1, 0.0]), horizon=300.0)
+        assert traj(300.0)[0] > 0.05
+
+    def test_no_spread_without_spreaders(self):
+        model = gossip_model()
+        traj = model.trajectory(np.array([1.0, 0.0, 0.0]), horizon=10.0)
+        assert np.allclose(traj(10.0), [1.0, 0.0, 0.0], atol=1e-9)
+
+    def test_mfcsl_property(self):
+        """MF-CSL works on the gossip model out of the box."""
+        checker = MFModelChecker(gossip_model())
+        m0 = np.array([0.9, 0.1, 0.0])
+        assert checker.check("E[<0.2](informed)", m0)
+        assert checker.check("EP[>0.05](ignorant U[0,2] informed)", m0)

@@ -1,0 +1,88 @@
+"""Tests for the power-of-d load-balancing model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.meanfield.stationary import stationary_from_long_run
+from repro.models.load_balancing import (
+    LoadBalancingParameters,
+    load_balancing_model,
+    theoretical_tail,
+)
+
+
+class TestParameters:
+    def test_rho(self):
+        assert LoadBalancingParameters(lam=0.5, mu=2.0).rho == 0.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lam": -1.0},
+            {"mu": 0.0},
+            {"d": 0},
+            {"buffer": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            LoadBalancingParameters(**kwargs)
+
+
+class TestStructure:
+    def test_state_count(self):
+        model = load_balancing_model(LoadBalancingParameters(buffer=6))
+        assert model.num_states == 7
+
+    def test_labels(self):
+        model = load_balancing_model(LoadBalancingParameters(buffer=4))
+        local = model.local
+        assert local.states_with_label("idle") == frozenset({0})
+        assert local.states_with_label("full") == frozenset({4})
+        assert 4 in local.states_with_label("congested")
+
+
+class TestDynamics:
+    def test_mass_conserved(self):
+        model = load_balancing_model()
+        k = model.num_states
+        m0 = np.zeros(k)
+        m0[0] = 1.0
+        traj = model.trajectory(m0, horizon=20.0)
+        for t in (5.0, 20.0):
+            assert traj(t).sum() == pytest.approx(1.0)
+
+    def test_d1_reduces_to_mm1_tail(self):
+        """d = 1 is plain random routing: geometric stationary queue."""
+        params = LoadBalancingParameters(lam=0.5, mu=1.0, d=1, buffer=10)
+        model = load_balancing_model(params)
+        k = model.num_states
+        m0 = np.full(k, 1.0 / k)
+        steady = stationary_from_long_run(model, m0, drift_tol=1e-10)
+        # M/M/1 with buffer: m_k ∝ rho^k.
+        rho = 0.5
+        expected = rho ** np.arange(k)
+        expected /= expected.sum()
+        assert np.allclose(steady, expected, atol=1e-4)
+
+    def test_power_of_two_tail_decays_doubly_exponentially(self):
+        params = LoadBalancingParameters(lam=0.7, mu=1.0, d=2, buffer=8)
+        model = load_balancing_model(params)
+        k = model.num_states
+        m0 = np.zeros(k)
+        m0[0] = 1.0
+        steady = stationary_from_long_run(model, m0, drift_tol=1e-10)
+        tails = np.array([steady[i:].sum() for i in range(k)])
+        for level in (1, 2, 3):
+            assert tails[level] == pytest.approx(
+                theoretical_tail(params, level), abs=0.02
+            )
+        # d=2 beats d=1 dramatically at deeper levels.
+        assert tails[3] < theoretical_tail(
+            LoadBalancingParameters(lam=0.7, mu=1.0, d=1, buffer=8), 3
+        )
+
+    def test_theoretical_tail_d1(self):
+        params = LoadBalancingParameters(lam=0.7, mu=1.0, d=1)
+        assert theoretical_tail(params, 3) == pytest.approx(0.7**3)

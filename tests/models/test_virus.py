@@ -1,0 +1,114 @@
+"""Tests for the virus running-example model (Figure 2, Table II)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.exceptions import ModelError
+from repro.models.virus import (
+    SETTING_1,
+    SETTING_2,
+    VirusParameters,
+    overall_ode_matrix,
+    virus_model,
+    virus_model_epidemiological,
+)
+
+
+class TestParameters:
+    def test_table_ii_setting_1(self):
+        assert (SETTING_1.k1, SETTING_1.k2, SETTING_1.k3) == (0.9, 0.1, 0.01)
+        assert (SETTING_1.k4, SETTING_1.k5) == (0.3, 0.3)
+
+    def test_table_ii_setting_2(self):
+        assert (SETTING_2.k1, SETTING_2.k2, SETTING_2.k3) == (5.0, 0.02, 0.01)
+        assert (SETTING_2.k4, SETTING_2.k5) == (0.5, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            VirusParameters(k1=-1, k2=0, k3=0, k4=0, k5=0)
+
+
+class TestStructure:
+    def test_states_and_labels(self):
+        local = virus_model().local
+        assert local.states == ("s1", "s2", "s3")
+        assert local.states_with_label("infected") == frozenset({1, 2})
+        assert local.states_with_label("not_infected") == frozenset({0})
+        assert local.states_with_label("active") == frozenset({2})
+        assert local.states_with_label("inactive") == frozenset({1})
+
+    def test_transition_count(self):
+        assert len(virus_model().local.transitions) == 5
+
+    def test_generator_matches_paper_matrix(self):
+        """The Q(m̄(t)) matrix printed in Section VI."""
+        model = virus_model(SETTING_1)
+        m = np.array([0.8, 0.15, 0.05])
+        q = model.local.generator(m)
+        k1_star = 0.9 * 0.05 / 0.8
+        expected = np.array(
+            [
+                [-k1_star, k1_star, 0.0],
+                [0.1, -0.11, 0.01],
+                [0.3, 0.3, -0.6],
+            ]
+        )
+        assert np.allclose(q, expected, atol=1e-12)
+
+
+class TestSmartVirusLinearity:
+    def test_drift_is_linear(self):
+        """k1* = k1 m3/m1 makes the overall ODE linear: ṁ = m A."""
+        model = virus_model(SETTING_1)
+        a = overall_ode_matrix(SETTING_1)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            m = rng.dirichlet(np.ones(3)) * 0.98 + 0.005
+            m = m / m.sum()
+            assert np.allclose(model.drift(0.0, m), m @ a, atol=1e-9)
+
+    def test_closed_form_trajectory(self):
+        model = virus_model(SETTING_1)
+        a = overall_ode_matrix(SETTING_1)
+        m0 = np.array([0.8, 0.15, 0.05])
+        traj = model.trajectory(m0, horizon=15.0)
+        assert np.allclose(traj(15.0), m0 @ expm(a * 15.0), atol=1e-7)
+
+
+class TestEpidemiologicalVariant:
+    def test_infection_rate_no_division(self):
+        model = virus_model_epidemiological(SETTING_1)
+        m = np.array([0.8, 0.15, 0.05])
+        q = model.local.generator(m)
+        assert q[0, 1] == pytest.approx(0.9 * 0.05)
+
+    def test_drift_is_nonlinear(self):
+        model = virus_model_epidemiological(SETTING_1)
+        m = np.array([0.5, 0.25, 0.25])
+        half = model.drift(0.0, m)
+        # Scaling the infected fraction scales the infection term
+        # quadratically, so drift(m)[0] is not linear in m.
+        m2 = np.array([0.5, 0.0, 0.5])
+        # In the smart model d m1 = -k1 m3 + ...; here -k1 m3 m1.
+        assert half[0] != pytest.approx((m @ overall_ode_matrix(SETTING_1))[0])
+
+    def test_setting2_defaults(self):
+        model = virus_model_epidemiological(SETTING_2)
+        assert model.num_states == 3
+
+
+class TestDynamics:
+    def test_setting1_virus_dies_out(self):
+        model = virus_model(SETTING_1)
+        traj = model.trajectory(np.array([0.8, 0.15, 0.05]), horizon=200.0)
+        m_end = traj(200.0)
+        assert m_end[0] > 0.99
+
+    def test_setting2_infection_spreads(self):
+        """Setting 2 is supercritical: infection grows from the start."""
+        model = virus_model(SETTING_2)
+        traj = model.trajectory(np.array([0.85, 0.1, 0.05]), horizon=15.0)
+        infected_start = 0.15
+        m15 = traj(15.0)
+        assert m15[1] + m15[2] > infected_start * 2

@@ -1,0 +1,114 @@
+"""Reproduction of the paper's first worked example (Section VI).
+
+Formula: Ψ = EP_{<0.3}(not_infected U[0,1] infected), Setting 1,
+m̄ = (0.8, 0.15, 0.05).
+
+The paper's printed intermediate values are internally inconsistent with
+its own Table II + ODE (21) (see EXPERIMENTS.md): with the printed
+parameters the infection *decays*, giving Π'_{s1,s1}(0,1) ≈ 0.958 rather
+than the paper's 0.91.  These tests therefore pin down our *measured*
+values (regression-locked) and assert every conclusion that is
+parameter-independent — most importantly the satisfaction verdict itself,
+which agrees with the paper under both until-start conventions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking import CheckOptions, MFModelChecker
+from repro.checking.reachability import until_probabilities_simple
+from repro.checking.transform import absorbing_generator_function
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+from repro.logic.ast import TimeInterval
+from repro.models.virus import SETTING_1, virus_model
+
+FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+M0 = np.array([0.8, 0.15, 0.05])
+
+NOT_INFECTED = frozenset({0})
+INFECTED = frozenset({1, 2})
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return MFModelChecker(virus_model(SETTING_1))
+
+
+@pytest.fixture(scope="module")
+def paper_checker():
+    """Checker using the convention the paper's Example 1 computes."""
+    return MFModelChecker(
+        virus_model(SETTING_1), CheckOptions(start_convention="phi1")
+    )
+
+
+class TestReachabilityMatrix:
+    def test_transient_matrix_structure(self, checker):
+        """Π'(0,1) of the modified chain: infected states absorbing.
+
+        Paper prints ((0.91, 0.09, 0), (0, 1, 0), (0, 0, 1)); with the
+        printed Table II parameters the measured value of the (s1, s1)
+        entry is 0.9585 (regression-locked).
+        """
+        ctx = checker.context(M0)
+        q_mod = absorbing_generator_function(
+            ctx.generator_function(), INFECTED
+        )
+        pi = solve_forward_kolmogorov(q_mod, 0.0, 1.0)
+        # Absorbing rows are exact identity rows.
+        assert np.allclose(pi[1], [0.0, 1.0, 0.0], atol=1e-12)
+        assert np.allclose(pi[2], [0.0, 0.0, 1.0], atol=1e-12)
+        # Rows are stochastic.
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-9)
+        # Measured value with the printed parameters.
+        assert pi[0, 0] == pytest.approx(0.957645, abs=1e-4)
+        # Mass leaving s1 lands in s2 only (s1 has a single transition).
+        assert pi[0, 2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_prob_per_state_phi1_convention(self, paper_checker):
+        """Paper: Prob = (0.09, 0, 0); measured: (0.0424, 0, 0)."""
+        ctx = paper_checker.context(M0)
+        probs = until_probabilities_simple(
+            ctx, NOT_INFECTED, INFECTED, TimeInterval(0, 1)
+        )
+        assert probs[0] == pytest.approx(0.042355, abs=1e-4)
+        assert probs[1] == 0.0
+        assert probs[2] == 0.0
+
+
+class TestExpectedProbability:
+    def test_value_phi1_convention(self, paper_checker):
+        """Paper computes 0.8·0.09 = 0.072; we measure 0.8·0.0416."""
+        value = paper_checker.value(FORMULA, M0)
+        assert value == pytest.approx(0.8 * 0.042355, abs=1e-4)
+
+    def test_value_standard_convention(self, checker):
+        """Definition-4 semantics adds the infected mass (0.2)."""
+        value = checker.value(FORMULA, M0)
+        assert value == pytest.approx(0.2 + 0.8 * 0.042355, abs=1e-4)
+
+    def test_verdict_matches_paper_either_way(self, checker, paper_checker):
+        """Both conventions agree with the paper's verdict: m̄ ⊨ Ψ."""
+        assert checker.check(FORMULA, M0)
+        assert paper_checker.check(FORMULA, M0)
+
+
+class TestConditionalSatSet:
+    def test_formula_holds_on_whole_horizon(self, checker, paper_checker):
+        """Paper claims cSat = [0, 14.5412); with the printed Table II
+        parameters the infection decays monotonically, so the EP value
+        never rises to 0.3 and the formula holds on all of [0, 20]
+        (measured; see EXPERIMENTS.md for the discrepancy analysis)."""
+        for chk in (checker, paper_checker):
+            result = chk.conditional_sat(FORMULA, M0, 20.0)
+            assert result.approx_equal(
+                chk.conditional_sat("tt", M0, 20.0), tol=1e-9
+            )
+
+    def test_ep_curve_decreases(self, checker):
+        g = checker.expected_probability_curve(
+            "not_infected U[0,1] infected", M0, 20.0
+        )
+        values = [g(t) for t in (0.0, 5.0, 10.0, 20.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert max(values) < 0.3

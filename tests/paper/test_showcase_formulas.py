@@ -1,0 +1,97 @@
+"""The three showcase MF-CSL formulas of Section III, Example 2.
+
+1. E_{>0.8}(infected)      — "the system is infected";
+2. ES_{>=0.1}(infected)    — steady-state infection level;
+3. EP_{<0.4}(infected U[0,5] not_infected) — recovery probability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking import MFModelChecker
+from repro.models.virus import SETTING_1, SETTING_2, virus_model
+
+
+@pytest.fixture(scope="module")
+def checker1():
+    return MFModelChecker(virus_model(SETTING_1))
+
+
+@pytest.fixture(scope="module")
+def checker2():
+    return MFModelChecker(virus_model(SETTING_2))
+
+
+class TestShowcase1SystemInfected:
+    def test_heavily_infected_system(self, checker1):
+        assert checker1.check("E[>0.8](infected)", np.array([0.1, 0.5, 0.4]))
+
+    def test_lightly_infected_system(self, checker1):
+        assert not checker1.check(
+            "E[>0.8](infected)", np.array([0.8, 0.15, 0.05])
+        )
+
+    def test_boundary_is_strict(self, checker1):
+        exactly = np.array([0.2, 0.5, 0.3])  # infected fraction exactly 0.8
+        assert not checker1.check("E[>0.8](infected)", exactly)
+        assert checker1.check("E[>=0.8](infected)", exactly)
+
+
+class TestShowcase2SteadyStateInfection:
+    def test_setting1_virus_dies_so_false(self, checker1):
+        """Setting 1's fluid limit is virus-free: the property fails."""
+        assert not checker1.check(
+            "ES[>=0.1](infected)", np.array([0.8, 0.15, 0.05])
+        )
+
+    def test_setting2_virus_persists_so_true(self, checker2):
+        """Setting 2 is supercritical: infection persists in steady
+        state, so the 10% steady-state infection property holds."""
+        assert checker2.check(
+            "ES[>=0.1](infected)", np.array([0.85, 0.1, 0.05])
+        )
+
+    def test_value_reported(self, checker2):
+        value = checker2.value(
+            "ES[>=0.1](infected)", np.array([0.85, 0.1, 0.05])
+        )
+        assert 0.1 <= value <= 1.0
+
+
+class TestShowcase3RecoveryProbability:
+    def test_recovery_within_five_units(self, checker1):
+        """EP_{<0.4}(infected U[0,5] not_infected): the probability of a
+        random computer to recover within 5 time units."""
+        m0 = np.array([0.8, 0.15, 0.05])
+        value = checker1.value(
+            "EP[<0.4](infected U[0,5] not_infected)", m0
+        )
+        # A clean computer satisfies the until trivially (Φ2 at time 0),
+        # so the value is at least m1 = 0.8 under standard semantics and
+        # the <0.4 bound fails.
+        assert value > 0.8
+        assert not checker1.check(
+            "EP[<0.4](infected U[0,5] not_infected)", m0
+        )
+
+    def test_recovery_among_infected_only(self, checker1):
+        """The phi1 convention isolates the infected computers' recovery
+        probability, which is the reading the paper intends."""
+        from repro.checking import CheckOptions
+
+        paper = MFModelChecker(
+            virus_model(SETTING_1), CheckOptions(start_convention="phi1")
+        )
+        m0 = np.array([0.8, 0.15, 0.05])
+        value = paper.value("EP[<0.4](infected U[0,5] not_infected)", m0)
+        # Only the 20% infected mass can contribute.
+        assert value < 0.2
+        assert paper.check("EP[<0.4](infected U[0,5] not_infected)", m0)
+
+    def test_recovery_probability_is_high_for_infected_states(self, checker1):
+        """k2/k5 recoveries within 5 units are likely for an individual."""
+        curve = checker1.local_probability_curve(
+            "infected U[0,5] not_infected", np.array([0.8, 0.15, 0.05]), 1.0
+        )
+        assert curve.value(0.0, 1) > 0.3  # inactive infected recovers often
+        assert curve.value(0.0, 2) > 0.5  # active recovers faster (k5=0.3)

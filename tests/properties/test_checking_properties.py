@@ -1,0 +1,138 @@
+"""Property-based cross-validation of the checkers.
+
+For *random constant-rate models* the mean-field local checker must
+agree with the classical uniformization-based CSL checker on until
+probabilities — a strong differential test of the entire inhomogeneous
+pipeline (the two implementations share no numerical code paths).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking.context import EvaluationContext
+from repro.checking.homogeneous import HomogeneousChecker
+from repro.checking.local import LocalChecker
+from repro.logic.ast import Atomic, Bound, Not, Probability, TimeInterval, Until
+from repro.meanfield import MeanFieldModel
+from repro.meanfield.local_model import LocalModel
+
+
+def random_homogeneous_setups():
+    """(model, labels-per-index) pairs with constant rates."""
+
+    def build(spec):
+        k, entries = spec
+        states = [f"s{i}" for i in range(k)]
+        transitions = {
+            (states[i], states[j]): rate for (i, j), rate in entries.items()
+        }
+        labels = {
+            states[i]: (["goal"] if i == k - 1 else ["work"])
+            for i in range(k)
+        }
+        local = LocalModel(states, transitions, labels)
+        return local
+
+    return st.integers(2, 4).flatmap(
+        lambda k: st.dictionaries(
+            st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)).filter(
+                lambda ij: ij[0] != ij[1]
+            ),
+            st.floats(0.05, 3.0, allow_nan=False),
+            min_size=1,
+            max_size=k * (k - 1),
+        ).map(lambda entries: (k, entries))
+    ).map(build)
+
+
+intervals = st.tuples(
+    st.floats(0.0, 1.5, allow_nan=False), st.floats(0.1, 2.0, allow_nan=False)
+).map(lambda ab: TimeInterval(min(ab), min(ab) + ab[1]))
+
+
+class TestDifferentialAgainstClassicalChecker:
+    @given(random_homogeneous_setups(), intervals)
+    @settings(max_examples=25, deadline=None)
+    def test_until_probabilities_agree(self, local, interval):
+        model = MeanFieldModel(local)
+        k = local.num_states
+        ctx = EvaluationContext(model, np.full(k, 1.0 / k))
+        ours = LocalChecker(ctx).path_probabilities(
+            Until(interval, Atomic("work"), Atomic("goal"))
+        )
+        classical = HomogeneousChecker(
+            local.constant_generator(),
+            {i: local.labels_of(local.state_name(i)) for i in range(k)},
+        ).path_probabilities(Until(interval, Atomic("work"), Atomic("goal")))
+        assert np.allclose(ours, classical, atol=1e-6)
+
+    @given(random_homogeneous_setups(), st.floats(0.05, 0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_sat_sets_agree(self, local, threshold):
+        model = MeanFieldModel(local)
+        k = local.num_states
+        ctx = EvaluationContext(model, np.full(k, 1.0 / k))
+        phi = Probability(
+            Bound(">", round(threshold, 3)),
+            Until(TimeInterval(0.0, 1.0), Atomic("work"), Atomic("goal")),
+        )
+        ours = LocalChecker(ctx).sat_at(phi)
+        classical = HomogeneousChecker(
+            local.constant_generator(),
+            {i: local.labels_of(local.state_name(i)) for i in range(k)},
+        ).sat(phi)
+        # Probabilities within probability_tol of the threshold can
+        # legitimately flip between implementations; exclude them.
+        probs = LocalChecker(ctx).path_probabilities(phi.path)
+        stable = {
+            s
+            for s in range(k)
+            if abs(probs[s] - phi.bound.threshold) > 1e-6
+        }
+        assert ours & stable == classical & stable
+
+
+class TestStructuralProperties:
+    @given(random_homogeneous_setups(), intervals)
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_in_unit_interval(self, local, interval):
+        model = MeanFieldModel(local)
+        k = local.num_states
+        ctx = EvaluationContext(model, np.full(k, 1.0 / k))
+        probs = LocalChecker(ctx).path_probabilities(
+            Until(interval, Atomic("work"), Atomic("goal"))
+        )
+        assert np.all(probs >= -1e-12)
+        assert np.all(probs <= 1.0 + 1e-12)
+
+    @given(random_homogeneous_setups())
+    @settings(max_examples=20, deadline=None)
+    def test_until_monotone_in_horizon(self, local):
+        model = MeanFieldModel(local)
+        k = local.num_states
+        ctx = EvaluationContext(model, np.full(k, 1.0 / k))
+        checker = LocalChecker(ctx)
+        short = checker.path_probabilities(
+            Until(TimeInterval(0.0, 0.5), Atomic("work"), Atomic("goal"))
+        )
+        long = checker.path_probabilities(
+            Until(TimeInterval(0.0, 2.0), Atomic("work"), Atomic("goal"))
+        )
+        assert np.all(long >= short - 1e-8)
+
+    @given(random_homogeneous_setups())
+    @settings(max_examples=15, deadline=None)
+    def test_negation_partitions_states(self, local):
+        model = MeanFieldModel(local)
+        k = local.num_states
+        ctx = EvaluationContext(model, np.full(k, 1.0 / k))
+        checker = LocalChecker(ctx)
+        phi = Probability(
+            Bound(">", 0.5),
+            Until(TimeInterval(0.0, 1.0), Atomic("work"), Atomic("goal")),
+        )
+        sat = checker.sat_at(phi)
+        neg = checker.sat_at(Not(phi))
+        assert sat | neg == frozenset(range(k))
+        assert sat & neg == frozenset()

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the CTMC substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ctmc.generator import (
+    build_generator,
+    embedded_jump_matrix,
+    is_generator,
+    uniformization_rate,
+    uniformized_matrix,
+)
+from repro.ctmc.transient import (
+    transient_matrix_expm,
+    transient_matrix_uniformization,
+)
+
+#: Strategy: a sparse dict of off-diagonal rates for a K-state chain.
+def rate_dicts(max_states: int = 5):
+    return st.integers(2, max_states).flatmap(
+        lambda k: st.dictionaries(
+            st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)).filter(
+                lambda ij: ij[0] != ij[1]
+            ),
+            st.floats(0.0, 10.0, allow_nan=False),
+            max_size=k * (k - 1),
+        ).map(lambda rates: (k, rates))
+    )
+
+
+class TestGeneratorProperties:
+    @given(rate_dicts())
+    @settings(max_examples=60, deadline=None)
+    def test_build_generator_always_valid(self, spec):
+        k, rates = spec
+        q = build_generator(k, rates)
+        assert is_generator(q)
+
+    @given(rate_dicts())
+    @settings(max_examples=40, deadline=None)
+    def test_uniformized_matrix_is_stochastic(self, spec):
+        k, rates = spec
+        q = build_generator(k, rates)
+        p = uniformized_matrix(q)
+        assert np.all(p >= -1e-12)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    @given(rate_dicts())
+    @settings(max_examples=40, deadline=None)
+    def test_embedded_chain_is_stochastic(self, spec):
+        k, rates = spec
+        q = build_generator(k, rates)
+        p = embedded_jump_matrix(q)
+        assert np.all(p >= -1e-12)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    @given(rate_dicts())
+    @settings(max_examples=30, deadline=None)
+    def test_uniformization_rate_covers_exits(self, spec):
+        k, rates = spec
+        q = build_generator(k, rates)
+        lam = uniformization_rate(q)
+        assert lam >= np.max(-np.diag(q)) - 1e-12
+        assert lam > 0
+
+
+class TestTransientProperties:
+    @given(rate_dicts(max_states=4), st.floats(0.0, 5.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_transient_rows_are_distributions(self, spec, t):
+        k, rates = spec
+        q = build_generator(k, rates)
+        pi = transient_matrix_expm(q, t)
+        assert np.all(pi >= -1e-9)
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(rate_dicts(max_states=4), st.floats(0.01, 3.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_expm_and_uniformization_agree(self, spec, t):
+        k, rates = spec
+        q = build_generator(k, rates)
+        a = transient_matrix_expm(q, t)
+        b = transient_matrix_uniformization(q, t, epsilon=1e-12)
+        assert np.allclose(a, b, atol=1e-8)
+
+    @given(rate_dicts(max_states=4), st.floats(0.01, 2.0), st.floats(0.01, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_semigroup(self, spec, t1, t2):
+        k, rates = spec
+        q = build_generator(k, rates)
+        lhs = transient_matrix_expm(q, t1) @ transient_matrix_expm(q, t2)
+        rhs = transient_matrix_expm(q, t1 + t2)
+        assert np.allclose(lhs, rhs, atol=1e-8)

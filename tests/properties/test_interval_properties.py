@@ -1,0 +1,103 @@
+"""Property-based tests for the IntervalSet boolean algebra.
+
+cSat correctness hinges on these laws (Section V-B uses them verbatim to
+combine leaf sets), so they are exercised with randomized interval
+families rather than hand-picked cases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking.intervals import IntervalSet
+
+THETA = 10.0
+
+
+def interval_sets():
+    pair = st.tuples(st.floats(0, THETA), st.floats(0, THETA)).map(
+        lambda ab: (min(ab), max(ab))
+    )
+    return st.lists(pair, max_size=6).map(IntervalSet)
+
+
+class TestLatticeLaws:
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_union_associates(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(interval_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+        assert a.intersection(a) == a
+
+    @given(interval_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_empty_is_identity(self, a):
+        assert a.union(IntervalSet.empty()) == a
+        assert a.intersection(IntervalSet.empty()).is_empty
+
+    @given(interval_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_with_whole(self, a):
+        clipped = a.clip(0.0, THETA)
+        assert clipped.intersection(IntervalSet.whole(THETA)) == clipped
+
+
+class TestComplementLaws:
+    @given(interval_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_complement_partitions_measure(self, a):
+        clipped = a.clip(0.0, THETA)
+        c = clipped.complement(THETA)
+        assert clipped.measure() + c.measure() == __import__(
+            "pytest"
+        ).approx(THETA, abs=1e-6)
+
+    @given(interval_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_double_complement_measure_preserved(self, a):
+        clipped = a.clip(0.0, THETA)
+        back = clipped.complement(THETA).complement(THETA)
+        assert back.measure() == __import__("pytest").approx(
+            clipped.measure(), abs=1e-6
+        )
+
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan_measure(self, a, b):
+        a, b = a.clip(0.0, THETA), b.clip(0.0, THETA)
+        lhs = a.intersection(b).complement(THETA)
+        rhs = a.complement(THETA).union(b.complement(THETA))
+        assert lhs.measure() == __import__("pytest").approx(
+            rhs.measure(), abs=1e-6
+        )
+
+
+class TestStructuralInvariants:
+    @given(interval_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_normalized_disjoint_and_sorted(self, a):
+        intervals = a.intervals
+        for (a1, b1), (a2, b2) in zip(intervals, intervals[1:]):
+            assert b1 < a2  # disjoint with a genuine gap
+        for lo, hi in intervals:
+            assert lo <= hi
+
+    @given(interval_sets(), st.floats(0, THETA))
+    @settings(max_examples=60, deadline=None)
+    def test_membership_consistent_with_intervals(self, a, t):
+        member = t in a
+        direct = any(lo <= t <= hi for lo, hi in a.intervals)
+        assert member == direct

@@ -1,0 +1,104 @@
+"""Property-based tests for the mean-field layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc.generator import is_generator
+from repro.meanfield.local_model import LocalModel
+from repro.meanfield.overall_model import MeanFieldModel
+
+
+def random_local_models():
+    """Random K-state local models with mixed constant/occupancy rates."""
+
+    def build(spec):
+        k, entries = spec
+        states = [f"s{i}" for i in range(k)]
+        transitions = {}
+        for (i, j), (constant, coeff, target) in entries.items():
+            if constant is not None:
+                transitions[(states[i], states[j])] = constant
+            else:
+                transitions[(states[i], states[j])] = (
+                    lambda m, _c=coeff, _t=target % k: _c * m[_t]
+                )
+        labels = {states[i]: ["even" if i % 2 == 0 else "odd"] for i in range(k)}
+        return LocalModel(states, transitions, labels)
+
+    entry = st.one_of(
+        st.tuples(st.floats(0.0, 5.0, allow_nan=False), st.none(), st.none()).map(
+            lambda t: (t[0], None, None)
+        ),
+        st.tuples(
+            st.none(), st.floats(0.0, 5.0, allow_nan=False), st.integers(0, 10)
+        ).map(lambda t: (None, t[1], t[2])),
+    )
+    return st.integers(2, 4).flatmap(
+        lambda k: st.dictionaries(
+            st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)).filter(
+                lambda ij: ij[0] != ij[1]
+            ),
+            entry,
+            min_size=1,
+            max_size=k * (k - 1),
+        ).map(lambda entries: (k, entries))
+    ).map(build)
+
+
+def occupancies(k: int):
+    return (
+        st.lists(
+            st.floats(0.01, 1.0, allow_nan=False), min_size=k, max_size=k
+        )
+        .map(np.array)
+        .map(lambda v: v / v.sum())
+    )
+
+
+class TestDriftProperties:
+    @given(random_local_models(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_generator_is_valid_on_simplex(self, local, data):
+        m = data.draw(occupancies(local.num_states))
+        assert is_generator(local.generator(m))
+
+    @given(random_local_models(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_drift_preserves_mass(self, local, data):
+        model = MeanFieldModel(local)
+        m = data.draw(occupancies(local.num_states))
+        drift = model.drift(0.0, m)
+        assert abs(drift.sum()) < 1e-10
+
+    @given(random_local_models(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_trajectory_stays_on_simplex(self, local, data):
+        model = MeanFieldModel(local)
+        m0 = data.draw(occupancies(local.num_states))
+        traj = model.trajectory(m0, horizon=2.0)
+        for t in (0.5, 1.0, 2.0):
+            m = traj(t)
+            assert np.all(m >= 0.0)
+            assert abs(m.sum() - 1.0) < 1e-9
+
+    @given(random_local_models(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_empty_states_stay_empty_without_inflow(self, local, data):
+        """A state with no incoming transitions and zero initial mass
+        keeps zero mass (positivity of the flow)."""
+        model = MeanFieldModel(local)
+        targets = {tr.target for tr in local.transitions}
+        isolated = [s for s in range(local.num_states) if s not in targets]
+        if not isolated:
+            return
+        m0 = data.draw(occupancies(local.num_states))
+        m0[isolated] = 0.0
+        total = m0.sum()
+        if total <= 0:
+            return
+        m0 = m0 / total
+        traj = model.trajectory(m0, horizon=1.0)
+        m_end = traj(1.0)
+        for s in isolated:
+            assert m_end[s] <= 1e-9

@@ -1,0 +1,182 @@
+"""Tests for the mfcsl command-line interface."""
+
+import pytest
+
+from repro.cli import MODELS, build_parser, main
+
+
+class TestParser:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "virus1" in out
+        assert "infected" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCheck:
+    def test_satisfied_formula_exit_zero(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_violated_formula_exit_one(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "E[>0.8](infected)",
+            ]
+        )
+        assert code == 1
+        assert "NOT SATISFIED" in capsys.readouterr().out
+
+    def test_explain_flag(self, capsys):
+        main(
+            [
+                "check",
+                "--explain",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "E[<0.5](infected) & E[>0.5](not_infected)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "value=" in out
+        assert out.count("->") >= 2
+
+    def test_phi1_convention_flag(self, capsys):
+        code = main(
+            [
+                "value",
+                "--convention",
+                "phi1",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value == pytest.approx(0.0339, abs=1e-3)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check",
+                    "--model",
+                    "nope",
+                    "--occupancy",
+                    "1,0,0",
+                    "tt",
+                ]
+            )
+
+    def test_bad_occupancy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check",
+                    "--model",
+                    "virus1",
+                    "--occupancy",
+                    "a,b,c",
+                    "tt",
+                ]
+            )
+
+    def test_invalid_occupancy_returns_error_code(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.5,0.1,0.1",
+                "tt",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValue:
+    def test_prints_float(self, capsys):
+        code = main(
+            [
+                "value",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "E[>0](infected)",
+            ]
+        )
+        assert code == 0
+        assert float(capsys.readouterr().out.strip()) == pytest.approx(0.2)
+
+
+class TestCsat:
+    def test_whole_horizon(self, capsys):
+        code = main(
+            [
+                "csat",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--theta",
+                "5",
+                "tt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0.000000, 5.000000]" in out
+
+    def test_empty_result(self, capsys):
+        code = main(
+            [
+                "csat",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--theta",
+                "5",
+                "ff",
+            ]
+        )
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestModelRegistry:
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_all_models_construct(self, name):
+        model = MODELS[name]()
+        assert model.num_states >= 2
+
+    def test_parser_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "mfcsl"

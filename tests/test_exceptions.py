@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            exc.ModelError,
+            exc.InvalidStateError,
+            exc.InvalidRateError,
+            exc.InvalidOccupancyError,
+            exc.FormulaError,
+            exc.ParseError,
+            exc.UnsupportedFormulaError,
+            exc.CheckingError,
+            exc.SteadyStateError,
+            exc.NumericalError,
+            exc.HorizonError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, exc.ReproError)
+
+    def test_model_error_family(self):
+        assert issubclass(exc.InvalidStateError, exc.ModelError)
+        assert issubclass(exc.InvalidRateError, exc.ModelError)
+        assert issubclass(exc.InvalidOccupancyError, exc.ModelError)
+
+    def test_formula_error_family(self):
+        assert issubclass(exc.ParseError, exc.FormulaError)
+        assert issubclass(exc.UnsupportedFormulaError, exc.FormulaError)
+
+    def test_checking_error_family(self):
+        assert issubclass(exc.SteadyStateError, exc.CheckingError)
+        assert issubclass(exc.NumericalError, exc.CheckingError)
+        assert issubclass(exc.HorizonError, exc.CheckingError)
+
+    def test_parse_error_carries_position(self):
+        error = exc.ParseError("bad token", position=7)
+        assert error.position == 7
+        assert "bad token" in str(error)
+
+    def test_parse_error_position_optional(self):
+        assert exc.ParseError("eof").position is None
+
+    def test_catch_all(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.HorizonError("out of range")

@@ -1,0 +1,163 @@
+"""Tests for model-file serialization (repro.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.models.virus import SETTING_1, virus_model, virus_model_declarative
+
+
+@pytest.fixture
+def declarative():
+    return virus_model_declarative(SETTING_1)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, declarative):
+        doc = model_to_dict(declarative)
+        rebuilt = model_from_dict(doc)
+        assert rebuilt.local.states == declarative.local.states
+        m = np.array([0.8, 0.15, 0.05])
+        assert np.allclose(
+            rebuilt.local.generator(m), declarative.local.generator(m)
+        )
+
+    def test_file_round_trip(self, declarative, tmp_path):
+        path = tmp_path / "virus.json"
+        save_model(declarative, path)
+        rebuilt = load_model(path)
+        m0 = np.array([0.8, 0.15, 0.05])
+        a = declarative.trajectory(m0, horizon=5.0)(5.0)
+        b = rebuilt.trajectory(m0, horizon=5.0)(5.0)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_labels_survive(self, declarative, tmp_path):
+        path = tmp_path / "virus.json"
+        save_model(declarative, path)
+        rebuilt = load_model(path)
+        assert rebuilt.local.states_with_label("infected") == frozenset({1, 2})
+
+    def test_dynamics_match_closure_model(self, declarative):
+        """The declarative model is exactly the paper's virus model."""
+        closure = virus_model(SETTING_1)
+        m0 = np.array([0.8, 0.15, 0.05])
+        a = closure.trajectory(m0, horizon=10.0)(10.0)
+        b = declarative.trajectory(m0, horizon=10.0)(10.0)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_document_shape(self, declarative):
+        doc = model_to_dict(declarative)
+        assert doc["format"] == FORMAT_NAME
+        assert doc["version"] == FORMAT_VERSION
+        assert len(doc["states"]) == 3
+        assert len(doc["transitions"]) == 5
+        # JSON-serializable end to end.
+        json.dumps(doc)
+
+
+class TestConstantShorthand:
+    def test_plain_number_rates(self):
+        doc = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "states": [{"name": "a"}, {"name": "b", "labels": ["up"]}],
+            "transitions": [
+                {"from": "a", "to": "b", "rate": 1.5},
+                {"from": "b", "to": "a", "rate": 0.5},
+            ],
+        }
+        model = model_from_dict(doc)
+        q = model.local.generator(np.array([0.5, 0.5]))
+        assert q[0, 1] == 1.5
+        assert model.local.is_homogeneous
+
+
+class TestErrors:
+    def test_opaque_callable_not_serializable(self):
+        with pytest.raises(ModelError):
+            model_to_dict(virus_model(SETTING_1))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"format": FORMAT_NAME, "version": 99, "states": [{"name": "a"}]})
+
+    def test_missing_states_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"format": FORMAT_NAME, "version": 1, "states": []})
+
+    def test_malformed_transition_rejected(self):
+        doc = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "states": [{"name": "a"}, {"name": "b"}],
+            "transitions": [{"from": "a"}],
+        }
+        with pytest.raises(ModelError):
+            model_from_dict(doc)
+
+    def test_duplicate_transition_rejected(self):
+        doc = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "states": [{"name": "a"}, {"name": "b"}],
+            "transitions": [
+                {"from": "a", "to": "b", "rate": 1.0},
+                {"from": "a", "to": "b", "rate": 2.0},
+            ],
+        }
+        with pytest.raises(ModelError):
+            model_from_dict(doc)
+
+    def test_bad_rate_type_rejected(self):
+        doc = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "states": [{"name": "a"}, {"name": "b"}],
+            "transitions": [{"from": "a", "to": "b", "rate": "fast"}],
+        }
+        with pytest.raises(ModelError):
+            model_from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError):
+            load_model(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_model(tmp_path / "nope.json")
+
+
+class TestCliIntegration:
+    def test_check_with_model_file(self, declarative, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "virus.json"
+        save_model(declarative, path)
+        code = main(
+            [
+                "check",
+                "--model-file",
+                str(path),
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out

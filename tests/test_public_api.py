@@ -1,0 +1,87 @@
+"""Smoke tests for the public API surface and the shipped examples."""
+
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.ctmc",
+    "repro.meanfield",
+    "repro.meanfield.expressions",
+    "repro.meanfield.lumping",
+    "repro.logic",
+    "repro.checking",
+    "repro.checking.statistical",
+    "repro.checking.homogeneous",
+    "repro.checking.discrete",
+    "repro.models",
+    "repro.io",
+    "repro.cli",
+    "repro.exceptions",
+]
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_module_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro", "repro.ctmc", "repro.meanfield", "repro.logic", "repro.checking", "repro.models"],
+    )
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_docstrings_everywhere(self):
+        """Every public module ships a module docstring."""
+        for name in PUBLIC_MODULES:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_quickstart_docstring_example(self):
+        """The doctest shown in the package docstring really works."""
+        import numpy as np
+
+        from repro import MFModelChecker
+        from repro.models.virus import SETTING_1, virus_model
+
+        checker = MFModelChecker(virus_model(SETTING_1))
+        assert checker.check(
+            "EP[<0.3](not_infected U[0,1] infected)",
+            np.array([0.8, 0.15, 0.05]),
+        )
+
+
+class TestExamplesShip:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        expected = {
+            "quickstart.py",
+            "virus_outbreak_analysis.py",
+            "nested_properties.py",
+            "finite_population_convergence.py",
+            "botnet_defense.py",
+            "load_balancing_sla.py",
+            "discrete_gossip.py",
+        }
+        assert expected <= names
+
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_examples_compile(self, script):
+        source = (EXAMPLES_DIR / script).read_text()
+        compile(source, script, "exec")
