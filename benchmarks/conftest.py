@@ -63,3 +63,15 @@ def record(benchmark, **values):
         elif isinstance(value, np.ndarray):
             value = value.tolist()
         benchmark.extra_info[key] = value
+
+
+def record_stats(benchmark, stats, prefix="stats_"):
+    """Attach :class:`repro.instrumentation.EvalStats` counters to the record.
+
+    Counters (RHS evaluations, generator-cache hits/misses, transient-cache
+    hits/misses, ``solve_ivp`` calls) land next to the timing data in the
+    ``--benchmark-json`` output, so a perf regression can be traced to
+    *what* was recomputed, not just how long it took.
+    """
+    for key, value in stats.as_dict().items():
+        benchmark.extra_info[prefix + key] = int(value)

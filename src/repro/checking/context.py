@@ -6,19 +6,48 @@ Equation (1) from ``m̄``, the induced time-inhomogeneous local generator
 ``Q(m̄(t))``, and — for steady-state operators — the stationary point the
 trajectory converges to.  :class:`EvaluationContext` bundles these (with
 caching) so the checker modules stay stateless.
+
+Caching layers (see ``docs/performance.md``):
+
+- the occupancy trajectory itself is solved once, densely, and extended
+  lazily (:class:`~repro.meanfield.ode.OccupancyTrajectory`);
+- :meth:`generator_function` memoizes ``t -> Q(m̄(t))`` so the many ODE
+  solves sharing one trajectory never assemble the same generator twice;
+- :meth:`transient_matrix` caches Kolmogorov solutions ``Π(t', t'+T)``
+  keyed by (generator-transform signature, window, tolerances), so
+  nested untils and repeated global-operator checks stop re-solving
+  identical problems;
+- :meth:`at_time` and :meth:`steady_context` derive child contexts that
+  share whatever parent state remains sound (the steady-state result
+  always; the trajectory and generator memo whenever the model has no
+  explicit time dependence, by the semigroup property of the flow).
+
+All contexts derived from one root share a single
+:class:`~repro.instrumentation.EvalStats` as :attr:`stats`, so counters
+aggregate over a logical checking run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Hashable, Optional
 
 import numpy as np
 
 from repro.checking.options import CheckOptions
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
 from repro.exceptions import SteadyStateError
-from repro.meanfield.ode import OccupancyTrajectory
+from repro.instrumentation import EvalStats
 from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
 from repro.meanfield.stationary import find_fixed_point, stationary_from_long_run
+
+#: The generator memo is cleared wholesale beyond this many entries; with
+#: K local states an entry is one (K, K) float array, so the bound keeps
+#: worst-case memory at a few tens of megabytes even for large K.
+GENERATOR_CACHE_LIMIT = 200_000
+
+#: Cache keys round times to this many decimals, comfortably below every
+#: solver tolerance in use while still merging bit-wobbled duplicates.
+_KEY_DECIMALS = 12
 
 
 class EvaluationContext:
@@ -33,6 +62,10 @@ class EvaluationContext:
         which the satisfaction relation is checked.
     options:
         Numerical options; defaults are suitable for the paper's examples.
+    stats:
+        Instrumentation counters to record into; a fresh
+        :class:`~repro.instrumentation.EvalStats` is created when omitted.
+        Derived contexts pass the parent's so counts aggregate.
     """
 
     def __init__(
@@ -40,12 +73,20 @@ class EvaluationContext:
         model: MeanFieldModel,
         initial: np.ndarray,
         options: Optional[CheckOptions] = None,
+        stats: Optional[EvalStats] = None,
     ):
         self.model = model
         self.options = options or CheckOptions()
         self.initial = validate_occupancy(initial, model.num_states)
-        self._trajectory: Optional[OccupancyTrajectory] = None
-        self._steady: Optional[np.ndarray] = None
+        self.stats = stats if stats is not None else EvalStats()
+        self._trajectory = None
+        self._generator_fn: Optional[Callable[[float], np.ndarray]] = None
+        self._generator_cache: dict = {}
+        self._transient_cache: dict = {}
+        # One-slot box for the stationary point, shared with contexts
+        # derived from this one (the steady state is a property of the
+        # basin, not of the particular point on the trajectory).
+        self._steady_box: dict = {"value": None}
         self._steady_context: Optional["EvaluationContext"] = None
 
     # ------------------------------------------------------------------
@@ -56,7 +97,7 @@ class EvaluationContext:
         return self.model.num_states
 
     @property
-    def trajectory(self) -> OccupancyTrajectory:
+    def trajectory(self):
         """The lazily-solved occupancy trajectory from ``initial``."""
         if self._trajectory is None:
             self._trajectory = self.model.trajectory(
@@ -64,6 +105,7 @@ class EvaluationContext:
                 horizon=self.options.horizon_margin,
                 rtol=self.options.ode_rtol * 1e-1,
                 atol=self.options.ode_atol * 1e-1,
+                stats=self.stats,
             )
         return self._trajectory
 
@@ -71,9 +113,106 @@ class EvaluationContext:
         """``m̄(t)`` along the trajectory."""
         return self.trajectory(t)
 
+    def occupancy_many(self, ts) -> np.ndarray:
+        """``m̄(t)`` for a whole array of times — shape ``(len(ts), K)``.
+
+        Vectorized through
+        :meth:`~repro.meanfield.ode.OccupancyTrajectory.eval_many`; the
+        grid scans of the conditional-satisfaction machinery use this
+        instead of one trajectory call per grid point.
+        """
+        return self.trajectory.eval_many(ts)
+
     def generator_function(self) -> Callable[[float], np.ndarray]:
-        """``t -> Q(m̄(t))`` — the inhomogeneous local generator."""
-        return self.model.generator_along(self.trajectory)
+        """``t -> Q(m̄(t))`` — the inhomogeneous local generator, memoized.
+
+        The returned callable assembles the generator through the
+        compiled fast path and caches it per time point, so the several
+        ODE solves that probe the same trajectory (phase-1/phase-2
+        Kolmogorov solves, window-shift propagations, nested re-checks)
+        share one assembly per distinct ``t``.  Treat the returned
+        arrays as read-only — every downstream transform already copies.
+        """
+        if self._generator_fn is None:
+            base = self.model.generator_along(self.trajectory)
+            cache = self._generator_cache
+            stats = self.stats
+
+            def q_of_t(t: float) -> np.ndarray:
+                key = round(float(t), _KEY_DECIMALS)
+                q = cache.get(key)
+                if q is not None:
+                    stats.generator_cache_hits += 1
+                    return q
+                stats.generator_cache_misses += 1
+                stats.generator_evals += 1
+                q = base(float(t))
+                if len(cache) >= GENERATOR_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = q
+                return q
+
+            self._generator_fn = q_of_t
+        return self._generator_fn
+
+    # ------------------------------------------------------------------
+    # Transient-matrix cache (Equations (4)/(5) solves)
+    # ------------------------------------------------------------------
+
+    def transient_matrix(
+        self,
+        signature: Hashable,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+        rtol: Optional[float] = None,
+        atol: Optional[float] = None,
+    ) -> np.ndarray:
+        """Cached ``Π(t_start, t_start + duration)`` for a transformed chain.
+
+        Parameters
+        ----------
+        signature:
+            Hashable description of how ``q_of_t`` was derived from this
+            context's base generator — e.g. ``("absorbing", frozenset)``
+            or ``("goal", partition)``.  Two calls with equal signatures
+            **must** describe the same generator function; the cache key
+            is (signature, t_start, duration, rtol, atol).
+        q_of_t:
+            The transformed generator function, used only on a miss.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(K', K')`` transient matrix.  Treat as read-only — the
+            same array is returned to every caller with the same key.
+        """
+        rtol = self.options.ode_rtol if rtol is None else rtol
+        atol = self.options.ode_atol if atol is None else atol
+        key = (
+            signature,
+            round(float(t_start), _KEY_DECIMALS),
+            round(float(duration), _KEY_DECIMALS),
+            rtol,
+            atol,
+        )
+        pi = self._transient_cache.get(key)
+        if pi is not None:
+            self.stats.transient_cache_hits += 1
+            return pi
+        self.stats.transient_cache_misses += 1
+        if float(duration) > 0.0:
+            self.stats.solve_ivp_calls += 1
+        pi = solve_forward_kolmogorov(
+            q_of_t, float(t_start), float(duration), rtol=rtol, atol=atol
+        )
+        self._transient_cache[key] = pi
+        return pi
+
+    def clear_caches(self) -> None:
+        """Drop the generator memo and transient cache (keeps the trajectory)."""
+        self._generator_cache.clear()
+        self._transient_cache.clear()
 
     # ------------------------------------------------------------------
     # Steady state (Sections IV-D / V-A)
@@ -84,7 +223,10 @@ class EvaluationContext:
 
         Found by long-run integration from ``initial`` (which selects the
         right basin of attraction when several fixed points exist) and
-        polished by Newton iteration on ``m̃ Q(m̃) = 0``.  Cached.
+        polished by Newton iteration on ``m̃ Q(m̃) = 0``.  Cached, and
+        shared with contexts derived via :meth:`at_time` /
+        :meth:`steady_context` — every point of one trajectory lies in
+        the same basin.
 
         Raises
         ------
@@ -92,17 +234,17 @@ class EvaluationContext:
             If the trajectory does not settle — the paper's steady-state
             operators are then not meaningful for this model.
         """
-        if self._steady is None:
+        if self._steady_box["value"] is None:
             coarse = stationary_from_long_run(
                 self.model, self.initial, drift_tol=1e-7
             )
             try:
                 fp = find_fixed_point(self.model, coarse)
-                self._steady = fp.occupancy
+                self._steady_box["value"] = fp.occupancy
             except SteadyStateError:
                 # The long-run point itself is already accurate to 1e-7.
-                self._steady = coarse
-        return self._steady.copy()
+                self._steady_box["value"] = coarse
+        return self._steady_box["value"].copy()
 
     def steady_context(self) -> "EvaluationContext":
         """A context anchored at the stationary point ``m̃``.
@@ -110,12 +252,15 @@ class EvaluationContext:
         Because ``m̃`` is a fixed point, the trajectory from it is
         constant and the local model is *homogeneous* there; nested
         formulas under a steady-state operator are checked in this
-        context (Definition 4 uses ``Sat(Φ, m̃)``).
+        context (Definition 4 uses ``Sat(Φ, m̃)``).  Shares this
+        context's stats and steady-state result.
         """
         if self._steady_context is None:
-            self._steady_context = EvaluationContext(
-                self.model, self.steady_state(), self.options
+            child = EvaluationContext(
+                self.model, self.steady_state(), self.options, stats=self.stats
             )
+            child._steady_box = self._steady_box
+            self._steady_context = child
         return self._steady_context
 
     # ------------------------------------------------------------------
@@ -125,8 +270,26 @@ class EvaluationContext:
 
         Used when a quantity defined "from the current state" must be
         evaluated at a later moment of the same run and no incremental
-        algorithm applies.
+        algorithm applies.  The child shares the parent's steady-state
+        result (basin-invariant along a trajectory) and stats; when the
+        model has no explicit time dependence it additionally reuses the
+        parent's already-solved trajectory (shifted — the semigroup
+        property of the autonomous flow) and its generator memo instead
+        of re-solving everything from scratch.
         """
+        t = float(t)
         if t == 0.0:
             return self
-        return EvaluationContext(self.model, self.occupancy(t), self.options)
+        child = EvaluationContext(
+            self.model, self.occupancy(t), self.options, stats=self.stats
+        )
+        child._steady_box = self._steady_box
+        if not self.model.local.has_time_dependent_rates:
+            child._trajectory = self.trajectory.shifted(t)
+            parent_fn = self.generator_function()
+
+            def shifted_q(s: float, _offset=t) -> np.ndarray:
+                return parent_fn(_offset + s)
+
+            child._generator_fn = shifted_q
+        return child

@@ -45,6 +45,7 @@ def threshold_intervals(
     discontinuities: Sequence[float] = (),
     grid_points: int = 129,
     xtol: float = 1e-10,
+    g_many: "Callable[[np.ndarray], np.ndarray] | None" = None,
 ) -> IntervalSet:
     """Times in ``[t_start, t_end]`` where ``g(t) ⋈ threshold`` holds.
 
@@ -52,6 +53,12 @@ def threshold_intervals(
     Within each smooth segment the crossings of ``g − threshold`` are
     bracketed on a uniform grid and refined with Brent's method; the truth
     value of each resulting sub-interval is decided at its midpoint.
+
+    ``g_many``, when given, is a vectorized twin of ``g`` (``ts -> values``
+    for a 1-D time array) used for the grid scans — typically backed by
+    :meth:`~repro.checking.context.EvaluationContext.occupancy_many`, so
+    one batched trajectory evaluation replaces ``grid_points`` scalar
+    ones.  Brent refinement still uses the scalar ``g``.
     """
     t_start, t_end = float(t_start), float(t_end)
     cuts = sorted(
@@ -66,7 +73,10 @@ def threshold_intervals(
     for a, b in zip(cuts, cuts[1:]):
         eps = min(1e-9, (b - a) * 1e-6)
         ts = np.linspace(a + eps, b - eps, max(int(grid_points), 3))
-        vals = np.array([offset(t) for t in ts])
+        if g_many is not None:
+            vals = np.asarray(g_many(ts), dtype=float) - bound.threshold
+        else:
+            vals = np.array([offset(t) for t in ts])
         for i in range(len(ts) - 1):
             if vals[i] == 0.0:
                 breakpoints.append(float(ts[i]))
@@ -112,6 +122,15 @@ def conditional_sat(
             m = ctx.occupancy(t)
             return float(sum(m[j] for j in sat.at(t)))
 
+        def g_many(ts: np.ndarray) -> np.ndarray:
+            occupancies = ctx.occupancy_many(ts)
+            out = np.zeros(len(ts))
+            for i, t in enumerate(ts):
+                states = sorted(sat.at(t))
+                if states:
+                    out[i] = occupancies[i, states].sum()
+            return out
+
         return threshold_intervals(
             g,
             0.0,
@@ -120,6 +139,7 @@ def conditional_sat(
             discontinuities=sat.boundaries(),
             grid_points=options.grid_points,
             xtol=options.crossing_xtol,
+            g_many=g_many,
         )
 
     if isinstance(formula, ExpectedSteadyState):
@@ -139,6 +159,12 @@ def conditional_sat(
         def g(t: float) -> float:
             return float(ctx.occupancy(t) @ curve.values(t))
 
+        def g_many(ts: np.ndarray) -> np.ndarray:
+            occupancies = ctx.occupancy_many(ts)
+            return np.array(
+                [float(occupancies[i] @ curve.values(t)) for i, t in enumerate(ts)]
+            )
+
         return threshold_intervals(
             g,
             0.0,
@@ -147,6 +173,7 @@ def conditional_sat(
             discontinuities=curve.discontinuities,
             grid_points=options.grid_points,
             xtol=options.crossing_xtol,
+            g_many=g_many,
         )
 
     raise FormulaError(f"not an MF-CSL formula: {formula!r}")

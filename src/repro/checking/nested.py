@@ -50,7 +50,6 @@ from repro.checking.transform import (
     zeta_matrix,
     zeta_matrix_literal,
 )
-from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
 from repro.exceptions import CheckingError, NumericalError
 from repro.logic.ast import TimeInterval
 
@@ -132,7 +131,8 @@ class TimeVaryingUntil:
             partition = self._partition_at(0.5 * (u + v))
             if prev_partition is not None:
                 result = result @ zeta_matrix(prev_partition, partition)
-            pi = solve_forward_kolmogorov(
+            pi = self.ctx.transient_matrix(
+                ("goal", partition),
                 goal_generator_function(self._q_of_t, partition),
                 u,
                 v - u,
@@ -166,7 +166,8 @@ class TimeVaryingUntil:
             partition = self._partition_at(0.5 * (u + v))
             if not first:
                 result = result @ zeta_matrix_literal(self._k)
-            pi = solve_forward_kolmogorov(
+            pi = self.ctx.transient_matrix(
+                ("goal-literal", partition),
                 lambda t, _p=partition: goal_generator_literal(
                     np.asarray(self._q_of_t(t), dtype=float), _p
                 ),
@@ -219,7 +220,10 @@ class TimeVaryingUntil:
                     all_states - _live,
                 )
 
-            pi = solve_forward_kolmogorov(q_mod, u, v - u, rtol=rtol, atol=atol)
+            pi = self.ctx.transient_matrix(
+                ("absorbing", all_states - live), q_mod, u, v - u,
+                rtol=rtol, atol=atol,
+            )
             result = result @ pi
             prev_live = live
         # Keep only mass sitting in currently-live states.
@@ -323,6 +327,7 @@ class TimeVaryingUntil:
                 )
                 return (-q_left @ ups + ups @ q_right).reshape(-1)
 
+            self.ctx.stats.solve_ivp_calls += 1
             sol = solve_ivp(
                 rhs,
                 (u, v),

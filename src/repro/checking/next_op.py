@@ -92,6 +92,7 @@ def next_probabilities(
                 d_acc = np.zeros(k)
             return np.concatenate([d_surv, d_acc])
 
+        ctx.stats.solve_ivp_calls += 1
         sol = solve_ivp(
             rhs,
             (u, v),

@@ -26,10 +26,7 @@ from scipy.optimize import brentq
 
 from repro.checking.context import EvaluationContext
 from repro.checking.transform import absorbing_generator_function
-from repro.ctmc.inhomogeneous import (
-    TransitionMatrixPropagator,
-    solve_forward_kolmogorov,
-)
+from repro.ctmc.inhomogeneous import TransitionMatrixPropagator
 from repro.exceptions import CheckingError, UnsupportedFormulaError
 from repro.logic.ast import TimeInterval
 
@@ -196,11 +193,10 @@ def until_probabilities_simple(
     t1, t2 = interval.lower, interval.upper
     rtol, atol = ctx.options.ode_rtol, ctx.options.ode_atol
 
-    q_phase2 = absorbing_generator_function(
-        q_of_t, (all_states - gamma1) | gamma2
-    )
-    pi_b = solve_forward_kolmogorov(
-        q_phase2, t + t1, t2 - t1, rtol=rtol, atol=atol
+    absorbed2 = (all_states - gamma1) | gamma2
+    q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
+    pi_b = ctx.transient_matrix(
+        ("absorbing", absorbed2), q_phase2, t + t1, t2 - t1, rtol=rtol, atol=atol
     )
     # Probability, from each phase-2 start state, of sitting in a Γ2 state
     # at the end of the window (Γ2 states are absorbing, so "sitting in"
@@ -214,8 +210,11 @@ def until_probabilities_simple(
             mask = np.array([1.0 if s in gamma1 else 0.0 for s in range(k)])
             return reach_gamma2 * mask
         return reach_gamma2
-    q_phase1 = absorbing_generator_function(q_of_t, all_states - gamma1)
-    pi_a = solve_forward_kolmogorov(q_phase1, t, t1, rtol=rtol, atol=atol)
+    absorbed1 = all_states - gamma1
+    q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
+    pi_a = ctx.transient_matrix(
+        ("absorbing", absorbed1), q_phase1, t, t1, rtol=rtol, atol=atol
+    )
     result = np.zeros(k)
     for s in range(k):
         result[s] = sum(
@@ -255,23 +254,39 @@ class SimpleUntilCurve(ProbabilityCurve):
 
         if method == "propagate":
             q_of_t = ctx.generator_function()
+            absorbed2 = (all_states - gamma1) | gamma2
+            q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
+            # Seed the propagator from the (cached) forward solve, then
+            # count its own window-shift solve.
+            initial_b = ctx.transient_matrix(
+                ("absorbing", absorbed2), q_phase2, t1, t2 - t1
+            )
+            if theta + t1 > t1:
+                ctx.stats.solve_ivp_calls += 1
             prop_b = TransitionMatrixPropagator(
-                absorbing_generator_function(
-                    q_of_t, (all_states - gamma1) | gamma2
-                ),
+                q_phase2,
                 window=t2 - t1,
                 t0=t1,
                 horizon=theta + t1,
+                initial=initial_b,
                 rtol=ctx.options.ode_rtol,
                 atol=ctx.options.ode_atol,
             )
             prop_a = None
             if t1 > 0.0:
+                absorbed1 = all_states - gamma1
+                q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
+                initial_a = ctx.transient_matrix(
+                    ("absorbing", absorbed1), q_phase1, 0.0, t1
+                )
+                if theta > 0.0:
+                    ctx.stats.solve_ivp_calls += 1
                 prop_a = TransitionMatrixPropagator(
-                    absorbing_generator_function(q_of_t, all_states - gamma1),
+                    q_phase1,
                     window=t1,
                     t0=0.0,
                     horizon=theta,
+                    initial=initial_a,
                     rtol=ctx.options.ode_rtol,
                     atol=ctx.options.ode_atol,
                 )

@@ -1,0 +1,67 @@
+"""Cheap performance counters for the numerical pipeline.
+
+Every ODE solve in this library bottoms out in right-hand-side
+evaluations that assemble the generator ``Q(m̄(t))``, and the checkers
+routinely re-solve identical Kolmogorov problems (nested untils revisit
+the same windows, global operators re-check the same formulas).  The
+compiled-generator fast path and the solve-level caches exist to drive
+that cost down; :class:`EvalStats` is how the speedup is *measured*
+instead of asserted.
+
+An :class:`EvalStats` instance hangs off every
+:class:`~repro.checking.context.EvaluationContext` as ``ctx.stats`` and
+is shared with child contexts (``at_time``/``steady_context``), so the
+counters aggregate over one logical checking run.  The benchmark suite
+records ``stats.as_dict()`` into ``benchmark.extra_info``.
+
+The counters are plain integer attributes — incrementing one is a single
+attribute store, cheap enough for the hottest loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class EvalStats:
+    """Counters of the expensive operations behind one checking run.
+
+    Attributes
+    ----------
+    rhs_evaluations:
+        Occupancy-ODE drift evaluations (one per solver stage step).
+    generator_evals:
+        Generator assemblies ``Q(m̄(t))`` actually performed.
+    generator_cache_hits / generator_cache_misses:
+        Hits/misses of the ``t -> Q(m̄(t))`` memo behind
+        :meth:`~repro.checking.context.EvaluationContext.generator_function`.
+    transient_cache_hits / transient_cache_misses:
+        Hits/misses of the context's transient-matrix cache
+        ``Π(t', t'+T)`` (keyed by generator-transform signature, window
+        and tolerances).
+    solve_ivp_calls:
+        Number of ``scipy.integrate.solve_ivp`` invocations (occupancy
+        extensions, Kolmogorov solves, window-shift propagations).
+    """
+
+    rhs_evaluations: int = 0
+    generator_evals: int = 0
+    generator_cache_hits: int = 0
+    generator_cache_misses: int = 0
+    transient_cache_hits: int = 0
+    transient_cache_misses: int = 0
+    solve_ivp_calls: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-friendly, for benchmark records)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EvalStats({parts})"

@@ -21,8 +21,9 @@ Implements Definitions 1–2 and Equations (1)–(2) of the paper:
   mentioned at the end of Section II-B.
 """
 
+from repro.meanfield.compiled import CompiledGenerator
 from repro.meanfield.local_model import LocalModel, LocalModelBuilder, Transition
-from repro.meanfield.ode import OccupancyTrajectory
+from repro.meanfield.ode import OccupancyTrajectory, ShiftedTrajectory
 from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
 from repro.meanfield.stationary import (
     FixedPoint,
@@ -38,10 +39,12 @@ from repro.meanfield.simulation import (
 from repro.meanfield.discrete import DiscreteLocalModel, DiscreteMeanFieldModel
 
 __all__ = [
+    "CompiledGenerator",
     "LocalModel",
     "LocalModelBuilder",
     "Transition",
     "OccupancyTrajectory",
+    "ShiftedTrajectory",
     "MeanFieldModel",
     "validate_occupancy",
     "FixedPoint",

@@ -1,0 +1,164 @@
+"""Compiled generator assembly — the fast path behind every ODE solve.
+
+The interpreted :meth:`~repro.meanfield.local_model.LocalModel.generator`
+walks every transition and, for expression rates, every node of the rate
+tree, on *each* right-hand-side evaluation.  A
+:class:`CompiledGenerator` does that work once, at construction:
+
+- transitions with **constant** rates are evaluated a single time and
+  baked into a precomputed base matrix;
+- **expression** rates are compiled to one numpy closure each
+  (:meth:`~repro.meanfield.expressions.Expression.compile`);
+- arbitrary Python callables are kept as-is (they are already a single
+  call).
+
+Per evaluation the assembler copies the base matrix, fills in the few
+dynamic entries, and closes the diagonal — no per-transition dispatch
+for the constant part and no tree walks at all.  :meth:`batch`
+evaluates the generator over a whole batch of occupancy vectors at
+once, vectorizing compiled-expression rates across the batch.
+
+The interpreted path remains the correctness oracle: the property tests
+assert agreement to 1e-12 for every bundled model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidRateError, ModelError
+from repro.meanfield.expressions import Expression
+from repro.meanfield.rates import evaluate_rate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.meanfield.local_model import LocalModel
+
+
+class CompiledGenerator:
+    """One-pass assembler for ``Q(m̄, t)`` with a precomputed constant part.
+
+    Parameters
+    ----------
+    model:
+        The local model whose generator is compiled.  The compiled form
+        is valid for the model's lifetime (models are immutable).
+
+    Notes
+    -----
+    Every call returns a *fresh* array (the base matrix is copied), so
+    results from successive calls never alias — callers like the
+    window-shift propagator hold two generators at once.
+    """
+
+    def __init__(self, model: "LocalModel"):
+        k = model.num_states
+        base = np.zeros((k, k))
+        dummy = np.full(k, 1.0 / k)
+        dynamic = []
+        num_compiled = 0
+        for tr in model.transitions:
+            if tr.constant:
+                base[tr.source, tr.target] += evaluate_rate(tr.rate, dummy, 0.0)
+            elif isinstance(tr.rate, Expression):
+                compiled = tr.rate.compile()
+                if compiled.max_index >= k:
+                    raise ModelError(
+                        f"occupancy index {compiled.max_index} out of range "
+                        f"for K={k} in rate {tr.rate!r}"
+                    )
+                dynamic.append((tr.source, tr.target, compiled, True))
+                num_compiled += 1
+            else:
+                dynamic.append((tr.source, tr.target, tr.rate, False))
+        self._base = base
+        self._dynamic: Tuple = tuple(dynamic)
+        self._k = k
+        #: Transitions whose rate is re-evaluated per call.
+        self.num_dynamic = len(dynamic)
+        #: Of those, how many run through a compiled expression closure.
+        self.num_compiled = num_compiled
+        #: Transitions folded into the constant base matrix.
+        self.num_constant = len(model.transitions) - len(dynamic)
+
+    @property
+    def num_states(self) -> int:
+        """Dimension ``K`` of the generator."""
+        return self._k
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, m: np.ndarray, t: float = 0.0) -> np.ndarray:
+        """The generator ``Q(m̄)`` at one occupancy vector — fast path.
+
+        Semantics match the interpreted
+        :meth:`~repro.meanfield.local_model.LocalModel.generator`: rates
+        are validated (negative/non-finite values raise
+        :class:`~repro.exceptions.InvalidRateError`), round-off-level
+        negatives are clamped to zero, and the diagonal closes the rows.
+        """
+        m = np.asarray(m, dtype=float)
+        q = self._base.copy()
+        for src, dst, fn, _ in self._dynamic:
+            value = float(fn(m, t))
+            if not np.isfinite(value) or value < -1e-9:
+                raise InvalidRateError(
+                    f"rate evaluated to {value} at m={m!r}, t={t}"
+                )
+            if value > 0.0:
+                q[src, dst] += value
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return q
+
+    def batch(self, occupancies: np.ndarray, t=0.0) -> np.ndarray:
+        """Generators for a whole batch of occupancy vectors at once.
+
+        Parameters
+        ----------
+        occupancies:
+            Array of shape ``(B, K)`` (one occupancy vector per row).
+        t:
+            Scalar time, or array of shape ``(B,)`` pairing a time with
+            each occupancy vector.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(B, K, K)``; slice ``[i]`` equals
+            ``__call__(occupancies[i], t_i)``.
+        """
+        occupancies = np.asarray(occupancies, dtype=float)
+        if occupancies.ndim != 2 or occupancies.shape[1] != self._k:
+            raise ModelError(
+                f"batch expects shape (B, {self._k}), got {occupancies.shape}"
+            )
+        b = occupancies.shape[0]
+        k = self._k
+        q = np.empty((b, k, k))
+        q[:] = self._base
+        t_arr = np.broadcast_to(np.asarray(t, dtype=float), (b,))
+        for src, dst, fn, vectorized in self._dynamic:
+            if vectorized:
+                values = np.asarray(fn(occupancies, t_arr), dtype=float)
+                values = np.broadcast_to(values, (b,))
+            else:
+                values = np.array(
+                    [float(fn(occupancies[i], t_arr[i])) for i in range(b)]
+                )
+            if not np.all(np.isfinite(values)) or np.any(values < -1e-9):
+                bad = values[~np.isfinite(values) | (values < -1e-9)][0]
+                raise InvalidRateError(
+                    f"rate evaluated to {bad} in batch of {b} occupancies"
+                )
+            q[:, src, dst] += np.clip(values, 0.0, None)
+        diag = np.arange(k)
+        q[:, diag, diag] = 0.0
+        q[:, diag, diag] = -q.sum(axis=2)
+        return q
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGenerator(K={self._k}, constant={self.num_constant}, "
+            f"dynamic={self.num_dynamic}, compiled={self.num_compiled})"
+        )

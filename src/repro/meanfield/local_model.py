@@ -109,6 +109,7 @@ class LocalModel:
                 )
             )
         self._transitions: Tuple[Transition, ...] = tuple(parsed)
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -183,6 +184,19 @@ class LocalModel:
         """
         return all(tr.constant for tr in self._transitions)
 
+    @property
+    def has_time_dependent_rates(self) -> bool:
+        """``True`` unless every rate is provably independent of global time.
+
+        Conservative: unknown ``f(m, t)`` callables count as
+        time-dependent.  When ``False``, the occupancy flow is autonomous
+        and time-shifted contexts may share a single trajectory solve
+        (the semigroup shortcut in ``EvaluationContext.at_time``).
+        """
+        from repro.meanfield.rates import is_time_dependent_rate
+
+        return any(is_time_dependent_rate(tr.rate) for tr in self._transitions)
+
     def generator(self, m: np.ndarray, t: float = 0.0) -> np.ndarray:
         """The generator ``Q(m̄)`` in force at occupancy ``m`` and time ``t``.
 
@@ -199,6 +213,28 @@ class LocalModel:
             q[tr.source, tr.target] += evaluate_rate(tr.rate, m, t)
         np.fill_diagonal(q, -q.sum(axis=1))
         return q
+
+    def compiled_generator(self):
+        """The compiled fast-path assembler for this model's generator.
+
+        Built lazily on first use and cached for the model's lifetime
+        (models are immutable, so the compiled form never goes stale).
+        Semantically identical to :meth:`generator` — which remains the
+        interpreted correctness oracle — but with constant rates baked
+        into a precomputed base matrix, expression rates compiled to
+        single numpy closures, and a batch mode evaluating ``Q`` over
+        many occupancy vectors at once.  This is the generator the ODE
+        solvers use by default.
+
+        Returns
+        -------
+        repro.meanfield.compiled.CompiledGenerator
+        """
+        if self._compiled is None:
+            from repro.meanfield.compiled import CompiledGenerator
+
+            self._compiled = CompiledGenerator(self)
+        return self._compiled
 
     def constant_generator(self) -> np.ndarray:
         """The generator of a homogeneous model (no occupancy needed).

@@ -54,6 +54,10 @@ class OccupancyTrajectory:
         When ``True`` (default) clip tiny negative components and rescale
         the returned vector to sum to one, guarding downstream code against
         solver drift off the simplex.
+    stats:
+        Optional :class:`~repro.instrumentation.EvalStats`; when given,
+        ``rhs_evaluations`` counts every drift call and
+        ``solve_ivp_calls`` every lazy extension.
     """
 
     def __init__(
@@ -66,8 +70,18 @@ class OccupancyTrajectory:
         method: str = "RK45",
         max_horizon: float = 1e6,
         renormalize: bool = True,
+        stats=None,
     ):
-        self._drift = drift
+        self._stats = stats
+        if stats is not None:
+
+            def counted_drift(t: float, m: np.ndarray, _f=drift) -> np.ndarray:
+                stats.rhs_evaluations += 1
+                return _f(t, m)
+
+            self._drift: DriftFunction = counted_drift
+        else:
+            self._drift = drift
         self._initial = np.asarray(initial, dtype=float).copy()
         self._rtol = rtol
         self._atol = atol
@@ -75,6 +89,9 @@ class OccupancyTrajectory:
         self._max_horizon = float(max_horizon)
         self._renormalize = renormalize
         self._segments: List[_Segment] = []
+        # Segment start times, for binary-search lookup in __call__ /
+        # eval_many; entry i is self._segments[i].t_start.
+        self._starts = np.empty(0)
         self._end_state = self._initial.copy()
         self._end_time = 0.0
         if horizon > 0.0:
@@ -98,6 +115,8 @@ class OccupancyTrajectory:
                 f"requested time {target} exceeds max_horizon "
                 f"{self._max_horizon}"
             )
+        if self._stats is not None:
+            self._stats.solve_ivp_calls += 1
         sol = solve_ivp(
             self._drift,
             (self._end_time, target),
@@ -113,8 +132,29 @@ class OccupancyTrajectory:
                 f"[{self._end_time}, {target}]: {sol.message}"
             )
         self._segments.append(_Segment(self._end_time, target, sol.sol))
+        self._starts = np.append(self._starts, self._end_time)
         self._end_time = target
         self._end_state = sol.y[:, -1].copy()
+
+    def _ensure_covered(self, t: float) -> None:
+        """Extend the solve so that time ``t`` lies inside a segment."""
+        if t <= self._end_time:
+            return
+        if t > self._max_horizon:
+            raise ModelError(
+                f"requested time {t} exceeds max_horizon "
+                f"{self._max_horizon}"
+            )
+        # Extend generously to amortize (at least 25% beyond the
+        # query) but never past the configured ceiling.
+        self._extend_to(min(max(t * 1.25, t + 1.0), self._max_horizon))
+
+    def _segment_for(self, t: float) -> _Segment:
+        """The segment containing ``t``, by binary search over starts."""
+        idx = int(np.searchsorted(self._starts, t, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        return self._segments[idx]
 
     def __call__(self, t: float) -> np.ndarray:
         """Occupancy vector at time ``t`` (lazily extending the solve)."""
@@ -122,23 +162,48 @@ class OccupancyTrajectory:
         if t < 0.0:
             raise ModelError(f"occupancy requested at negative time {t}")
         if t == 0.0:
-            return self._normalized(self._initial)
-        if t > self._end_time:
-            if t > self._max_horizon:
-                raise ModelError(
-                    f"requested time {t} exceeds max_horizon "
-                    f"{self._max_horizon}"
-                )
-            # Extend generously to amortize (at least 25% beyond the
-            # query) but never past the configured ceiling.
-            self._extend_to(min(max(t * 1.25, t + 1.0), self._max_horizon))
-        for seg in self._segments:
-            if seg.t_start - 1e-12 <= t <= seg.t_end + 1e-12:
-                return self._normalized(seg.interpolant(min(max(t, seg.t_start), seg.t_end)))
-        raise NumericalError(f"no segment covers time {t}")  # pragma: no cover
+            return self._normalized(self._initial.copy())
+        self._ensure_covered(t)
+        seg = self._segment_for(t)
+        return self._normalized(
+            seg.interpolant(min(max(t, seg.t_start), seg.t_end))
+        )
+
+    def eval_many(self, ts) -> np.ndarray:
+        """Occupancy vectors for a whole array of times at once.
+
+        The vectorized counterpart of ``__call__``: one lazy extension to
+        cover ``max(ts)``, one ``searchsorted`` to assign every query to
+        its segment, one dense-interpolant call per touched segment, and
+        one vectorized renormalization.  Returns shape ``(len(ts), K)``.
+        """
+        ts = np.asarray(ts, dtype=float)
+        if ts.ndim != 1:
+            raise ModelError(f"eval_many expects a 1-D time array, got shape {ts.shape}")
+        k = self._initial.shape[0]
+        if ts.size == 0:
+            return np.empty((0, k))
+        if float(ts.min()) < 0.0:
+            raise ModelError(
+                f"occupancy requested at negative time {float(ts.min())}"
+            )
+        self._ensure_covered(float(ts.max()))
+        out = np.empty((ts.size, k))
+        if not self._segments:
+            # Horizon 0 and all queries at t = 0.
+            out[:] = self._initial
+            return self._normalized_many(out)
+        indices = np.searchsorted(self._starts, ts, side="right") - 1
+        np.clip(indices, 0, len(self._segments) - 1, out=indices)
+        for idx in np.unique(indices):
+            seg = self._segments[idx]
+            mask = indices == idx
+            clipped = np.clip(ts[mask], seg.t_start, seg.t_end)
+            out[mask] = np.asarray(seg.interpolant(clipped)).T
+        return self._normalized_many(out)
 
     def _normalized(self, m: np.ndarray) -> np.ndarray:
-        m = np.asarray(m, dtype=float).copy()
+        m = np.asarray(m, dtype=float)
         if not self._renormalize:
             return m
         m = np.clip(m, 0.0, None)
@@ -147,14 +212,82 @@ class OccupancyTrajectory:
             raise NumericalError("occupancy vector collapsed to zero mass")
         return m / total
 
+    def _normalized_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized renormalization of a ``(n, K)`` block, in place."""
+        if not self._renormalize:
+            return values
+        np.clip(values, 0.0, None, out=values)
+        totals = values.sum(axis=1)
+        if np.any(totals <= 0.0):
+            raise NumericalError("occupancy vector collapsed to zero mass")
+        values /= totals[:, np.newaxis]
+        return values
+
     def grid(self, t_end: float, num: int = 200, t_start: float = 0.0) -> "tuple[np.ndarray, np.ndarray]":
         """Sample the trajectory on a uniform grid.
 
         Returns ``(times, values)`` with ``values`` of shape
         ``(num, K)`` — convenient for plotting and discontinuity scans.
+        Evaluation is batched through :meth:`eval_many`.
         """
         if num < 2:
             raise ModelError(f"grid needs at least 2 points, got {num}")
         times = np.linspace(float(t_start), float(t_end), int(num))
-        values = np.vstack([self(t) for t in times])
-        return times, values
+        return times, self.eval_many(times)
+
+    def shifted(self, offset: float) -> "ShiftedTrajectory":
+        """A view of this trajectory with the time origin moved to ``offset``.
+
+        Because the occupancy flow is deterministic, the trajectory
+        started from ``m̄(offset)`` *is* this trajectory shifted — no new
+        ODE solve is needed (semigroup property).  The view shares this
+        trajectory's segments, so extensions benefit both.
+        """
+        return ShiftedTrajectory(self, offset)
+
+
+class ShiftedTrajectory:
+    """Time-shifted view onto a parent :class:`OccupancyTrajectory`.
+
+    ``view(s) == parent(offset + s)``.  Used by
+    :meth:`~repro.checking.context.EvaluationContext.at_time` so that a
+    context re-anchored later on the same run reuses the already-solved
+    occupancy flow instead of re-integrating from scratch.
+    """
+
+    def __init__(self, parent: OccupancyTrajectory, offset: float):
+        offset = float(offset)
+        if offset < 0.0:
+            raise ModelError(f"shift offset must be non-negative, got {offset}")
+        self._parent = parent
+        self._offset = offset
+
+    @property
+    def initial(self) -> np.ndarray:
+        """``m̄(offset)`` — the view's time-0 occupancy (a copy)."""
+        return self._parent(self._offset)
+
+    @property
+    def horizon(self) -> float:
+        """Largest *shifted* time solved so far (never negative)."""
+        return max(self._parent.horizon - self._offset, 0.0)
+
+    def __call__(self, t: float) -> np.ndarray:
+        t = float(t)
+        if t < 0.0:
+            raise ModelError(f"occupancy requested at negative time {t}")
+        return self._parent(self._offset + t)
+
+    def eval_many(self, ts) -> np.ndarray:
+        ts = np.asarray(ts, dtype=float)
+        return self._parent.eval_many(ts + self._offset)
+
+    def grid(self, t_end: float, num: int = 200, t_start: float = 0.0) -> "tuple[np.ndarray, np.ndarray]":
+        if num < 2:
+            raise ModelError(f"grid needs at least 2 points, got {num}")
+        times = np.linspace(float(t_start), float(t_end), int(num))
+        return times, self.eval_many(times)
+
+    def shifted(self, offset: float) -> "ShiftedTrajectory":
+        """Compose shifts (stays a single view onto the root trajectory)."""
+        return ShiftedTrajectory(self._parent, self._offset + float(offset))

@@ -57,6 +57,12 @@ class MeanFieldModel:
     rtol, atol:
         Default tolerances for occupancy-ODE solves started from this
         model.
+    compiled:
+        When ``True`` (default) the drift and the generator-along-a-
+        trajectory view use the compiled generator assembler
+        (:meth:`~repro.meanfield.local_model.LocalModel.compiled_generator`).
+        Set ``False`` to force the interpreted per-transition path — the
+        correctness oracle the property tests compare against.
     """
 
     def __init__(
@@ -64,10 +70,12 @@ class MeanFieldModel:
         local: LocalModel,
         rtol: float = DEFAULT_RTOL,
         atol: float = DEFAULT_ATOL,
+        compiled: bool = True,
     ):
         self._local = local
         self._rtol = rtol
         self._atol = atol
+        self._use_compiled = bool(compiled)
 
     @property
     def local(self) -> LocalModel:
@@ -93,6 +101,8 @@ class MeanFieldModel:
         be negative in the limit system anyway.
         """
         m = np.clip(np.asarray(m, dtype=float), 0.0, None)
+        if self._use_compiled:
+            return m @ self._local.compiled_generator()(m, t)
         return m @ self._local.generator(m, t)
 
     def trajectory(
@@ -101,8 +111,13 @@ class MeanFieldModel:
         horizon: float = 10.0,
         rtol: Optional[float] = None,
         atol: Optional[float] = None,
+        stats=None,
     ) -> OccupancyTrajectory:
-        """Solve Equation (1) from ``initial``, returning a dense trajectory."""
+        """Solve Equation (1) from ``initial``, returning a dense trajectory.
+
+        ``stats`` (an :class:`~repro.instrumentation.EvalStats`) makes the
+        trajectory count its drift evaluations and ``solve_ivp`` calls.
+        """
         initial = validate_occupancy(initial, self.num_states)
         return OccupancyTrajectory(
             self.drift,
@@ -110,6 +125,7 @@ class MeanFieldModel:
             horizon=horizon,
             rtol=self._rtol if rtol is None else rtol,
             atol=self._atol if atol is None else atol,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -125,10 +141,22 @@ class MeanFieldModel:
         time-inhomogeneous CTMC of a random individual object, whose rates
         follow the deterministic occupancy flow.  The returned callable is
         what the :mod:`repro.ctmc.inhomogeneous` solvers consume.
-        """
 
-        def q_of_t(t: float) -> np.ndarray:
-            return self._local.generator(trajectory(t), t)
+        Uses the compiled assembler unless the model was built with
+        ``compiled=False``.  :class:`~repro.checking.context.EvaluationContext`
+        adds memoization on top of this — prefer its
+        ``generator_function()`` inside the checkers.
+        """
+        if self._use_compiled:
+            compiled = self._local.compiled_generator()
+
+            def q_of_t(t: float) -> np.ndarray:
+                return compiled(trajectory(t), t)
+
+        else:
+
+            def q_of_t(t: float) -> np.ndarray:
+                return self._local.generator(trajectory(t), t)
 
         return q_of_t
 

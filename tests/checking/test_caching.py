@@ -1,0 +1,182 @@
+"""Solve-level caching in :class:`EvaluationContext` — correctness first.
+
+Caching must be invisible to the numerics: cached Π matrices are
+identical to uncached solves, derived contexts only share state that is
+sound to share, and the instrumentation counters actually count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking.context import EvaluationContext
+from repro.checking.global_ import MFModelChecker
+from repro.checking.transform import absorbing_generator_function
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+from repro.instrumentation import EvalStats
+from repro.meanfield.ode import ShiftedTrajectory
+from repro.models.diurnal import diurnal_virus_model
+
+INFECTED = frozenset({1, 2})
+
+
+class TestGeneratorMemo:
+    def test_repeated_times_return_cached_array(self, ctx1):
+        q_of_t = ctx1.generator_function()
+        q1 = q_of_t(1.25)
+        q2 = q_of_t(1.25)
+        assert q2 is q1  # memoized, not re-assembled
+        assert ctx1.stats.generator_cache_hits == 1
+        assert ctx1.stats.generator_cache_misses == 1
+
+    def test_memo_matches_direct_assembly(self, ctx1, virus1):
+        q_of_t = ctx1.generator_function()
+        for t in (0.0, 0.5, 2.0, 3.75):
+            direct = virus1.local.generator(ctx1.occupancy(t), t)
+            np.testing.assert_allclose(q_of_t(t), direct, rtol=0.0, atol=1e-12)
+
+    def test_clear_caches_forces_reassembly(self, ctx1):
+        q_of_t = ctx1.generator_function()
+        q1 = q_of_t(0.5)
+        ctx1.clear_caches()
+        q2 = q_of_t(0.5)
+        assert q2 is not q1
+        np.testing.assert_array_equal(q1, q2)
+
+
+class TestTransientCache:
+    def test_cached_matrix_identical_to_uncached_solve(self, ctx1):
+        q_abs = absorbing_generator_function(
+            ctx1.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        pi = ctx1.transient_matrix(sig, q_abs, 0.0, 1.0)
+        again = ctx1.transient_matrix(sig, q_abs, 0.0, 1.0)
+        assert again is pi
+        assert ctx1.stats.transient_cache_hits == 1
+        # An uncached solve of the same problem (deterministic RK45 over
+        # the memoized generator) reproduces the cached matrix exactly.
+        fresh = solve_forward_kolmogorov(
+            q_abs, 0.0, 1.0, rtol=ctx1.options.ode_rtol, atol=ctx1.options.ode_atol
+        )
+        np.testing.assert_array_equal(pi, fresh)
+
+    def test_distinct_windows_and_tolerances_miss(self, ctx1):
+        q_abs = absorbing_generator_function(
+            ctx1.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        ctx1.transient_matrix(sig, q_abs, 0.0, 1.0)
+        ctx1.transient_matrix(sig, q_abs, 0.0, 2.0)
+        ctx1.transient_matrix(sig, q_abs, 1.0, 1.0)
+        ctx1.transient_matrix(sig, q_abs, 0.0, 1.0, rtol=1e-6, atol=1e-9)
+        assert ctx1.stats.transient_cache_hits == 0
+        assert ctx1.stats.transient_cache_misses == 4
+
+    def test_formula_result_unchanged_by_warm_cache(self, virus1, m_example1):
+        """Checking the same formula twice on one context gives the exact
+        same verdict with the second run served largely from cache."""
+        checker = MFModelChecker(virus1)
+        ctx = checker.context(m_example1)
+        formula = "EP[<0.3](not_infected U[0,1] infected)"
+        first = checker.check(formula, m_example1, ctx=ctx)
+        misses_after_first = ctx.stats.transient_cache_misses
+        second = checker.check(formula, m_example1, ctx=ctx)
+        assert second == first
+        assert ctx.stats.transient_cache_hits > 0
+        assert ctx.stats.transient_cache_misses == misses_after_first
+
+
+class TestDerivedContexts:
+    def test_at_time_occupancies_match_parent(self, ctx1):
+        child = ctx1.at_time(1.5)
+        for s in (0.0, 0.3, 1.0, 2.5):
+            np.testing.assert_allclose(
+                child.occupancy(s),
+                ctx1.occupancy(1.5 + s),
+                rtol=0.0,
+                atol=1e-9,
+            )
+
+    def test_at_time_shares_trajectory_when_autonomous(self, ctx1):
+        child = ctx1.at_time(2.0)
+        assert isinstance(child.trajectory, ShiftedTrajectory)
+        assert child.stats is ctx1.stats
+
+    def test_at_time_shares_steady_state(self, ctx1):
+        steady = ctx1.steady_state()
+        child = ctx1.at_time(3.0)
+        solves_before = ctx1.stats.solve_ivp_calls
+        np.testing.assert_array_equal(child.steady_state(), steady)
+        # Served from the shared box: no new long-run integration.
+        assert ctx1.stats.solve_ivp_calls == solves_before
+
+    def test_at_time_generator_matches_parent_shift(self, ctx1):
+        child = ctx1.at_time(1.0)
+        np.testing.assert_array_equal(
+            child.generator_function()(0.5),
+            ctx1.generator_function()(1.5),
+        )
+
+    def test_time_dependent_model_does_not_share_trajectory(self):
+        model = diurnal_virus_model()
+        assert model.local.has_time_dependent_rates
+        m0 = np.full(model.num_states, 1.0 / model.num_states)
+        ctx = EvaluationContext(model, m0)
+        child = ctx.at_time(2.0)
+        # The child re-solves from its own origin with global time reset —
+        # sharing the parent's clock would change the diurnal phase.
+        assert not isinstance(child.trajectory, ShiftedTrajectory)
+        # Steady box and stats are still shared (basin and counters are
+        # clock-independent).
+        assert child._steady_box is ctx._steady_box
+        assert child.stats is ctx.stats
+
+    def test_steady_context_reuses_steady_result(self, ctx1):
+        steady = ctx1.steady_state()
+        sc = ctx1.steady_context()
+        np.testing.assert_array_equal(sc.steady_state(), steady)
+        assert sc.stats is ctx1.stats
+
+
+class TestVectorizedTrajectory:
+    def test_eval_many_matches_scalar_calls(self, ctx1):
+        ts = np.linspace(0.0, 5.0, 41)
+        many = ctx1.occupancy_many(ts)
+        assert many.shape == (41, ctx1.num_states)
+        for i, t in enumerate(ts):
+            np.testing.assert_allclose(
+                many[i], ctx1.occupancy(t), rtol=0.0, atol=1e-12
+            )
+
+    def test_eval_many_rejects_negative_times(self, ctx1):
+        with pytest.raises(Exception):
+            ctx1.occupancy_many(np.array([-0.5, 1.0]))
+
+    def test_shifted_trajectory_composes(self, ctx1):
+        traj = ctx1.trajectory
+        twice = traj.shifted(1.0).shifted(0.5)
+        np.testing.assert_allclose(
+            twice(0.25), traj(1.75), rtol=0.0, atol=1e-12
+        )
+
+
+class TestStats:
+    def test_counters_accumulate_over_a_check(self, virus1, m_example1):
+        stats = EvalStats()
+        ctx = EvaluationContext(virus1, m_example1, stats=stats)
+        checker = MFModelChecker(virus1)
+        checker.check(
+            "EP[<0.5](not_infected U[0,1] infected)", m_example1, ctx=ctx
+        )
+        assert stats.rhs_evaluations > 0
+        assert stats.solve_ivp_calls > 0
+        assert stats.generator_evals > 0
+        d = stats.as_dict()
+        assert d["rhs_evaluations"] == stats.rhs_evaluations
+        stats.reset()
+        assert stats.rhs_evaluations == 0
+
+    def test_fresh_context_has_private_stats(self, virus1, m_example1):
+        a = EvaluationContext(virus1, m_example1)
+        b = EvaluationContext(virus1, m_example1)
+        assert a.stats is not b.stats
