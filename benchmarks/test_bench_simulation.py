@@ -1,0 +1,177 @@
+"""A7 — Monte-Carlo scaling: serial vs batched vs multiprocess engines.
+
+The vectorized ensemble engine advances every replica of a batch through
+one set of numpy kernels per event sweep instead of a per-event Python
+loop; the statistical checker does the same for sampled paths.  This
+bench quantifies the speedup at the paper-scale workload (virus model,
+``N = 1000``, 100 runs, horizon 2) and records the engine's EvalStats
+counters so a regression can be traced to *what* was recomputed.
+
+Budget knobs (used by the CI statistical-smoke step to shrink the run):
+
+- ``REPRO_BENCH_MC_POP``     — population ``N``        (default 1000)
+- ``REPRO_BENCH_MC_RUNS``    — ensemble size           (default 100)
+- ``REPRO_BENCH_MC_SAMPLES`` — statistical-checker paths (default 2000)
+
+The >= 10x speedup assertion only fires at the full default budget: at
+toy sizes, fixed overheads (compiled-generator construction, process
+forks) dominate and the ratio is meaningless.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import M_EXAMPLE_1, record, record_stats
+from repro.checking.statistical import StatisticalChecker
+from repro.instrumentation import EvalStats
+from repro.logic.parser import parse_path
+from repro.meanfield.simulation import FiniteNSimulator
+
+POP = int(os.environ.get("REPRO_BENCH_MC_POP", "1000"))
+RUNS = int(os.environ.get("REPRO_BENCH_MC_RUNS", "100"))
+SAMPLES = int(os.environ.get("REPRO_BENCH_MC_SAMPLES", "2000"))
+HORIZON = 2.0
+#: The speedup target is asserted only at the full (default) budget.
+FULL_BUDGET = POP >= 1000 and RUNS >= 100
+
+PATH = parse_path("not_infected U[0,1] infected")
+
+
+def _timed(fn, repeats=2):
+    """Best-of-N wall time after one warmup call (amortizes compilation)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_serial_ensemble(benchmark, virus1):
+    sim = FiniteNSimulator(virus1.local, POP)
+    stats = EvalStats()
+
+    def run():
+        stats.reset()
+        return sim.simulate_ensemble(
+            M_EXAMPLE_1, HORIZON, RUNS, seed=0, method="serial", stats=stats
+        )
+
+    paths = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, population=POP, runs=len(paths))
+    record_stats(benchmark, stats)
+
+
+def test_batched_ensemble(benchmark, virus1):
+    sim = FiniteNSimulator(virus1.local, POP)
+    stats = EvalStats()
+    sim.simulate_ensemble(M_EXAMPLE_1, HORIZON, min(RUNS, 8), seed=0)  # warmup
+
+    def run():
+        stats.reset()
+        return sim.simulate_ensemble(
+            M_EXAMPLE_1, HORIZON, RUNS, seed=0, method="batched", stats=stats
+        )
+
+    paths = benchmark.pedantic(run, rounds=3, iterations=1)
+    record(benchmark, population=POP, runs=len(paths))
+    record_stats(benchmark, stats)
+
+
+def test_batched_speedup_over_serial(benchmark, virus1):
+    """The acceptance criterion: >= 10x at N=1000, runs=100, horizon 2."""
+    sim = FiniteNSimulator(virus1.local, POP)
+
+    def serial():
+        sim.simulate_ensemble(M_EXAMPLE_1, HORIZON, RUNS, seed=0, method="serial")
+
+    def batched():
+        sim.simulate_ensemble(M_EXAMPLE_1, HORIZON, RUNS, seed=0, method="batched")
+
+    t_serial = _timed(serial)
+    t_batched = _timed(batched)
+    speedup = t_serial / t_batched
+    record(
+        benchmark,
+        population=POP,
+        runs=RUNS,
+        serial_seconds=t_serial,
+        batched_seconds=t_batched,
+        speedup=speedup,
+        full_budget=FULL_BUDGET,
+    )
+    benchmark.pedantic(batched, rounds=1, iterations=1)
+    print(
+        f"\nserial={t_serial:.3f}s batched={t_batched:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    if FULL_BUDGET:
+        assert speedup >= 10.0
+
+
+def test_multiprocess_ensemble_matches_single(benchmark, virus1):
+    """workers=4 spreads batches across cores; output is bit-identical."""
+    sim = FiniteNSimulator(virus1.local, POP)
+    stats = EvalStats()
+
+    def run():
+        stats.reset()
+        return sim.simulate_ensemble(
+            M_EXAMPLE_1,
+            HORIZON,
+            RUNS,
+            seed=0,
+            method="batched",
+            workers=4,
+            stats=stats,
+        )
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    single = sim.simulate_ensemble(
+        M_EXAMPLE_1, HORIZON, RUNS, seed=0, method="batched", workers=1
+    )
+    identical = all(
+        np.array_equal(a.times, b.times)
+        and np.array_equal(a.occupancies, b.occupancies)
+        for a, b in zip(parallel, single)
+    )
+    record(benchmark, workers=4, bitwise_identical_to_single=identical)
+    record_stats(benchmark, stats)
+    assert identical
+
+
+def test_statistical_batched_vs_serial(benchmark, ctx1):
+    """Path-sampling side of the engine: batched thinning + vectorized
+    predicates vs the per-path reference loop."""
+
+    def serial():
+        return StatisticalChecker(
+            ctx1, samples=SAMPLES, seed=1, method="serial"
+        ).path_probability(PATH, "s1")
+
+    def batched():
+        return StatisticalChecker(
+            ctx1, samples=SAMPLES, seed=1, method="batched"
+        ).path_probability(PATH, "s1")
+
+    t_serial = _timed(serial, repeats=1)
+    t_batched = _timed(batched, repeats=1)
+    estimate = benchmark.pedantic(batched, rounds=1, iterations=1)
+    record(
+        benchmark,
+        samples=SAMPLES,
+        serial_seconds=t_serial,
+        batched_seconds=t_batched,
+        speedup=t_serial / t_batched,
+        value=estimate.value,
+        stderr=estimate.stderr,
+        mc_paths=int(ctx1.stats.mc_paths),
+        mc_candidates=int(ctx1.stats.mc_candidates),
+    )
+    print(
+        f"\nstatistical serial={t_serial:.3f}s batched={t_batched:.3f}s "
+        f"speedup={t_serial / t_batched:.1f}x"
+    )

@@ -37,6 +37,7 @@ from repro.checking.intervals import IntervalSet
 from repro.checking.local import LocalChecker
 from repro.checking.options import CheckOptions
 from repro.checking.satsets import PiecewiseSatSet
+from repro.checking.statistical import StatisticalChecker
 
 __all__ = [
     "EvaluationContext",
@@ -46,4 +47,5 @@ __all__ = [
     "LocalChecker",
     "CheckOptions",
     "PiecewiseSatSet",
+    "StatisticalChecker",
 ]

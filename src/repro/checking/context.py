@@ -81,6 +81,9 @@ class EvaluationContext:
         self.stats = stats if stats is not None else EvalStats()
         self._trajectory = None
         self._generator_fn: Optional[Callable[[float], np.ndarray]] = None
+        self._generator_batch_fn: Optional[
+            Callable[[np.ndarray], np.ndarray]
+        ] = None
         self._generator_cache: dict = {}
         self._transient_cache: dict = {}
         # One-slot box for the stationary point, shared with contexts
@@ -154,6 +157,27 @@ class EvaluationContext:
 
             self._generator_fn = q_of_t
         return self._generator_fn
+
+    def generator_batch_function(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Batched generator ``ts -> (len(ts), K, K)`` along the trajectory.
+
+        The vectorized Monte-Carlo sampler calls this once per thinning
+        sweep with the candidate times of *every* replica; memoizing per
+        time point would defeat the vectorization, so (unlike
+        :meth:`generator_function`) the batch path is uncached and only
+        counts its assemblies into :attr:`stats`.
+        """
+        if self._generator_batch_fn is None:
+            base = self.model.generator_batch_along(self.trajectory)
+            stats = self.stats
+
+            def q_batch(ts: np.ndarray) -> np.ndarray:
+                ts = np.asarray(ts, dtype=float)
+                stats.generator_evals += int(ts.size)
+                return base(ts)
+
+            self._generator_batch_fn = q_batch
+        return self._generator_batch_fn
 
     # ------------------------------------------------------------------
     # Transient-matrix cache (Equations (4)/(5) solves)

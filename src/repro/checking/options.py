@@ -54,6 +54,11 @@ class CheckOptions:
         yielding probability zero from ``Φ2 \\ Φ1`` states).  The two only
         differ when ``t1 = 0`` and the start state is in ``Φ2 \\ Φ1``;
         see EXPERIMENTS.md.
+    workers:
+        Worker processes for the Monte-Carlo engines (statistical
+        checking, finite-N ensembles).  ``1`` runs in-process.  Results
+        are bit-identical for every value — the reproducibility contract
+        of :mod:`repro.parallel` — so this is purely a speed knob.
     """
 
     ode_rtol: float = 1e-8
@@ -65,6 +70,7 @@ class CheckOptions:
     curve_method: str = "propagate"
     horizon_margin: float = 1.0
     start_convention: str = "standard"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.grid_points < 3:
@@ -89,6 +95,8 @@ class CheckOptions:
                 f"start_convention must be standard/phi1, got "
                 f"{self.start_convention!r}"
             )
+        if self.workers < 1:
+            raise ModelError(f"workers must be >= 1, got {self.workers}")
 
     def with_(self, **changes) -> "CheckOptions":
         """A copy with some fields replaced (frozen-dataclass helper)."""

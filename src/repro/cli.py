@@ -12,6 +12,16 @@ Compute the conditional satisfaction set over a horizon::
     mfcsl csat --model virus1 --occupancy 0.8,0.15,0.05 --theta 20 \
         "EP[<0.3](not_infected U[0,1] infected)"
 
+Simulate a finite-N ensemble against the mean-field limit::
+
+    mfcsl simulate --model virus1 --occupancy 0.8,0.15,0.05 \
+        -N 1000 --runs 100 --horizon 2 --workers 4
+
+Estimate a path probability by Monte-Carlo sampling::
+
+    mfcsl mc --model virus1 --occupancy 0.8,0.15,0.05 --state s1 \
+        --samples 5000 --workers 4 "not_infected U[0,1] infected"
+
 List the models and their atomic propositions::
 
     mfcsl models
@@ -54,18 +64,26 @@ def _parse_occupancy(text: str) -> np.ndarray:
         raise SystemExit(f"error: cannot parse occupancy vector {text!r}")
 
 
-def _build_checker(args: argparse.Namespace) -> MFModelChecker:
-    options = CheckOptions(start_convention=args.convention)
+def _resolve_model(args: argparse.Namespace) -> MeanFieldModel:
+    """The model selected by ``--model`` / ``--model-file``."""
     if getattr(args, "model_file", None):
         from repro.io import load_model
 
-        return MFModelChecker(load_model(args.model_file), options)
+        return load_model(args.model_file)
     if args.model not in MODELS:
         raise SystemExit(
             f"error: unknown model {args.model!r}; choose from "
             f"{', '.join(sorted(MODELS))}"
         )
-    return MFModelChecker(MODELS[args.model](), options)
+    return MODELS[args.model]()
+
+
+def _build_checker(args: argparse.Namespace) -> MFModelChecker:
+    options = CheckOptions(
+        start_convention=args.convention,
+        workers=getattr(args, "workers", 1),
+    )
+    return MFModelChecker(_resolve_model(args), options)
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -107,6 +125,76 @@ def _cmd_csat(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.instrumentation import EvalStats
+    from repro.meanfield.simulation import FiniteNSimulator, occupancy_rmse
+
+    model = _resolve_model(args)
+    occupancy = _parse_occupancy(args.occupancy)
+    simulator = FiniteNSimulator(model.local, args.population)
+    stats = EvalStats()
+    paths = simulator.simulate_ensemble(
+        occupancy,
+        args.horizon,
+        args.runs,
+        seed=args.seed,
+        method=args.method,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        stats=stats,
+    )
+    finals = np.vstack([p(args.horizon) for p in paths])
+    mean = finals.mean(axis=0)
+    std = finals.std(axis=0)
+    names = list(model.local.states)
+    print(
+        f"N={args.population} runs={args.runs} horizon={args.horizon} "
+        f"method={args.method} workers={args.workers} seed={args.seed}"
+    )
+    print("final occupancy (ensemble mean +/- std):")
+    for i, name in enumerate(names):
+        print(f"    {name}: {mean[i]:.6f} +/- {std[i]:.6f}")
+    limit = model.trajectory(occupancy, horizon=args.horizon)
+    rmse = float(np.mean([occupancy_rmse(p, limit) for p in paths]))
+    print(f"mean RMSE vs mean-field limit: {rmse:.6f}")
+    print(f"events={stats.sim_events} batches={stats.sim_batches}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.checking.context import EvaluationContext
+    from repro.checking.statistical import StatisticalChecker
+    from repro.logic.parser import parse_path
+
+    model = _resolve_model(args)
+    occupancy = _parse_occupancy(args.occupancy)
+    ctx = EvaluationContext(
+        model, occupancy, CheckOptions(workers=args.workers)
+    )
+    checker = StatisticalChecker(
+        ctx,
+        samples=args.samples,
+        seed=args.seed,
+        method=args.method,
+        batch_size=args.batch_size,
+    )
+    formula = parse_path(args.formula)
+    if args.state is not None:
+        estimate = checker.path_probability(formula, args.state)
+        label = f"Prob({args.state}, {args.formula})"
+    else:
+        estimate = checker.expected_probability(formula)
+        label = f"EP({args.formula})"
+    lo, hi = estimate.confidence_interval()
+    print(f"{label} = {estimate.value:.6f} +/- {estimate.stderr:.6f}")
+    print(f"95% CI: [{lo:.6f}, {hi:.6f}]  ({estimate.samples} paths)")
+    print(
+        f"paths={ctx.stats.mc_paths} candidates={ctx.stats.mc_candidates} "
+        f"workers={args.workers}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -120,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_models
     )
 
-    def add_common(p: argparse.ArgumentParser) -> None:
+    def add_model_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--model", default="virus1", help="built-in model name")
         p.add_argument(
             "--model-file",
@@ -132,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
             required=True,
             help="comma-separated occupancy vector, e.g. 0.8,0.15,0.05",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for Monte-Carlo engines (results are "
+            "bitwise identical for every value)",
+        )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        add_model_args(p)
         p.add_argument(
             "--convention",
             default="standard",
@@ -161,6 +259,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_csat)
     p_csat.add_argument("--theta", type=float, default=10.0)
     p_csat.set_defaults(func=_cmd_csat)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="finite-N ensemble simulation vs the mean-field limit",
+    )
+    add_model_args(p_sim)
+    p_sim.add_argument(
+        "-N", "--population", type=int, default=1000, help="objects per run"
+    )
+    p_sim.add_argument("--runs", type=int, default=100)
+    p_sim.add_argument("--horizon", type=float, default=2.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--method",
+        default="batched",
+        choices=("batched", "serial"),
+        help="vectorized ensemble engine or the per-event reference loop",
+    )
+    p_sim.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="replicas per batch (part of the reproducibility contract)",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_mc = sub.add_parser(
+        "mc", help="Monte-Carlo estimate of a path-formula probability"
+    )
+    add_model_args(p_mc)
+    p_mc.add_argument(
+        "--state",
+        default=None,
+        help="start state name; omitted = EP (start drawn from occupancy)",
+    )
+    p_mc.add_argument("--samples", type=int, default=2000)
+    p_mc.add_argument("--seed", type=int, default=0)
+    p_mc.add_argument(
+        "--method", default="batched", choices=("batched", "serial")
+    )
+    p_mc.add_argument("--batch-size", type=int, default=256)
+    p_mc.add_argument("formula", help="path formula, e.g. 'a U[0,1] b'")
+    p_mc.set_defaults(func=_cmd_mc)
 
     return parser
 

@@ -49,8 +49,12 @@ from repro.ctmc.inhomogeneous import (
     solve_forward_kolmogorov,
 )
 from repro.ctmc.paths import (
+    Path,
+    PathBatch,
+    estimate_rate_bound,
     sample_homogeneous_path,
     sample_inhomogeneous_path,
+    sample_inhomogeneous_paths,
 )
 
 __all__ = [
@@ -73,6 +77,10 @@ __all__ = [
     "TransitionMatrixPropagator",
     "solve_backward_kolmogorov",
     "solve_forward_kolmogorov",
+    "Path",
+    "PathBatch",
+    "estimate_rate_bound",
     "sample_homogeneous_path",
     "sample_inhomogeneous_path",
+    "sample_inhomogeneous_paths",
 ]

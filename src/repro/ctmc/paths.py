@@ -9,22 +9,34 @@ trajectories.  Two samplers are provided:
 - :func:`sample_inhomogeneous_path` — sampling of a chain whose generator
   changes with global time, using Ogata-style thinning: candidate jump
   times are drawn from a homogeneous bound and accepted with probability
-  ``rate(t) / bound``.
+  ``rate(t) / bound``;
+- :func:`sample_inhomogeneous_paths` — the **batched** thinning sampler:
+  ``B`` paths advance simultaneously on array state, with the generators
+  at all replicas' candidate times evaluated in one call of a *batched*
+  generator function ``ts -> (len(ts), K, K)`` (see
+  :meth:`~repro.checking.context.EvaluationContext.generator_batch_function`).
+  Returns a :class:`PathBatch` of padded arrays that the vectorized
+  path-formula predicates in :mod:`repro.checking.statistical` consume
+  directly.
 
-Both return a :class:`Path` object matching the paper's notion of a path:
-a sequence of states together with sojourn times.
+The single-path samplers return a :class:`Path` object matching the
+paper's notion of a path: a sequence of states together with sojourn
+times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ModelError, NumericalError
 
 GeneratorFunction = Callable[[float], np.ndarray]
+
+#: Batched generator: times ``(A,)`` -> stacked generators ``(A, K, K)``.
+BatchGeneratorFunction = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -60,6 +72,57 @@ class Path:
         return len(self.states)
 
 
+@dataclass
+class PathBatch:
+    """``B`` timed paths in padded-array form.
+
+    Attributes
+    ----------
+    states:
+        ``(B, L)`` int array; row ``b`` holds the visited states of path
+        ``b`` padded with ``-1`` beyond ``lengths[b]`` entries.
+    jump_times:
+        ``(B, L - 1)`` float array of absolute departure times, padded
+        with ``end_time`` — so ``searchsorted``-style lookups on a padded
+        row behave exactly as on the unpadded one (the path sits in its
+        last real state from its last real jump until ``end_time``).
+    lengths:
+        ``(B,)`` number of *real* states per path (always >= 1).
+    end_time:
+        Common sampling horizon of every path in the batch.
+    """
+
+    states: np.ndarray
+    jump_times: np.ndarray
+    lengths: np.ndarray
+    end_time: float
+
+    def __len__(self) -> int:
+        return int(self.states.shape[0])
+
+    def path(self, b: int) -> Path:
+        """Extract path ``b`` as a plain :class:`Path` (for spot checks)."""
+        n = int(self.lengths[b])
+        return Path(
+            states=[int(s) for s in self.states[b, :n]],
+            jump_times=[float(t) for t in self.jump_times[b, : n - 1]],
+            end_time=self.end_time,
+        )
+
+
+def _inverse_sample_row(weights: np.ndarray, u: float) -> int:
+    """Draw an index proportionally to ``weights`` via inverse CDF.
+
+    Equivalent in distribution to ``rng.choice(len(w), p=w/w.sum())`` but
+    avoids the normalisation pass and per-call validation of ``choice``.
+    """
+    cumulative = np.cumsum(weights)
+    return min(
+        int(np.searchsorted(cumulative, u * cumulative[-1], side="right")),
+        len(weights) - 1,
+    )
+
+
 def sample_homogeneous_path(
     q: np.ndarray,
     start: int,
@@ -80,11 +143,29 @@ def sample_homogeneous_path(
             break
         weights = q[state].copy()
         weights[state] = 0.0
-        probs = weights / weights.sum()
-        state = int(rng.choice(len(probs), p=probs))
+        state = _inverse_sample_row(weights, rng.random())
         path.states.append(state)
         path.jump_times.append(t)
     return path
+
+
+def estimate_rate_bound(
+    q_of_t: GeneratorFunction,
+    horizon: float,
+    bound_safety: float = 1.5,
+) -> float:
+    """Probe ``q_of_t`` on a grid for a thinning bound on the exit rates.
+
+    Models whose rates exceed the probed bound raise
+    :class:`NumericalError` at acceptance time, so the samplers fail
+    loudly rather than silently under-sampling jumps.
+    """
+    grid = np.linspace(0.0, horizon, 64) if horizon > 0 else [0.0]
+    probe = max(
+        float(np.max(-np.diag(np.asarray(q_of_t(t), dtype=float))))
+        for t in grid
+    )
+    return max(probe, 1e-12) * float(bound_safety)
 
 
 def sample_inhomogeneous_path(
@@ -95,6 +176,7 @@ def sample_inhomogeneous_path(
     rate_bound: Optional[float] = None,
     bound_safety: float = 1.5,
     max_events: int = 1_000_000,
+    stats=None,
 ) -> Path:
     """Sample one path of a time-inhomogeneous CTMC by thinning.
 
@@ -108,17 +190,15 @@ def sample_inhomogeneous_path(
         multiplying by ``bound_safety``; models whose rates exceed the
         probed bound raise :class:`NumericalError` at acceptance time, so
         the sampler fails loudly rather than silently under-sampling jumps.
+    stats:
+        Optional :class:`repro.instrumentation.EvalStats`; candidate
+        (thinning) events are added to ``mc_candidates``.
     """
     horizon = float(horizon)
     if horizon < 0.0:
         raise ModelError(f"horizon must be non-negative, got {horizon}")
     if rate_bound is None:
-        grid = np.linspace(0.0, horizon, 64) if horizon > 0 else [0.0]
-        probe = max(
-            float(np.max(-np.diag(np.asarray(q_of_t(t), dtype=float))))
-            for t in grid
-        )
-        rate_bound = max(probe, 1e-12) * float(bound_safety)
+        rate_bound = estimate_rate_bound(q_of_t, horizon, bound_safety)
     rate_bound = float(rate_bound)
     state = int(start)
     t = 0.0
@@ -143,11 +223,171 @@ def sample_inhomogeneous_path(
         if rng.random() < exit_rate / rate_bound:
             weights = q[state].copy()
             weights[state] = 0.0
-            total = weights.sum()
-            if total <= 0.0:
+            if weights.sum() <= 0.0:
                 continue
-            probs = weights / total
-            state = int(rng.choice(len(probs), p=probs))
+            state = _inverse_sample_row(weights, rng.random())
             path.states.append(state)
             path.jump_times.append(t)
+    if stats is not None:
+        stats.mc_candidates += events
     return path
+
+
+def sample_inhomogeneous_paths(
+    q_batch: BatchGeneratorFunction,
+    starts: "Sequence[int] | np.ndarray | int",
+    horizon: float,
+    rng: np.random.Generator,
+    replicas: Optional[int] = None,
+    rate_bound: Optional[float] = None,
+    bound_safety: float = 1.5,
+    max_events: int = 1_000_000,
+    stats=None,
+) -> PathBatch:
+    """Sample a batch of inhomogeneous-CTMC paths by vectorized thinning.
+
+    All paths advance together on array state: one sweep draws candidate
+    exponential clocks for every still-running path, evaluates the
+    generator at *all* candidate times in a single ``q_batch`` call, and
+    accepts/rejects and selects successor states with vectorized inverse
+    sampling.  Per-sweep cost is therefore a handful of numpy kernels
+    regardless of the batch size.
+
+    Parameters
+    ----------
+    q_batch:
+        Batched generator: an array of times ``(A,)`` maps to the stacked
+        generators ``(A, K, K)``.
+    starts:
+        Start state per path — an ``(B,)`` array, or a scalar combined
+        with ``replicas``.
+    rate_bound:
+        Uniform exit-rate bound for thinning.  Required here (unlike the
+        single-path sampler) so callers resolve it *once* before
+        dispatching batches to workers; use :func:`estimate_rate_bound`.
+        If omitted it is probed through ``q_batch`` directly.
+    stats:
+        Optional :class:`repro.instrumentation.EvalStats`; the number of
+        candidate (thinning) events is added to ``mc_candidates``.
+    """
+    horizon = float(horizon)
+    if horizon < 0.0:
+        raise ModelError(f"horizon must be non-negative, got {horizon}")
+    starts_arr = np.atleast_1d(np.asarray(starts, dtype=np.intp))
+    if starts_arr.size == 1 and replicas is not None:
+        starts_arr = np.full(int(replicas), int(starts_arr[0]), dtype=np.intp)
+    batch = starts_arr.size
+    if batch == 0:
+        raise ModelError("cannot sample an empty path batch")
+    if rate_bound is None:
+        rate_bound = estimate_rate_bound(
+            lambda t: q_batch(np.asarray([t], dtype=float))[0],
+            horizon,
+            bound_safety,
+        )
+    rate_bound = float(rate_bound)
+
+    state = starts_arr.copy()
+    t = np.zeros(batch)
+    active = np.full(batch, horizon > 0.0)
+    # Flat event log; padded arrays are reconstructed afterwards so the
+    # sweep loop never touches per-path Python objects.
+    log_rep: List[np.ndarray] = []
+    log_time: List[np.ndarray] = []
+    log_state: List[np.ndarray] = []
+    candidates = 0
+    sweeps = 0
+    while True:
+        alive = np.flatnonzero(active)
+        if alive.size == 0:
+            break
+        sweeps += 1
+        if sweeps > max_events:
+            raise NumericalError(
+                f"batched thinning exceeded {max_events} candidate sweeps"
+            )
+        candidates += int(alive.size)
+        new_t = t[alive] + rng.standard_exponential(alive.size) / rate_bound
+        crossed = new_t >= horizon
+        if crossed.any():
+            active[alive[crossed]] = False
+        survivors = alive[~crossed]
+        if survivors.size == 0:
+            continue
+        t[survivors] = new_t[~crossed]
+        q = np.asarray(q_batch(t[survivors]), dtype=float)
+        rows = np.arange(survivors.size)
+        exit_rates = -q[rows, state[survivors], state[survivors]]
+        if np.any(exit_rates > rate_bound * (1.0 + 1e-9)):
+            worst = float(exit_rates.max())
+            raise NumericalError(
+                f"exit rate {worst} exceeds thinning bound {rate_bound}; "
+                f"pass a larger rate_bound"
+            )
+        accepted = rng.random(survivors.size) < exit_rates / rate_bound
+        acc = survivors[accepted]
+        if acc.size == 0:
+            continue
+        weights = q[np.flatnonzero(accepted), state[acc], :]
+        weights[np.arange(acc.size), state[acc]] = 0.0
+        totals = weights.sum(axis=1)
+        positive = totals > 0.0
+        acc = acc[positive]
+        if acc.size == 0:
+            continue
+        weights = weights[positive]
+        totals = totals[positive]
+        cumulative = np.cumsum(weights, axis=1)
+        u = rng.random(acc.size) * totals
+        choice = np.minimum(
+            (cumulative <= u[:, None]).sum(axis=1), weights.shape[1] - 1
+        )
+        state[acc] = choice
+        log_rep.append(acc.copy())
+        log_time.append(t[acc].copy())
+        log_state.append(choice.astype(np.intp))
+    if stats is not None:
+        stats.mc_candidates += candidates
+    return _reconstruct_batch(
+        starts_arr, horizon, batch, log_rep, log_time, log_state
+    )
+
+
+def _reconstruct_batch(
+    starts: np.ndarray,
+    horizon: float,
+    batch: int,
+    log_rep: List[np.ndarray],
+    log_time: List[np.ndarray],
+    log_state: List[np.ndarray],
+) -> PathBatch:
+    """Turn the flat per-sweep event log into padded :class:`PathBatch` arrays."""
+    if log_rep:
+        rep = np.concatenate(log_rep)
+        times = np.concatenate(log_time)
+        targets = np.concatenate(log_state)
+    else:
+        rep = np.empty(0, dtype=np.intp)
+        times = np.empty(0)
+        targets = np.empty(0, dtype=np.intp)
+    jumps = np.bincount(rep, minlength=batch)
+    lengths = jumps + 1
+    width = int(lengths.max())
+    states = np.full((batch, width), -1, dtype=np.intp)
+    states[:, 0] = starts
+    jump_times = np.full((batch, max(width - 1, 0)), horizon)
+    if rep.size:
+        # Sweeps were appended in time order, so a stable sort by replica
+        # yields each path's jumps chronologically.
+        order = np.argsort(rep, kind="stable")
+        sorted_rep = rep[order]
+        offsets = np.searchsorted(sorted_rep, np.arange(batch))
+        pos = np.arange(rep.size) - offsets[sorted_rep]
+        states[sorted_rep, pos + 1] = targets[order]
+        jump_times[sorted_rep, pos] = times[order]
+    return PathBatch(
+        states=states,
+        jump_times=jump_times,
+        lengths=lengths.astype(np.intp),
+        end_time=horizon,
+    )

@@ -43,6 +43,17 @@ class EvalStats:
     solve_ivp_calls:
         Number of ``scipy.integrate.solve_ivp`` invocations (occupancy
         extensions, Kolmogorov solves, window-shift propagations).
+    sim_events:
+        Transition events fired by the finite-N Gillespie engines
+        (:mod:`repro.meanfield.simulation`), across all replicas.
+    sim_batches:
+        Vectorized ensemble batches simulated (one per
+        ``_simulate_batch`` sweep-loop run).
+    mc_paths:
+        Paths sampled by the statistical checker.
+    mc_candidates:
+        Candidate (thinning) events proposed while sampling those paths —
+        accepted or not; the cost driver of the samplers.
     """
 
     rhs_evaluations: int = 0
@@ -52,6 +63,10 @@ class EvalStats:
     transient_cache_hits: int = 0
     transient_cache_misses: int = 0
     solve_ivp_calls: int = 0
+    sim_events: int = 0
+    sim_batches: int = 0
+    mc_paths: int = 0
+    mc_candidates: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -35,6 +35,12 @@ from repro.meanfield.rates import evaluate_rate
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.meanfield.local_model import LocalModel
 
+#: Per-transition rate kinds (see ``_per_transition`` / ``transition_rates``).
+#: ``_VECTOR`` covers compiled expressions *and* callables that declare
+#: ``vectorized = True`` (see :mod:`repro.meanfield.rates`): both map a
+#: ``(B, K)`` occupancy batch to a ``(B,)`` value array in one call.
+_CONST, _VECTOR, _CALLABLE = 0, 1, 2
+
 
 class CompiledGenerator:
     """One-pass assembler for ``Q(m̄, t)`` with a precomputed constant part.
@@ -57,10 +63,13 @@ class CompiledGenerator:
         base = np.zeros((k, k))
         dummy = np.full(k, 1.0 / k)
         dynamic = []
+        per_transition = []
         num_compiled = 0
         for tr in model.transitions:
             if tr.constant:
-                base[tr.source, tr.target] += evaluate_rate(tr.rate, dummy, 0.0)
+                value = evaluate_rate(tr.rate, dummy, 0.0)
+                base[tr.source, tr.target] += value
+                per_transition.append((tr.source, tr.target, _CONST, value))
             elif isinstance(tr.rate, Expression):
                 compiled = tr.rate.compile()
                 if compiled.max_index >= k:
@@ -69,11 +78,30 @@ class CompiledGenerator:
                         f"for K={k} in rate {tr.rate!r}"
                     )
                 dynamic.append((tr.source, tr.target, compiled, True))
+                per_transition.append((tr.source, tr.target, _VECTOR, compiled))
                 num_compiled += 1
             else:
-                dynamic.append((tr.source, tr.target, tr.rate, False))
+                vectorized = bool(getattr(tr.rate, "vectorized", False))
+                dynamic.append((tr.source, tr.target, tr.rate, vectorized))
+                per_transition.append(
+                    (
+                        tr.source,
+                        tr.target,
+                        _VECTOR if vectorized else _CALLABLE,
+                        tr.rate,
+                    )
+                )
         self._base = base
         self._dynamic: Tuple = tuple(dynamic)
+        self._per_transition: Tuple = tuple(per_transition)
+        #: Source state of every transition, in model order (``(T,)``).
+        self.transition_sources = np.array(
+            [p[0] for p in per_transition], dtype=np.intp
+        )
+        #: Target state of every transition, in model order (``(T,)``).
+        self.transition_targets = np.array(
+            [p[1] for p in per_transition], dtype=np.intp
+        )
         self._k = k
         #: Transitions whose rate is re-evaluated per call.
         self.num_dynamic = len(dynamic)
@@ -156,6 +184,63 @@ class CompiledGenerator:
         q[:, diag, diag] = 0.0
         q[:, diag, diag] = -q.sum(axis=2)
         return q
+
+    def transition_rates(self, occupancies: np.ndarray, t=0.0) -> np.ndarray:
+        """Per-transition rate values for a whole batch of occupancies.
+
+        Unlike :meth:`batch`, which merges transitions into generator
+        entries, this keeps the *per-transition* resolution the finite-N
+        Gillespie engine needs: replica ``b``'s aggregate event rate for
+        transition ``j`` is ``counts[b, sources[j]] * rates[b, j]``, with
+        ``sources``/``targets`` given by :attr:`transition_sources` /
+        :attr:`transition_targets`.
+
+        Parameters
+        ----------
+        occupancies:
+            Array of shape ``(B, K)`` (one occupancy vector per row).
+        t:
+            Scalar time, or array of shape ``(B,)`` pairing a time with
+            each occupancy vector.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(B, T)`` with ``T = len(model.transitions)``, in
+            model transition order.  Rates are validated exactly like
+            :meth:`__call__` (negative/non-finite raise
+            :class:`~repro.exceptions.InvalidRateError`) and round-off
+            negatives are clamped to zero.
+        """
+        occupancies = np.asarray(occupancies, dtype=float)
+        if occupancies.ndim != 2 or occupancies.shape[1] != self._k:
+            raise ModelError(
+                f"transition_rates expects shape (B, {self._k}), "
+                f"got {occupancies.shape}"
+            )
+        b = occupancies.shape[0]
+        t_arr = np.asarray(t, dtype=float)
+        if t_arr.shape != (b,):
+            t_arr = np.broadcast_to(t_arr, (b,))
+        out = np.empty((b, len(self._per_transition)))
+        for j, (_src, _dst, kind, payload) in enumerate(self._per_transition):
+            if kind == _CONST:
+                out[:, j] = payload
+            elif kind == _VECTOR:
+                # Fills the column directly; numpy broadcasts scalar
+                # results (rates that ignore the batch) on assignment.
+                out[:, j] = np.asarray(payload(occupancies, t_arr), dtype=float)
+            else:
+                column = out[:, j]
+                for i in range(b):
+                    column[i] = payload(occupancies[i], t_arr[i])
+        if not np.all(np.isfinite(out)) or np.any(out < -1e-9):
+            bad = out[~np.isfinite(out) | (out < -1e-9)][0]
+            raise InvalidRateError(
+                f"rate evaluated to {bad} in transition batch of "
+                f"{b} occupancies"
+            )
+        return np.clip(out, 0.0, None, out=out)
 
     def __repr__(self) -> str:
         return (

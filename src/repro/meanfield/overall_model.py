@@ -87,6 +87,11 @@ class MeanFieldModel:
         """Dimension ``K`` of the occupancy vector."""
         return self._local.num_states
 
+    @property
+    def uses_compiled(self) -> bool:
+        """Whether this model routes through the compiled assembler."""
+        return self._use_compiled
+
     # ------------------------------------------------------------------
     # Dynamics (Theorem 1, Equation (1))
     # ------------------------------------------------------------------
@@ -159,6 +164,41 @@ class MeanFieldModel:
                 return self._local.generator(trajectory(t), t)
 
         return q_of_t
+
+    def generator_batch_along(
+        self, trajectory: OccupancyTrajectory
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Batched generator function ``ts -> (len(ts), K, K)`` along a trajectory.
+
+        The vectorized path sampler
+        (:func:`repro.ctmc.paths.sample_inhomogeneous_paths`) evaluates
+        the generators at *all* replicas' candidate times in one call;
+        this pairs :meth:`~repro.meanfield.ode.OccupancyTrajectory.eval_many`
+        with :meth:`~repro.meanfield.compiled.CompiledGenerator.batch` so
+        that call is a handful of numpy kernels.  Models built with
+        ``compiled=False`` fall back to stacking scalar assemblies —
+        correct, just not fast.
+        """
+        if self._use_compiled:
+            compiled = self._local.compiled_generator()
+
+            def q_batch(ts: np.ndarray) -> np.ndarray:
+                ts = np.asarray(ts, dtype=float)
+                return compiled.batch(trajectory.eval_many(ts), ts)
+
+        else:
+
+            def q_batch(ts: np.ndarray) -> np.ndarray:
+                ts = np.asarray(ts, dtype=float)
+                ms = trajectory.eval_many(ts)
+                return np.stack(
+                    [
+                        self._local.generator(ms[i], float(t))
+                        for i, t in enumerate(ts)
+                    ]
+                )
+
+        return q_batch
 
     def occupancy_of_counts(self, counts: np.ndarray) -> np.ndarray:
         """Normalize a vector of object counts to an occupancy vector.

@@ -12,6 +12,16 @@ normalizes them to one canonical signature ``rate(m, t) -> float``:
 
 The arity is detected once, at model-construction time, so the hot path
 (generator assembly inside ODE right-hand sides) pays no inspection cost.
+
+A rate callable may additionally declare ``vectorized = True`` to promise
+that it evaluates a whole *batch* of occupancy vectors at once: given
+``m`` of shape ``(B, K)`` (and ``t`` scalar or of shape ``(B,)``) it
+returns a ``(B,)`` value array.  Writing the body with ``m[..., j]``
+indexing and numpy ufuncs (``np.maximum`` instead of ``max``) makes the
+same code serve both the scalar and the batched path; the batched
+Monte-Carlo engines then evaluate the rate once per sweep instead of
+once per replica.  Expression rates get this for free via
+:meth:`~repro.meanfield.expressions.Expression.compile`.
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ def normalize_rate(spec: RateSpec) -> RateFunction:
                 return _f(m)
 
             rate_m_only._time_independent = True
+            rate_m_only.vectorized = bool(getattr(spec, "vectorized", False))
             return rate_m_only
         raise InvalidRateError(
             f"rate callable {spec!r} must accept (m) or (m, t)"

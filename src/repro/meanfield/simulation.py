@@ -15,9 +15,26 @@ the *pre-limit* system exactly, which serves three purposes:
 Because all objects are identical, the aggregate state is exactly the
 vector of per-state counts, and the aggregated process is itself a CTMC:
 a local transition ``i -> j`` fires at total rate
-``count[i] * Q_{i,j}(m̄)`` with ``m̄ = counts / N``.  The simulator is a
-standard Gillespie loop on this aggregate description, so its cost is per
-*event*, not per object.
+``count[i] * Q_{i,j}(m̄)`` with ``m̄ = counts / N``.
+
+Two engines implement the same Gillespie dynamics:
+
+- :meth:`FiniteNSimulator.simulate` — the classic one-path-at-a-time
+  event loop (per-event interpreted rate evaluation; the correctness
+  oracle and the baseline of the simulation benchmarks);
+- the **batched engine** behind :meth:`FiniteNSimulator.simulate_ensemble`
+  — all ``B`` replicas of a batch advance simultaneously on ``(B, K)``
+  count arrays, with per-transition rates for the whole batch evaluated
+  through :meth:`~repro.meanfield.compiled.CompiledGenerator.transition_rates`,
+  vectorized exponential clocks and cumulative-sum inverse event
+  selection.  Per-event history is captured in an event log and the
+  per-replica trajectories are reconstructed vectorized afterwards, so
+  the hot loop does no per-event Python work.
+
+Reproducibility: ensembles split into fixed-size batches seeded via
+``np.random.SeedSequence.spawn`` (see :mod:`repro.parallel`); results are
+bitwise identical for a given ``(seed, runs, batch_size)`` regardless of
+``workers``.
 """
 
 from __future__ import annotations
@@ -31,6 +48,14 @@ from repro.exceptions import ModelError, NumericalError
 from repro.meanfield.local_model import LocalModel
 from repro.meanfield.ode import OccupancyTrajectory
 from repro.meanfield.rates import evaluate_rate
+from repro.parallel import batch_bounds, run_batches, spawn_seeds
+
+#: Default number of replicas advanced together by the batched engine.
+#: Part of the reproducibility contract: results depend on
+#: ``(seed, runs, batch_size)`` but never on the worker count.  The
+#: sweep loop's Python overhead is paid once per batch, so bigger is
+#: faster until the (B, T) work arrays stop fitting in cache.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass
@@ -61,10 +86,45 @@ class EmpiricalTrajectory:
         idx = int(np.searchsorted(self.times, t, side="right")) - 1
         return self.occupancies[max(idx, 0)]
 
+    def eval_many(self, ts) -> np.ndarray:
+        """Occupancies for a whole array of times at once — ``(len(ts), K)``.
+
+        Vectorized counterpart of ``__call__`` (one ``searchsorted`` over
+        the event times), mirroring
+        :meth:`~repro.meanfield.ode.OccupancyTrajectory.eval_many` so the
+        convergence benchmarks can compare empirical and ODE trajectories
+        on whole grids without a Python loop.
+        """
+        ts = np.asarray(ts, dtype=float)
+        if ts.ndim != 1:
+            raise ModelError(
+                f"eval_many expects a 1-D time array, got shape {ts.shape}"
+            )
+        if ts.size == 0:
+            return np.empty((0, self.occupancies.shape[1]))
+        if float(ts.min()) < 0.0 or float(ts.max()) > self.times[-1] + 1e-12:
+            raise ModelError(
+                f"times outside simulated horizon [0, {self.times[-1]}]"
+            )
+        indices = np.searchsorted(self.times, ts, side="right") - 1
+        np.clip(indices, 0, len(self.times) - 1, out=indices)
+        return self.occupancies[indices]
+
     @property
     def horizon(self) -> float:
         """Last simulated time."""
         return float(self.times[-1])
+
+
+def _inverse_sample(cumulative: np.ndarray, u: float) -> int:
+    """Index ``j`` with ``cum[j-1] <= u < cum[j]`` (inverse-CDF sampling).
+
+    Replaces ``rng.choice(..., p=...)`` in the event loops: a
+    ``searchsorted`` on the cumulative rates is both faster and the same
+    primitive the batched engine vectorizes across replicas.
+    """
+    idx = int(np.searchsorted(cumulative, u, side="right"))
+    return min(idx, len(cumulative) - 1)
 
 
 class FiniteNSimulator:
@@ -117,8 +177,15 @@ class FiniteNSimulator:
         horizon: float,
         rng: Optional[np.random.Generator] = None,
         max_events: int = 5_000_000,
+        stats=None,
     ) -> EmpiricalTrajectory:
-        """Simulate one trajectory of the aggregate count process."""
+        """Simulate one trajectory of the aggregate count process.
+
+        This is the serial per-event loop: every transition rate is
+        re-evaluated through the interpreted expression walker once per
+        event.  It is the correctness oracle for the batched engine and
+        the baseline of ``benchmarks/test_bench_simulation.py``.
+        """
         if rng is None:
             rng = np.random.default_rng()
         horizon = float(horizon)
@@ -140,7 +207,8 @@ class FiniteNSimulator:
                     for tr in transitions
                 ]
             )
-            total = rates.sum()
+            cumulative = np.cumsum(rates)
+            total = cumulative[-1]
             if total <= 0.0:
                 break  # frozen configuration
             t += rng.exponential(1.0 / total)
@@ -151,7 +219,7 @@ class FiniteNSimulator:
                 raise NumericalError(
                     f"simulation exceeded {max_events} events before horizon"
                 )
-            choice = int(rng.choice(len(transitions), p=rates / total))
+            choice = _inverse_sample(cumulative, rng.random() * total)
             tr = transitions[choice]
             counts[tr.source] -= 1
             counts[tr.target] += 1
@@ -159,11 +227,158 @@ class FiniteNSimulator:
             occupancies.append(counts / n)
         times.append(horizon)
         occupancies.append(counts / n)
+        if stats is not None:
+            stats.sim_events += events
         return EmpiricalTrajectory(
             times=np.asarray(times),
             occupancies=np.vstack(occupancies),
             population=n,
         )
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+
+    def _simulate_batch(
+        self,
+        initial_counts: np.ndarray,
+        horizon: float,
+        rng: np.random.Generator,
+        replicas: int,
+        max_events: int,
+        stats=None,
+    ) -> List[EmpiricalTrajectory]:
+        """Advance ``replicas`` independent count processes simultaneously.
+
+        State is a ``(B, K)`` count array; each sweep evaluates every
+        replica's per-transition rates in one
+        :meth:`~repro.meanfield.compiled.CompiledGenerator.transition_rates`
+        call, draws all exponential clocks at once and selects all events
+        by cumulative-sum inverse sampling.  Events are appended to a flat
+        log (replica index, time, transition) and the per-replica
+        trajectories are reconstructed vectorized at the end — the sweep
+        itself does no per-event Python work beyond opaque-callable rates.
+        """
+        b = int(replicas)
+        n = self._n
+        k = self._local.num_states
+        compiled = self._local.compiled_generator()
+        src = compiled.transition_sources
+        dst = compiled.transition_targets
+        counts = np.tile(initial_counts.astype(float), (b, 1))
+        t = np.zeros(b)
+        active = np.ones(b, dtype=bool)
+        events = np.zeros(b, dtype=np.int64)
+        log_rep: List[np.ndarray] = []
+        log_time: List[np.ndarray] = []
+        log_choice: List[np.ndarray] = []
+        sweeps = 0
+        while True:
+            alive = np.flatnonzero(active)
+            if alive.size == 0:
+                break
+            sweeps += 1
+            # A replica gains at most one event per sweep, so the sweep
+            # count bounds every replica's event count.
+            if sweeps > max_events:
+                raise NumericalError(
+                    f"simulation exceeded {max_events} events before horizon"
+                )
+            gathered = counts[alive]
+            rates = gathered[:, src] * compiled.transition_rates(
+                gathered / n, t[alive]
+            )
+            totals = rates.sum(axis=1)
+            frozen = totals <= 0.0
+            if frozen.any():
+                active[alive[frozen]] = False
+                live = ~frozen
+                alive = alive[live]
+                rates = rates[live]
+                totals = totals[live]
+                if alive.size == 0:
+                    break
+            new_t = t[alive] + rng.standard_exponential(alive.size) / totals
+            t[alive] = new_t
+            crossed = new_t >= horizon
+            if crossed.any():
+                active[alive[crossed]] = False
+                kept = ~crossed
+                alive = alive[kept]
+                rates = rates[kept]
+                totals = totals[kept]
+                new_t = new_t[kept]
+                if alive.size == 0:
+                    continue
+            events[alive] += 1
+            cumulative = np.cumsum(rates, axis=1)
+            u = rng.random(alive.size) * totals
+            choice = np.minimum(
+                (cumulative <= u[:, None]).sum(axis=1), rates.shape[1] - 1
+            )
+            counts[alive, src[choice]] -= 1.0
+            counts[alive, dst[choice]] += 1.0
+            log_rep.append(alive)
+            log_time.append(new_t)
+            log_choice.append(choice)
+        if stats is not None:
+            stats.sim_events += int(events.sum())
+            stats.sim_batches += 1
+        return self._reconstruct(
+            initial_counts, horizon, b, log_rep, log_time, log_choice
+        )
+
+    def _reconstruct(
+        self,
+        initial_counts: np.ndarray,
+        horizon: float,
+        replicas: int,
+        log_rep: List[np.ndarray],
+        log_time: List[np.ndarray],
+        log_choice: List[np.ndarray],
+    ) -> List[EmpiricalTrajectory]:
+        """Rebuild per-replica trajectories from the flat event log."""
+        n = self._n
+        k = self._local.num_states
+        compiled = self._local.compiled_generator()
+        src = compiled.transition_sources
+        dst = compiled.transition_targets
+        init = initial_counts.astype(float)
+        if log_rep:
+            rep = np.concatenate(log_rep)
+            tev = np.concatenate(log_time)
+            cho = np.concatenate(log_choice)
+        else:
+            rep = np.empty(0, dtype=np.intp)
+            tev = np.empty(0)
+            cho = np.empty(0, dtype=np.intp)
+        # Stable sort groups events by replica while preserving the
+        # chronological order the sweeps appended them in.
+        order = np.argsort(rep, kind="stable")
+        rep, tev, cho = rep[order], tev[order], cho[order]
+        bounds = np.searchsorted(rep, np.arange(replicas + 1))
+        results: List[EmpiricalTrajectory] = []
+        for i in range(replicas):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            num = hi - lo
+            deltas = np.zeros((num, k))
+            rows = np.arange(num)
+            deltas[rows, src[cho[lo:hi]]] -= 1.0
+            deltas[rows, dst[cho[lo:hi]]] += 1.0
+            occupancies = np.empty((num + 2, k))
+            occupancies[0] = init / n
+            occupancies[1 : num + 1] = (init + np.cumsum(deltas, axis=0)) / n
+            occupancies[num + 1] = occupancies[num]
+            times = np.empty(num + 2)
+            times[0] = 0.0
+            times[1 : num + 1] = tev[lo:hi]
+            times[num + 1] = horizon
+            results.append(
+                EmpiricalTrajectory(
+                    times=times, occupancies=occupancies, population=n
+                )
+            )
+        return results
 
     def simulate_ensemble(
         self,
@@ -171,19 +386,102 @@ class FiniteNSimulator:
         horizon: float,
         runs: int,
         seed: int = 0,
+        *,
+        method: str = "batched",
+        workers: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_events: int = 5_000_000,
+        stats=None,
     ) -> List[EmpiricalTrajectory]:
-        """Simulate ``runs`` independent trajectories with derived seeds."""
+        """Simulate ``runs`` independent trajectories.
+
+        Parameters
+        ----------
+        method:
+            ``"batched"`` (default) advances fixed-size batches of
+            replicas simultaneously through the vectorized engine;
+            ``"serial"`` runs the per-event loop once per trajectory
+            (the two agree in distribution, not bitwise).
+        workers:
+            Number of worker processes batches are spread across (see
+            :mod:`repro.parallel`).  Results are bitwise identical for
+            every ``workers`` value.
+        batch_size:
+            Replicas per batch.  Together with ``seed`` and ``runs`` this
+            fully determines the batched engine's output.
+        stats:
+            Optional :class:`~repro.instrumentation.EvalStats`; receives
+            ``sim_events`` / ``sim_batches`` counters (aggregated across
+            workers).
+        """
         if runs <= 0:
             raise ModelError(f"runs must be positive, got {runs}")
-        master = np.random.default_rng(seed)
-        return [
-            self.simulate(
-                initial_occupancy,
-                horizon,
-                rng=np.random.default_rng(master.integers(0, 2**63)),
+        if method not in ("batched", "serial"):
+            raise ModelError(
+                f"method must be batched/serial, got {method!r}"
             )
-            for _ in range(runs)
-        ]
+        horizon = float(horizon)
+        if horizon < 0.0:
+            raise ModelError(f"horizon must be non-negative, got {horizon}")
+        init = self.initial_counts(initial_occupancy)
+        bounds = batch_bounds(runs, batch_size)
+        seeds = spawn_seeds(seed, len(bounds) if method == "batched" else runs)
+        # Ensure the compiled assembler exists before forking so workers
+        # inherit it instead of each recompiling the rate expressions.
+        self._local.compiled_generator()
+
+        if method == "batched":
+
+            def run_one_batch(lo: int, hi: int, batch_index: int):
+                batch_stats = _BatchCounters()
+                paths = self._simulate_batch(
+                    init,
+                    horizon,
+                    np.random.default_rng(seeds[batch_index]),
+                    hi - lo,
+                    max_events,
+                    stats=batch_stats,
+                )
+                return paths, batch_stats
+
+        else:
+
+            def run_one_batch(lo: int, hi: int, batch_index: int):
+                batch_stats = _BatchCounters()
+                paths = [
+                    self.simulate(
+                        initial_occupancy,
+                        horizon,
+                        rng=np.random.default_rng(seeds[i]),
+                        max_events=max_events,
+                        stats=batch_stats,
+                    )
+                    for i in range(lo, hi)
+                ]
+                return paths, batch_stats
+
+        outputs = run_batches(
+            run_one_batch,
+            [(lo, hi, idx) for idx, (lo, hi) in enumerate(bounds)],
+            workers=workers,
+        )
+        results: List[EmpiricalTrajectory] = []
+        for paths, counters in outputs:
+            results.extend(paths)
+            if stats is not None:
+                stats.sim_events += counters.sim_events
+                stats.sim_batches += counters.sim_batches
+        return results
+
+
+class _BatchCounters:
+    """Minimal picklable stand-in for EvalStats inside worker processes."""
+
+    __slots__ = ("sim_events", "sim_batches")
+
+    def __init__(self):
+        self.sim_events = 0
+        self.sim_batches = 0
 
 
 def occupancy_rmse(
@@ -194,11 +492,15 @@ def occupancy_rmse(
     """Root-mean-square distance between an empirical path and the ODE.
 
     Samples both trajectories on a uniform grid over the empirical
-    horizon; used by the convergence bench (A1) to show the error decaying
-    as ``N`` grows.
+    horizon — in one vectorized ``eval_many`` call each — and returns the
+    RMS of the pointwise Euclidean errors; used by the convergence bench
+    (A1) to show the error decaying as ``N`` grows.
     """
     ts = np.linspace(0.0, empirical.horizon, int(num_samples))
-    errors = [
-        np.linalg.norm(empirical(t) - mean_field(t)) for t in ts
-    ]
-    return float(np.sqrt(np.mean(np.square(errors))))
+    emp = empirical.eval_many(ts)
+    if hasattr(mean_field, "eval_many"):
+        ref = mean_field.eval_many(ts)
+    else:  # plain callables (tests, ad-hoc baselines)
+        ref = np.vstack([mean_field(t) for t in ts])
+    diff = emp - ref
+    return float(np.sqrt(np.mean(np.sum(diff * diff, axis=1))))

@@ -25,6 +25,21 @@ from repro.meanfield.local_model import LocalModelBuilder
 from repro.meanfield.overall_model import MeanFieldModel
 
 
+def _infection_rate(beta: float):
+    """Rate ``beta · m_I`` (state index 1), batch-safe and marked so.
+
+    Written with ``m[..., 1]`` indexing so one call evaluates a whole
+    ``(B, K)`` occupancy batch — the Monte-Carlo engines exploit this via
+    the ``vectorized`` marker (see :mod:`repro.meanfield.rates`).
+    """
+
+    def rate(m: np.ndarray) -> float:
+        return beta * m[..., 1]
+
+    rate.vectorized = True
+    return rate
+
+
 @dataclass(frozen=True)
 class SisParameters:
     """SIS rates: infection ``beta`` (per infected contact), cure ``gamma``."""
@@ -52,11 +67,12 @@ def sis_model(params: SisParameters = SisParameters()) -> MeanFieldModel:
     Susceptibles get infected at rate ``beta · m_I``; infected recover at
     rate ``gamma``.  The endemic fixed point is ``m_I = 1 − 1/R0``.
     """
+    infection = _infection_rate(params.beta)
     builder = (
         LocalModelBuilder()
         .state("S", "susceptible", "healthy")
         .state("I", "infected")
-        .transition("S", "I", lambda m: params.beta * m[1])
+        .transition("S", "I", infection)
         .transition("I", "S", params.gamma)
     )
     return MeanFieldModel(builder.build())
@@ -88,7 +104,7 @@ def sir_model(params: SirParameters = SirParameters()) -> MeanFieldModel:
         .state("S", "susceptible", "healthy")
         .state("I", "infected")
         .state("R", "recovered", "healthy")
-        .transition("S", "I", lambda m: params.beta * m[1])
+        .transition("S", "I", _infection_rate(params.beta))
         .transition("I", "R", params.gamma)
     )
     if params.xi > 0:

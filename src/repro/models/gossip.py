@@ -51,20 +51,22 @@ class GossipParameters:
 
 def gossip_model(params: GossipParameters = GossipParameters()) -> MeanFieldModel:
     """Three-state rumour spreading model (ignorant/spreader/stifler)."""
+    # Batch-safe rates (``m[..., j]`` indexing + ``vectorized`` marker):
+    # the Monte-Carlo engines evaluate a whole occupancy batch per call.
+    def hear_rate(m: np.ndarray) -> float:
+        return (params.push + params.pull) * m[..., 1]
+
+    def stifle_rate(m: np.ndarray) -> float:
+        return params.forget + params.push * (m[..., 1] + m[..., 2])
+
+    hear_rate.vectorized = True
+    stifle_rate.vectorized = True
     builder = (
         LocalModelBuilder()
         .state("ignorant", "ignorant", "uninformed")
         .state("spreader", "informed", "active")
         .state("stifler", "informed", "passive")
-        .transition(
-            "ignorant",
-            "spreader",
-            lambda m: (params.push + params.pull) * m[1],
-        )
-        .transition(
-            "spreader",
-            "stifler",
-            lambda m: params.forget + params.push * (m[1] + m[2]),
-        )
+        .transition("ignorant", "spreader", hear_rate)
+        .transition("spreader", "stifler", stifle_rate)
     )
     return MeanFieldModel(builder.build())

@@ -68,15 +68,21 @@ SETTING_2 = VirusParameters(k1=5.0, k2=0.02, k3=0.01, k4=0.5, k5=0.5)
 
 
 def _local_model(params: VirusParameters, smart: bool) -> LocalModel:
+    # Both rates are written batch-safely (``m[..., j]`` indexing, numpy
+    # ufuncs) and declare ``vectorized = True`` so the Monte-Carlo engines
+    # can evaluate a whole (B, K) occupancy batch in one call — see
+    # repro.meanfield.rates.
     if smart:
 
         def infection_rate(m: np.ndarray) -> float:
-            return params.k1 * m[2] / max(m[0], _M1_FLOOR)
+            return params.k1 * m[..., 2] / np.maximum(m[..., 0], _M1_FLOOR)
 
     else:
 
         def infection_rate(m: np.ndarray) -> float:
-            return params.k1 * m[2]
+            return params.k1 * m[..., 2]
+
+    infection_rate.vectorized = True
 
     builder = (
         LocalModelBuilder()

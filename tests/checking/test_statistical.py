@@ -6,15 +6,36 @@ import pytest
 from repro.checking.statistical import (
     Estimate,
     StatisticalChecker,
+    batch_satisfies_next,
+    batch_satisfies_until,
     path_satisfies_next,
     path_satisfies_until,
 )
-from repro.ctmc.paths import Path
-from repro.exceptions import UnsupportedFormulaError
+from repro.ctmc.paths import Path, PathBatch
+from repro.exceptions import ModelError, UnsupportedFormulaError
 from repro.logic.parser import parse_path
 
 G1 = frozenset({0})
 G2 = frozenset({1, 2})
+
+
+def _batch_of(paths, end_time, num_states=4):
+    """Pack plain Path objects into the padded PathBatch layout."""
+    width = max(len(p.states) for p in paths)
+    states = np.full((len(paths), width), -1, dtype=np.intp)
+    jump_times = np.full((len(paths), max(width - 1, 0)), float(end_time))
+    lengths = np.empty(len(paths), dtype=np.intp)
+    for i, p in enumerate(paths):
+        n = len(p.states)
+        states[i, :n] = p.states
+        jump_times[i, : n - 1] = p.jump_times
+        lengths[i] = n
+    return PathBatch(
+        states=states,
+        jump_times=jump_times,
+        lengths=lengths,
+        end_time=float(end_time),
+    )
 
 
 class TestEstimate:
@@ -101,6 +122,112 @@ class TestPathPredicateNext:
         assert not path_satisfies_next(path, frozenset({0}), 0.0, 1.0)
 
 
+class TestBatchPredicates:
+    """The vectorized predicates must agree *exactly* with the serial ones."""
+
+    # Every structurally distinct case the serial until predicate handles:
+    # direct hits, waiting for the window, Γ1 violations, padding-length
+    # asymmetry (single-state paths packed next to long ones).
+    PATHS = [
+        Path(states=[0, 1], jump_times=[0.3], end_time=2.0),
+        Path(states=[0, 1], jump_times=[1.5], end_time=2.0),
+        Path(states=[1], end_time=2.0),
+        Path(states=[1, 2], jump_times=[0.2], end_time=2.0),
+        Path(states=[0, 3, 1], jump_times=[0.2, 0.4], end_time=2.0),
+        Path(states=[0], end_time=2.0),
+        Path(states=[0, 1, 0, 2], jump_times=[0.1, 0.5, 0.9], end_time=2.0),
+        Path(states=[3], end_time=2.0),
+        Path(states=[2, 0, 1], jump_times=[0.6, 1.1], end_time=2.0),
+    ]
+
+    WINDOWS = [(0.0, 1.0), (0.1, 1.0), (0.5, 1.0), (0.0, 0.15), (1.9, 2.0)]
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    @pytest.mark.parametrize(
+        "g1,g2",
+        [
+            (G1, G2),
+            (frozenset({0, 1}), G2),
+            (G1, frozenset({1})),
+            (frozenset(), G2),
+            (frozenset({0, 1, 2, 3}), frozenset({3})),
+        ],
+    )
+    def test_until_matches_serial(self, window, g1, g2):
+        t1, t2 = window
+        batch = _batch_of(self.PATHS, end_time=2.0)
+        vec = batch_satisfies_until(batch, g1, g2, t1, t2, 4)
+        serial = [
+            path_satisfies_until(p, g1, g2, t1, t2) for p in self.PATHS
+        ]
+        assert vec.tolist() == serial
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    @pytest.mark.parametrize(
+        "sat", [frozenset({1}), frozenset({0, 2}), frozenset()]
+    )
+    def test_next_matches_serial(self, window, sat):
+        t1, t2 = window
+        batch = _batch_of(self.PATHS, end_time=2.0)
+        vec = batch_satisfies_next(batch, sat, t1, t2, 4)
+        serial = [path_satisfies_next(p, sat, t1, t2) for p in self.PATHS]
+        assert vec.tolist() == serial
+
+    def test_all_jumpless(self):
+        batch = _batch_of([Path(states=[1], end_time=2.0)], end_time=2.0)
+        assert batch_satisfies_next(batch, G2, 0.0, 1.0, 4).tolist() == [False]
+        assert batch_satisfies_until(batch, G1, G2, 0.0, 1.0, 4).tolist() == [
+            True
+        ]
+
+
+class TestBatchedChecker:
+    def test_workers_do_not_change_estimate(self, ctx1):
+        """Bit-reproducibility across worker counts — the acceptance
+        criterion of the parallel layer."""
+        path = parse_path("not_infected U[0,1] infected")
+        one = StatisticalChecker(
+            ctx1, samples=600, seed=8, batch_size=128, workers=1
+        ).path_probability(path, "s1")
+        four = StatisticalChecker(
+            ctx1, samples=600, seed=8, batch_size=128, workers=4
+        ).path_probability(path, "s1")
+        assert one.value == four.value
+
+    def test_batched_and_serial_agree_in_distribution(self, ctx1):
+        path = parse_path("not_infected U[0,1] infected")
+        batched = StatisticalChecker(
+            ctx1, samples=1500, seed=4, method="batched"
+        ).path_probability(path, "s1")
+        serial = StatisticalChecker(
+            ctx1, samples=1500, seed=4, method="serial"
+        ).path_probability(path, "s1")
+        tol = 3.5 * (batched.stderr + serial.stderr)
+        assert abs(batched.value - serial.value) <= tol
+
+    def test_workers_default_from_options(self, ctx1, virus1, m_example1):
+        from repro.checking import CheckOptions, EvaluationContext
+
+        ctx = EvaluationContext(
+            virus1, m_example1, CheckOptions(workers=3)
+        )
+        assert StatisticalChecker(ctx).workers == 3
+        assert StatisticalChecker(ctx, workers=1).workers == 1
+
+    def test_invalid_method_rejected(self, ctx1):
+        with pytest.raises(ModelError):
+            StatisticalChecker(ctx1, method="warp")
+
+    def test_mc_stats_counted(self, ctx1):
+        path = parse_path("not_infected U[0,1] infected")
+        before = ctx1.stats.mc_paths
+        StatisticalChecker(ctx1, samples=100, seed=1).path_probability(
+            path, "s1"
+        )
+        assert ctx1.stats.mc_paths == before + 100
+        assert ctx1.stats.mc_candidates > 0
+
+
 class TestCheckerValidation:
     def test_nested_operand_rejected(self, ctx1):
         stat = StatisticalChecker(ctx1, samples=10, seed=0)
@@ -113,14 +240,15 @@ class TestCheckerValidation:
         with pytest.raises(UnsupportedFormulaError):
             stat.path_probability(parse_path("tt U infected"), "s1")
 
-    def test_reproducible_with_seed(self, ctx1):
+    @pytest.mark.parametrize("method", ["batched", "serial"])
+    def test_reproducible_with_seed(self, ctx1, method):
         path = parse_path("not_infected U[0,1] infected")
-        a = StatisticalChecker(ctx1, samples=200, seed=3).path_probability(
-            path, "s1"
-        )
-        b = StatisticalChecker(ctx1, samples=200, seed=3).path_probability(
-            path, "s1"
-        )
+        a = StatisticalChecker(
+            ctx1, samples=200, seed=3, method=method
+        ).path_probability(path, "s1")
+        b = StatisticalChecker(
+            ctx1, samples=200, seed=3, method=method
+        ).path_probability(path, "s1")
         assert a.value == b.value
 
     def test_state_by_index(self, ctx1):

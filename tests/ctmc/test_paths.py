@@ -6,8 +6,11 @@ import pytest
 from repro.ctmc.generator import build_generator
 from repro.ctmc.paths import (
     Path,
+    PathBatch,
+    estimate_rate_bound,
     sample_homogeneous_path,
     sample_inhomogeneous_path,
+    sample_inhomogeneous_paths,
 )
 from repro.ctmc.transient import transient_matrix_expm
 from repro.exceptions import ModelError, NumericalError
@@ -101,3 +104,140 @@ class TestInhomogeneousSampler:
         )
         assert path.states == [1]
         assert path.jump_times == []
+
+
+def _q_batch_const(q):
+    """Constant batched generator: times (A,) -> stacked copies of q."""
+
+    def q_batch(ts):
+        ts = np.asarray(ts, dtype=float)
+        return np.broadcast_to(q, (ts.size,) + q.shape).copy()
+
+    return q_batch
+
+
+class TestPathBatch:
+    def test_path_extraction_round_trip(self, q):
+        rng = np.random.default_rng(11)
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 4.0, rng, replicas=16
+        )
+        assert len(batch) == 16
+        for i in range(16):
+            path = batch.path(i)
+            assert len(path.states) == int(batch.lengths[i])
+            assert len(path.jump_times) == len(path.states) - 1
+            times = np.asarray(path.jump_times)
+            assert np.all(np.diff(times) >= 0)
+            assert np.all(times <= 4.0)
+            assert path.end_time == 4.0
+            assert all(0 <= s < 3 for s in path.states)
+
+    def test_padding_conventions(self, q):
+        rng = np.random.default_rng(13)
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 2.0, rng, replicas=32
+        )
+        width = batch.states.shape[1]
+        for i in range(32):
+            n = int(batch.lengths[i])
+            assert np.all(batch.states[i, n:] == -1)
+            assert np.all(batch.jump_times[i, n - 1 :] == 2.0)
+            # state_at-style lookups work on the padded row directly:
+            # searchsorted past the last real jump lands on states[n-1].
+            if n < width:
+                idx = int(
+                    np.searchsorted(batch.jump_times[i], 1.999, side="right")
+                )
+                assert idx <= n - 1 or batch.states[i, idx] != -1
+
+    def test_mixed_start_states(self, q):
+        rng = np.random.default_rng(5)
+        starts = np.array([0, 1, 2, 1])
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), starts, 1.0, rng
+        )
+        assert np.array_equal(batch.states[:, 0], starts)
+
+    def test_empirical_distribution_matches_transient(self, q):
+        """State at t=1 across the batch follows expm(Q)[0] — the batched
+        sampler agrees with the exact transient law (and hence with the
+        serial samplers, which are tested against the same law)."""
+        rng = np.random.default_rng(21)
+        n = 3000
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 1.0, rng, replicas=n
+        )
+        counts = np.zeros(3)
+        for i in range(n):
+            counts[batch.path(i).state_at(1.0)] += 1
+        expected = transient_matrix_expm(q, 1.0)[0]
+        assert np.allclose(counts / n, expected, atol=0.03)
+
+    def test_deterministic_given_seed(self, q):
+        a = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 2.0, np.random.default_rng(9), replicas=8
+        )
+        b = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 2.0, np.random.default_rng(9), replicas=8
+        )
+        assert np.array_equal(a.states, b.states)
+        assert np.array_equal(a.jump_times, b.jump_times)
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_absorbing_state_never_leaves(self):
+        q = build_generator(2, {(0, 1): 5.0})
+        rng = np.random.default_rng(2)
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 50.0, rng, replicas=20, rate_bound=6.0
+        )
+        assert np.all(batch.lengths <= 2)
+        final = batch.states[np.arange(20), batch.lengths - 1]
+        assert np.all(final == 1)
+
+    def test_bound_violation_raises(self, q):
+        with pytest.raises(NumericalError):
+            sample_inhomogeneous_paths(
+                _q_batch_const(q * 10.0),
+                0,
+                5.0,
+                np.random.default_rng(3),
+                replicas=50,
+                rate_bound=0.5,
+            )
+
+    def test_zero_horizon(self, q):
+        batch = sample_inhomogeneous_paths(
+            _q_batch_const(q), 1, 0.0, np.random.default_rng(0), replicas=4
+        )
+        assert np.all(batch.lengths == 1)
+        assert np.all(batch.states[:, 0] == 1)
+
+    def test_empty_batch_rejected(self, q):
+        with pytest.raises(ModelError):
+            sample_inhomogeneous_paths(
+                _q_batch_const(q), np.array([], dtype=int), 1.0,
+                np.random.default_rng(0),
+            )
+
+    def test_stats_candidates_counted(self, q):
+        class Counters:
+            mc_candidates = 0
+
+        counters = Counters()
+        sample_inhomogeneous_paths(
+            _q_batch_const(q), 0, 2.0, np.random.default_rng(1),
+            replicas=10, stats=counters,
+        )
+        assert counters.mc_candidates >= 10  # one candidate clock minimum
+
+
+class TestRateBound:
+    def test_probes_peak_exit_rate(self, q):
+        # Exit rates: state 0 -> 1.0, state 1 -> 0.8, state 2 -> 0.2.
+        bound = estimate_rate_bound(lambda t: q, 5.0, bound_safety=1.5)
+        assert bound == pytest.approx(1.5 * 1.0)
+
+    def test_zero_horizon_probes_origin(self, q):
+        bound = estimate_rate_bound(lambda t: q, 0.0)
+        assert bound > 0.0

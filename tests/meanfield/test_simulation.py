@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ModelError
+from repro.instrumentation import EvalStats
 from repro.meanfield.simulation import FiniteNSimulator, occupancy_rmse
 
 
@@ -67,6 +68,92 @@ class TestSimulate:
         sim = FiniteNSimulator(virus1.local, 30)
         with pytest.raises(ModelError):
             sim.simulate_ensemble([0.8, 0.15, 0.05], 2.0, runs=0)
+
+
+class TestBatchedEnsemble:
+    M0 = [0.8, 0.15, 0.05]
+
+    def test_batched_reproducible(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 40)
+        a = sim.simulate_ensemble(self.M0, 2.0, runs=10, seed=3)
+        b = sim.simulate_ensemble(self.M0, 2.0, runs=10, seed=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.times, y.times)
+            assert np.array_equal(x.occupancies, y.occupancies)
+
+    def test_workers_do_not_change_trajectories(self, virus1):
+        """The reproducibility contract: bitwise-identical output for
+        every worker count (batches are seeded by index, not by worker)."""
+        sim = FiniteNSimulator(virus1.local, 40)
+        one = sim.simulate_ensemble(
+            self.M0, 2.0, runs=20, seed=5, batch_size=8, workers=1
+        )
+        four = sim.simulate_ensemble(
+            self.M0, 2.0, runs=20, seed=5, batch_size=8, workers=4
+        )
+        assert len(one) == len(four) == 20
+        for x, y in zip(one, four):
+            assert np.array_equal(x.times, y.times)
+            assert np.array_equal(x.occupancies, y.occupancies)
+
+    def test_occupancies_stay_on_discrete_simplex(self, virus1):
+        n = 30
+        sim = FiniteNSimulator(virus1.local, n)
+        for emp in sim.simulate_ensemble(self.M0, 2.0, runs=4, seed=1):
+            scaled = emp.occupancies * n
+            assert np.allclose(scaled, np.round(scaled), atol=1e-9)
+            assert np.allclose(emp.occupancies.sum(axis=1), 1.0)
+            assert np.all(np.diff(emp.times) >= 0)
+
+    def test_batched_matches_serial_in_distribution(self, virus1):
+        """Same final-occupancy statistics from both engines (they share
+        one transition-rate oracle but draw randomness differently)."""
+        sim = FiniteNSimulator(virus1.local, 200)
+        horizon = 1.5
+        batched = sim.simulate_ensemble(
+            self.M0, horizon, runs=60, seed=17, method="batched"
+        )
+        serial = sim.simulate_ensemble(
+            self.M0, horizon, runs=60, seed=17, method="serial"
+        )
+        mb = np.vstack([p(horizon) for p in batched]).mean(axis=0)
+        ms = np.vstack([p(horizon) for p in serial]).mean(axis=0)
+        # Means of 60 runs at N=200: std of the mean ~ 0.004 per state.
+        assert np.allclose(mb, ms, atol=0.02)
+
+    def test_stats_counters(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        stats = EvalStats()
+        sim.simulate_ensemble(
+            self.M0, 1.0, runs=10, seed=2, batch_size=4, stats=stats
+        )
+        assert stats.sim_events > 0
+        assert stats.sim_batches == 3  # ceil(10 / 4)
+
+    def test_method_validated(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        with pytest.raises(ModelError):
+            sim.simulate_ensemble(self.M0, 1.0, runs=2, method="turbo")
+
+
+class TestEvalMany:
+    def test_matches_scalar_calls(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        emp = sim.simulate(
+            [0.8, 0.15, 0.05], 3.0, rng=np.random.default_rng(4)
+        )
+        ts = np.linspace(0.0, 3.0, 37)
+        many = emp.eval_many(ts)
+        single = np.vstack([emp(t) for t in ts])
+        assert np.array_equal(many, single)
+
+    def test_out_of_range_rejected(self, virus1):
+        sim = FiniteNSimulator(virus1.local, 50)
+        emp = sim.simulate(
+            [0.8, 0.15, 0.05], 1.0, rng=np.random.default_rng(4)
+        )
+        with pytest.raises(ModelError):
+            emp.eval_many(np.array([0.5, 2.0]))
 
 
 class TestKurtzConvergence:

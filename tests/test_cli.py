@@ -171,6 +171,86 @@ class TestCsat:
         assert "empty" in capsys.readouterr().out
 
 
+class TestSimulate:
+    ARGS = [
+        "simulate",
+        "--model",
+        "virus1",
+        "--occupancy",
+        "0.8,0.15,0.05",
+        "-N",
+        "200",
+        "--runs",
+        "5",
+        "--horizon",
+        "0.5",
+        "--seed",
+        "3",
+    ]
+
+    def test_reports_ensemble_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "final occupancy" in out
+        assert "RMSE vs mean-field" in out
+        assert "events=" in out
+
+    def test_workers_do_not_change_output(self, capsys):
+        main(self.ARGS + ["--workers", "1", "--batch-size", "2"])
+        one = capsys.readouterr().out
+        main(self.ARGS + ["--workers", "3", "--batch-size", "2"])
+        three = capsys.readouterr().out
+        # Identical up to the echoed workers= line.
+        strip = lambda s: [l for l in s.splitlines() if "workers=" not in l]
+        assert strip(one) == strip(three)
+
+    def test_serial_method(self, capsys):
+        assert main(self.ARGS + ["--method", "serial", "--runs", "2"]) == 0
+        assert "method=serial" in capsys.readouterr().out
+
+
+class TestMc:
+    ARGS = [
+        "mc",
+        "--model",
+        "virus1",
+        "--occupancy",
+        "0.8,0.15,0.05",
+        "--samples",
+        "300",
+        "--seed",
+        "2",
+    ]
+    FORMULA = "not_infected U[0,1] infected"
+
+    def test_path_probability(self, capsys):
+        assert main(self.ARGS + ["--state", "s1", self.FORMULA]) == 0
+        out = capsys.readouterr().out
+        assert "Prob(s1" in out
+        assert "95% CI" in out
+        assert "paths=300" in out
+
+    def test_expected_probability_without_state(self, capsys):
+        assert main(self.ARGS + [self.FORMULA]) == 0
+        out = capsys.readouterr().out
+        assert "EP(" in out
+
+    def test_workers_do_not_change_estimate(self, capsys):
+        main(self.ARGS + ["--state", "s1", "--workers", "1", self.FORMULA])
+        one = capsys.readouterr().out.splitlines()[0]
+        main(self.ARGS + ["--state", "s1", "--workers", "4", self.FORMULA])
+        four = capsys.readouterr().out.splitlines()[0]
+        assert one == four
+
+    def test_nested_formula_errors_cleanly(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--state", "s1", "(P[>0.5](tt U[0,1] infected)) U[0,1] infected"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestModelRegistry:
     @pytest.mark.parametrize("name", sorted(MODELS))
     def test_all_models_construct(self, name):

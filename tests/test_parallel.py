@@ -1,0 +1,115 @@
+"""Tests for the process-parallel batch executor (repro.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.parallel import (
+    batch_bounds,
+    fork_available,
+    run_batches,
+    spawn_seeds,
+)
+
+
+class TestBatchBounds:
+    def test_covers_range_contiguously(self):
+        bounds = batch_bounds(10, 3)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_exact_multiple(self):
+        assert batch_bounds(8, 4) == [(0, 4), (4, 8)]
+
+    def test_single_batch(self):
+        assert batch_bounds(5, 100) == [(0, 5)]
+
+    def test_empty(self):
+        assert batch_bounds(0, 4) == []
+
+    def test_independent_of_anything_but_total_and_size(self):
+        # The reproducibility contract: the decomposition is a pure
+        # function of (total, batch_size).
+        assert batch_bounds(1000, 64) == batch_bounds(1000, 64)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            batch_bounds(-1, 4)
+        with pytest.raises(ModelError):
+            batch_bounds(10, 0)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        assert [s.entropy for s in a] == [s.entropy for s in b]
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+
+    def test_children_differ(self):
+        seeds = spawn_seeds(0, 4)
+        draws = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(draws)) == 4
+
+    def test_accepts_seed_sequence(self):
+        root = np.random.SeedSequence(7)
+        children = spawn_seeds(root, 3)
+        assert len(children) == 3
+
+    def test_differs_from_legacy_master_scheme(self):
+        # Regression for the old ``master.integers(0, 2**63)`` derivation:
+        # spawned children are not the integer-seeded generators.
+        master = np.random.default_rng(3)
+        legacy = np.random.default_rng(int(master.integers(0, 2**63)))
+        spawned = np.random.default_rng(spawn_seeds(3, 1)[0])
+        assert legacy.random() != spawned.random()
+
+
+class TestRunBatches:
+    def test_preserves_order(self):
+        results = run_batches(lambda i: i * i, [(i,) for i in range(7)])
+        assert results == [0, 1, 4, 9, 16, 25, 36]
+
+    def test_workers_do_not_change_results(self):
+        args = [(lo, hi) for lo, hi in batch_bounds(20, 3)]
+
+        def work(lo, hi):
+            rng = np.random.default_rng(lo)
+            return float(rng.random(hi - lo).sum())
+
+        serial = run_batches(work, args, workers=1)
+        parallel = run_batches(work, args, workers=4)
+        assert serial == parallel
+
+    def test_closure_state_usable_in_workers(self):
+        # Workers inherit closed-over state by fork; no pickling of `table`.
+        table = {"offset": 100}
+
+        def work(i):
+            return i + table["offset"]
+
+        results = run_batches(work, [(i,) for i in range(6)], workers=3)
+        assert results == [100, 101, 102, 103, 104, 105]
+
+    def test_single_tuple_runs_in_process(self):
+        import os
+
+        pid = os.getpid()
+        results = run_batches(lambda: os.getpid(), [()], workers=8)
+        assert results == [pid]
+
+    def test_nested_call_degrades_gracefully(self):
+        def inner(i):
+            return i + 1
+
+        def outer(i):
+            return sum(run_batches(inner, [(j,) for j in range(i)], workers=4))
+
+        results = run_batches(outer, [(i,) for i in range(4)], workers=2)
+        assert results == [0, 1, 3, 6]
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ModelError):
+            run_batches(lambda: None, [()], workers=0)
+
+    def test_fork_available_reports_platform(self):
+        assert isinstance(fork_available(), bool)
