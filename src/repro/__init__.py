@@ -36,6 +36,7 @@ from repro.checking import (
     LocalChecker,
     MFModelChecker,
 )
+from repro.diagnostics import DiagnosticTrace, robust_solve_ivp
 from repro.logic import (
     format_formula,
     parse_csl,
@@ -58,6 +59,8 @@ __all__ = [
     "IntervalSet",
     "LocalChecker",
     "MFModelChecker",
+    "DiagnosticTrace",
+    "robust_solve_ivp",
     "format_formula",
     "parse_csl",
     "parse_mfcsl",

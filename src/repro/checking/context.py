@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.checking.options import CheckOptions
 from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+from repro.diagnostics import DiagnosticTrace
 from repro.exceptions import SteadyStateError
 from repro.instrumentation import EvalStats
 from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
@@ -66,6 +67,12 @@ class EvaluationContext:
         Instrumentation counters to record into; a fresh
         :class:`~repro.instrumentation.EvalStats` is created when omitted.
         Derived contexts pass the parent's so counts aggregate.
+    trace:
+        Structured numerical diagnostics (solver fallback chains,
+        simplex residual checks); a fresh
+        :class:`~repro.diagnostics.DiagnosticTrace` feeding ``stats`` is
+        created when omitted.  Shared with derived contexts, like
+        ``stats``.
     """
 
     def __init__(
@@ -74,11 +81,15 @@ class EvaluationContext:
         initial: np.ndarray,
         options: Optional[CheckOptions] = None,
         stats: Optional[EvalStats] = None,
+        trace: Optional[DiagnosticTrace] = None,
     ):
         self.model = model
         self.options = options or CheckOptions()
         self.initial = validate_occupancy(initial, model.num_states)
         self.stats = stats if stats is not None else EvalStats()
+        self.trace = (
+            trace if trace is not None else DiagnosticTrace(stats=self.stats)
+        )
         self._trajectory = None
         self._generator_fn: Optional[Callable[[float], np.ndarray]] = None
         self._generator_batch_fn: Optional[
@@ -109,6 +120,9 @@ class EvaluationContext:
                 rtol=self.options.ode_rtol * 1e-1,
                 atol=self.options.ode_atol * 1e-1,
                 stats=self.stats,
+                fallbacks=self.options.solver_fallbacks,
+                trace=self.trace,
+                residual_tol=self.options.residual_tol,
             )
         return self._trajectory
 
@@ -228,10 +242,37 @@ class EvaluationContext:
         if float(duration) > 0.0:
             self.stats.solve_ivp_calls += 1
         pi = solve_forward_kolmogorov(
-            q_of_t, float(t_start), float(duration), rtol=rtol, atol=atol
+            q_of_t,
+            float(t_start),
+            float(duration),
+            rtol=rtol,
+            atol=atol,
+            fallbacks=self.options.solver_fallbacks,
+            trace=self.trace,
+            residual_tol=self.options.residual_tol,
+            monotone_columns=self._monotone_columns(signature),
         )
         self._transient_cache[key] = pi
         return pi
+
+    @staticmethod
+    def _monotone_columns(signature: Hashable) -> "Optional[list]":
+        """Absorbing columns implied by a transform signature, if known.
+
+        Mass sitting in absorbing states can only grow with the window
+        length, so the self-verification layer checks it is monotone
+        (Equations (5)/(7) give reachability CDFs).  ``("absorbing", S)``
+        signatures absorb exactly ``S``; goal-chain transforms are left
+        unchecked (their absorbing set depends on the partition object).
+        """
+        if (
+            isinstance(signature, tuple)
+            and len(signature) == 2
+            and signature[0] == "absorbing"
+            and isinstance(signature[1], frozenset)
+        ):
+            return sorted(signature[1])
+        return None
 
     def clear_caches(self) -> None:
         """Drop the generator memo and transient cache (keeps the trajectory)."""
@@ -260,14 +301,22 @@ class EvaluationContext:
         """
         if self._steady_box["value"] is None:
             coarse = stationary_from_long_run(
-                self.model, self.initial, drift_tol=1e-7
+                self.model, self.initial, drift_tol=1e-7, trace=self.trace
             )
             try:
                 fp = find_fixed_point(self.model, coarse)
                 self._steady_box["value"] = fp.occupancy
+                self.trace.note(
+                    f"steady state: Newton-polished, residual "
+                    f"{fp.residual:.2e}, stable={fp.stable}"
+                )
             except SteadyStateError:
                 # The long-run point itself is already accurate to 1e-7.
                 self._steady_box["value"] = coarse
+                self.trace.note(
+                    "steady state: Newton polish failed, using long-run "
+                    "point (drift residual <= 1e-7)"
+                )
         return self._steady_box["value"].copy()
 
     def steady_context(self) -> "EvaluationContext":
@@ -281,7 +330,11 @@ class EvaluationContext:
         """
         if self._steady_context is None:
             child = EvaluationContext(
-                self.model, self.steady_state(), self.options, stats=self.stats
+                self.model,
+                self.steady_state(),
+                self.options,
+                stats=self.stats,
+                trace=self.trace,
             )
             child._steady_box = self._steady_box
             self._steady_context = child
@@ -305,7 +358,11 @@ class EvaluationContext:
         if t == 0.0:
             return self
         child = EvaluationContext(
-            self.model, self.occupancy(t), self.options, stats=self.stats
+            self.model,
+            self.occupancy(t),
+            self.options,
+            stats=self.stats,
+            trace=self.trace,
         )
         child._steady_box = self._steady_box
         if not self.model.local.has_time_dependent_rates:

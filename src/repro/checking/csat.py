@@ -78,12 +78,22 @@ def threshold_intervals(
         else:
             vals = np.array([offset(t) for t in ts])
         for i in range(len(ts) - 1):
+            # A grid point sitting exactly on the threshold is itself a
+            # breakpoint — including at ``vals[i + 1]``, so a tangential
+            # touch is never classified by a midpoint spanning it, and
+            # Brent (which needs a sign change) is never asked to
+            # bracket a zero endpoint.
             if vals[i] == 0.0:
                 breakpoints.append(float(ts[i]))
-            elif vals[i] * vals[i + 1] < 0.0:
+            elif vals[i + 1] != 0.0 and vals[i] * vals[i + 1] < 0.0:
                 breakpoints.append(
                     float(brentq(offset, ts[i], ts[i + 1], xtol=xtol))
                 )
+        if len(ts) and vals[-1] == 0.0:
+            # The final grid point of the segment is never a ``vals[i]``
+            # in the scan above; without this an exact zero there was
+            # silently dropped.
+            breakpoints.append(float(ts[-1]))
     breakpoints = sorted(set(breakpoints))
     intervals = []
     for a, b in zip(breakpoints, breakpoints[1:]):

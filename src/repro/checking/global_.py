@@ -127,6 +127,7 @@ class MFModelChecker:
         self,
         formula: FormulaLike,
         occupancy: np.ndarray,
+        ctx: Optional[EvaluationContext] = None,
     ) -> float:
         """The expectation value an ``E``/``ES``/``EP`` leaf compares to ``p``.
 
@@ -142,7 +143,9 @@ class MFModelChecker:
                 "value() is defined for E/ES/EP leaves only; "
                 f"got {psi!r}"
             )
-        return self._leaf_value(psi, self.context(occupancy))
+        if ctx is None:
+            ctx = self.context(occupancy)
+        return self._leaf_value(psi, ctx)
 
     def _leaf_value(self, psi: MfCslFormula, ctx: EvaluationContext) -> float:
         checker = LocalChecker(ctx)
@@ -168,10 +171,12 @@ class MFModelChecker:
         formula: FormulaLike,
         occupancy: np.ndarray,
         theta: float,
+        ctx: Optional[EvaluationContext] = None,
     ) -> IntervalSet:
         """``cSat(Ψ, m̄, θ)`` — the times in ``[0, θ]`` where ``Ψ`` holds."""
         psi = self._as_mfcsl(formula)
-        ctx = self.context(occupancy)
+        if ctx is None:
+            ctx = self.context(occupancy)
         return conditional_sat(ctx, psi, theta)
 
     # ------------------------------------------------------------------

@@ -31,13 +31,14 @@ class IntervalSet:
     touching intervals are merged, empty pairs (``end < start``) rejected.
     """
 
-    __slots__ = ("_intervals",)
+    __slots__ = ("_intervals", "_merge_eps")
 
     def __init__(
         self,
         intervals: Iterable[Tuple[float, float]] = (),
         merge_eps: float = MERGE_EPS,
     ):
+        self._merge_eps = float(merge_eps)
         cleaned: List[Tuple[float, float]] = []
         for a, b in intervals:
             a, b = float(a), float(b)
@@ -83,6 +84,16 @@ class IntervalSet:
         return self._intervals
 
     @property
+    def merge_eps(self) -> float:
+        """The merge tolerance this set was built with.
+
+        Carried through every algebraic operation, so a set constructed
+        with a looser/tighter epsilon keeps it; binary operations use
+        the looser of the two operands' epsilons.
+        """
+        return self._merge_eps
+
+    @property
     def is_empty(self) -> bool:
         """``True`` iff the set contains no points."""
         return not self._intervals
@@ -122,7 +133,10 @@ class IntervalSet:
 
     def union(self, other: "IntervalSet") -> "IntervalSet":
         """Set union."""
-        return IntervalSet(self._intervals + other._intervals)
+        return IntervalSet(
+            self._intervals + other._intervals,
+            merge_eps=max(self._merge_eps, other._merge_eps),
+        )
 
     def intersection(self, other: "IntervalSet") -> "IntervalSet":
         """Set intersection (two-pointer sweep over sorted intervals)."""
@@ -138,7 +152,9 @@ class IntervalSet:
                 i += 1
             else:
                 j += 1
-        return IntervalSet(out)
+        return IntervalSet(
+            out, merge_eps=max(self._merge_eps, other._merge_eps)
+        )
 
     def complement(self, theta: float) -> "IntervalSet":
         """Complement within ``[0, theta]``.
@@ -159,7 +175,7 @@ class IntervalSet:
             cursor = max(cursor, b)
         if cursor < theta:
             out.append((cursor, theta))
-        return IntervalSet(out)
+        return IntervalSet(out, merge_eps=self._merge_eps)
 
     def difference(self, other: "IntervalSet", theta: float) -> "IntervalSet":
         """Relative difference ``self \\ other`` within ``[0, theta]``."""
@@ -167,11 +183,16 @@ class IntervalSet:
 
     def clip(self, lo: float, hi: float) -> "IntervalSet":
         """Intersection with ``[lo, hi]``."""
-        return self.intersection(IntervalSet([(float(lo), float(hi))]))
+        return self.intersection(
+            IntervalSet([(float(lo), float(hi))], merge_eps=self._merge_eps)
+        )
 
     def shift(self, offset: float) -> "IntervalSet":
         """Translate every interval by ``offset`` (may go negative)."""
-        return IntervalSet([(a + offset, b + offset) for a, b in self._intervals])
+        return IntervalSet(
+            [(a + offset, b + offset) for a, b in self._intervals],
+            merge_eps=self._merge_eps,
+        )
 
     # ------------------------------------------------------------------
 

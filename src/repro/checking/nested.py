@@ -35,9 +35,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
-from scipy.integrate import solve_ivp
 
 from repro.checking.context import EvaluationContext
+from repro.diagnostics import robust_solve_ivp
 from repro.checking.reachability import ProbabilityCurve, _require_bounded
 from repro.checking.satsets import PiecewiseSatSet
 from repro.checking.transform import (
@@ -328,20 +328,23 @@ class TimeVaryingUntil:
                 return (-q_left @ ups + ups @ q_right).reshape(-1)
 
             self.ctx.stats.solve_ivp_calls += 1
-            sol = solve_ivp(
-                rhs,
-                (u, v),
-                ups_u.reshape(-1),
-                method="RK45",
-                rtol=rtol,
-                atol=atol,
-                dense_output=True,
-            )
-            if not sol.success:
-                raise NumericalError(
-                    f"Appendix ODE (12) solve failed on [{u}, {v}]: "
-                    f"{sol.message}"
+            try:
+                sol = robust_solve_ivp(
+                    rhs,
+                    (u, v),
+                    ups_u.reshape(-1),
+                    method="RK45",
+                    rtol=rtol,
+                    atol=atol,
+                    dense_output=True,
+                    fallbacks=self.ctx.options.solver_fallbacks,
+                    label="Appendix ODE (12)",
+                    trace=self.ctx.trace,
                 )
+            except NumericalError as exc:
+                raise NumericalError(
+                    f"Appendix ODE (12) solve failed on [{u}, {v}]: {exc}"
+                ) from exc
             segments.append((u, v, sol.sol, ups_u))
 
         strict = self.ctx.options.start_convention == "phi1"

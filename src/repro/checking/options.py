@@ -59,6 +59,17 @@ class CheckOptions:
         checking, finite-N ensembles).  ``1`` runs in-process.  Results
         are bit-identical for every value — the reproducibility contract
         of :mod:`repro.parallel` — so this is purely a speed knob.
+    solver_fallbacks:
+        Stiff ``solve_ivp`` methods retried (with tightened ``atol``)
+        when a primary explicit solve fails — see
+        :func:`repro.diagnostics.robust_solve_ivp`.  An empty tuple
+        disables graceful degradation: the first failure raises.
+    residual_tol:
+        Tolerance of the post-solve self-verification checks
+        (probability-simplex row sums, negativity, monotone absorbed
+        mass); violations beyond it are recorded as warnings in the
+        context's :class:`~repro.diagnostics.DiagnosticTrace` and
+        counted in ``EvalStats.residual_warnings``.
     """
 
     ode_rtol: float = 1e-8
@@ -71,6 +82,8 @@ class CheckOptions:
     horizon_margin: float = 1.0
     start_convention: str = "standard"
     workers: int = 1
+    solver_fallbacks: "tuple[str, ...]" = ("Radau", "LSODA")
+    residual_tol: float = 1e-6
 
     def __post_init__(self) -> None:
         if self.grid_points < 3:
@@ -97,6 +110,21 @@ class CheckOptions:
             )
         if self.workers < 1:
             raise ModelError(f"workers must be >= 1, got {self.workers}")
+        if not isinstance(self.solver_fallbacks, tuple):
+            # Accept any iterable of method names but store a hashable
+            # tuple (CheckOptions is frozen and used in cache keys).
+            object.__setattr__(
+                self, "solver_fallbacks", tuple(self.solver_fallbacks)
+            )
+        _known = {"RK45", "RK23", "DOP853", "Radau", "BDF", "LSODA"}
+        for fb in self.solver_fallbacks:
+            if fb not in _known:
+                raise ModelError(
+                    f"unknown solver fallback {fb!r}; choose from "
+                    f"{sorted(_known)}"
+                )
+        if self.residual_tol <= 0:
+            raise ModelError("residual_tol must be positive")
 
     def with_(self, **changes) -> "CheckOptions":
         """A copy with some fields replaced (frozen-dataclass helper)."""

@@ -271,6 +271,8 @@ class SimpleUntilCurve(ProbabilityCurve):
                 initial=initial_b,
                 rtol=ctx.options.ode_rtol,
                 atol=ctx.options.ode_atol,
+                fallbacks=ctx.options.solver_fallbacks,
+                trace=ctx.trace,
             )
             prop_a = None
             if t1 > 0.0:
@@ -289,6 +291,8 @@ class SimpleUntilCurve(ProbabilityCurve):
                     initial=initial_a,
                     rtol=ctx.options.ode_rtol,
                     atol=ctx.options.ode_atol,
+                    fallbacks=ctx.options.solver_fallbacks,
+                    trace=ctx.trace,
                 )
 
             strict_mask = None

@@ -46,7 +46,11 @@ from repro.ctmc.paths import (
     sample_inhomogeneous_path,
     sample_inhomogeneous_paths,
 )
-from repro.exceptions import ModelError, UnsupportedFormulaError
+from repro.exceptions import (
+    ModelError,
+    NumericalError,
+    UnsupportedFormulaError,
+)
 from repro.logic.ast import (
     And,
     Atomic,
@@ -309,6 +313,18 @@ class StatisticalChecker:
         if rate_bound is None:
             rate_bound = estimate_rate_bound(q_of_t, horizon)
         rate_bound = float(rate_bound)
+        if not np.isfinite(rate_bound) or rate_bound <= 0.0:
+            # A NaN bound would make every thinning comparison silently
+            # false and corrupt the estimate; degrade loudly instead.
+            self.ctx.trace.note(
+                f"mc: invalid thinning rate bound {rate_bound} "
+                f"(generator produced non-finite rates?)"
+            )
+            raise NumericalError(
+                f"statistical checker got invalid thinning rate bound "
+                f"{rate_bound}; the generator along the trajectory "
+                f"produced non-finite or non-positive exit rates"
+            )
 
         if self.method == "serial":
             hits = self._run_serial(
@@ -321,6 +337,10 @@ class StatisticalChecker:
             )
         value = hits / self.samples
         stderr = math.sqrt(max(value * (1.0 - value), 1e-12) / self.samples)
+        self.ctx.trace.note(
+            f"mc: {self.samples} paths from state {start}, estimate "
+            f"{value:.6f} +/- {stderr:.6f} (rate bound {rate_bound:g})"
+        )
         return Estimate(value=value, stderr=stderr, samples=self.samples)
 
     # ------------------------------------------------------------------

@@ -95,33 +95,49 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_diagnostics(ctx) -> None:
+    """Render the context's DiagnosticTrace (``--diagnose``)."""
+    print(ctx.trace.format(ctx.stats))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     checker = _build_checker(args)
     occupancy = _parse_occupancy(args.occupancy)
-    verdict = checker.check(args.formula, occupancy)
+    ctx = checker.context(occupancy)
+    verdict = checker.check(args.formula, occupancy, ctx=ctx)
     print("SATISFIED" if verdict else "NOT SATISFIED")
     if args.explain:
         for text, value, holds in checker.explain(args.formula, occupancy):
             print(f"    {text}: value={value:.6f} -> {holds}")
+    if args.diagnose:
+        _print_diagnostics(ctx)
     return 0 if verdict else 1
 
 
 def _cmd_value(args: argparse.Namespace) -> int:
     checker = _build_checker(args)
     occupancy = _parse_occupancy(args.occupancy)
-    print(f"{checker.value(args.formula, occupancy):.10f}")
+    ctx = checker.context(occupancy)
+    print(f"{checker.value(args.formula, occupancy, ctx=ctx):.10f}")
+    if args.diagnose:
+        _print_diagnostics(ctx)
     return 0
 
 
 def _cmd_csat(args: argparse.Namespace) -> int:
     checker = _build_checker(args)
     occupancy = _parse_occupancy(args.occupancy)
-    result = checker.conditional_sat(args.formula, occupancy, args.theta)
+    ctx = checker.context(occupancy)
+    result = checker.conditional_sat(
+        args.formula, occupancy, args.theta, ctx=ctx
+    )
     if result.is_empty:
         print("empty")
     else:
         for a, b in result.intervals:
             print(f"[{a:.6f}, {b:.6f}]")
+    if args.diagnose:
+        _print_diagnostics(ctx)
     return 0
 
 
@@ -235,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
             default="standard",
             choices=("standard", "phi1"),
             help="until start-state convention (see CheckOptions)",
+        )
+        p.add_argument(
+            "--diagnose",
+            action="store_true",
+            help="print the numerical diagnostic trace (solver choices, "
+            "fallbacks, residual maxima, cache hits) after the answer",
         )
         p.add_argument("formula", help="MF-CSL formula text")
 

@@ -32,13 +32,19 @@ results are smooth callables, and a fixed-step RK4 fallback lives in
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
-from scipy.integrate import solve_ivp
 from scipy.linalg import expm
 
-from repro.exceptions import HorizonError, ModelError, NumericalError
+from repro.diagnostics import (
+    DEFAULT_FALLBACKS,
+    DEFAULT_RESIDUAL_TOL,
+    DiagnosticTrace,
+    check_transient_residual,
+    robust_solve_ivp,
+)
+from repro.exceptions import HorizonError, ModelError
 
 GeneratorFunction = Callable[[float], np.ndarray]
 
@@ -66,6 +72,10 @@ def solve_forward_kolmogorov(
     atol: float = DEFAULT_ATOL,
     dense: bool = False,
     method: str = "RK45",
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    trace: Optional[DiagnosticTrace] = None,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    monotone_columns: "Optional[Sequence[int]]" = None,
 ):
     """Transient matrix ``Pi(t_start, t_start + duration)`` — Equation (5).
 
@@ -82,6 +92,16 @@ def solve_forward_kolmogorov(
         ``T in [0, duration]`` (dense ODE output) instead of only the final
         matrix.  The callable raises :class:`HorizonError` outside that
         range.
+    fallbacks:
+        Stiff methods retried with tightened ``atol`` when ``method``
+        fails (see :func:`repro.diagnostics.robust_solve_ivp`).
+    trace:
+        Optional diagnostic trace recording attempts and residuals.
+    monotone_columns:
+        Column indices of absorbing states.  When given, the mass in
+        those columns must be non-decreasing along the solve (the
+        reachability-CDF invariant of Equations (5)/(7)); violations are
+        recorded in ``trace`` as residual warnings.
 
     Returns
     -------
@@ -101,7 +121,7 @@ def solve_forward_kolmogorov(
     def matrix_rhs(rel_t: float, pi: np.ndarray) -> np.ndarray:
         return pi @ np.asarray(q_of_t(t_start + rel_t), dtype=float)
 
-    sol = solve_ivp(
+    sol = robust_solve_ivp(
         _as_flat_ode(matrix_rhs, k),
         (0.0, duration),
         np.eye(k).reshape(-1),
@@ -109,11 +129,22 @@ def solve_forward_kolmogorov(
         rtol=rtol,
         atol=atol,
         dense_output=dense,
+        fallbacks=fallbacks,
+        label="forward Kolmogorov",
+        trace=trace,
     )
-    if not sol.success:
-        raise NumericalError(
-            f"forward Kolmogorov solve failed: {sol.message}"
-        )
+    monotone_trajectory = None
+    if monotone_columns is not None and len(monotone_columns) > 0:
+        # Absorbed mass per starting state at every accepted solver step.
+        steps = sol.y.T.reshape(-1, k, k)
+        monotone_trajectory = steps[:, :, list(monotone_columns)].sum(axis=2)
+    check_transient_residual(
+        sol.y[:, -1].reshape(k, k),
+        label=f"Pi({t_start:g}, {t_start + duration:g})",
+        tol=residual_tol,
+        monotone_trajectory=monotone_trajectory,
+        trace=trace,
+    )
     if dense:
         dense_sol = sol.sol
 
@@ -138,6 +169,9 @@ def solve_backward_kolmogorov(
     t_end: float,
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
+    method: str = "RK45",
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    trace: Optional[DiagnosticTrace] = None,
 ) -> np.ndarray:
     """``Pi(t_start, t_end)`` via the backward equation.
 
@@ -156,16 +190,17 @@ def solve_backward_kolmogorov(
     def matrix_rhs(t: float, pi: np.ndarray) -> np.ndarray:
         return -np.asarray(q_of_t(t), dtype=float) @ pi
 
-    sol = solve_ivp(
+    sol = robust_solve_ivp(
         _as_flat_ode(matrix_rhs, k),
         (t_end, t_start),
         np.eye(k).reshape(-1),
-        method="RK45",
+        method=method,
         rtol=rtol,
         atol=atol,
+        fallbacks=fallbacks,
+        label="backward Kolmogorov",
+        trace=trace,
     )
-    if not sol.success:
-        raise NumericalError(f"backward Kolmogorov solve failed: {sol.message}")
     return sol.y[:, -1].reshape(k, k)
 
 
@@ -254,6 +289,10 @@ class TransitionMatrixPropagator:
         Largest evaluation time of interest (``theta`` in the paper).
     initial:
         ``Pi(t0, t0+T)``; computed via the forward equation when omitted.
+    fallbacks:
+        Stiff methods retried when the primary solve fails.
+    trace:
+        Optional diagnostic trace shared with the owning context.
     """
 
     def __init__(
@@ -265,7 +304,11 @@ class TransitionMatrixPropagator:
         initial: Optional[np.ndarray] = None,
         rtol: float = DEFAULT_RTOL,
         atol: float = DEFAULT_ATOL,
+        fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+        trace: Optional[DiagnosticTrace] = None,
     ):
+        self._fallbacks = tuple(fallbacks)
+        self._trace = trace
         self.q_of_t = q_of_t
         self.window = float(window)
         self.t0 = float(t0)
@@ -278,7 +321,8 @@ class TransitionMatrixPropagator:
             )
         if initial is None:
             initial = solve_forward_kolmogorov(
-                q_of_t, self.t0, self.window, rtol=rtol, atol=atol
+                q_of_t, self.t0, self.window, rtol=rtol, atol=atol,
+                fallbacks=self._fallbacks, trace=self._trace,
             )
         self.initial = np.asarray(initial, dtype=float)
         self._k = self.initial.shape[0]
@@ -297,7 +341,7 @@ class TransitionMatrixPropagator:
             q_right = np.asarray(self.q_of_t(t + T), dtype=float)
             return -q_left @ pi + pi @ q_right
 
-        sol = solve_ivp(
+        sol = robust_solve_ivp(
             _as_flat_ode(matrix_rhs, k),
             (self.t0, self.horizon),
             self.initial.reshape(-1),
@@ -305,9 +349,10 @@ class TransitionMatrixPropagator:
             rtol=self._rtol,
             atol=self._atol,
             dense_output=True,
+            fallbacks=self._fallbacks,
+            label="window-shift ODE",
+            trace=self._trace,
         )
-        if not sol.success:
-            raise NumericalError(f"window-shift solve failed: {sol.message}")
         return sol.sol
 
     def __call__(self, t: float) -> np.ndarray:

@@ -54,6 +54,16 @@ class EvalStats:
     mc_candidates:
         Candidate (thinning) events proposed while sampling those paths —
         accepted or not; the cost driver of the samplers.
+    solver_fallbacks:
+        Extra ``solve_ivp`` attempts made after a primary method failed
+        (see :func:`repro.diagnostics.robust_solve_ivp`); non-zero means
+        a stiff fallback rescued at least one solve.
+    residual_checks:
+        Probability-simplex / stochasticity self-verification checks run
+        after solves (see :mod:`repro.diagnostics`).
+    residual_warnings:
+        Residual checks whose violation exceeded the configured
+        tolerance — the answer is still returned, but flagged.
     """
 
     rhs_evaluations: int = 0
@@ -67,6 +77,9 @@ class EvalStats:
     sim_batches: int = 0
     mc_paths: int = 0
     mc_candidates: int = 0
+    solver_fallbacks: int = 0
+    residual_checks: int = 0
+    residual_warnings: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -10,11 +10,17 @@ state of the previous segment as the new initial condition.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
-from scipy.integrate import solve_ivp
 
+from repro.diagnostics import (
+    DEFAULT_FALLBACKS,
+    DEFAULT_RESIDUAL_TOL,
+    DiagnosticTrace,
+    check_occupancy_residual,
+    robust_solve_ivp,
+)
 from repro.exceptions import ModelError, NumericalError
 
 DriftFunction = Callable[[float, np.ndarray], np.ndarray]
@@ -58,6 +64,15 @@ class OccupancyTrajectory:
         Optional :class:`~repro.instrumentation.EvalStats`; when given,
         ``rhs_evaluations`` counts every drift call and
         ``solve_ivp_calls`` every lazy extension.
+    fallbacks:
+        Stiff methods retried (with tightened ``atol``) when the primary
+        ``method`` fails; empty disables graceful degradation and
+        restores the old die-on-first-failure behaviour.
+    trace:
+        Optional :class:`~repro.diagnostics.DiagnosticTrace` recording
+        every solve attempt and post-solve simplex residual check.
+    residual_tol:
+        Tolerance of the per-extension simplex residual check.
     """
 
     def __init__(
@@ -71,6 +86,9 @@ class OccupancyTrajectory:
         max_horizon: float = 1e6,
         renormalize: bool = True,
         stats=None,
+        fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+        trace: Optional[DiagnosticTrace] = None,
+        residual_tol: float = DEFAULT_RESIDUAL_TOL,
     ):
         self._stats = stats
         if stats is not None:
@@ -88,6 +106,9 @@ class OccupancyTrajectory:
         self._method = method
         self._max_horizon = float(max_horizon)
         self._renormalize = renormalize
+        self._fallbacks = tuple(fallbacks)
+        self._trace = trace
+        self._residual_tol = float(residual_tol)
         self._segments: List[_Segment] = []
         # Segment start times, for binary-search lookup in __call__ /
         # eval_many; entry i is self._segments[i].t_start.
@@ -117,20 +138,30 @@ class OccupancyTrajectory:
             )
         if self._stats is not None:
             self._stats.solve_ivp_calls += 1
-        sol = solve_ivp(
-            self._drift,
-            (self._end_time, target),
-            self._end_state,
-            method=self._method,
-            rtol=self._rtol,
-            atol=self._atol,
-            dense_output=True,
-        )
-        if not sol.success:
+        try:
+            sol = robust_solve_ivp(
+                self._drift,
+                (self._end_time, target),
+                self._end_state,
+                method=self._method,
+                rtol=self._rtol,
+                atol=self._atol,
+                dense_output=True,
+                fallbacks=self._fallbacks,
+                label="occupancy ODE",
+                trace=self._trace,
+            )
+        except NumericalError as exc:
             raise NumericalError(
                 f"occupancy ODE solve failed on "
-                f"[{self._end_time}, {target}]: {sol.message}"
-            )
+                f"[{self._end_time}, {target}]: {exc}"
+            ) from exc
+        check_occupancy_residual(
+            sol.y[:, -1],
+            label=f"occupancy endpoint t={target:g}",
+            tol=self._residual_tol,
+            trace=self._trace,
+        )
         self._segments.append(_Segment(self._end_time, target, sol.sol))
         self._starts = np.append(self._starts, self._end_time)
         self._end_time = target
@@ -280,6 +311,12 @@ class ShiftedTrajectory:
 
     def eval_many(self, ts) -> np.ndarray:
         ts = np.asarray(ts, dtype=float)
+        # Validate *before* shifting: a negative view time with a large
+        # offset would otherwise silently alias parent(offset + t).
+        if ts.size and float(ts.min()) < 0.0:
+            raise ModelError(
+                f"occupancy requested at negative time {float(ts.min())}"
+            )
         return self._parent.eval_many(ts + self._offset)
 
     def grid(self, t_end: float, num: int = 200, t_start: float = 0.0) -> "tuple[np.ndarray, np.ndarray]":

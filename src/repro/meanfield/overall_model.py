@@ -117,11 +117,15 @@ class MeanFieldModel:
         rtol: Optional[float] = None,
         atol: Optional[float] = None,
         stats=None,
+        **solver_kwargs,
     ) -> OccupancyTrajectory:
         """Solve Equation (1) from ``initial``, returning a dense trajectory.
 
         ``stats`` (an :class:`~repro.instrumentation.EvalStats`) makes the
         trajectory count its drift evaluations and ``solve_ivp`` calls.
+        Extra keyword arguments (``fallbacks``, ``trace``,
+        ``residual_tol``, ``method``, …) are forwarded to
+        :class:`~repro.meanfield.ode.OccupancyTrajectory`.
         """
         initial = validate_occupancy(initial, self.num_states)
         return OccupancyTrajectory(
@@ -131,6 +135,7 @@ class MeanFieldModel:
             rtol=self._rtol if rtol is None else rtol,
             atol=self._atol if atol is None else atol,
             stats=stats,
+            **solver_kwargs,
         )
 
     # ------------------------------------------------------------------

@@ -209,6 +209,7 @@ def stationary_from_long_run(
     max_horizon: float = 1e6,
     rtol: float = 1e-7,
     atol: float = 1e-10,
+    trace=None,
 ) -> np.ndarray:
     """Approximate ``m̃`` by integrating Equation (1) until the drift dies.
 
@@ -233,15 +234,30 @@ def stationary_from_long_run(
         atol=atol,
         method="LSODA",
         max_horizon=max_horizon * 2,
+        # LSODA already switches stiffness regimes internally; fall back
+        # to the implicit Radau scheme if it still gives up.
+        fallbacks=("Radau",),
+        trace=trace,
     )
     t = min(horizon, max_horizon)
     while True:
         m = trajectory(t)
-        if float(np.linalg.norm(_drift(model, m))) < drift_tol:
+        residual = float(np.linalg.norm(_drift(model, m)))
+        if residual < drift_tol:
+            if trace is not None:
+                trace.note(
+                    f"long-run integration settled at t={t:g} "
+                    f"(drift residual {residual:.2e})"
+                )
             return m
         if t >= max_horizon:
+            if trace is not None:
+                trace.note(
+                    f"long-run integration did NOT settle by t={t:g} "
+                    f"(drift residual {residual:.2e})"
+                )
             raise SteadyStateError(
-                f"drift still {np.linalg.norm(_drift(model, m))} at t={t}; "
+                f"drift still {residual} at t={t}; "
                 "the fluid limit may not settle to a point"
             )
         t = min(t * 2.0, max_horizon)

@@ -41,6 +41,33 @@ class TestThresholdIntervals:
         )
         assert result == IntervalSet.whole(5.0)
 
+    def test_zero_at_final_grid_point_becomes_breakpoint(self):
+        """Regression: an exact zero of ``g - p`` at the *last* grid point
+        of a segment is never ``vals[i]`` in the bracketing scan, so it
+        used to be dropped — losing the sliver where the bound flips."""
+        # The scan grid for [0, 1] is linspace(eps, 1 - eps, n) with
+        # eps = 1e-9; linspace pins its endpoint exactly, so g crosses
+        # the threshold *exactly at* the final grid point.
+        target = 1.0 - 1e-9
+        g = lambda t: 0.5 + (t - target)
+        result = threshold_intervals(g, 0.0, 1.0, Bound(">", 0.5))
+        assert not result.is_empty
+        a, b = result.intervals[-1]
+        assert a == pytest.approx(target, abs=1e-12)
+        assert b == pytest.approx(1.0)
+        # The complementary bound gets everything up to the touch point.
+        below = threshold_intervals(g, 0.0, 1.0, Bound("<", 0.5))
+        assert below.intervals[0][1] == pytest.approx(target, abs=1e-12)
+
+    def test_interior_grid_zero_still_handled(self):
+        """An exact zero at an interior grid point splits the segment."""
+        ts = __import__("numpy").linspace(1e-9, 1.0 - 1e-9, 129)
+        touch = float(ts[64])
+        g = lambda t: 0.5 + (t - touch)
+        result = threshold_intervals(g, 0.0, 1.0, Bound(">=", 0.5))
+        a, _ = result.intervals[-1]
+        assert a == pytest.approx(touch, abs=1e-12)
+
     def test_jump_handled_via_discontinuities(self):
         g = lambda t: 0.1 if t < 2.0 else 0.9
         result = threshold_intervals(

@@ -2,8 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Strict-numerics CI mode: with REPRO_STRICT_NUMERICS set, silent
+# NaN/Inf propagation becomes FloatingPointError at the operation that
+# produced it, so the whole suite doubles as a non-finite regression
+# gate (CI pairs this with ``-W error::RuntimeWarning``).  Underflow
+# stays at its default — gradual underflow is benign and routine inside
+# scipy's step-size control.  Set at import time so it also covers
+# module-level code and fork-based worker processes.
+if os.environ.get("REPRO_STRICT_NUMERICS"):
+    np.seterr(divide="raise", over="raise", invalid="raise")
 
 from repro.checking import CheckOptions, EvaluationContext
 from repro.meanfield import MeanFieldModel

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from scipy.linalg import expm
 
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, NumericalError
 from repro.meanfield.ode import OccupancyTrajectory
 from repro.models.virus import SETTING_1, overall_ode_matrix, virus_model
 
@@ -92,3 +92,62 @@ class TestGrid:
         traj = OccupancyTrajectory(drift, np.array([1.0, 0.0, 0.0]), horizon=5.0)
         with pytest.raises(ModelError):
             traj.grid(5.0, num=1)
+
+
+class TestShiftedTrajectory:
+    def test_negative_time_rejected_scalar(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([0.8, 0.15, 0.05]), horizon=5.0)
+        view = traj.shifted(2.0)
+        with pytest.raises(ModelError):
+            view(-0.5)
+
+    def test_eval_many_rejects_negative_times(self, linear_drift):
+        """Regression: a negative view time used to be shifted *first*,
+        silently aliasing ``parent(offset + t)`` whenever the offset was
+        large enough to keep the shifted time non-negative."""
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([0.8, 0.15, 0.05]), horizon=5.0)
+        view = traj.shifted(2.0)
+        with pytest.raises(ModelError, match="negative time"):
+            view.eval_many(np.array([-0.5, 1.0]))
+
+    def test_eval_many_matches_parent(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([0.8, 0.15, 0.05]), horizon=5.0)
+        view = traj.shifted(2.0)
+        ts = np.array([0.0, 0.5, 1.5])
+        assert np.allclose(view.eval_many(ts), traj.eval_many(ts + 2.0))
+
+    def test_empty_query_allowed(self, linear_drift):
+        _, drift = linear_drift
+        traj = OccupancyTrajectory(drift, np.array([0.8, 0.15, 0.05]), horizon=1.0)
+        assert traj.shifted(0.5).eval_many(np.array([])).shape == (0, 3)
+
+
+class TestFailurePaths:
+    def test_zero_mass_rejected_scalar(self):
+        """Renormalization must fail loudly when all mass is clipped away."""
+        drift = lambda t, m: np.zeros_like(m)
+        traj = OccupancyTrajectory(drift, np.zeros(3), horizon=1.0)
+        with pytest.raises(NumericalError, match="zero mass"):
+            traj(0.5)
+
+    def test_zero_mass_rejected_vectorized(self):
+        drift = lambda t, m: np.zeros_like(m)
+        traj = OccupancyTrajectory(drift, np.zeros(3), horizon=1.0)
+        with pytest.raises(NumericalError, match="zero mass"):
+            traj.eval_many(np.array([0.25, 0.75]))
+
+    def test_extend_failure_names_interval(self, linear_drift):
+        """The _extend_to wrapper must say *which* window failed."""
+        _, drift = linear_drift
+
+        def bad_drift(t, m):
+            raise FloatingPointError("boom")
+
+        with pytest.raises(NumericalError, match=r"\[0.0, 2.0\]"):
+            OccupancyTrajectory(
+                bad_drift, np.array([1.0, 0.0, 0.0]), horizon=2.0,
+                fallbacks=(),
+            )

@@ -101,3 +101,63 @@ class TestStructuralInvariants:
         member = t in a
         direct = any(lo <= t <= hi for lo, hi in a.intervals)
         assert member == direct
+
+
+class TestMergeEpsCarried:
+    """The merge tolerance must survive the algebra (it used to be
+    silently reset to the default by every derived set)."""
+
+    EPS = 0.5
+
+    def loose(self, pairs):
+        return IntervalSet(pairs, merge_eps=self.EPS)
+
+    def test_unary_ops_keep_eps(self):
+        s = self.loose([(0.0, 1.0)])
+        assert s.merge_eps == self.EPS
+        assert s.shift(2.0).merge_eps == self.EPS
+        assert s.complement(THETA).merge_eps == self.EPS
+        assert s.clip(0.0, THETA).merge_eps == self.EPS
+
+    def test_binary_ops_take_looser_eps(self):
+        a = self.loose([(0.0, 1.0)])
+        b = IntervalSet([(3.0, 4.0)])  # default (tight) eps
+        assert a.union(b).merge_eps == self.EPS
+        assert b.union(a).merge_eps == self.EPS
+        assert a.intersection(b).merge_eps == self.EPS
+
+    def test_union_merges_with_carried_eps(self):
+        """Regression: a union of loose sets used to merge with the
+        *default* 1e-9, leaving gaps the operands would have closed."""
+        a = self.loose([(0.0, 1.0)])
+        b = self.loose([(1.3, 2.0)])
+        u = a.union(b)
+        assert u.intervals == ((0.0, 2.0),)
+
+    def test_shift_merges_with_carried_eps(self):
+        s = self.loose([(0.0, 1.0), (1.3, 2.0)])
+        assert len(s.intervals) == 1
+        assert len(s.shift(5.0).intervals) == 1
+
+
+class TestComplementPartition:
+    @given(interval_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_double_complement_is_identity_up_to_measure(self, a):
+        """complement(complement(S)) ≈ S: the symmetric difference is a
+        null set (degenerate points may appear or vanish, nothing more)."""
+        clipped = a.clip(0.0, THETA)
+        back = clipped.complement(THETA).complement(THETA)
+        gained = back.difference(clipped, THETA)
+        lost = clipped.difference(back, THETA)
+        assert gained.measure() == __import__("pytest").approx(0.0, abs=1e-6)
+        assert lost.measure() == __import__("pytest").approx(0.0, abs=1e-6)
+
+    @given(interval_sets(), st.floats(0, THETA))
+    @settings(max_examples=80, deadline=None)
+    def test_set_union_complement_covers_horizon(self, a, t):
+        """S ∪ Sᶜ = [0, θ] — in measure and pointwise (up to merge_eps)."""
+        clipped = a.clip(0.0, THETA)
+        whole = clipped.union(clipped.complement(THETA))
+        assert whole.measure() == __import__("pytest").approx(THETA, abs=1e-6)
+        assert whole.contains(t, tol=whole.merge_eps)

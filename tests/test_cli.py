@@ -260,3 +260,57 @@ class TestModelRegistry:
     def test_parser_help_builds(self):
         parser = build_parser()
         assert parser.prog == "mfcsl"
+
+
+class TestDiagnose:
+    def test_check_diagnose_prints_trace(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--diagnose",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SATISFIED" in out
+        assert "diagnostics:" in out
+        assert "solver calls:" in out
+        assert "residual maxima:" in out
+        assert "cache:" in out
+        assert "fallbacks" in out
+
+    def test_csat_diagnose_prints_trace(self, capsys):
+        code = main(
+            [
+                "csat",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--theta",
+                "2",
+                "--diagnose",
+                "E[<0.5](infected)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+
+    def test_without_flag_no_trace(self, capsys):
+        main(
+            [
+                "value",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "E[<0.5](infected)",
+            ]
+        )
+        assert "diagnostics:" not in capsys.readouterr().out
