@@ -1,0 +1,93 @@
+"""Append-only persistence of benchmark wall-times.
+
+pytest-benchmark's ``--benchmark-json`` output is a full snapshot of one
+run; what it cannot give is a cheap *history* — "what did this bench
+measure the last five times it ran?".  :func:`record_wall_times` keeps
+exactly that: a small JSON file per benchmark family, each run appending
+one record with the measured wall-times (and any extra values such as
+speedup ratios or accuracy defects), so regressions show up as a diff in
+the series rather than requiring two full benchmark-JSON files to be
+compared by hand.
+
+The propagator benchmark (``test_bench_propagators.py``) writes to
+:data:`DEFAULT_PATH` (``benchmarks/BENCH_propagators.json``); other
+benches can pass their own ``path``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Optional
+
+#: History file of the propagator benchmark family.
+DEFAULT_PATH = Path(__file__).resolve().parent / "BENCH_propagators.json"
+
+#: Keep at most this many records per benchmark name (oldest dropped).
+MAX_RECORDS_PER_NAME = 200
+
+
+def _coerce(value):
+    """Make numpy scalars/arrays and other oddballs JSON-serializable."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def record_wall_times(
+    name: str,
+    timings: "dict[str, float]",
+    *,
+    extra: Optional[dict] = None,
+    path: "os.PathLike | str" = DEFAULT_PATH,
+) -> dict:
+    """Append one benchmark record to the JSON history file.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier (e.g. ``"nested_until_cells_vs_recompute"``).
+    timings:
+        Mapping of label to wall-time in seconds (e.g.
+        ``{"cells": 0.05, "recompute": 0.31}``).
+    extra:
+        Optional additional values stored verbatim on the record
+        (speedups, defects, workload sizes, …).
+    path:
+        History file; created (including an empty list) on first use.
+
+    Returns the record that was appended.  The file maps benchmark name
+    to a list of records, newest last, capped at
+    :data:`MAX_RECORDS_PER_NAME` entries per name.  Corrupt or
+    foreign-format files are reset rather than crashing the bench run —
+    a benchmark must never fail because its *history* was damaged.
+    """
+    path = Path(path)
+    history: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                history = loaded
+        except (OSError, ValueError):
+            history = {}
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "wall_times_s": {k: float(v) for k, v in timings.items()},
+    }
+    if extra:
+        record.update({k: _coerce(v) for k, v in extra.items()})
+    series = history.setdefault(name, [])
+    if not isinstance(series, list):
+        series = history[name] = []
+    series.append(record)
+    del series[:-MAX_RECORDS_PER_NAME]
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return record

@@ -14,9 +14,14 @@ Caching layers (see ``docs/performance.md``):
 - :meth:`generator_function` memoizes ``t -> Q(m̄(t))`` so the many ODE
   solves sharing one trajectory never assemble the same generator twice;
 - :meth:`transient_matrix` caches Kolmogorov solutions ``Π(t', t'+T)``
-  keyed by (generator-transform signature, window, tolerances), so
-  nested untils and repeated global-operator checks stop re-solving
-  identical problems;
+  keyed by (generator-transform signature, window, solver and residual
+  tolerances, backend), so nested untils and repeated global-operator
+  checks stop re-solving identical problems;
+- :meth:`propagator_engine` keeps one piecewise-homogeneous
+  cell-product engine (:class:`~repro.ctmc.propagators.PropagatorEngine`)
+  per transformed chain, shared — with a time offset — across contexts
+  derived via :meth:`at_time` whenever the trajectory itself is shared,
+  and invalidated together with the other solve caches;
 - :meth:`at_time` and :meth:`steady_context` derive child contexts that
   share whatever parent state remains sound (the steady-state result
   always; the trajectory and generator memo whenever the model has no
@@ -35,7 +40,8 @@ import numpy as np
 
 from repro.checking.options import CheckOptions
 from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
-from repro.diagnostics import DiagnosticTrace
+from repro.ctmc.propagators import PropagatorEngine
+from repro.diagnostics import DiagnosticTrace, check_transient_residual
 from repro.exceptions import SteadyStateError
 from repro.instrumentation import EvalStats
 from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
@@ -49,6 +55,54 @@ GENERATOR_CACHE_LIMIT = 200_000
 #: Cache keys round times to this many decimals, comfortably below every
 #: solver tolerance in use while still merging bit-wobbled duplicates.
 _KEY_DECIMALS = 12
+
+
+class ContextPropagator:
+    """Context-relative view of a shared :class:`PropagatorEngine`.
+
+    Engines live on root-trajectory ("absolute") time so that contexts
+    derived via :meth:`EvaluationContext.at_time` can share one cell
+    cache; this thin handle translates the owning context's relative
+    times before delegating.
+    """
+
+    __slots__ = ("engine", "offset")
+
+    def __init__(self, engine: PropagatorEngine, offset: float):
+        self.engine = engine
+        self.offset = float(offset)
+
+    def ensure(
+        self, t_lo: float, t_hi: float, window: Optional[float] = None
+    ) -> None:
+        """Defect-validate the grid over context-relative ``[t_lo, t_hi]``.
+
+        ``window`` is the longest query window the caller will ask for
+        inside the range (defaults to the whole range); probing
+        query-length windows keeps the grid no finer than needed.
+        """
+        self.engine.ensure(
+            self.offset + float(t_lo),
+            self.offset + float(t_hi),
+            window=window,
+        )
+
+    def propagate(self, t_start: float, duration: float) -> np.ndarray:
+        """``Π(t_start, t_start + duration)`` in context-relative time."""
+        a = self.offset + float(t_start)
+        return self.engine.propagate(a, a + float(duration))
+
+    def propagate_many(self, ts, duration: float) -> np.ndarray:
+        """Batched ``Π(t_i, t_i + duration)`` — shape ``(len(ts), K, K)``."""
+        ts = np.asarray(ts, dtype=float) + self.offset
+        return self.engine.propagate_many(ts, float(duration))
+
+    def prepare_windows(self, starts, ends) -> None:
+        """Warm cells/slivers for a batch of context-relative windows."""
+        self.engine.prepare_windows(
+            np.asarray(starts, dtype=float) + self.offset,
+            np.asarray(ends, dtype=float) + self.offset,
+        )
 
 
 class EvaluationContext:
@@ -97,6 +151,10 @@ class EvaluationContext:
         ] = None
         self._generator_cache: dict = {}
         self._transient_cache: dict = {}
+        # Propagator engines keyed by transform signature, shared (with
+        # a time offset) along at_time chains that share the trajectory.
+        self._propagator_engines: dict = {}
+        self._propagator_offset: float = 0.0
         # One-slot box for the stationary point, shared with contexts
         # derived from this one (the steady state is a property of the
         # basin, not of the particular point on the trajectory).
@@ -205,6 +263,7 @@ class EvaluationContext:
         duration: float,
         rtol: Optional[float] = None,
         atol: Optional[float] = None,
+        method: Optional[str] = None,
     ) -> np.ndarray:
         """Cached ``Π(t_start, t_start + duration)`` for a transformed chain.
 
@@ -215,9 +274,15 @@ class EvaluationContext:
             context's base generator — e.g. ``("absorbing", frozenset)``
             or ``("goal", partition)``.  Two calls with equal signatures
             **must** describe the same generator function; the cache key
-            is (signature, t_start, duration, rtol, atol).
+            is (signature, t_start, duration, solver tolerances,
+            residual tolerance, backend).
         q_of_t:
             The transformed generator function, used only on a miss.
+        method:
+            ``"ode"`` (fresh Kolmogorov solve) or ``"propagator"``
+            (cell product from the shared
+            :meth:`propagator_engine`); defaults to
+            ``options.transient_method``.
 
         Returns
         -------
@@ -227,33 +292,137 @@ class EvaluationContext:
         """
         rtol = self.options.ode_rtol if rtol is None else rtol
         atol = self.options.ode_atol if atol is None else atol
+        method = self.options.transient_method if method is None else method
+        # Every tolerance that shapes the answer — including the
+        # residual self-verification bound — is part of the key: a
+        # matrix solved under loose settings must never be served after
+        # the options were tightened.
         key = (
             signature,
             round(float(t_start), _KEY_DECIMALS),
             round(float(duration), _KEY_DECIMALS),
             rtol,
             atol,
+            self.options.residual_tol,
+            method,
         )
         pi = self._transient_cache.get(key)
         if pi is not None:
             self.stats.transient_cache_hits += 1
             return pi
         self.stats.transient_cache_misses += 1
-        if float(duration) > 0.0:
-            self.stats.solve_ivp_calls += 1
-        pi = solve_forward_kolmogorov(
-            q_of_t,
-            float(t_start),
-            float(duration),
-            rtol=rtol,
-            atol=atol,
-            fallbacks=self.options.solver_fallbacks,
-            trace=self.trace,
-            residual_tol=self.options.residual_tol,
-            monotone_columns=self._monotone_columns(signature),
-        )
+        if method == "propagator" and float(duration) > 0.0:
+            pi = self.propagator_engine(signature, q_of_t).propagate(
+                float(t_start), float(duration)
+            )
+            check_transient_residual(
+                pi,
+                label=(
+                    f"Pi({float(t_start):g}, "
+                    f"{float(t_start) + float(duration):g}) [cells]"
+                ),
+                tol=self.options.residual_tol,
+                trace=self.trace,
+            )
+        else:
+            if float(duration) > 0.0:
+                self.stats.solve_ivp_calls += 1
+            pi = solve_forward_kolmogorov(
+                q_of_t,
+                float(t_start),
+                float(duration),
+                rtol=rtol,
+                atol=atol,
+                fallbacks=self.options.solver_fallbacks,
+                trace=self.trace,
+                residual_tol=self.options.residual_tol,
+                monotone_columns=self._monotone_columns(signature),
+            )
         self._transient_cache[key] = pi
         return pi
+
+    def _batch_for_signature(self, signature: Hashable):
+        """Vectorized ``ts -> (n, K', K')`` for a known transform signature.
+
+        The propagator engine evaluates generators at many Gauss nodes
+        per cell batch; for the two standard transforms the batched
+        compiled-generator path plus a vectorized transform replaces one
+        scalar assembly per node.  Unknown signatures return ``None``
+        (the engine falls back to scalar calls).
+        """
+        from repro.checking.transform import (
+            UntilPartition,
+            absorbing_generator_batch_function,
+            goal_generator_batch_function,
+        )
+
+        if (
+            not isinstance(signature, tuple)
+            or len(signature) != 2
+        ):
+            return None
+        kind, arg = signature
+        if kind == "absorbing" and isinstance(arg, frozenset):
+            return absorbing_generator_batch_function(
+                self.generator_batch_function(), arg
+            )
+        if kind == "goal" and isinstance(arg, UntilPartition):
+            return goal_generator_batch_function(
+                self.generator_batch_function(), arg
+            )
+        return None
+
+    def propagator_engine(
+        self, signature: Hashable, q_of_t, q_many=None
+    ) -> "ContextPropagator":
+        """The shared cell-product engine for the chain ``signature``.
+
+        One :class:`~repro.ctmc.propagators.PropagatorEngine` is kept
+        per transform signature; derived contexts whose trajectory is
+        shared (autonomous :meth:`at_time` children) see the *same*
+        engines through a time-offset view, so cells built while
+        checking one evaluation time are reused at every other.  The
+        engine's generator runs on root-trajectory ("absolute") time;
+        the returned :class:`ContextPropagator` translates this
+        context's relative times.
+
+        ``q_many`` optionally supplies the batched counterpart of
+        ``q_of_t``; for the standard ``("absorbing", frozenset)`` and
+        ``("goal", partition)`` signatures it is derived automatically
+        from the compiled batch-generator path.
+        """
+        engine = self._propagator_engines.get(signature)
+        if engine is None:
+            if q_many is None:
+                q_many = self._batch_for_signature(signature)
+            offset = self._propagator_offset
+            q_many_abs = q_many
+            if offset:
+
+                def q_abs(t: float, _q=q_of_t, _o=offset) -> np.ndarray:
+                    return _q(t - _o)
+
+                if q_many is not None:
+
+                    def q_many_abs(ts, _q=q_many, _o=offset) -> np.ndarray:
+                        return _q(np.asarray(ts, dtype=float) - _o)
+
+            else:
+                q_abs = q_of_t
+            engine = PropagatorEngine(
+                q_abs,
+                q_many=q_many_abs,
+                tol=self.options.propagator_tol,
+                rtol=self.options.ode_rtol,
+                atol=self.options.ode_atol,
+                fallbacks=self.options.solver_fallbacks,
+                trace=self.trace,
+                stats=self.stats,
+                residual_tol=self.options.residual_tol,
+            )
+            self.stats.propagator_engines += 1
+            self._propagator_engines[signature] = engine
+        return ContextPropagator(engine, self._propagator_offset)
 
     @staticmethod
     def _monotone_columns(signature: Hashable) -> "Optional[list]":
@@ -275,9 +444,14 @@ class EvaluationContext:
         return None
 
     def clear_caches(self) -> None:
-        """Drop the generator memo and transient cache (keeps the trajectory)."""
+        """Drop the generator memo, transient cache and propagator
+        engines (keeps the trajectory).  Engines are cleared in place,
+        so contexts sharing them through :meth:`at_time` are invalidated
+        together — they also share the trajectory the engines were built
+        from."""
         self._generator_cache.clear()
         self._transient_cache.clear()
+        self._propagator_engines.clear()
 
     # ------------------------------------------------------------------
     # Steady state (Sections IV-D / V-A)
@@ -373,4 +547,9 @@ class EvaluationContext:
                 return parent_fn(_offset + s)
 
             child._generator_fn = shifted_q
+            # Same trajectory, same inhomogeneous chain: the child can
+            # serve its windows from the parent's propagator cells, just
+            # shifted in global time.
+            child._propagator_engines = self._propagator_engines
+            child._propagator_offset = self._propagator_offset + t
         return child

@@ -38,8 +38,22 @@ class CheckOptions:
         How time-dependent until probabilities are evaluated:
         ``"propagate"`` uses the window-shift ODE of Equations (6)/(12)
         (the paper's Appendix algorithm); ``"recompute"`` re-solves the
-        forward equation from scratch at every evaluation time.  They must
-        agree (bench A3 measures the speed difference).
+        forward equation from scratch at every evaluation time;
+        ``"cells"`` composes every window from the cached cell
+        propagators of the piecewise-homogeneous engine
+        (:class:`repro.ctmc.propagators.PropagatorEngine`), reusing the
+        cells across evaluation times, discontinuity segments and
+        ζ-interleavings.  All methods must agree (bench A3 and the
+        propagator bench measure the speed differences).
+    transient_method:
+        Backend of :meth:`EvaluationContext.transient_matrix`:
+        ``"ode"`` (default) solves each Kolmogorov problem with
+        ``solve_ivp``; ``"propagator"`` serves windows from the shared
+        defect-controlled cell-product engine.
+    propagator_tol:
+        Defect tolerance of the propagator engine: cell products are
+        refined until they agree with a reference ODE solve over the
+        probe window to this bound (see ``docs/performance.md`` §7).
     horizon_margin:
         Extra time beyond the strictly-needed horizon when solving the
         occupancy ODE, so root refinement near the boundary never falls
@@ -79,6 +93,8 @@ class CheckOptions:
     probability_tol: float = 1e-7
     until_method: str = "auto"
     curve_method: str = "propagate"
+    transient_method: str = "ode"
+    propagator_tol: float = 1e-6
     horizon_margin: float = 1.0
     start_convention: str = "standard"
     workers: int = 1
@@ -93,11 +109,18 @@ class CheckOptions:
                 f"until_method must be auto/simple/nested, got "
                 f"{self.until_method!r}"
             )
-        if self.curve_method not in ("propagate", "recompute"):
+        if self.curve_method not in ("propagate", "recompute", "cells"):
             raise ModelError(
-                f"curve_method must be propagate/recompute, got "
+                f"curve_method must be propagate/recompute/cells, got "
                 f"{self.curve_method!r}"
             )
+        if self.transient_method not in ("ode", "propagator"):
+            raise ModelError(
+                f"transient_method must be ode/propagator, got "
+                f"{self.transient_method!r}"
+            )
+        if self.propagator_tol <= 0:
+            raise ModelError("propagator_tol must be positive")
         for name in ("ode_rtol", "ode_atol", "crossing_xtol", "probability_tol"):
             if getattr(self, name) <= 0:
                 raise ModelError(f"{name} must be positive")

@@ -56,8 +56,10 @@ class ProbabilityCurve:
         t_end: float,
         num_states: int,
         discontinuities: Sequence[float] = (),
+        batch_evaluator: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ):
         self._evaluator = evaluator
+        self._batch_evaluator = batch_evaluator
         self.t_start = float(t_start)
         self.t_end = float(t_end)
         self.num_states = int(num_states)
@@ -93,10 +95,45 @@ class ProbabilityCurve:
         """Probability for one starting state."""
         return float(self.values(t)[state])
 
+    def values_many(self, ts) -> np.ndarray:
+        """Probabilities for a whole array of times — shape ``(n, K)``.
+
+        When the curve was built with a batched evaluator (the ``cells``
+        method), all not-yet-cached times are computed in one call;
+        otherwise this falls back to per-time evaluation.  Either way the
+        results land in the same cache :meth:`values` uses.
+        """
+        ts = np.asarray(ts, dtype=float).reshape(-1)
+        if ts.size == 0:
+            return np.zeros((0, self.num_states))
+        if self._batch_evaluator is None:
+            return np.vstack([self.values(t) for t in ts])
+        keys = []
+        for t in ts:
+            if not (self.t_start - 1e-9 <= t <= self.t_end + 1e-9):
+                raise CheckingError(
+                    f"time {t} outside curve range "
+                    f"[{self.t_start}, {self.t_end}]"
+                )
+            keys.append(round(min(max(t, self.t_start), self.t_end), 12))
+        missing = sorted({k for k in keys if k not in self._cache})
+        if missing:
+            block = np.asarray(
+                self._batch_evaluator(np.array(missing)), dtype=float
+            )
+            if block.shape != (len(missing), self.num_states):
+                raise CheckingError(
+                    f"batch evaluator returned shape {block.shape}, "
+                    f"expected ({len(missing)}, {self.num_states})"
+                )
+            for k, row in zip(missing, block):
+                self._cache[k] = np.clip(row, 0.0, 1.0)
+        return np.vstack([self._cache[k] for k in keys])
+
     def grid(self, num: int = 200) -> "tuple[np.ndarray, np.ndarray]":
         """Sample the curve on a uniform grid -> ``(times, (num, K))``."""
         times = np.linspace(self.t_start, self.t_end, int(num))
-        return times, np.vstack([self.values(t) for t in times])
+        return times, self.values_many(times)
 
     # ------------------------------------------------------------------
 
@@ -228,9 +265,15 @@ class SimpleUntilCurve(ProbabilityCurve):
 
     With ``method="propagate"`` the two reachability matrices are advanced
     through evaluation time by the window-shift ODE (6) — one dense solve
-    each, O(1) per query afterwards.  With ``method="recompute"`` each
-    query re-runs :func:`until_probabilities_simple` (slower; used for
-    validation).
+    each, O(1) per query afterwards.  With ``method="cells"`` every
+    window is composed from the cached cell propagators of the shared
+    piecewise-homogeneous engine
+    (:meth:`~repro.checking.context.EvaluationContext.propagator_engine`)
+    — one defect probe per chain, then O(cells) tiny matrix products per
+    query, with genuinely batched multi-time evaluation through
+    :meth:`ProbabilityCurve.values_many`.  With ``method="recompute"``
+    each query re-runs :func:`until_probabilities_simple` (slower; used
+    for validation).
     """
 
     def __init__(
@@ -317,6 +360,64 @@ class SimpleUntilCurve(ProbabilityCurve):
                 for s in range(k):
                     out[s] = sum(pi_a[s, s1] * reach[s1] for s1 in gamma1)
                 return out
+
+        elif method == "cells":
+            q_of_t = ctx.generator_function()
+            gamma1_cols = sorted(gamma1)
+            absorbed2 = (all_states - gamma1) | gamma2
+            q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
+            eng_b = ctx.propagator_engine(("absorbing", absorbed2), q_phase2)
+            eng_b.ensure(t1, theta + t2, window=t2 - t1)
+            eng_a = None
+            if t1 > 0.0:
+                absorbed1 = all_states - gamma1
+                q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
+                eng_a = ctx.propagator_engine(
+                    ("absorbing", absorbed1), q_phase1
+                )
+                eng_a.ensure(0.0, theta + t1, window=t1)
+
+            strict_mask = None
+            if t1 <= 0.0 and ctx.options.start_convention == "phi1":
+                strict_mask = np.array(
+                    [1.0 if s in gamma1 else 0.0 for s in range(k)]
+                )
+
+            def _combine(pi_b: np.ndarray, pi_a) -> np.ndarray:
+                reach = (
+                    pi_b[..., gamma2_cols].sum(axis=-1)
+                    if gamma2_cols
+                    else np.zeros(pi_b.shape[:-1])
+                )
+                if pi_a is None:
+                    if strict_mask is not None:
+                        return reach * strict_mask
+                    return reach
+                # Mass must pass through a Γ1 state at t + t1.
+                return np.einsum(
+                    "...ij,...j->...i",
+                    pi_a[..., gamma1_cols],
+                    reach[..., gamma1_cols],
+                )
+
+            def evaluator(t: float) -> np.ndarray:
+                pi_b = eng_b.propagate(t + t1, t2 - t1)
+                pi_a = eng_a.propagate(t, t1) if eng_a is not None else None
+                return _combine(pi_b, pi_a)
+
+            def batch_evaluator(ts: np.ndarray) -> np.ndarray:
+                pis_b = eng_b.propagate_many(ts + t1, t2 - t1)
+                pis_a = (
+                    eng_a.propagate_many(ts, t1)
+                    if eng_a is not None
+                    else None
+                )
+                return _combine(pis_b, pis_a)
+
+            super().__init__(
+                evaluator, 0.0, theta, k, batch_evaluator=batch_evaluator
+            )
+            return
 
         elif method == "recompute":
 

@@ -82,6 +82,9 @@ def _build_checker(args: argparse.Namespace) -> MFModelChecker:
     options = CheckOptions(
         start_convention=args.convention,
         workers=getattr(args, "workers", 1),
+        curve_method=getattr(args, "curve_method", "propagate"),
+        transient_method=getattr(args, "transient_method", "ode"),
+        propagator_tol=getattr(args, "propagator_tol", 1e-6),
     )
     return MFModelChecker(_resolve_model(args), options)
 
@@ -251,6 +254,28 @@ def build_parser() -> argparse.ArgumentParser:
             default="standard",
             choices=("standard", "phi1"),
             help="until start-state convention (see CheckOptions)",
+        )
+        p.add_argument(
+            "--curve-method",
+            default="propagate",
+            choices=("propagate", "recompute", "cells"),
+            help="how time-dependent until probabilities are evaluated: "
+            "the window-shift ODE, per-time recomputation, or cached "
+            "cell-propagator products (see CheckOptions.curve_method)",
+        )
+        p.add_argument(
+            "--transient-method",
+            default="ode",
+            choices=("ode", "propagator"),
+            help="transient-matrix backend: per-window Kolmogorov solves "
+            "or the shared piecewise-homogeneous propagator engine",
+        )
+        p.add_argument(
+            "--propagator-tol",
+            type=float,
+            default=1e-6,
+            help="defect tolerance of the propagator engine (cell "
+            "products vs reference ODE solves; docs/performance.md §7)",
         )
         p.add_argument(
             "--diagnose",

@@ -15,6 +15,9 @@ mean-field layer (:mod:`repro.meanfield`) and the model checkers
 - :mod:`repro.ctmc.inhomogeneous` — Kolmogorov-equation solvers for
   *time-inhomogeneous* CTMCs, the numerical core of the paper's
   Equations (5), (6) and (12);
+- :mod:`repro.ctmc.propagators` — the piecewise-homogeneous propagator
+  engine: cached ``expm``/uniformization cell kernels composed into
+  ``Π(a, b)`` products with defect control against the exact ODE path;
 - :mod:`repro.ctmc.paths` — exact path sampling for both homogeneous and
   inhomogeneous chains (used by the statistical checker).
 """
@@ -48,6 +51,7 @@ from repro.ctmc.inhomogeneous import (
     solve_backward_kolmogorov,
     solve_forward_kolmogorov,
 )
+from repro.ctmc.propagators import PropagatorEngine
 from repro.ctmc.paths import (
     Path,
     PathBatch,
@@ -74,6 +78,7 @@ __all__ = [
     "is_stochastic_matrix",
     "power_step_distribution",
     "validate_stochastic_matrix",
+    "PropagatorEngine",
     "TransitionMatrixPropagator",
     "solve_backward_kolmogorov",
     "solve_forward_kolmogorov",

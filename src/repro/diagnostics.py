@@ -230,6 +230,15 @@ class DiagnosticTrace:
                 f"{stats.transient_cache_hits} hits / "
                 f"{stats.transient_cache_misses} misses"
             )
+            if getattr(stats, "propagator_engines", 0):
+                lines.append(
+                    "  propagator: "
+                    f"{stats.propagator_engines} engines, "
+                    f"{stats.propagator_cells_built} cells built, "
+                    f"{stats.propagator_cache_hits} cache hits, "
+                    f"{stats.propagator_products} products, "
+                    f"{stats.propagator_refinements} refinements"
+                )
             lines.append(
                 f"  solve_ivp calls: {stats.solve_ivp_calls}, "
                 f"rhs evaluations: {stats.rhs_evaluations}"

@@ -54,6 +54,21 @@ class EvalStats:
     mc_candidates:
         Candidate (thinning) events proposed while sampling those paths —
         accepted or not; the cost driver of the samplers.
+    propagator_engines:
+        :class:`~repro.ctmc.propagators.PropagatorEngine` instances
+        built by evaluation contexts (one per transformed chain).
+    propagator_cells_built:
+        Grid-cell / boundary-sliver propagators actually computed by the
+        piecewise-homogeneous engine (``expm`` or uniformization calls).
+    propagator_cache_hits:
+        Cell or sliver propagators served from the engine cache instead
+        of being recomputed.
+    propagator_products:
+        Matrix multiplications performed when composing ``Π(a, b)`` from
+        cached cells — the whole marginal cost of a propagator query.
+    propagator_refinements:
+        Grid halvings forced by the defect-control probe (see
+        :meth:`~repro.ctmc.propagators.PropagatorEngine.ensure`).
     solver_fallbacks:
         Extra ``solve_ivp`` attempts made after a primary method failed
         (see :func:`repro.diagnostics.robust_solve_ivp`); non-zero means
@@ -77,6 +92,11 @@ class EvalStats:
     sim_batches: int = 0
     mc_paths: int = 0
     mc_candidates: int = 0
+    propagator_engines: int = 0
+    propagator_cells_built: int = 0
+    propagator_cache_hits: int = 0
+    propagator_products: int = 0
+    propagator_refinements: int = 0
     solver_fallbacks: int = 0
     residual_checks: int = 0
     residual_warnings: int = 0

@@ -72,6 +72,42 @@ class TestTransientCache:
         assert ctx1.stats.transient_cache_hits == 0
         assert ctx1.stats.transient_cache_misses == 4
 
+    def test_residual_tol_change_misses_cache(self, virus1, m_example1):
+        """Regression: the transient cache key must include the solver
+        tolerances in force — a matrix accepted under a loose
+        ``residual_tol`` must not be served after the user tightens it."""
+        ctx = EvaluationContext(virus1, m_example1)
+        q_abs = absorbing_generator_function(
+            ctx.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        ctx.transient_matrix(sig, q_abs, 0.0, 1.0)
+        ctx.options = ctx.options.with_(residual_tol=1e-9)
+        ctx.transient_matrix(sig, q_abs, 0.0, 1.0)
+        assert ctx.stats.transient_cache_hits == 0
+        assert ctx.stats.transient_cache_misses == 2
+        # Restoring the original tolerance hits the first entry again.
+        ctx.options = ctx.options.with_(residual_tol=1e-6)
+        ctx.transient_matrix(sig, q_abs, 0.0, 1.0)
+        assert ctx.stats.transient_cache_hits == 1
+
+    def test_method_is_part_of_the_key(self, virus1, m_example1):
+        """ODE and propagator backends may differ by up to their
+        respective tolerances — one must never answer for the other."""
+        ctx = EvaluationContext(virus1, m_example1)
+        q_abs = absorbing_generator_function(
+            ctx.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        via_ode = ctx.transient_matrix(sig, q_abs, 0.0, 1.0, method="ode")
+        via_cells = ctx.transient_matrix(
+            sig, q_abs, 0.0, 1.0, method="propagator"
+        )
+        assert ctx.stats.transient_cache_hits == 0
+        assert ctx.stats.transient_cache_misses == 2
+        # Both backends still agree numerically, of course.
+        np.testing.assert_allclose(via_ode, via_cells, atol=1e-6)
+
     def test_formula_result_unchanged_by_warm_cache(self, virus1, m_example1):
         """Checking the same formula twice on one context gives the exact
         same verdict with the second run served largely from cache."""

@@ -8,7 +8,13 @@ This is the backbone of the reproduction's trust story (DESIGN.md §5):
    probabilities within sampling error;
 3. the two curve evaluation methods (window-shift ODE vs recomputation)
    must coincide — covered in test_reachability/test_nested and
-   benchmarked in A3.
+   benchmarked in A3;
+4. the three transient backends — the window-shift ODE propagator of
+   Equation (6) (:class:`TransitionMatrixPropagator`), the cached
+   cell-product engine (``curve_method="cells"``) and brute-force
+   per-time recomputation — must agree on every model and window shape,
+   including windows straddling several satisfaction-set discontinuity
+   points.
 """
 
 import numpy as np
@@ -166,3 +172,130 @@ class TestCrossValidationBothEngines:
         ).path_probability(path, "I")
         lo, hi = estimate.confidence_interval(z=3.0)
         assert lo <= analytic <= hi
+
+
+class TestTransientBackendsAgree:
+    """Equation (6) window-shift ODE vs cached cell products vs
+    per-time recomputation — all three must coincide.
+
+    The window-shift propagator integrates ``dΠ/dt = -QΠ + ΠQ(t+T)``
+    once with dense output; the cell engine composes cached ``expm``
+    kernels; recomputation solves the forward equation from scratch at
+    every time.  They share no code beyond the generator, so agreement
+    to the propagator tolerance is a genuine three-way cross-check.
+    """
+
+    TOL = 1e-6  # the engine's propagator_tol default
+
+    @staticmethod
+    def _three_way(model, occupancy, absorbed, window, times):
+        """Π(t, t+window) of the absorbed chain via all three backends."""
+        from repro.checking.transform import absorbing_generator_function
+        from repro.ctmc.inhomogeneous import TransitionMatrixPropagator
+
+        ctx = EvaluationContext(model, occupancy)
+        horizon = max(times) + window
+        q_mod = absorbing_generator_function(
+            ctx.generator_function(), frozenset(absorbed)
+        )
+
+        shift = TransitionMatrixPropagator(
+            q_mod, window, 0.0, max(times)
+        )
+        eng = ctx.propagator_engine(
+            ("absorbing", frozenset(absorbed)), q_mod
+        )
+        eng.ensure(0.0, horizon, window=window)
+        for t in times:
+            via_shift = shift(t)
+            via_cells = eng.propagate(t, window)
+            via_ode = ctx.transient_matrix(
+                ("absorbing", frozenset(absorbed)),
+                q_mod,
+                t,
+                window,
+                method="ode",
+            )
+            assert np.max(np.abs(via_cells - via_ode)) < TestTransientBackendsAgree.TOL
+            assert np.max(np.abs(via_shift - via_ode)) < TestTransientBackendsAgree.TOL
+
+    def test_virus_model(self, virus1, m_example1):
+        self._three_way(
+            virus1, m_example1, {2}, 1.5, [0.0, 0.8, 2.3, 4.0]
+        )
+
+    def test_gossip_model(self):
+        from repro.models.gossip import gossip_model
+
+        model = gossip_model()
+        self._three_way(
+            model,
+            np.array([0.9, 0.1, 0.0]),
+            {2},
+            2.0,
+            [0.0, 1.1, 3.6],
+        )
+
+    @pytest.mark.parametrize("t1", [0.0, 0.7])
+    def test_nested_curves_agree_across_discontinuities(self, ctx2, t1):
+        """Windows straddling TWO satisfaction-set discontinuity points:
+        cells vs recompute (and, for t1=0, the Appendix ODE) agree."""
+        from repro.checking.nested import TimeVaryingUntil
+        from repro.checking.satsets import Piece, PiecewiseSatSet
+        from repro.logic.ast import TimeInterval
+
+        theta, upper = 4.0, 8.0
+        hi = theta + upper
+        g1 = PiecewiseSatSet.constant(frozenset({0, 1}), 0.0, hi)
+        # Two discontinuities at 3.1 and 6.4 — a [t, t+8] window with
+        # t in (0, theta) straddles both.
+        g2 = PiecewiseSatSet(
+            [
+                Piece(0.0, 3.1, frozenset({2})),
+                Piece(3.1, 6.4, frozenset({1, 2})),
+                Piece(6.4, hi, frozenset({2})),
+            ]
+        )
+        solver = TimeVaryingUntil(
+            ctx2, g1, g2, TimeInterval(t1, upper), theta=theta
+        )
+        times = np.linspace(0.0, theta, 9)
+        slow = np.stack(
+            [solver.curve(method="recompute").values(t) for t in times]
+        )
+        cells = solver.curve(method="cells").values_many(times)
+        assert np.max(np.abs(cells - slow)) < self.TOL
+        if t1 == 0.0:
+            fast = np.stack(
+                [solver.curve(method="propagate").values(t) for t in times]
+            )
+            assert np.max(np.abs(fast - slow)) < 1e-5
+
+    def test_gossip_nested_cells(self):
+        """Time-varying until on the gossip model, cells vs recompute."""
+        from repro.models.gossip import gossip_model
+        from repro.checking.nested import TimeVaryingUntil
+        from repro.checking.satsets import Piece, PiecewiseSatSet
+        from repro.logic.ast import TimeInterval
+
+        model = gossip_model()
+        ctx = EvaluationContext(model, np.array([0.85, 0.15, 0.0]))
+        theta, upper = 3.0, 5.0
+        hi = theta + upper
+        g1 = PiecewiseSatSet.constant(frozenset({0, 1}), 0.0, hi)
+        g2 = PiecewiseSatSet(
+            [
+                Piece(0.0, 2.6, frozenset({1})),
+                Piece(2.6, 5.2, frozenset({1, 2})),
+                Piece(5.2, hi, frozenset({2})),
+            ]
+        )
+        solver = TimeVaryingUntil(
+            ctx, g1, g2, TimeInterval(0, upper), theta=theta
+        )
+        times = np.linspace(0.0, theta, 7)
+        slow = np.stack(
+            [solver.curve(method="recompute").values(t) for t in times]
+        )
+        cells = solver.curve(method="cells").values_many(times)
+        assert np.max(np.abs(cells - slow)) < self.TOL

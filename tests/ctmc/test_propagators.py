@@ -1,0 +1,221 @@
+"""Tests for the piecewise-homogeneous propagator engine."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
+from repro.ctmc.propagators import PropagatorEngine
+from repro.exceptions import ModelError, NumericalError
+from repro.instrumentation import EvalStats
+
+Q_CONST = np.array(
+    [
+        [-1.0, 1.0, 0.0],
+        [0.5, -1.5, 1.0],
+        [0.0, 0.0, 0.0],
+    ]
+)
+
+
+def q_const(t: float) -> np.ndarray:
+    return Q_CONST
+
+
+def q_periodic(t: float) -> np.ndarray:
+    """A smoothly time-varying generator with non-commuting snapshots."""
+    a = 1.0 + 0.5 * np.sin(t)
+    b = 0.3 + 0.2 * np.cos(0.7 * t)
+    return np.array(
+        [
+            [-a, a, 0.0],
+            [b, -(a + b), a],
+            [0.0, 0.2, -0.2],
+        ]
+    )
+
+
+def reference(q_of_t, a, b):
+    """High-accuracy ODE transient matrix for comparisons."""
+    return solve_forward_kolmogorov(
+        q_of_t, a, b - a, rtol=1e-11, atol=1e-13
+    )
+
+
+class TestBasics:
+    def test_constant_generator_matches_expm(self):
+        engine = PropagatorEngine(q_const, tol=1e-8)
+        pi = engine.propagate(0.0, 2.5)
+        assert np.allclose(pi, expm(2.5 * Q_CONST), atol=1e-8)
+
+    def test_time_varying_matches_ode(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7)
+        for a, b in [(0.0, 3.0), (0.7, 1.9), (2.2, 5.8)]:
+            pi = engine.propagate(a, b)
+            assert np.max(np.abs(pi - reference(q_periodic, a, b))) < 1e-7
+
+    def test_zero_window_is_identity(self):
+        engine = PropagatorEngine(q_periodic)
+        assert np.allclose(engine.propagate(1.3, 1.3), np.eye(3))
+
+    def test_window_inside_single_cell(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7, initial_cells=2)
+        engine.ensure(0.0, 4.0)
+        h = engine.cell_width
+        a, b = 0.1 * h, 0.6 * h  # strictly inside the first cell
+        pi = engine.propagate(a, b)
+        assert np.max(np.abs(pi - reference(q_periodic, a, b))) < 1e-7
+
+    def test_composition_property(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-8)
+        whole = engine.propagate(0.0, 3.0)
+        split = engine.propagate(0.0, 1.3) @ engine.propagate(1.3, 3.0)
+        assert np.allclose(whole, split, atol=1e-7)
+
+    def test_rows_are_stochastic(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7)
+        pi = engine.propagate(0.0, 4.0)
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-7)
+        assert pi.min() > -1e-9
+
+
+class TestBatched:
+    def test_propagate_many_matches_scalar(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7)
+        ts = np.linspace(0.0, 2.0, 11)
+        batch = engine.propagate_many(ts, 1.5)
+        singles = np.stack([engine.propagate(t, t + 1.5) for t in ts])
+        assert np.allclose(batch, singles, atol=1e-12)
+
+    def test_prepare_windows_then_propagate_builds_nothing(self):
+        stats = EvalStats()
+        engine = PropagatorEngine(q_periodic, tol=1e-7, stats=stats)
+        starts = np.array([0.2, 0.9, 1.7])
+        ends = starts + 1.1
+        engine.prepare_windows(starts, ends)
+        built = stats.propagator_cells_built
+        for a, b in zip(starts, ends):
+            engine.propagate(a, b)
+        assert stats.propagator_cells_built == built
+
+    def test_empty_batch(self):
+        engine = PropagatorEngine(q_periodic)
+        assert engine.propagate_many(np.array([]), 1.0).shape == (0, 3, 3)
+
+    def test_batched_generator_path_agrees(self):
+        def q_many(ts):
+            return np.stack([q_periodic(t) for t in ts])
+
+        scalar_engine = PropagatorEngine(q_periodic, tol=1e-7)
+        batch_engine = PropagatorEngine(
+            q_periodic, q_many=q_many, tol=1e-7
+        )
+        ts = np.linspace(0.0, 2.0, 9)
+        assert np.allclose(
+            scalar_engine.propagate_many(ts, 1.5),
+            batch_engine.propagate_many(ts, 1.5),
+            atol=1e-12,
+        )
+
+
+class TestDefectControl:
+    def test_coarse_grid_refines_until_accurate(self):
+        stats = EvalStats()
+        engine = PropagatorEngine(
+            q_periodic, tol=1e-9, initial_cells=1, stats=stats
+        )
+        pi = engine.propagate(0.0, 6.0)
+        assert engine.refinements > 0
+        assert stats.propagator_refinements == engine.refinements
+        assert np.max(np.abs(pi - reference(q_periodic, 0.0, 6.0))) < 1e-9
+
+    def test_refinement_cap_raises(self):
+        engine = PropagatorEngine(
+            q_periodic, tol=1e-12, initial_cells=1, max_refinements=0
+        )
+        with pytest.raises(NumericalError):
+            engine.propagate(0.0, 6.0)
+
+    def test_cf4_convergence_order(self):
+        """Halving the cells must shrink the defect ~16x (4th order)."""
+        errors = []
+        for cells in (4, 8):
+            engine = PropagatorEngine(
+                q_periodic, tol=1e6, initial_cells=cells
+            )
+            engine.ensure(0.0, 4.0)
+            assert engine.refinements == 0
+            pi = engine.propagate(0.0, 4.0)
+            errors.append(
+                np.max(np.abs(pi - reference(q_periodic, 0.0, 4.0)))
+            )
+        assert errors[0] / errors[1] > 8.0
+
+    def test_validated_window_reused_without_reprobing(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7)
+        engine.ensure(0.0, 5.0, window=2.0)
+        refs_before = len(engine._references)
+        engine.propagate(1.0, 2.5)  # inside range, shorter window
+        assert len(engine._references) == refs_before
+
+
+class TestKernels:
+    def test_uniformization_matches_expm_kernel(self):
+        fine = PropagatorEngine(q_periodic, tol=1e-7, kernel="expm")
+        unif = PropagatorEngine(
+            q_periodic, tol=1e-7, kernel="uniformization"
+        )
+        a, b = 0.3, 3.1
+        assert np.max(np.abs(fine.propagate(a, b) - unif.propagate(a, b))) < 2e-7
+
+    def test_uniformization_defaults_to_order_2(self):
+        engine = PropagatorEngine(q_periodic, kernel="uniformization")
+        assert engine.order == 2
+
+    def test_auto_kernel_small_state_space(self):
+        engine = PropagatorEngine(q_periodic)
+        assert engine.kernel == "expm"
+        assert engine.order == 4
+
+    def test_midpoint_kernel_accurate(self):
+        engine = PropagatorEngine(q_periodic, tol=1e-7, order=2)
+        pi = engine.propagate(0.0, 3.0)
+        assert np.max(np.abs(pi - reference(q_periodic, 0.0, 3.0))) < 1e-7
+
+
+class TestStats:
+    def test_counters_track_builds_hits_products(self):
+        stats = EvalStats()
+        engine = PropagatorEngine(q_periodic, tol=1e-7, stats=stats)
+        engine.propagate(0.0, 3.0)
+        built_first = stats.propagator_cells_built
+        assert built_first > 0
+        assert stats.propagator_products > 0
+        engine.propagate(0.0, 3.0)
+        # Same window again: everything served from the cache.
+        assert stats.propagator_cells_built == built_first
+        assert stats.propagator_cache_hits > 0
+
+
+class TestValidation:
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ModelError):
+            PropagatorEngine(q_periodic).propagate(2.0, 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            PropagatorEngine(q_periodic).propagate(-1.0, 1.0)
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ModelError):
+            PropagatorEngine(q_periodic, kernel="pade")
+
+    def test_bad_tol_rejected(self):
+        with pytest.raises(ModelError):
+            PropagatorEngine(q_periodic, tol=0.0)
+
+    def test_order4_uniformization_rejected(self):
+        with pytest.raises(ModelError):
+            PropagatorEngine(
+                q_periodic, kernel="uniformization", order=4
+            )
