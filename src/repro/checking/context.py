@@ -42,10 +42,11 @@ from repro.checking.options import CheckOptions
 from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
 from repro.ctmc.propagators import PropagatorEngine
 from repro.diagnostics import DiagnosticTrace, check_transient_residual
-from repro.exceptions import SteadyStateError
+from repro.exceptions import NumericalError, SteadyStateError
 from repro.instrumentation import EvalStats
 from repro.meanfield.overall_model import MeanFieldModel, validate_occupancy
 from repro.meanfield.stationary import find_fixed_point, stationary_from_long_run
+from repro.resilience import Budget, ResultQuality
 
 #: The generator memo is cleared wholesale beyond this many entries; with
 #: K local states an entry is one (K, K) float array, so the bound keeps
@@ -55,6 +56,26 @@ GENERATOR_CACHE_LIMIT = 200_000
 #: Cache keys round times to this many decimals, comfortably below every
 #: solver tolerance in use while still merging bit-wobbled duplicates.
 _KEY_DECIMALS = 12
+
+#: Degradation-ladder rung order for :meth:`EvaluationContext.transient_matrix`
+#: and the :class:`~repro.resilience.ResultQuality` each rung delivers.
+LADDER_QUALITY = {
+    "propagator": ResultQuality.EXACT,
+    "ode": ResultQuality.EXACT,
+    "uniformization": ResultQuality.DEGRADED,
+    "mc": ResultQuality.STATISTICAL,
+}
+
+#: Midpoint steps of the order-2 uniformization rung (a coarse pass with
+#: half as many steps supplies the Richardson error estimate).
+_UNIFORMIZATION_STEPS = 64
+
+#: Paths per starting state sampled by the Monte-Carlo ladder rung.
+_MC_PATHS_PER_STATE = 200
+
+#: Seed of the Monte-Carlo ladder rung.  Fixed so that a degraded run is
+#: reproducible; independent of the statistical checker's seeds.
+_MC_LADDER_SEED = 20130613
 
 
 class ContextPropagator:
@@ -127,6 +148,13 @@ class EvaluationContext:
         :class:`~repro.diagnostics.DiagnosticTrace` feeding ``stats`` is
         created when omitted.  Shared with derived contexts, like
         ``stats``.
+    budget:
+        Execution budget enforced cooperatively by every expensive path
+        reachable from this context (solver attempts, propagator
+        refinements, Monte-Carlo batches).  Built from the budget fields
+        of ``options`` when omitted (``None`` when none of them are
+        set).  Shared with derived contexts so one deadline covers the
+        whole logical checking run.
     """
 
     def __init__(
@@ -136,6 +164,7 @@ class EvaluationContext:
         options: Optional[CheckOptions] = None,
         stats: Optional[EvalStats] = None,
         trace: Optional[DiagnosticTrace] = None,
+        budget: Optional[Budget] = None,
     ):
         self.model = model
         self.options = options or CheckOptions()
@@ -143,6 +172,9 @@ class EvaluationContext:
         self.stats = stats if stats is not None else EvalStats()
         self.trace = (
             trace if trace is not None else DiagnosticTrace(stats=self.stats)
+        )
+        self.budget = (
+            budget if budget is not None else Budget.from_options(self.options)
         )
         self._trajectory = None
         self._generator_fn: Optional[Callable[[float], np.ndarray]] = None
@@ -311,35 +343,281 @@ class EvaluationContext:
             self.stats.transient_cache_hits += 1
             return pi
         self.stats.transient_cache_misses += 1
-        if method == "propagator" and float(duration) > 0.0:
-            pi = self.propagator_engine(signature, q_of_t).propagate(
-                float(t_start), float(duration)
+        if self.budget is not None:
+            self.budget.checkpoint(
+                f"transient_matrix @ {float(t_start):g}+{float(duration):g}"
             )
-            check_transient_residual(
-                pi,
-                label=(
-                    f"Pi({float(t_start):g}, "
-                    f"{float(t_start) + float(duration):g}) [cells]"
-                ),
-                tol=self.options.residual_tol,
-                trace=self.trace,
-            )
-        else:
-            if float(duration) > 0.0:
-                self.stats.solve_ivp_calls += 1
-            pi = solve_forward_kolmogorov(
-                q_of_t,
-                float(t_start),
-                float(duration),
-                rtol=rtol,
-                atol=atol,
-                fallbacks=self.options.solver_fallbacks,
-                trace=self.trace,
-                residual_tol=self.options.residual_tol,
-                monotone_columns=self._monotone_columns(signature),
-            )
+        pi = self._transient_ladder(
+            signature, q_of_t, float(t_start), float(duration),
+            rtol, atol, method,
+        )
         self._transient_cache[key] = pi
         return pi
+
+    # ------------------------------------------------------------------
+    # Graceful degradation ladder (see docs/robustness.md)
+    # ------------------------------------------------------------------
+
+    def _transient_ladder(
+        self,
+        signature: Hashable,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+        rtol: float,
+        atol: float,
+        method: str,
+    ) -> np.ndarray:
+        """Serve ``Π`` from the highest rung that still works.
+
+        Rung order is ``propagator → ODE fallback chain → order-2
+        uniformization → Monte-Carlo estimate``; each
+        :class:`~repro.exceptions.NumericalError` steps one rung down
+        and records the descent in the trace (with the
+        :class:`~repro.resilience.ResultQuality` the answer now
+        carries), so a near-threshold verdict downstream can be reported
+        as indeterminate instead of silently flipped.
+        :class:`~repro.exceptions.BudgetExceededError` always
+        propagates — the ladder trades accuracy for progress, never for
+        time already spent.
+        """
+        if duration <= 0.0:
+            # Zero window: the identity, no ladder needed.
+            return self._transient_ode(
+                signature, q_of_t, t_start, duration, rtol, atol
+            )
+        rungs = ["ode"]
+        if method == "propagator":
+            if self.budget is not None and self.budget.under_pressure():
+                # Building a fresh cell grid is front-loaded work; under
+                # deadline pressure go straight to the one-shot solve.
+                self.trace.note(
+                    "budget pressure: skipping propagator rung for "
+                    f"window [{t_start:g}, {t_start + duration:g}]"
+                )
+            else:
+                rungs.insert(0, "propagator")
+        rungs += ["uniformization", "mc"]
+        failures: "list[str]" = []
+        for position, rung in enumerate(rungs):
+            if position > 0 and failures:
+                # Descending: the previous rung failed.
+                self.trace.downgrade(
+                    rungs[position - 1],
+                    rung,
+                    LADDER_QUALITY[rung],
+                    failures[-1],
+                )
+            try:
+                if rung == "propagator":
+                    return self._transient_propagator(
+                        signature, q_of_t, t_start, duration
+                    )
+                if rung == "ode":
+                    return self._transient_ode(
+                        signature, q_of_t, t_start, duration, rtol, atol
+                    )
+                if rung == "uniformization":
+                    pi, uncertainty = self._transient_uniformization(
+                        q_of_t, t_start, duration
+                    )
+                else:
+                    pi, uncertainty = self._transient_monte_carlo(
+                        q_of_t, t_start, duration
+                    )
+                if self.trace.downgrades:
+                    self.trace.downgrades[-1].uncertainty = uncertainty
+                return pi
+            except NumericalError as exc:
+                failures.append(f"{rung}: {exc}")
+        raise NumericalError(
+            "every degradation-ladder rung failed for "
+            f"Pi({t_start:g}, {t_start + duration:g}): "
+            + "; ".join(failures)
+        )
+
+    def _transient_propagator(
+        self,
+        signature: Hashable,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+    ) -> np.ndarray:
+        """Top rung: cell product from the shared propagator engine."""
+        pi = self.propagator_engine(signature, q_of_t).propagate(
+            t_start, duration
+        )
+        check_transient_residual(
+            pi,
+            label=f"Pi({t_start:g}, {t_start + duration:g}) [cells]",
+            tol=self.options.residual_tol,
+            trace=self.trace,
+        )
+        return pi
+
+    def _transient_ode(
+        self,
+        signature: Hashable,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+        rtol: float,
+        atol: float,
+    ) -> np.ndarray:
+        """Exact rung: forward Kolmogorov solve with stiff fallbacks."""
+        if duration > 0.0:
+            self.stats.solve_ivp_calls += 1
+        return solve_forward_kolmogorov(
+            q_of_t,
+            t_start,
+            duration,
+            rtol=rtol,
+            atol=atol,
+            fallbacks=self.options.solver_fallbacks,
+            trace=self.trace,
+            residual_tol=self.options.residual_tol,
+            monotone_columns=self._monotone_columns(signature),
+            budget=self.budget,
+        )
+
+    def _uniformization_product(
+        self,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+        steps: int,
+    ) -> np.ndarray:
+        """Midpoint product of per-step uniformization kernels."""
+        from repro.ctmc.transient import transient_matrix_uniformization
+
+        h = duration / steps
+        q0 = np.asarray(q_of_t(t_start + 0.5 * h), dtype=float)
+        if not np.all(np.isfinite(q0)):
+            raise NumericalError(
+                "uniformization rung: non-finite generator at "
+                f"t={t_start + 0.5 * h:g}"
+            )
+        pi = transient_matrix_uniformization(q0, h)
+        for i in range(1, steps):
+            if self.budget is not None and i % 16 == 0:
+                self.budget.checkpoint(
+                    f"uniformization step {i}/{steps}"
+                )
+            q = np.asarray(q_of_t(t_start + (i + 0.5) * h), dtype=float)
+            if not np.all(np.isfinite(q)):
+                raise NumericalError(
+                    "uniformization rung: non-finite generator at "
+                    f"t={t_start + (i + 0.5) * h:g}"
+                )
+            pi = pi @ transient_matrix_uniformization(q, h)
+        return pi
+
+    def _transient_uniformization(
+        self,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+    ) -> "tuple[np.ndarray, float]":
+        """Degraded rung: order-2 midpoint/uniformization product.
+
+        Freezes the generator at each step midpoint and composes exact
+        homogeneous kernels (Jensen's series), which is second-order
+        accurate in the step and immune to solver step-size control —
+        exactly the property that matters when the ODE chain just blew
+        up.  The returned uncertainty is a Richardson estimate from a
+        half-resolution pass.
+        """
+        try:
+            coarse = self._uniformization_product(
+                q_of_t, t_start, duration, _UNIFORMIZATION_STEPS // 2
+            )
+            fine = self._uniformization_product(
+                q_of_t, t_start, duration, _UNIFORMIZATION_STEPS
+            )
+        except (ArithmeticError, ValueError) as exc:
+            raise NumericalError(
+                f"uniformization rung failed: {exc}"
+            ) from exc
+        uncertainty = float(np.max(np.abs(fine - coarse)))
+        check_transient_residual(
+            fine,
+            label=(
+                f"Pi({t_start:g}, {t_start + duration:g}) [uniformization]"
+            ),
+            tol=max(self.options.residual_tol, 10.0 * uncertainty),
+            trace=self.trace,
+        )
+        return fine, uncertainty
+
+    def _transient_monte_carlo(
+        self,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+    ) -> "tuple[np.ndarray, float]":
+        """Last rung: statistical ``Π`` estimate by thinning simulation.
+
+        Samples paths of the transformed chain from every starting
+        state and tallies end states.  Deterministically seeded, so a
+        degraded run is still reproducible.  The returned uncertainty is
+        the worst per-entry standard error.
+        """
+        from repro.ctmc.paths import (
+            estimate_rate_bound,
+            sample_inhomogeneous_path,
+        )
+
+        def shifted_q(s: float) -> np.ndarray:
+            return np.asarray(q_of_t(t_start + s), dtype=float)
+
+        try:
+            rate_bound = estimate_rate_bound(shifted_q, duration)
+        except (ArithmeticError, ValueError) as exc:
+            raise NumericalError(
+                f"Monte-Carlo rung: rate-bound probe failed: {exc}"
+            ) from exc
+        if not np.isfinite(rate_bound) or rate_bound < 0.0:
+            raise NumericalError(
+                f"Monte-Carlo rung: unusable rate bound {rate_bound!r}"
+            )
+        k = np.asarray(q_of_t(t_start), dtype=float).shape[0]
+        rng = np.random.default_rng(
+            np.random.SeedSequence(_MC_LADDER_SEED)
+        )
+        counts = np.zeros((k, k), dtype=float)
+        n = _MC_PATHS_PER_STATE
+        try:
+            for start in range(k):
+                for j in range(n):
+                    if self.budget is not None and j % 32 == 0:
+                        self.budget.checkpoint(
+                            f"Monte-Carlo rung: state {start}, "
+                            f"path {j}/{n}"
+                        )
+                    path = sample_inhomogeneous_path(
+                        shifted_q,
+                        start,
+                        duration,
+                        rng,
+                        rate_bound=rate_bound,
+                        stats=self.stats,
+                    )
+                    counts[start, int(path.states[-1])] += 1.0
+        except (ArithmeticError, ValueError) as exc:
+            raise NumericalError(
+                f"Monte-Carlo rung: sampling failed: {exc}"
+            ) from exc
+        pi = counts / n
+        stderr = np.sqrt(pi * (1.0 - pi) / n)
+        # A zero cell can simply be unsampled; floor its error at the
+        # binomial rule-of-three scale so zero counts are not read as
+        # zero uncertainty.
+        uncertainty = float(max(np.max(stderr), 3.0 / n))
+        self.trace.note(
+            f"Monte-Carlo Pi({t_start:g}, {t_start + duration:g}): "
+            f"{n} paths/state, max stderr {uncertainty:.2e}"
+        )
+        return pi, uncertainty
 
     def _batch_for_signature(self, signature: Hashable):
         """Vectorized ``ts -> (n, K', K')`` for a known transform signature.
@@ -409,6 +687,11 @@ class EvaluationContext:
 
             else:
                 q_abs = q_of_t
+            engine_kwargs = {}
+            if self.options.max_refinements is not None:
+                engine_kwargs["max_refinements"] = (
+                    self.options.max_refinements
+                )
             engine = PropagatorEngine(
                 q_abs,
                 q_many=q_many_abs,
@@ -419,6 +702,8 @@ class EvaluationContext:
                 trace=self.trace,
                 stats=self.stats,
                 residual_tol=self.options.residual_tol,
+                budget=self.budget,
+                **engine_kwargs,
             )
             self.stats.propagator_engines += 1
             self._propagator_engines[signature] = engine
@@ -509,6 +794,7 @@ class EvaluationContext:
                 self.options,
                 stats=self.stats,
                 trace=self.trace,
+                budget=self.budget,
             )
             child._steady_box = self._steady_box
             self._steady_context = child
@@ -537,6 +823,7 @@ class EvaluationContext:
             self.options,
             stats=self.stats,
             trace=self.trace,
+            budget=self.budget,
         )
         child._steady_box = self._steady_box
         if not self.model.local.has_time_dependent_rates:

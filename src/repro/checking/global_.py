@@ -13,6 +13,7 @@ of :mod:`repro.logic`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.checking.local import LocalChecker
 from repro.checking.options import CheckOptions
 from repro.checking.steady import expected_steady_state_value
 from repro.exceptions import FormulaError
+from repro.resilience import ResultQuality
 from repro.logic.ast import (
     CslFormula,
     Expectation,
@@ -40,6 +42,53 @@ from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
 from repro.meanfield.overall_model import MeanFieldModel
 
 FormulaLike = Union[str, MfCslFormula]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Quality-aware outcome of one satisfaction check.
+
+    Attributes
+    ----------
+    holds:
+        ``True`` / ``False`` when the verdict is trustworthy, ``None``
+        when the run degraded (see ``quality``) *and* some leaf value
+        landed within the degraded rung's uncertainty of its threshold
+        — the comparison ``value ⋈ p`` could then flip under the error
+        bar, so it is reported as indeterminate rather than silently
+        resolved.
+    quality:
+        Worst :class:`~repro.resilience.ResultQuality` any number
+        feeding the verdict was computed at.
+    value:
+        The leaf expectation value, for single-leaf formulas (``None``
+        for boolean combinations).
+    margin:
+        ``|value − threshold|`` for single-leaf formulas, the distance
+        an uncertainty would have to bridge to flip the verdict.
+    """
+
+    holds: "bool | None"
+    quality: ResultQuality
+    value: "float | None" = None
+    margin: "float | None" = None
+
+    @property
+    def indeterminate(self) -> bool:
+        """Whether the check could not be trusted either way."""
+        return self.holds is None
+
+    def __bool__(self) -> bool:
+        # An indeterminate verdict must never silently pass a truth
+        # test; callers that can handle three-valued logic check
+        # ``.indeterminate`` first.
+        if self.holds is None:
+            raise FormulaError(
+                "verdict is indeterminate (degraded result within its "
+                "uncertainty of the threshold); inspect .quality and "
+                ".margin instead of coercing to bool"
+            )
+        return self.holds
 
 
 class MFModelChecker:
@@ -109,6 +158,83 @@ class MFModelChecker:
         if ctx is None:
             ctx = self.context(occupancy)
         return self._check(psi, ctx)
+
+    def check_detailed(
+        self,
+        formula: FormulaLike,
+        occupancy: np.ndarray,
+        ctx: Optional[EvaluationContext] = None,
+    ) -> Verdict:
+        """Like :meth:`check`, but quality-aware (three-valued).
+
+        When the degradation ladder served any number behind the
+        formula at reduced quality, a leaf whose value lies within the
+        recorded uncertainty (or ``options.probability_tol``, whichever
+        is larger) of its threshold ``p`` is *indeterminate*: the
+        comparison could flip under the error bar.  Indeterminacy
+        propagates through ``not``/``and``/``or`` by Kleene's
+        three-valued logic, so ``false and unknown`` is still ``false``
+        but ``true and unknown`` stays unknown.
+        """
+        psi = self._as_mfcsl(formula)
+        if ctx is None:
+            ctx = self.context(occupancy)
+        holds = self._check_three_valued(psi, ctx)
+        value = margin = None
+        if isinstance(
+            psi, (Expectation, ExpectedSteadyState, ExpectedProbability)
+        ):
+            value = self._leaf_value(psi, ctx)
+            margin = abs(value - psi.bound.threshold)
+        return Verdict(
+            holds=holds,
+            quality=ctx.trace.quality,
+            value=value,
+            margin=margin,
+        )
+
+    def _check_three_valued(
+        self, psi: MfCslFormula, ctx: EvaluationContext
+    ) -> "bool | None":
+        if isinstance(psi, MfTrue):
+            return True
+        if isinstance(psi, MfNot):
+            inner = self._check_three_valued(psi.operand, ctx)
+            return None if inner is None else not inner
+        if isinstance(psi, MfAnd):
+            left = self._check_three_valued(psi.left, ctx)
+            right = self._check_three_valued(psi.right, ctx)
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if isinstance(psi, MfOr):
+            left = self._check_three_valued(psi.left, ctx)
+            right = self._check_three_valued(psi.right, ctx)
+            if left is True or right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        if isinstance(
+            psi, (Expectation, ExpectedSteadyState, ExpectedProbability)
+        ):
+            value = self._leaf_value(psi, ctx)
+            if ctx.trace.quality != ResultQuality.EXACT:
+                slack = max(
+                    ctx.trace.uncertainty, ctx.options.probability_tol
+                )
+                if abs(value - psi.bound.threshold) <= slack:
+                    ctx.trace.note(
+                        f"indeterminate leaf {psi}: value {value:.6g} "
+                        f"within {slack:.2e} of threshold "
+                        f"{psi.bound.threshold:g} at "
+                        f"{ctx.trace.quality.describe()} quality"
+                    )
+                    return None
+            return psi.bound.holds(value)
+        raise FormulaError(f"not an MF-CSL formula: {psi!r}")
 
     def _check(self, psi: MfCslFormula, ctx: EvaluationContext) -> bool:
         if isinstance(psi, MfTrue):

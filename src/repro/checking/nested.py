@@ -143,7 +143,12 @@ class TimeVaryingUntil:
         points = [a] + self._events_in(a, b) + [b]
         result = np.eye(self._k + 1)
         prev_partition: Optional[UntilPartition] = None
-        for u, v in zip(points, points[1:]):
+        budget = self.ctx.budget
+        for index, (u, v) in enumerate(zip(points, points[1:])):
+            if budget is not None:
+                budget.checkpoint(
+                    f"goal-chain segment {index + 1}/{len(points) - 1}"
+                )
             partition = self._partition_at(0.5 * (u + v))
             if prev_partition is not None:
                 result = result @ zeta_matrix(prev_partition, partition)
@@ -447,6 +452,7 @@ class TimeVaryingUntil:
                 self._k,
                 discontinuities=self._curve_discontinuities(),
                 batch_evaluator=batch_evaluator,
+                budget=self.ctx.budget,
             )
         return ProbabilityCurve(
             self.probabilities,
@@ -454,6 +460,7 @@ class TimeVaryingUntil:
             self.theta,
             self._k,
             discontinuities=self._curve_discontinuities(),
+            budget=self.ctx.budget,
         )
 
     def _curve_propagate(self) -> ProbabilityCurve:
@@ -535,4 +542,5 @@ class TimeVaryingUntil:
             self.theta,
             k,
             discontinuities=self._curve_discontinuities(),
+            budget=self.ctx.budget,
         )

@@ -137,4 +137,5 @@ def next_curve(
         theta,
         ctx.num_states,
         discontinuities=discontinuities,
+        budget=ctx.budget,
     )

@@ -84,6 +84,26 @@ class CheckOptions:
         mass); violations beyond it are recorded as warnings in the
         context's :class:`~repro.diagnostics.DiagnosticTrace` and
         counted in ``EvalStats.residual_warnings``.
+    deadline:
+        Wall-clock seconds a checking run may take.  Enforced
+        cooperatively through a :class:`~repro.resilience.Budget` on the
+        evaluation context: solver attempts, propagator refinements,
+        nested-until segment scans and Monte-Carlo batches all
+        checkpoint against it, raising
+        :class:`~repro.exceptions.BudgetExceededError` with a
+        partial-progress report.  ``None`` (default) disables the
+        deadline.
+    max_solves:
+        Cap on ``solve_ivp`` attempts charged against the budget;
+        ``None`` disables the cap.
+    max_refinements:
+        Cap on propagator-grid refinements per engine (overrides the
+        engine's built-in bound when set); exceeding it triggers the
+        degradation ladder instead of more refinement.
+    max_memory_mb:
+        Memory guard: any single estimated allocation (propagator cell
+        caches) above this raises ``BudgetExceededError`` instead of
+        being attempted.
     """
 
     ode_rtol: float = 1e-8
@@ -100,6 +120,10 @@ class CheckOptions:
     workers: int = 1
     solver_fallbacks: "tuple[str, ...]" = ("Radau", "LSODA")
     residual_tol: float = 1e-6
+    deadline: "float | None" = None
+    max_solves: "int | None" = None
+    max_refinements: "int | None" = None
+    max_memory_mb: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.grid_points < 3:
@@ -148,6 +172,23 @@ class CheckOptions:
                 )
         if self.residual_tol <= 0:
             raise ModelError("residual_tol must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ModelError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.max_solves is not None and self.max_solves <= 0:
+            raise ModelError(
+                f"max_solves must be positive, got {self.max_solves}"
+            )
+        if self.max_refinements is not None and self.max_refinements < 0:
+            raise ModelError(
+                f"max_refinements must be non-negative, got "
+                f"{self.max_refinements}"
+            )
+        if self.max_memory_mb is not None and self.max_memory_mb <= 0:
+            raise ModelError(
+                f"max_memory_mb must be positive, got {self.max_memory_mb}"
+            )
 
     def with_(self, **changes) -> "CheckOptions":
         """A copy with some fields replaced (frozen-dataclass helper)."""

@@ -57,9 +57,11 @@ class ProbabilityCurve:
         num_states: int,
         discontinuities: Sequence[float] = (),
         batch_evaluator: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        budget=None,
     ):
         self._evaluator = evaluator
         self._batch_evaluator = batch_evaluator
+        self._budget = budget
         self.t_start = float(t_start)
         self.t_end = float(t_end)
         self.num_states = int(num_states)
@@ -160,6 +162,10 @@ class ProbabilityCurve:
             return self.value(t, state) - threshold
 
         for a, b in self._segments():
+            if self._budget is not None:
+                self._budget.checkpoint(
+                    f"crossing scan [{a:g}, {b:g}] for state {state}"
+                )
             # Sample strictly inside the segment to avoid evaluating on a
             # jump point.
             eps = min(1e-9, (b - a) * 1e-6)
@@ -316,6 +322,7 @@ class SimpleUntilCurve(ProbabilityCurve):
                 atol=ctx.options.ode_atol,
                 fallbacks=ctx.options.solver_fallbacks,
                 trace=ctx.trace,
+                budget=ctx.budget,
             )
             prop_a = None
             if t1 > 0.0:
@@ -336,6 +343,7 @@ class SimpleUntilCurve(ProbabilityCurve):
                     atol=ctx.options.ode_atol,
                     fallbacks=ctx.options.solver_fallbacks,
                     trace=ctx.trace,
+                    budget=ctx.budget,
                 )
 
             strict_mask = None
@@ -415,7 +423,9 @@ class SimpleUntilCurve(ProbabilityCurve):
                 return _combine(pis_b, pis_a)
 
             super().__init__(
-                evaluator, 0.0, theta, k, batch_evaluator=batch_evaluator
+                evaluator, 0.0, theta, k,
+                batch_evaluator=batch_evaluator,
+                budget=ctx.budget,
             )
             return
 
@@ -429,4 +439,4 @@ class SimpleUntilCurve(ProbabilityCurve):
         else:
             raise CheckingError(f"unknown curve method {method!r}")
 
-        super().__init__(evaluator, 0.0, theta, k)
+        super().__init__(evaluator, 0.0, theta, k, budget=ctx.budget)

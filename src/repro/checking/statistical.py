@@ -372,8 +372,13 @@ class StatisticalChecker:
     ) -> int:
         """Reference engine: one path at a time, one seed child per path."""
         stats = self.ctx.stats
+        budget = self.ctx.budget
         hits = 0
-        for child in spawn_seeds(self.seed, self.samples):
+        for index, child in enumerate(spawn_seeds(self.seed, self.samples)):
+            if budget is not None and index % 64 == 0:
+                budget.checkpoint(
+                    f"statistical path {index}/{self.samples}"
+                )
             rng = np.random.default_rng(child)
             path = sample_inhomogeneous_path(
                 q_of_t, start, horizon, rng, rate_bound=rate_bound, stats=stats
@@ -418,6 +423,8 @@ class StatisticalChecker:
             run_one_batch,
             [(lo, hi, i) for i, (lo, hi) in enumerate(bounds)],
             workers=self.workers,
+            budget=self.ctx.budget,
+            stats=self.ctx.stats,
         )
         stats = self.ctx.stats
         stats.mc_paths += sum(r[1] for r in results)

@@ -36,7 +36,14 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.checking import CheckOptions, MFModelChecker
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    BudgetExceededError,
+    CheckingError,
+    FormulaError,
+    ModelError,
+    ReproError,
+    WorkerError,
+)
 from repro.meanfield.overall_model import MeanFieldModel
 from repro.models.botnet import botnet_model
 from repro.models.diurnal import diurnal_virus_model
@@ -44,6 +51,39 @@ from repro.models.epidemic import sir_model, sis_model
 from repro.models.gossip import gossip_model
 from repro.models.load_balancing import load_balancing_model
 from repro.models.virus import SETTING_1, SETTING_2, virus_model
+
+# Exit codes: one per failure class, so scripts can distinguish a bad
+# model document from a bad formula from a numerical blow-up without
+# parsing stderr (see docs/robustness.md).
+EXIT_SATISFIED = 0
+EXIT_NOT_SATISFIED = 1
+EXIT_MODEL_ERROR = 2
+EXIT_FORMULA_ERROR = 3
+EXIT_CHECKING_ERROR = 4
+EXIT_BUDGET_EXCEEDED = 5
+EXIT_WORKER_FAILURE = 6
+EXIT_INDETERMINATE = 7
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Map an exception to the CLI exit code of its failure class.
+
+    The budget and worker classes are checked before their
+    :class:`~repro.exceptions.CheckingError` parent so they keep their
+    distinct codes.
+    """
+    if isinstance(exc, BudgetExceededError):
+        return EXIT_BUDGET_EXCEEDED
+    if isinstance(exc, WorkerError):
+        return EXIT_WORKER_FAILURE
+    if isinstance(exc, ModelError):
+        return EXIT_MODEL_ERROR
+    if isinstance(exc, FormulaError):
+        return EXIT_FORMULA_ERROR
+    if isinstance(exc, CheckingError):
+        return EXIT_CHECKING_ERROR
+    return EXIT_MODEL_ERROR
+
 
 MODELS: Dict[str, Callable[[], MeanFieldModel]] = {
     "virus1": lambda: virus_model(SETTING_1),
@@ -85,6 +125,8 @@ def _build_checker(args: argparse.Namespace) -> MFModelChecker:
         curve_method=getattr(args, "curve_method", "propagate"),
         transient_method=getattr(args, "transient_method", "ode"),
         propagator_tol=getattr(args, "propagator_tol", 1e-6),
+        deadline=getattr(args, "deadline", None),
+        max_refinements=getattr(args, "max_refinements", None),
     )
     return MFModelChecker(_resolve_model(args), options)
 
@@ -107,14 +149,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
     checker = _build_checker(args)
     occupancy = _parse_occupancy(args.occupancy)
     ctx = checker.context(occupancy)
-    verdict = checker.check(args.formula, occupancy, ctx=ctx)
-    print("SATISFIED" if verdict else "NOT SATISFIED")
+    verdict = checker.check_detailed(args.formula, occupancy, ctx=ctx)
+    if verdict.indeterminate:
+        print("INDETERMINATE")
+        print(
+            f"    result quality {verdict.quality.describe()}; a leaf "
+            f"value lies within its uncertainty of the threshold"
+        )
+    else:
+        print("SATISFIED" if verdict.holds else "NOT SATISFIED")
     if args.explain:
         for text, value, holds in checker.explain(args.formula, occupancy):
             print(f"    {text}: value={value:.6f} -> {holds}")
     if args.diagnose:
         _print_diagnostics(ctx)
-    return 0 if verdict else 1
+    if verdict.indeterminate:
+        return EXIT_INDETERMINATE
+    return EXIT_SATISFIED if verdict.holds else EXIT_NOT_SATISFIED
 
 
 def _cmd_value(args: argparse.Namespace) -> int:
@@ -152,6 +203,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     occupancy = _parse_occupancy(args.occupancy)
     simulator = FiniteNSimulator(model.local, args.population)
     stats = EvalStats()
+    budget = None
+    if args.deadline is not None:
+        from repro.resilience import Budget
+
+        budget = Budget(deadline=args.deadline)
     paths = simulator.simulate_ensemble(
         occupancy,
         args.horizon,
@@ -161,6 +217,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_size=args.batch_size,
         stats=stats,
+        budget=budget,
     )
     finals = np.vstack([p(args.horizon) for p in paths])
     mean = finals.mean(axis=0)
@@ -188,7 +245,9 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     model = _resolve_model(args)
     occupancy = _parse_occupancy(args.occupancy)
     ctx = EvaluationContext(
-        model, occupancy, CheckOptions(workers=args.workers)
+        model,
+        occupancy,
+        CheckOptions(workers=args.workers, deadline=args.deadline),
     )
     checker = StatisticalChecker(
         ctx,
@@ -246,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for Monte-Carlo engines (results are "
             "bitwise identical for every value)",
         )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            help="wall-clock budget in seconds; expiry raises a "
+            "budget-exceeded error (exit code 5) with partial progress",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         add_model_args(p)
@@ -276,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=1e-6,
             help="defect tolerance of the propagator engine (cell "
             "products vs reference ODE solves; docs/performance.md §7)",
+        )
+        p.add_argument(
+            "--max-refinements",
+            type=int,
+            default=None,
+            help="cap on propagator-grid refinements; exceeding it "
+            "triggers the degradation ladder instead of more refinement",
         )
         p.add_argument(
             "--diagnose",
@@ -361,7 +434,18 @@ def main(argv: "list[str] | None" = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        if isinstance(exc, BudgetExceededError) and exc.progress:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(exc.progress.items())
+            )
+            print(f"progress: {parts}", file=sys.stderr)
+        if isinstance(exc, WorkerError) and exc.batch_index is not None:
+            provenance = exc.seed_provenance or "unknown seed"
+            print(
+                f"failed batch: {exc.batch_index} ({provenance})",
+                file=sys.stderr,
+            )
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ from repro.diagnostics import (
     robust_solve_ivp,
 )
 from repro.exceptions import HorizonError, ModelError
+from repro.resilience import Budget
 
 GeneratorFunction = Callable[[float], np.ndarray]
 
@@ -77,6 +78,7 @@ def solve_forward_kolmogorov(
     residual_tol: float = DEFAULT_RESIDUAL_TOL,
     monotone_columns: "Optional[Sequence[int]]" = None,
     propagator_tol: float = 1e-6,
+    budget: Optional[Budget] = None,
 ):
     """Transient matrix ``Pi(t_start, t_start + duration)`` — Equation (5).
 
@@ -140,6 +142,7 @@ def solve_forward_kolmogorov(
             fallbacks=fallbacks,
             trace=trace,
             residual_tol=residual_tol,
+            budget=budget,
         )
         pi = engine.propagate(t_start, t_start + duration)
         check_transient_residual(
@@ -164,6 +167,7 @@ def solve_forward_kolmogorov(
         fallbacks=fallbacks,
         label="forward Kolmogorov",
         trace=trace,
+        budget=budget,
     )
     monotone_trajectory = None
     if monotone_columns is not None and len(monotone_columns) > 0:
@@ -204,6 +208,7 @@ def solve_backward_kolmogorov(
     method: str = "RK45",
     fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
     trace: Optional[DiagnosticTrace] = None,
+    budget: Optional[Budget] = None,
 ) -> np.ndarray:
     """``Pi(t_start, t_end)`` via the backward equation.
 
@@ -232,6 +237,7 @@ def solve_backward_kolmogorov(
         fallbacks=fallbacks,
         label="backward Kolmogorov",
         trace=trace,
+        budget=budget,
     )
     return sol.y[:, -1].reshape(k, k)
 
@@ -338,9 +344,11 @@ class TransitionMatrixPropagator:
         atol: float = DEFAULT_ATOL,
         fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
         trace: Optional[DiagnosticTrace] = None,
+        budget: Optional[Budget] = None,
     ):
         self._fallbacks = tuple(fallbacks)
         self._trace = trace
+        self._budget = budget
         self.q_of_t = q_of_t
         self.window = float(window)
         self.t0 = float(t0)
@@ -355,6 +363,7 @@ class TransitionMatrixPropagator:
             initial = solve_forward_kolmogorov(
                 q_of_t, self.t0, self.window, rtol=rtol, atol=atol,
                 fallbacks=self._fallbacks, trace=self._trace,
+                budget=self._budget,
             )
         self.initial = np.asarray(initial, dtype=float)
         self._k = self.initial.shape[0]
@@ -384,6 +393,7 @@ class TransitionMatrixPropagator:
             fallbacks=self._fallbacks,
             label="window-shift ODE",
             trace=self._trace,
+            budget=self._budget,
         )
         return sol.sol
 

@@ -60,6 +60,7 @@ from repro.diagnostics import (
     robust_solve_ivp,
 )
 from repro.exceptions import ModelError, NumericalError
+from repro.resilience import Budget
 
 GeneratorFunction = Callable[[float], np.ndarray]
 
@@ -141,6 +142,14 @@ class PropagatorEngine:
         Optional :class:`~repro.instrumentation.EvalStats`; the engine
         counts cell builds, cache hits, matrix products and grid
         refinements into it.
+    budget:
+        Optional :class:`~repro.resilience.Budget`.  The refinement
+        loop checkpoints the wall-clock deadline every sweep, the
+        reference probes charge their solver attempts against it, and
+        cell builds are screened by its memory guard — so a grid that
+        refuses to converge surfaces a
+        :class:`~repro.exceptions.BudgetExceededError` (with progress)
+        instead of grinding until the ``max_refinements`` bound.
     """
 
     def __init__(
@@ -159,6 +168,7 @@ class PropagatorEngine:
         trace: Optional[DiagnosticTrace] = None,
         stats=None,
         residual_tol: float = 1e-6,
+        budget: Optional[Budget] = None,
     ):
         if tol <= 0.0:
             raise ModelError(f"tol must be positive, got {tol}")
@@ -181,6 +191,7 @@ class PropagatorEngine:
         self._fallbacks = tuple(fallbacks)
         self._trace = trace
         self._stats = stats
+        self._budget = budget
         self.k = int(np.asarray(q_of_t(0.0), dtype=float).shape[0])
         if kernel == "auto":
             kernel = (
@@ -280,6 +291,14 @@ class PropagatorEngine:
         missing = [i for i in indices if i not in self._cells]
         if not missing:
             return 0
+        if self._budget is not None:
+            # One (K, K) float matrix per cell, double that transiently
+            # for the CF4 kernel's two batched exponents.
+            per_cell = self.k * self.k * 8 * (2 if self.order == 4 else 1)
+            self._budget.check_memory(
+                (len(missing) + len(self._cells)) * per_cell,
+                "propagator cell cache",
+            )
         h = self._h
         starts = np.array([i * h for i in missing])
         mats = self._kernel_many(starts, np.full(len(missing), h))
@@ -348,6 +367,7 @@ class PropagatorEngine:
             fallbacks=self._fallbacks,
             label="propagator defect probe",
             trace=self._trace,
+            budget=self._budget,
         )
         pi = sol.y[:, -1].reshape(k, k)
         check_transient_residual(
@@ -418,6 +438,10 @@ class PropagatorEngine:
         probes = self._probe_windows(t_lo, t_hi, window)
         references = [self._reference(a, b) for a, b in probes]
         while True:
+            if self._budget is not None:
+                self._budget.checkpoint(
+                    f"propagator refinement sweep {self.refinements}"
+                )
             defect = max(
                 float(np.max(np.abs(self._product(a, b) - ref)))
                 for (a, b), ref in zip(probes, references)

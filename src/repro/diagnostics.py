@@ -42,6 +42,7 @@ import numpy as np
 from scipy.integrate import solve_ivp
 
 from repro.exceptions import NumericalError
+from repro.resilience import RHS_CHECK_INTERVAL, Budget, ResultQuality
 
 #: Stiff methods tried, in order, after the primary method fails.
 DEFAULT_FALLBACKS: Tuple[str, ...] = ("Radau", "LSODA")
@@ -128,6 +129,34 @@ class ResidualRecord:
         )
 
 
+@dataclass
+class DowngradeRecord:
+    """One rung descent of the graceful degradation ladder.
+
+    Records which backend failed (``from_rung``), what the computation
+    fell back to (``to_rung``), why, the quality tag of the replacement
+    and — for statistical replacements — the estimated uncertainty of
+    the substituted answer.
+    """
+
+    from_rung: str
+    to_rung: str
+    quality: ResultQuality
+    reason: str
+    uncertainty: float = 0.0
+
+    def describe(self) -> str:
+        extra = (
+            f", uncertainty {self.uncertainty:.2e}"
+            if self.uncertainty > 0.0
+            else ""
+        )
+        return (
+            f"{self.from_rung} -> {self.to_rung} "
+            f"[{self.quality.describe()}{extra}]: {self.reason}"
+        )
+
+
 class DiagnosticTrace:
     """Structured record of solver choices, fallbacks and residual checks.
 
@@ -145,6 +174,7 @@ class DiagnosticTrace:
         self.solves: List[SolveRecord] = []
         self.residuals: List[ResidualRecord] = []
         self.notes: List[str] = []
+        self.downgrades: List[DowngradeRecord] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -166,9 +196,49 @@ class DiagnosticTrace:
         """Free-form diagnostic note (steady-state residuals, MC bounds…)."""
         self.notes.append(str(message))
 
+    def downgrade(
+        self,
+        from_rung: str,
+        to_rung: str,
+        quality: ResultQuality,
+        reason: str,
+        uncertainty: float = 0.0,
+    ) -> DowngradeRecord:
+        """Record one descent of the graceful degradation ladder."""
+        record = DowngradeRecord(
+            from_rung=from_rung,
+            to_rung=to_rung,
+            quality=quality,
+            reason=str(reason),
+            uncertainty=float(uncertainty),
+        )
+        self.downgrades.append(record)
+        if self.stats is not None:
+            self.stats.ladder_downgrades += 1
+        return record
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    @property
+    def quality(self) -> ResultQuality:
+        """The weakest guarantee any recorded result carries.
+
+        ``EXACT`` until a downgrade lands a window on the order-2
+        uniformization rung (``DEGRADED``) or the Monte-Carlo rung
+        (``STATISTICAL``).  Verdict logic treats non-exact runs whose
+        leaf value sits within :attr:`uncertainty` of the threshold as
+        indeterminate.
+        """
+        return max(
+            (d.quality for d in self.downgrades), default=ResultQuality.EXACT
+        )
+
+    @property
+    def uncertainty(self) -> float:
+        """Largest substituted-answer uncertainty across all downgrades."""
+        return max((d.uncertainty for d in self.downgrades), default=0.0)
 
     @property
     def num_fallbacks(self) -> int:
@@ -218,6 +288,14 @@ class DiagnosticTrace:
             f"negativity {maxima['negativity']:.2e}, "
             f"monotone {maxima['monotone']:.2e}"
         )
+        if self.downgrades:
+            lines.append(
+                f"  result quality: {self.quality.describe()} "
+                f"({len(self.downgrades)} ladder downgrades, "
+                f"uncertainty {self.uncertainty:.2e})"
+            )
+            for record in self.downgrades:
+                lines.append(f"    downgrade: {record.describe()}")
         for warning in self.warnings:
             lines.append(f"  WARNING: {warning}")
         for note in self.notes:
@@ -276,6 +354,7 @@ def robust_solve_ivp(
     fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
     label: str = "solve",
     trace: Optional[DiagnosticTrace] = None,
+    budget: Optional[Budget] = None,
 ):
     """``solve_ivp`` with automatic stiff-method fallback.
 
@@ -288,11 +367,20 @@ def robust_solve_ivp(
     :class:`~repro.exceptions.NumericalError` carrying the history is
     raised.
 
+    When a ``budget`` is given, each attempt is charged against its
+    solver cap and the deadline is checked before every attempt and
+    once per :data:`~repro.resilience.RHS_CHECK_INTERVAL` right-hand
+    side evaluations — so even a solver grinding inside one stiff step
+    sequence surfaces a
+    :class:`~repro.exceptions.BudgetExceededError` promptly (it is not
+    a retryable failure and propagates through the fallback chain).
+
     Returns the successful ``scipy`` solution object.
     """
     record = SolveRecord(
         label=label, t_start=float(t_span[0]), t_end=float(t_span[1])
     )
+    rhs_calls = [0]
 
     def guarded(t, y, _rhs=rhs):
         # A non-finite derivative can never be stepped on productively,
@@ -300,6 +388,10 @@ def robust_solve_ivp(
         # *infinite* step-rejection loop (RK45 with an all-NaN RHS).
         # Raising here turns every such case into a deterministic failed
         # attempt that the fallback chain can recover from.
+        if budget is not None:
+            rhs_calls[0] += 1
+            if rhs_calls[0] % RHS_CHECK_INTERVAL == 0:
+                budget.checkpoint(f"{label} rhs")
         dy = np.asarray(_rhs(t, y), dtype=float)
         if not np.all(np.isfinite(dy)):
             raise FloatingPointError(
@@ -314,6 +406,8 @@ def robust_solve_ivp(
             plan.append((fb, tightened))
     sol = None
     for attempt_method, attempt_atol in plan:
+        if budget is not None:
+            budget.charge_solve(f"{label} [{attempt_method}]")
         failure: Optional[str] = None
         try:
             candidate = solve_ivp(

@@ -52,6 +52,13 @@ class ParseError(FormulaError):
         super().__init__(message)
         self.position = position
 
+    def __reduce__(self):
+        # A custom __init__ breaks default exception pickling (the
+        # reconstructor calls ``cls(*self.args)``, dropping keyword-only
+        # state) — this matters because worker processes send exceptions
+        # back through a pickle boundary.  Rebuild from both fields.
+        return (type(self), (self.args[0] if self.args else "", self.position))
+
 
 class UnsupportedFormulaError(FormulaError):
     """The formula is syntactically valid but not checkable.
@@ -82,3 +89,62 @@ class NumericalError(CheckingError):
 
 class HorizonError(CheckingError):
     """A quantity was requested outside the solved/solvable time horizon."""
+
+
+class BudgetExceededError(CheckingError):
+    """An execution budget (deadline, solver cap, memory guard) was hit.
+
+    Attributes
+    ----------
+    progress:
+        Plain-data snapshot of the partial progress made before the
+        limit hit (elapsed seconds, solves charged, completed batches…),
+        so a timed-out run still reports what it managed to do.
+    """
+
+    def __init__(self, message: str, progress: "dict | None" = None):
+        super().__init__(message)
+        self.progress = dict(progress) if progress else {}
+
+    def __reduce__(self):
+        # Survive the worker-process pickle boundary with the progress
+        # report intact (see ParseError.__reduce__).
+        return (type(self), (self.args[0] if self.args else "", self.progress))
+
+
+class WorkerError(CheckingError):
+    """A parallel worker's batch function raised.
+
+    Wraps the original exception (as ``__cause__`` where available) with
+    the batch index and seed provenance, so a failure deep inside a
+    Monte-Carlo fleet can be reproduced deterministically in-process.
+
+    Attributes
+    ----------
+    batch_index:
+        Position of the failed batch in the ``arg_tuples`` sequence.
+    seed_provenance:
+        Human-readable description of the batch's ``SeedSequence``
+        (entropy and spawn key), or ``None`` when the batch carried no
+        seed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        batch_index: "int | None" = None,
+        seed_provenance: "str | None" = None,
+    ):
+        super().__init__(message)
+        self.batch_index = batch_index
+        self.seed_provenance = seed_provenance
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.args[0] if self.args else "",
+                self.batch_index,
+                self.seed_provenance,
+            ),
+        )

@@ -79,6 +79,16 @@ class EvalStats:
     residual_warnings:
         Residual checks whose violation exceeded the configured
         tolerance — the answer is still returned, but flagged.
+    ladder_downgrades:
+        Descents of the graceful degradation ladder (propagator →
+        ODE chain → order-2 uniformization → Monte-Carlo); non-zero
+        means at least one window was not served by its first-choice
+        backend (see :mod:`repro.resilience`).
+    worker_retries:
+        Batches re-dispatched by :func:`repro.parallel.run_batches`
+        after a worker process died or the pool broke; the retried
+        batches produce bitwise-identical results, so this only
+        measures fault-recovery activity.
     """
 
     rhs_evaluations: int = 0
@@ -100,6 +110,8 @@ class EvalStats:
     solver_fallbacks: int = 0
     residual_checks: int = 0
     residual_warnings: int = 0
+    ladder_downgrades: int = 0
+    worker_retries: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

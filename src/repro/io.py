@@ -31,12 +31,18 @@ brevity.  ``mfcsl --model-file model.json …`` consumes these documents.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Union
 
 import numpy as np
 
-from repro.exceptions import ModelError
+from repro.exceptions import (
+    InvalidOccupancyError,
+    InvalidRateError,
+    InvalidStateError,
+    ModelError,
+)
 from repro.meanfield.expressions import Expression, from_dict
 from repro.meanfield.local_model import LocalModel
 from repro.meanfield.overall_model import MeanFieldModel
@@ -115,26 +121,111 @@ def model_from_dict(data: Dict[str, Any]) -> MeanFieldModel:
         name = str(entry["name"])
         names.append(name)
         labels[name] = [str(l) for l in entry.get("labels", [])]
+    known = set(names)
     transitions = {}
     for entry in data.get("transitions", []):
         if not isinstance(entry, dict) or "from" not in entry or "to" not in entry:
             raise ModelError(f"malformed transition entry: {entry!r}")
+        source, target = str(entry["from"]), str(entry["to"])
+        # Validate at load time, naming the offending field, instead of
+        # letting LocalModel fail later with a context-free message.
+        if source not in known:
+            raise InvalidStateError(
+                f"transition field 'from' names unknown state {source!r} "
+                f"(known states: {sorted(known)})"
+            )
+        if target not in known:
+            raise InvalidStateError(
+                f"transition field 'to' names unknown state {target!r} "
+                f"(known states: {sorted(known)})"
+            )
         rate_doc = entry.get("rate")
+        if isinstance(rate_doc, bool):
+            raise InvalidRateError(
+                f"transition {source!r} -> {target!r}: field 'rate' must "
+                f"be a number or expression dict, got {rate_doc!r}"
+            )
         if isinstance(rate_doc, (int, float)):
-            rate: Any = float(rate_doc)
+            value = float(rate_doc)
+            if not math.isfinite(value):
+                raise InvalidRateError(
+                    f"transition {source!r} -> {target!r}: field 'rate' "
+                    f"is not finite ({value!r})"
+                )
+            if value < 0.0:
+                raise InvalidRateError(
+                    f"transition {source!r} -> {target!r}: field 'rate' "
+                    f"is negative ({value!r})"
+                )
+            rate: Any = value
         elif isinstance(rate_doc, dict):
+            if rate_doc.get("op") == "const":
+                const = rate_doc.get("value")
+                if not isinstance(const, (int, float)) or isinstance(
+                    const, bool
+                ) or not math.isfinite(float(const)):
+                    raise InvalidRateError(
+                        f"transition {source!r} -> {target!r}: constant "
+                        f"rate expression has non-finite or non-numeric "
+                        f"'value' ({const!r})"
+                    )
+                if float(const) < 0.0:
+                    raise InvalidRateError(
+                        f"transition {source!r} -> {target!r}: constant "
+                        f"rate expression is negative ({const!r})"
+                    )
             rate = from_dict(rate_doc)
         else:
-            raise ModelError(
-                f"transition rate must be a number or expression dict, "
-                f"got {rate_doc!r}"
+            raise InvalidRateError(
+                f"transition {source!r} -> {target!r}: field 'rate' must "
+                f"be a number or expression dict, got {rate_doc!r}"
             )
-        key = (str(entry["from"]), str(entry["to"]))
+        key = (source, target)
         if key in transitions:
             raise ModelError(f"duplicate transition {key} in model document")
         transitions[key] = rate
+    _validate_initial_field(data.get("initial"), len(names))
     local = LocalModel(names, transitions, labels)
     return MeanFieldModel(local)
+
+
+def _validate_initial_field(initial: Any, num_states: int) -> None:
+    """Check the document's optional ``initial`` occupancy vector.
+
+    The field is advisory (checking commands take the occupancy on the
+    command line) but a malformed vector in the file is a bug worth
+    catching where the file is read.
+    """
+    if initial is None:
+        return
+    if not isinstance(initial, list):
+        raise InvalidOccupancyError(
+            f"field 'initial' must be a list of {num_states} occupancy "
+            f"fractions, got {initial!r}"
+        )
+    if len(initial) != num_states:
+        raise InvalidOccupancyError(
+            f"field 'initial' has {len(initial)} entries for "
+            f"{num_states} states"
+        )
+    values = []
+    for i, x in enumerate(initial):
+        if isinstance(x, bool) or not isinstance(x, (int, float)) or (
+            not math.isfinite(float(x))
+        ):
+            raise InvalidOccupancyError(
+                f"field 'initial' entry {i} is not a finite number: {x!r}"
+            )
+        if float(x) < 0.0:
+            raise InvalidOccupancyError(
+                f"field 'initial' entry {i} is negative: {x!r}"
+            )
+        values.append(float(x))
+    total = sum(values)
+    if abs(total - 1.0) > 1e-9:
+        raise InvalidOccupancyError(
+            f"field 'initial' must sum to 1, got {total!r}"
+        )
 
 
 def save_model(model: MeanFieldModel, path: Union[str, Path]) -> None:

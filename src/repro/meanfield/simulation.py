@@ -247,6 +247,7 @@ class FiniteNSimulator:
         replicas: int,
         max_events: int,
         stats=None,
+        budget=None,
     ) -> List[EmpiricalTrajectory]:
         """Advance ``replicas`` independent count processes simultaneously.
 
@@ -278,6 +279,10 @@ class FiniteNSimulator:
             if alive.size == 0:
                 break
             sweeps += 1
+            if budget is not None and sweeps % 64 == 0:
+                budget.checkpoint(
+                    f"simulation sweep {sweeps} ({alive.size} replicas live)"
+                )
             # A replica gains at most one event per sweep, so the sweep
             # count bounds every replica's event count.
             if sweeps > max_events:
@@ -392,6 +397,7 @@ class FiniteNSimulator:
         batch_size: int = DEFAULT_BATCH_SIZE,
         max_events: int = 5_000_000,
         stats=None,
+        budget=None,
     ) -> List[EmpiricalTrajectory]:
         """Simulate ``runs`` independent trajectories.
 
@@ -413,6 +419,12 @@ class FiniteNSimulator:
             Optional :class:`~repro.instrumentation.EvalStats`; receives
             ``sim_events`` / ``sim_batches`` counters (aggregated across
             workers).
+        budget:
+            Optional :class:`~repro.resilience.Budget`.  The sweep loops
+            checkpoint against it, and the batch dispatcher uses its
+            deadline to detect hung workers; expiry raises
+            :class:`~repro.exceptions.BudgetExceededError` with the
+            batches completed so far.
         """
         if runs <= 0:
             raise ModelError(f"runs must be positive, got {runs}")
@@ -441,6 +453,7 @@ class FiniteNSimulator:
                     hi - lo,
                     max_events,
                     stats=batch_stats,
+                    budget=budget,
                 )
                 return paths, batch_stats
 
@@ -448,6 +461,8 @@ class FiniteNSimulator:
 
             def run_one_batch(lo: int, hi: int, batch_index: int):
                 batch_stats = _BatchCounters()
+                if budget is not None:
+                    budget.checkpoint(f"serial simulation batch {batch_index}")
                 paths = [
                     self.simulate(
                         initial_occupancy,
@@ -464,6 +479,8 @@ class FiniteNSimulator:
             run_one_batch,
             [(lo, hi, idx) for idx, (lo, hi) in enumerate(bounds)],
             workers=workers,
+            budget=budget,
+            stats=stats,
         )
         results: List[EmpiricalTrajectory] = []
         for paths, counters in outputs:

@@ -16,27 +16,65 @@ collision-resistant derivation numpy recommends, replacing the ad-hoc
 *which process* runs a batch, never what the batch computes, so
 ``workers=1`` and ``workers=8`` produce bitwise-identical results.
 
+That same property is what makes the executor *fault-tolerant*: a batch
+whose worker died (a crashed fork, an OOM kill) can simply be re-run —
+in a fresh pool with capped backoff, and in-process on the final attempt
+— and the overall result is still bitwise identical to a serial run.
+:func:`run_batches` therefore uses future-based dispatch instead of
+``pool.map``: dead workers surface as retryable broken-pool events,
+hung workers are bounded by the optional :class:`~repro.resilience.Budget`
+deadline (stragglers are terminated, and a
+:class:`~repro.exceptions.BudgetExceededError` with a completed/total
+progress report is raised instead of hanging), and exceptions raised *by*
+the batch function are wrapped in
+:class:`~repro.exceptions.WorkerError` carrying the batch index and seed
+provenance (deterministic failures are not retried — they would fail
+identically).
+
 Models hold compiled closures and user callables that cannot be pickled,
 so the pool uses the ``fork`` start method and passes the work function
 through a module-level slot that forked children inherit by memory
 snapshot; only the per-batch argument tuples (ints and seed sequences)
-cross the process boundary.  On platforms without ``fork`` (or with
-``workers <= 1``) everything runs in-process with identical results.
+cross the process boundary.  The slot is guarded by a non-blocking lock:
+a second thread (or a forked child, which inherits the locked state)
+calling :func:`run_batches` concurrently degrades to in-process
+execution instead of corrupting the slot.  On platforms without ``fork``
+(or with ``workers <= 1``) everything runs in-process with identical
+results.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Sequence, Tuple
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ModelError
+from repro.exceptions import BudgetExceededError, ModelError, WorkerError
+from repro.resilience import Budget
 
 #: Work function inherited by forked workers (see module docstring).  Only
 #: ever non-None inside :func:`run_batches`.
 _PAYLOAD: "Callable | None" = None
+
+#: Guards ``_PAYLOAD`` against concurrent dispatch from multiple threads.
+#: Acquired non-blocking: a loser degrades to in-process execution (the
+#: results are identical either way).  Forked children inherit the lock
+#: in its *held* state, so nested ``run_batches`` calls inside a worker
+#: also land on the in-process path instead of forking from a fork.
+_PAYLOAD_LOCK = threading.Lock()
+
+#: Capped exponential backoff between broken-pool retry rounds.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 0.5
+
+#: Default number of pool retry rounds before the surviving batches are
+#: re-run in-process (which cannot lose a worker).
+DEFAULT_MAX_RETRIES = 2
 
 
 def fork_available() -> bool:
@@ -77,10 +115,71 @@ def _invoke_payload(args: Tuple[Any, ...]):
     return _PAYLOAD(*args)
 
 
+def seed_provenance(args: Tuple[Any, ...]) -> "str | None":
+    """Describe the :class:`~numpy.random.SeedSequence` in a batch tuple.
+
+    Used to stamp :class:`~repro.exceptions.WorkerError` so a failing
+    batch can be reproduced in isolation; ``None`` when the tuple
+    carries no seed (the batch is then typically seeded by index).
+    """
+    for arg in args:
+        if isinstance(arg, np.random.SeedSequence):
+            return (
+                f"SeedSequence(entropy={arg.entropy}, "
+                f"spawn_key={arg.spawn_key})"
+            )
+    return None
+
+
+def _wrap_worker_failure(
+    exc: BaseException, index: int, args: Tuple[Any, ...]
+) -> WorkerError:
+    provenance = seed_provenance(args)
+    suffix = f" [{provenance}]" if provenance else ""
+    return WorkerError(
+        f"batch {index} failed with {type(exc).__name__}: {exc}{suffix}",
+        batch_index=index,
+        seed_provenance=provenance,
+    )
+
+
+def _run_in_process(
+    fn: Callable,
+    arg_tuples: Sequence[Tuple[Any, ...]],
+    budget: Optional[Budget],
+) -> List[Any]:
+    """Serial execution path (also the bitwise-identical final fallback)."""
+    results = []
+    for index, args in enumerate(arg_tuples):
+        if budget is not None:
+            budget.progress.setdefault("batches_total", len(arg_tuples))
+            budget.checkpoint(f"batch {index}/{len(arg_tuples)}")
+        results.append(fn(*args))
+        if budget is not None:
+            budget.advance("batches_completed")
+    return results
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes (hung-worker reaping).
+
+    Reaches into the executor because the public API offers no way to
+    abandon workers that are mid-call; without this, a deadline hit
+    while a worker loops forever would stall interpreter shutdown.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        process.terminate()
+
+
 def run_batches(
     fn: Callable,
     arg_tuples: Sequence[Tuple[Any, ...]],
     workers: int = 1,
+    *,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    budget: Optional[Budget] = None,
+    stats=None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> List[Any]:
     """Run ``fn(*args)`` for every tuple, optionally across forked processes.
 
@@ -96,30 +195,163 @@ def run_batches(
     workers:
         Maximum number of worker processes.  ``1`` (or an unavailable
         ``fork`` start method) runs everything in the current process.
+    max_retries:
+        Pool rounds attempted when worker processes die (the pool
+        reports ``BrokenProcessPool``); the failed batches — and only
+        those — are re-dispatched to a fresh pool after a capped
+        backoff, and re-run in-process once the rounds are exhausted.
+        Because batch seeding is worker-independent, retried results
+        are bitwise identical to an undisturbed run.
+    budget:
+        Optional :class:`~repro.resilience.Budget`.  Its deadline bounds
+        how long the caller waits on workers: when it expires with
+        batches still outstanding, the stragglers are terminated and a
+        :class:`~repro.exceptions.BudgetExceededError` reporting
+        completed/total batches is raised.  A ``BudgetExceededError``
+        raised *inside* a worker propagates unwrapped.
+    stats:
+        Optional :class:`~repro.instrumentation.EvalStats`; receives
+        ``worker_retries`` increments for every re-dispatched batch.
+    sleep:
+        Backoff sleeper, injectable for tests.
 
     Returns
     -------
     list
         Results in the order of ``arg_tuples`` — identical for every
-        ``workers`` value.
+        ``workers`` value, with or without worker faults.
+
+    Raises
+    ------
+    WorkerError
+        When ``fn`` itself raises in a worker: deterministic failures
+        are not retried (they would fail identically); the wrapper
+        carries the batch index and seed provenance and chains the
+        original exception.
+    BudgetExceededError
+        When the budget deadline expires before all batches complete.
     """
     workers = int(workers)
     if workers < 1:
         raise ModelError(f"workers must be >= 1, got {workers}")
+    if max_retries < 0:
+        raise ModelError(f"max_retries must be >= 0, got {max_retries}")
     arg_tuples = list(arg_tuples)
     if workers == 1 or len(arg_tuples) <= 1 or not fork_available():
-        return [fn(*args) for args in arg_tuples]
+        return _run_in_process(fn, arg_tuples, budget)
+    if not _PAYLOAD_LOCK.acquire(blocking=False):
+        # Concurrent dispatch from another thread (or a forked child
+        # that inherited the lock held): the payload slot is busy, so
+        # degrade to in-process execution rather than corrupt it.
+        return _run_in_process(fn, arg_tuples, budget)
     global _PAYLOAD
-    if _PAYLOAD is not None:
-        # Nested parallelism (a worker calling run_batches): degrade to
-        # in-process execution rather than fork from a forked child.
-        return [fn(*args) for args in arg_tuples]
-    _PAYLOAD = fn
     try:
-        context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(arg_tuples)), mp_context=context
-        ) as pool:
-            return list(pool.map(_invoke_payload, arg_tuples))
+        if _PAYLOAD is not None:
+            # Nested parallelism (a worker calling run_batches): degrade
+            # to in-process execution rather than fork from a forked child.
+            return _run_in_process(fn, arg_tuples, budget)
+        _PAYLOAD = fn
+        try:
+            return _run_pool(
+                fn, arg_tuples, workers, max_retries, budget, stats, sleep
+            )
+        finally:
+            _PAYLOAD = None
     finally:
-        _PAYLOAD = None
+        _PAYLOAD_LOCK.release()
+
+
+def _run_pool(
+    fn: Callable,
+    arg_tuples: List[Tuple[Any, ...]],
+    workers: int,
+    max_retries: int,
+    budget: Optional[Budget],
+    stats,
+    sleep: Callable[[float], None],
+) -> List[Any]:
+    """Future-based dispatch with broken-pool recovery (see run_batches)."""
+    n = len(arg_tuples)
+    results: List[Any] = [None] * n
+    done = [False] * n
+    pending = list(range(n))
+    context = multiprocessing.get_context("fork")
+    for round_index in range(max_retries + 1):
+        if round_index > 0:
+            # A fresh pool after worker deaths: capped exponential
+            # backoff so a crash-looping environment is not hammered.
+            sleep(min(_BACKOFF_BASE * 2.0 ** (round_index - 1), _BACKOFF_CAP))
+            if stats is not None:
+                stats.worker_retries += len(pending)
+            if budget is not None:
+                budget.advance("worker_retries", len(pending))
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        )
+        try:
+            futures = {
+                pool.submit(_invoke_payload, arg_tuples[i]): i
+                for i in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                timeout = budget.remaining() if budget is not None else None
+                finished, outstanding = wait(
+                    outstanding, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not finished:
+                    # Deadline expired with workers still running:
+                    # hung/slow workers.  Reap them and report progress
+                    # (``wait`` only times out when the budget set one).
+                    _terminate_workers(pool)
+                    budget.progress["batches_total"] = n
+                    raise budget.exceeded(
+                        "run_batches",
+                        f"deadline passed with {sum(done)}/{n} batches "
+                        f"complete",
+                    )
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        # A worker died; every batch it (and the broken
+                        # pool) still owed lands here and is retried.
+                        continue
+                    except BudgetExceededError:
+                        _terminate_workers(pool)
+                        raise
+                    except Exception as exc:
+                        # fn raised deterministically: retrying would
+                        # fail identically, so wrap and surface now.
+                        _terminate_workers(pool)
+                        raise _wrap_worker_failure(
+                            exc, index, arg_tuples[index]
+                        ) from exc
+                    done[index] = True
+                    if budget is not None:
+                        budget.advance("batches_completed")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        pending = [i for i in range(n) if not done[i]]
+        if not pending:
+            return results
+    # Pool rounds exhausted: finish the survivors in-process.  Batch
+    # seeding is worker-independent, so this is bitwise-reproducible.
+    if stats is not None:
+        stats.worker_retries += len(pending)
+    if budget is not None:
+        budget.advance("worker_retries", len(pending))
+    for index in pending:
+        if budget is not None:
+            budget.checkpoint(f"in-process retry of batch {index}")
+        try:
+            results[index] = fn(*arg_tuples[index])
+        except BudgetExceededError:
+            raise
+        except Exception as exc:
+            raise _wrap_worker_failure(exc, index, arg_tuples[index]) from exc
+        done[index] = True
+        if budget is not None:
+            budget.advance("batches_completed")
+    return results

@@ -1,0 +1,269 @@
+"""Execution budgets and result-quality provenance for the checkers.
+
+PR 3 hardened the *numerics* (solver fallback chains, residual
+self-verification); this module guards the *execution* layer.  A stiff
+``Q(m̄)`` can hang a solve indefinitely, and an answer delivered after
+its deadline is a failure mode just like a wrong answer — so every
+expensive path in the pipeline carries an optional :class:`Budget` and
+checks it cooperatively:
+
+- :func:`repro.diagnostics.robust_solve_ivp` checkpoints before each
+  solver attempt and periodically inside the right-hand side;
+- :class:`repro.ctmc.propagators.PropagatorEngine` checkpoints every
+  refinement sweep and guards its cell-cache memory estimate;
+- the nested-until segment scans and Monte-Carlo batch loops checkpoint
+  between units of work;
+- :func:`repro.parallel.run_batches` bounds how long it waits on worker
+  processes.
+
+A violated budget raises
+:class:`~repro.exceptions.BudgetExceededError` carrying a
+partial-progress snapshot (what was completed before the limit hit), so
+callers never see a hang or a half-written answer.
+
+The second half of the contract is *provenance*: when the graceful
+degradation ladder (see
+:meth:`repro.checking.context.EvaluationContext.transient_matrix`)
+trades exactness for availability, the result is stamped with a
+:class:`ResultQuality` tag so verdicts near a threshold ``⋈ p`` can be
+reported as indeterminate instead of silently flipped.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import BudgetExceededError, ModelError
+
+#: Fraction of the deadline below which :meth:`Budget.under_pressure`
+#: reports pressure (callers then skip optional expensive work, e.g. the
+#: propagator rung of the degradation ladder).
+DEFAULT_PRESSURE_FRACTION = 0.15
+
+#: The guarded right-hand side of :func:`repro.diagnostics.robust_solve_ivp`
+#: checks the deadline once per this many evaluations.
+RHS_CHECK_INTERVAL = 256
+
+
+class ResultQuality(enum.IntEnum):
+    """Provenance tag of a checking result.
+
+    Ordered worst-last so ``max`` over a run gives the weakest guarantee
+    any contributing solve carried.
+
+    - ``EXACT`` — every quantity came from a tolerance-controlled solve
+      (ODE chain or defect-controlled propagator).
+    - ``DEGRADED`` — at least one window fell back to the fixed-step
+      order-2 uniformization product (error estimated, not controlled).
+    - ``STATISTICAL`` — at least one window was estimated by Monte-Carlo
+      sampling and carries a confidence interval, not an error bound.
+    """
+
+    EXACT = 0
+    DEGRADED = 1
+    STATISTICAL = 2
+
+    def describe(self) -> str:
+        return self.name.lower()
+
+
+def worst_quality(*qualities: ResultQuality) -> ResultQuality:
+    """The weakest guarantee among ``qualities`` (``EXACT`` when empty)."""
+    return max(qualities, default=ResultQuality.EXACT)
+
+
+class Budget:
+    """Cooperative execution budget shared by one checking run.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock seconds the run may take, measured from construction.
+    max_solves:
+        Cap on ``solve_ivp`` attempts charged via :meth:`charge_solve`.
+    max_refinements:
+        Cap on propagator grid refinements (forwarded to
+        :class:`~repro.ctmc.propagators.PropagatorEngine` by the
+        evaluation context; kept here for the progress report).
+    max_memory_mb:
+        Upper bound on any single allocation estimate passed to
+        :meth:`check_memory` (propagator cell caches).
+    clock:
+        Monotonic time source; injectable so tests can force expiry
+        deterministically at a chosen checkpoint.
+    pressure_fraction:
+        Remaining-deadline fraction below which :meth:`under_pressure`
+        turns true.
+
+    The budget is *advisory until checked*: nothing preempts a running
+    computation, but every expensive loop calls :meth:`checkpoint` (or
+    :meth:`charge_solve` / :meth:`check_memory`) at natural boundaries,
+    so a violated limit surfaces promptly as a
+    :class:`~repro.exceptions.BudgetExceededError` whose ``progress``
+    dict reports everything completed so far.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_solves: Optional[int] = None,
+        max_refinements: Optional[int] = None,
+        max_memory_mb: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        pressure_fraction: float = DEFAULT_PRESSURE_FRACTION,
+    ):
+        if deadline is not None and deadline <= 0:
+            raise ModelError(f"deadline must be positive, got {deadline}")
+        if max_solves is not None and max_solves <= 0:
+            raise ModelError(f"max_solves must be positive, got {max_solves}")
+        if max_refinements is not None and max_refinements < 0:
+            raise ModelError(
+                f"max_refinements must be non-negative, got {max_refinements}"
+            )
+        if max_memory_mb is not None and max_memory_mb <= 0:
+            raise ModelError(
+                f"max_memory_mb must be positive, got {max_memory_mb}"
+            )
+        if not (0.0 < pressure_fraction < 1.0):
+            raise ModelError(
+                f"pressure_fraction must be in (0, 1), got {pressure_fraction}"
+            )
+        self.deadline = None if deadline is None else float(deadline)
+        self.max_solves = None if max_solves is None else int(max_solves)
+        self.max_refinements = (
+            None if max_refinements is None else int(max_refinements)
+        )
+        self.max_memory_mb = (
+            None if max_memory_mb is None else float(max_memory_mb)
+        )
+        self._clock = clock
+        self._start = clock()
+        self._pressure_fraction = float(pressure_fraction)
+        self.solves = 0
+        #: Free-form partial-progress counters maintained by the layers
+        #: the budget flows through (``advance``), included in every
+        #: :class:`~repro.exceptions.BudgetExceededError`.
+        self.progress: Dict[str, Any] = {}
+
+    @classmethod
+    def from_options(cls, options) -> "Optional[Budget]":
+        """Build a budget from :class:`~repro.checking.options.CheckOptions`.
+
+        Returns ``None`` when the options set no limit at all, so the
+        unbudgeted fast path stays entirely free of clock reads.
+        """
+        if (
+            options.deadline is None
+            and options.max_solves is None
+            and options.max_refinements is None
+            and options.max_memory_mb is None
+        ):
+            return None
+        return cls(
+            deadline=options.deadline,
+            max_solves=options.max_solves,
+            max_refinements=options.max_refinements,
+            max_memory_mb=options.max_memory_mb,
+        )
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` without one)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed()
+
+    def expired(self) -> bool:
+        """Whether the wall-clock deadline has passed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def under_pressure(self) -> bool:
+        """Whether little deadline is left (skip optional work).
+
+        True once less than ``pressure_fraction`` of the deadline
+        remains; always false without a deadline.
+        """
+        if self.deadline is None:
+            return False
+        remaining = self.remaining()
+        return remaining <= self._pressure_fraction * self.deadline
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+
+    def advance(self, key: str, amount: "int | float" = 1) -> None:
+        """Accumulate partial progress under ``key`` (for the report)."""
+        self.progress[key] = self.progress.get(key, 0) + amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data progress snapshot (picklable, crosses processes)."""
+        report: Dict[str, Any] = {
+            "elapsed_seconds": round(self.elapsed(), 6),
+            "solves": self.solves,
+        }
+        if self.deadline is not None:
+            report["deadline_seconds"] = self.deadline
+        if self.max_solves is not None:
+            report["max_solves"] = self.max_solves
+        report.update(self.progress)
+        return report
+
+    def exceeded(self, label: str, reason: str) -> BudgetExceededError:
+        """Build the error for a violated limit at ``label``."""
+        return BudgetExceededError(
+            f"execution budget exceeded at {label}: {reason}",
+            progress=self.snapshot(),
+        )
+
+    def checkpoint(self, label: str = "checkpoint") -> None:
+        """Raise :class:`~repro.exceptions.BudgetExceededError` if expired.
+
+        Called at natural boundaries of every expensive loop; cost is
+        one clock read.
+        """
+        if self.expired():
+            raise self.exceeded(
+                label,
+                f"deadline {self.deadline:g}s passed "
+                f"({self.elapsed():.3f}s elapsed)",
+            )
+
+    def charge_solve(self, label: str = "solve") -> None:
+        """Account one ``solve_ivp`` attempt and enforce both caps."""
+        self.solves += 1
+        if self.max_solves is not None and self.solves > self.max_solves:
+            raise self.exceeded(
+                label, f"solver-attempt cap {self.max_solves} reached"
+            )
+        self.checkpoint(label)
+
+    def check_memory(self, nbytes: "int | float", label: str) -> None:
+        """Reject a single allocation estimated above ``max_memory_mb``."""
+        if self.max_memory_mb is None:
+            return
+        mb = float(nbytes) / 1e6
+        if mb > self.max_memory_mb:
+            raise self.exceeded(
+                label,
+                f"estimated allocation {mb:.1f} MB exceeds "
+                f"memory guard {self.max_memory_mb:g} MB",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Budget(deadline={self.deadline}, max_solves={self.max_solves}, "
+            f"max_refinements={self.max_refinements}, "
+            f"max_memory_mb={self.max_memory_mb}, "
+            f"elapsed={self.elapsed():.3f}s, solves={self.solves})"
+        )

@@ -17,18 +17,25 @@ import numpy as np
 import pytest
 
 from repro.checking.context import EvaluationContext
+from repro.checking.global_ import MFModelChecker
 from repro.checking.statistical import StatisticalChecker
+from repro.checking.transform import absorbing_generator_function
 from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
 from repro.diagnostics import (
     DiagnosticTrace,
     check_transient_residual,
     robust_solve_ivp,
 )
-from repro.exceptions import NumericalError
+from repro.exceptions import (
+    BudgetExceededError,
+    FormulaError,
+    NumericalError,
+)
 from repro.instrumentation import EvalStats
 from repro.logic.parser import parse_path
 from repro.meanfield.ode import OccupancyTrajectory
 from repro.models.virus import SETTING_1, overall_ode_matrix
+from repro.resilience import Budget, ResultQuality
 
 
 class FaultInjector:
@@ -269,6 +276,292 @@ class TestRobustSolveDirect:
         attempts = trace.solves[0].attempts
         assert attempts[0].message == "solution contains non-finite values"
         assert attempts[1].success
+
+
+class FakeClock:
+    """Deterministic monotonic clock, advanced from inside a generator."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += float(dt)
+
+
+class ClockAdvancer:
+    """Wrap ``q(t)`` so it jumps a fake clock past a deadline at call N.
+
+    With ``then_raise`` the expired call also raises, so solver attempts
+    short enough to finish between budget checkpoints still fail and the
+    next checkpoint (the following attempt's ``charge_solve``) fires.
+    """
+
+    def __init__(self, fn, clock, after_calls, dt=1e6, then_raise=False):
+        self.fn = fn
+        self.clock = clock
+        self.after_calls = after_calls
+        self.dt = dt
+        self.then_raise = then_raise
+        self.calls = 0
+
+    def __call__(self, t):
+        self.calls += 1
+        if self.calls >= self.after_calls:
+            self.clock.advance(self.dt)
+            if self.then_raise:
+                raise FloatingPointError("injected fault past the deadline")
+        return self.fn(t)
+
+
+def _fail_ode_rung(monkeypatch, reason="injected: ode rung down"):
+    """Make the ODE rung fail for real windows (zero windows stay exact)."""
+    real = EvaluationContext._transient_ode
+
+    def failing(self, signature, q_of_t, t_start, duration, rtol, atol):
+        if duration > 0.0:
+            raise NumericalError(reason)
+        return real(self, signature, q_of_t, t_start, duration, rtol, atol)
+
+    monkeypatch.setattr(EvaluationContext, "_transient_ode", failing)
+
+
+def _fail_uniformization_rung(monkeypatch):
+    def failing(self, q_of_t, t_start, duration):
+        raise NumericalError("injected: uniformization rung down")
+
+    monkeypatch.setattr(
+        EvaluationContext, "_transient_uniformization", failing
+    )
+
+
+ABSORBING = frozenset({2})
+SIGNATURE = ("absorbing", ABSORBING)
+
+
+def _absorbing_q(ctx):
+    return absorbing_generator_function(ctx.generator_function(), ABSORBING)
+
+
+class TestDegradationLadder:
+    """Budget pressure / persistent faults walk the rungs, never corrupt."""
+
+    def _clean_pi(self, virus1, m_example1):
+        ctx = EvaluationContext(virus1, m_example1)
+        return ctx.transient_matrix(SIGNATURE, _absorbing_q(ctx), 0.0, 1.0)
+
+    def test_ode_failure_lands_on_uniformization(
+        self, virus1, m_example1, monkeypatch
+    ):
+        pi_clean = self._clean_pi(virus1, m_example1)
+        _fail_ode_rung(monkeypatch)
+        ctx = EvaluationContext(virus1, m_example1)
+        pi = ctx.transient_matrix(SIGNATURE, _absorbing_q(ctx), 0.0, 1.0)
+
+        assert ctx.trace.quality is ResultQuality.DEGRADED
+        assert ctx.stats.ladder_downgrades == 1
+        record = ctx.trace.downgrades[0]
+        assert (record.from_rung, record.to_rung) == ("ode", "uniformization")
+        assert "injected" in record.reason
+        assert record.uncertainty > 0.0
+        # The substituted answer is still accurate (order-2 product).
+        assert np.allclose(pi, pi_clean, atol=1e-3)
+        assert np.max(np.abs(pi - pi_clean)) < 10 * record.uncertainty + 1e-6
+
+    def test_two_failures_land_on_monte_carlo(
+        self, virus1, m_example1, monkeypatch
+    ):
+        pi_clean = self._clean_pi(virus1, m_example1)
+        _fail_ode_rung(monkeypatch)
+        _fail_uniformization_rung(monkeypatch)
+        ctx = EvaluationContext(virus1, m_example1)
+        pi = ctx.transient_matrix(SIGNATURE, _absorbing_q(ctx), 0.0, 1.0)
+
+        assert ctx.trace.quality is ResultQuality.STATISTICAL
+        assert len(ctx.trace.downgrades) == 2
+        last = ctx.trace.downgrades[-1]
+        assert (last.from_rung, last.to_rung) == ("uniformization", "mc")
+        assert last.uncertainty > 0.0
+        assert any("Monte-Carlo" in note for note in ctx.trace.notes)
+        # Rows are still distributions and close to the exact answer at
+        # sampling accuracy (200 paths/state).
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-12)
+        assert np.allclose(pi, pi_clean, atol=0.12)
+
+    def test_monte_carlo_rung_is_reproducible(
+        self, virus1, m_example1, monkeypatch
+    ):
+        _fail_ode_rung(monkeypatch)
+        _fail_uniformization_rung(monkeypatch)
+        runs = []
+        for _ in range(2):
+            ctx = EvaluationContext(virus1, m_example1)
+            runs.append(
+                ctx.transient_matrix(SIGNATURE, _absorbing_q(ctx), 0.0, 1.0)
+            )
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_every_rung_failing_raises_with_history(
+        self, virus1, m_example1, monkeypatch
+    ):
+        """A generator gone NaN-for-good defeats all rungs -> loud error."""
+        ctx = EvaluationContext(virus1, m_example1)
+        q_nan = FaultInjector(_absorbing_q(ctx), mode="nan", window=None)
+        with pytest.raises(NumericalError) as err:
+            ctx.transient_matrix(SIGNATURE, q_nan, 0.0, 1.0)
+        message = str(err.value)
+        assert "every degradation-ladder rung failed" in message
+        for rung in ("ode:", "uniformization:", "mc:"):
+            assert rung in message
+        # Two descents were recorded before the ladder ran out.
+        assert len(ctx.trace.downgrades) == 2
+
+    def test_pressure_skips_the_propagator_rung(self, virus1, m_example1):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        clock.advance(9.5)  # inside the pressure window, not expired
+        ctx = EvaluationContext(virus1, m_example1, budget=budget)
+        pi = ctx.transient_matrix(
+            SIGNATURE, _absorbing_q(ctx), 0.0, 1.0, method="propagator"
+        )
+        assert any("skipping propagator rung" in n for n in ctx.trace.notes)
+        # The one-shot ODE solve served the window instead, exactly.
+        assert ctx.trace.quality is ResultQuality.EXACT
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestDeadlineAtEachRung:
+    """A deadline hit inside any rung surfaces promptly with progress."""
+
+    def _expect_budget_error(self, ctx, q):
+        with pytest.raises(BudgetExceededError) as err:
+            ctx.transient_matrix(SIGNATURE, q, 0.0, 1.0)
+        assert "execution budget exceeded" in str(err.value)
+        assert "elapsed_seconds" in err.value.progress
+        return err.value
+
+    def test_deadline_during_ode_rung(self, virus1, m_example1):
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        ctx = EvaluationContext(virus1, m_example1, budget=budget)
+        # The RK45 attempt both expires the clock and fails; the next
+        # attempt's charge_solve surfaces BudgetExceededError instead of
+        # the ladder descending further on stale time.
+        q = ClockAdvancer(
+            _absorbing_q(ctx), clock, after_calls=2, then_raise=True
+        )
+        self._expect_budget_error(ctx, q)
+
+    def test_deadline_during_uniformization_rung(
+        self, virus1, m_example1, monkeypatch
+    ):
+        _fail_ode_rung(monkeypatch)
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        ctx = EvaluationContext(virus1, m_example1, budget=budget)
+        q = ClockAdvancer(_absorbing_q(ctx), clock, after_calls=5)
+        error = self._expect_budget_error(ctx, q)
+        assert "uniformization" in str(error)
+
+    def test_deadline_during_monte_carlo_rung(
+        self, virus1, m_example1, monkeypatch
+    ):
+        _fail_ode_rung(monkeypatch)
+        _fail_uniformization_rung(monkeypatch)
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        ctx = EvaluationContext(virus1, m_example1, budget=budget)
+        q = ClockAdvancer(_absorbing_q(ctx), clock, after_calls=8)
+        error = self._expect_budget_error(ctx, q)
+        assert "Monte-Carlo" in str(error)
+
+    def test_solver_cap_enforced(self, virus1, m_example1):
+        budget = Budget(max_solves=1, clock=FakeClock())
+        ctx = EvaluationContext(virus1, m_example1, budget=budget)
+        q = _absorbing_q(ctx)
+        with pytest.raises(BudgetExceededError, match="cap 1 reached"):
+            # Distinct windows so the transient cache cannot serve them.
+            ctx.transient_matrix(SIGNATURE, q, 0.0, 1.0)
+            ctx.transient_matrix(SIGNATURE, q, 0.0, 2.0)
+
+
+class TestThreeValuedVerdicts:
+    """Near-threshold degraded results report indeterminate, never flip."""
+
+    FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+
+    def test_degraded_far_from_threshold_stays_definite(
+        self, virus1, m_example1, monkeypatch
+    ):
+        _fail_ode_rung(monkeypatch)
+        _fail_uniformization_rung(monkeypatch)
+        checker = MFModelChecker(virus1)
+        verdict = checker.check_detailed(self.FORMULA, m_example1)
+        # The exact value (~0.22) sits well below 0.3: the statistical
+        # error bar cannot bridge the margin, so the verdict stays
+        # definite even though every window came from the MC rung.
+        assert verdict.holds is True
+        assert not verdict.indeterminate
+        assert verdict.quality is ResultQuality.STATISTICAL
+        assert verdict.margin > 0.05
+        assert bool(verdict) is True
+
+    def test_near_threshold_degraded_is_indeterminate(
+        self, virus1, m_example1
+    ):
+        checker = MFModelChecker(virus1)
+        ctx = checker.context(m_example1)
+        # Simulate a statistical window whose error bar covers the
+        # distance between the leaf value (0.2 infected mass at t=0)
+        # and the threshold 0.25.
+        ctx.trace.downgrade(
+            "ode", "mc", ResultQuality.STATISTICAL,
+            "injected", uncertainty=0.1,
+        )
+        verdict = checker.check_detailed(
+            "E[>0.25](infected)", m_example1, ctx=ctx
+        )
+        assert verdict.indeterminate
+        assert verdict.holds is None
+        assert verdict.quality is ResultQuality.STATISTICAL
+        assert verdict.value == pytest.approx(0.2)
+        assert verdict.margin == pytest.approx(0.05)
+        assert any("indeterminate leaf" in n for n in ctx.trace.notes)
+        with pytest.raises(FormulaError, match="indeterminate"):
+            bool(verdict)
+
+    def test_same_value_exact_run_is_definite(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        verdict = checker.check_detailed("E[>0.25](infected)", m_example1)
+        assert verdict.holds is False
+        assert verdict.quality is ResultQuality.EXACT
+
+    def test_kleene_false_dominates_unknown(self, virus1, m_example1):
+        checker = MFModelChecker(virus1)
+        ctx = checker.context(m_example1)
+        ctx.trace.downgrade(
+            "ode", "mc", ResultQuality.STATISTICAL,
+            "injected", uncertainty=0.1,
+        )
+        # Left: definitely false (0.2 > 0.9 fails by a wide margin).
+        # Right: indeterminate.  false AND unknown == false.
+        verdict = checker.check_detailed(
+            "E[>0.9](infected) & E[>0.25](infected)", m_example1, ctx=ctx
+        )
+        assert verdict.holds is False
+        # ... but true AND unknown stays unknown (0.05 is far enough
+        # below the 0.2 value to survive the 0.1 error bar).
+        verdict = checker.check_detailed(
+            "E[>0.05](infected) & E[>0.25](infected)", m_example1, ctx=ctx
+        )
+        assert verdict.holds is None
+        # ... and true OR unknown is true.
+        verdict = checker.check_detailed(
+            "E[>0.05](infected) | E[>0.25](infected)", m_example1, ctx=ctx
+        )
+        assert verdict.holds is True
 
 
 class TestStatisticalRateBound:

@@ -2,7 +2,28 @@
 
 import pytest
 
-from repro.cli import MODELS, build_parser, main
+from repro.cli import (
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_CHECKING_ERROR,
+    EXIT_FORMULA_ERROR,
+    EXIT_MODEL_ERROR,
+    EXIT_WORKER_FAILURE,
+    MODELS,
+    build_parser,
+    exit_code_for,
+    main,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    HorizonError,
+    InvalidRateError,
+    ModelError,
+    NumericalError,
+    ParseError,
+    SteadyStateError,
+    UnsupportedFormulaError,
+    WorkerError,
+)
 
 
 class TestParser:
@@ -247,8 +268,78 @@ class TestMc:
             self.ARGS
             + ["--state", "s1", "(P[>0.5](tt U[0,1] infected)) U[0,1] infected"]
         )
-        assert code == 2
+        # Formula-class failures get their own exit code (3).
+        assert code == 3
         assert "error" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The exception taxonomy maps to distinct exit codes."""
+
+    def test_mapping_covers_the_taxonomy(self):
+        assert exit_code_for(ModelError("x")) == EXIT_MODEL_ERROR
+        assert exit_code_for(InvalidRateError("x")) == EXIT_MODEL_ERROR
+        assert exit_code_for(ParseError("x", position=3)) == EXIT_FORMULA_ERROR
+        assert (
+            exit_code_for(UnsupportedFormulaError("x")) == EXIT_FORMULA_ERROR
+        )
+        assert exit_code_for(NumericalError("x")) == EXIT_CHECKING_ERROR
+        assert exit_code_for(HorizonError("x")) == EXIT_CHECKING_ERROR
+        assert exit_code_for(SteadyStateError("x")) == EXIT_CHECKING_ERROR
+
+    def test_budget_and_worker_precede_their_checking_parent(self):
+        assert (
+            exit_code_for(BudgetExceededError("x")) == EXIT_BUDGET_EXCEEDED
+        )
+        assert exit_code_for(WorkerError("x")) == EXIT_WORKER_FAILURE
+
+    def test_formula_parse_error_exits_3(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "EP[<0.3](not_infected U[0,",
+            ]
+        )
+        assert code == EXIT_FORMULA_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_expired_deadline_exits_5_with_progress(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--deadline",
+                "1e-9",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == EXIT_BUDGET_EXCEEDED
+        err = capsys.readouterr().err
+        assert "budget" in err
+        assert "progress:" in err
+
+    def test_generous_deadline_checks_normally(self, capsys):
+        code = main(
+            [
+                "check",
+                "--model",
+                "virus1",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "--deadline",
+                "600",
+                "EP[<0.3](not_infected U[0,1] infected)",
+            ]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
 
 
 class TestModelRegistry:

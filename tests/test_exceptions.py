@@ -1,5 +1,7 @@
 """Tests for the exception hierarchy."""
 
+import pickle
+
 import pytest
 
 from repro import exceptions as exc
@@ -50,3 +52,70 @@ class TestHierarchy:
     def test_catch_all(self):
         with pytest.raises(exc.ReproError):
             raise exc.HorizonError("out of range")
+
+    def test_resilience_error_family(self):
+        assert issubclass(exc.BudgetExceededError, exc.CheckingError)
+        assert issubclass(exc.WorkerError, exc.CheckingError)
+
+
+class TestPickling:
+    """Exceptions must survive the process boundary intact.
+
+    Worker processes re-raise failures in the parent via pickle; an
+    exception whose custom ``__init__`` breaks unpickling would turn a
+    precise error into an opaque ``BrokenProcessPool``.
+    """
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            exc.ReproError("boom"),
+            exc.ModelError("bad model"),
+            exc.InvalidStateError("no such state"),
+            exc.InvalidRateError("negative rate"),
+            exc.InvalidOccupancyError("off simplex"),
+            exc.FormulaError("bad formula"),
+            exc.UnsupportedFormulaError("nested"),
+            exc.CheckingError("failed"),
+            exc.SteadyStateError("no fixed point"),
+            exc.NumericalError("diverged"),
+            exc.HorizonError("out of range"),
+        ],
+    )
+    def test_message_round_trips(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+
+    def test_parse_error_keeps_position(self):
+        error = exc.ParseError("bad token", position=7)
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is exc.ParseError
+        assert clone.position == 7
+        assert "bad token" in str(clone)
+
+    def test_parse_error_without_position(self):
+        clone = pickle.loads(pickle.dumps(exc.ParseError("eof")))
+        assert clone.position is None
+
+    def test_budget_error_keeps_progress(self):
+        error = exc.BudgetExceededError(
+            "deadline passed", progress={"batches_completed": 3}
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.progress == {"batches_completed": 3}
+        assert "deadline passed" in str(clone)
+
+    def test_budget_error_default_progress(self):
+        clone = pickle.loads(pickle.dumps(exc.BudgetExceededError("x")))
+        assert clone.progress == {}
+
+    def test_worker_error_keeps_provenance(self):
+        error = exc.WorkerError(
+            "batch died",
+            batch_index=4,
+            seed_provenance="SeedSequence(entropy=1, spawn_key=(4,))",
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.batch_index == 4
+        assert clone.seed_provenance.startswith("SeedSequence")

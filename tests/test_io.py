@@ -5,7 +5,12 @@ import json
 import numpy as np
 import pytest
 
-from repro.exceptions import ModelError
+from repro.exceptions import (
+    InvalidOccupancyError,
+    InvalidRateError,
+    InvalidStateError,
+    ModelError,
+)
 from repro.io import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -131,6 +136,93 @@ class TestErrors:
         }
         with pytest.raises(ModelError):
             model_from_dict(doc)
+
+    def _doc(self, **overrides):
+        doc = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "states": [{"name": "a"}, {"name": "b"}],
+            "transitions": [{"from": "a", "to": "b", "rate": 1.0}],
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_unknown_target_state_named_in_error(self):
+        doc = self._doc(
+            transitions=[{"from": "a", "to": "ghost", "rate": 1.0}]
+        )
+        with pytest.raises(InvalidStateError, match="'to'.*ghost"):
+            model_from_dict(doc)
+
+    def test_unknown_source_state_named_in_error(self):
+        doc = self._doc(
+            transitions=[{"from": "ghost", "to": "b", "rate": 1.0}]
+        )
+        with pytest.raises(InvalidStateError, match="'from'.*ghost"):
+            model_from_dict(doc)
+
+    def test_negative_rate_rejected(self):
+        doc = self._doc(
+            transitions=[{"from": "a", "to": "b", "rate": -0.5}]
+        )
+        with pytest.raises(InvalidRateError, match="'rate'.*negative"):
+            model_from_dict(doc)
+
+    def test_non_finite_rate_rejected(self):
+        doc = self._doc(
+            transitions=[{"from": "a", "to": "b", "rate": float("nan")}]
+        )
+        with pytest.raises(InvalidRateError, match="'rate'.*not finite"):
+            model_from_dict(doc)
+
+    def test_negative_constant_expression_rejected(self):
+        doc = self._doc(
+            transitions=[
+                {
+                    "from": "a",
+                    "to": "b",
+                    "rate": {"op": "const", "value": -1.0},
+                }
+            ]
+        )
+        with pytest.raises(InvalidRateError, match="negative"):
+            model_from_dict(doc)
+
+    def test_boolean_rate_rejected(self):
+        doc = self._doc(
+            transitions=[{"from": "a", "to": "b", "rate": True}]
+        )
+        with pytest.raises(InvalidRateError):
+            model_from_dict(doc)
+
+    def test_off_simplex_initial_rejected(self):
+        doc = self._doc(initial=[0.9, 0.3])
+        with pytest.raises(InvalidOccupancyError, match="'initial'.*sum"):
+            model_from_dict(doc)
+
+    def test_negative_initial_entry_rejected(self):
+        doc = self._doc(initial=[1.2, -0.2])
+        with pytest.raises(InvalidOccupancyError, match="'initial'.*negative"):
+            model_from_dict(doc)
+
+    def test_wrong_length_initial_rejected(self):
+        doc = self._doc(initial=[1.0])
+        with pytest.raises(InvalidOccupancyError, match="'initial'"):
+            model_from_dict(doc)
+
+    def test_valid_initial_accepted(self):
+        doc = self._doc(initial=[0.25, 0.75])
+        model = model_from_dict(doc)
+        assert model.num_states == 2
+
+    def test_malformed_fixture_file_names_field(self, tmp_path):
+        doc = self._doc(
+            transitions=[{"from": "a", "to": "nowhere", "rate": 1.0}]
+        )
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(InvalidStateError, match="'to'"):
+            load_model(path)
 
     def test_invalid_json_file(self, tmp_path):
         path = tmp_path / "broken.json"

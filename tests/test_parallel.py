@@ -1,14 +1,26 @@
 """Tests for the process-parallel batch executor (repro.parallel)."""
 
+import os
+import signal
+import threading
+import time
+
 import numpy as np
 import pytest
 
-from repro.exceptions import ModelError
+from repro.exceptions import BudgetExceededError, ModelError, WorkerError
+from repro.instrumentation import EvalStats
 from repro.parallel import (
     batch_bounds,
     fork_available,
     run_batches,
+    seed_provenance,
     spawn_seeds,
+)
+from repro.resilience import Budget
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
 )
 
 
@@ -113,3 +125,153 @@ class TestRunBatches:
 
     def test_fork_available_reports_platform(self):
         assert isinstance(fork_available(), bool)
+
+
+class TestSeedProvenance:
+    def test_describes_the_seed_sequence(self):
+        seed = spawn_seeds(42, 3)[1]
+        text = seed_provenance((0, 5, seed))
+        assert "entropy=42" in text
+        assert "spawn_key=(1,)" in text
+
+    def test_none_without_a_seed(self):
+        assert seed_provenance((0, 5)) is None
+
+
+@needs_fork
+class TestWorkerFaults:
+    """Dead, hung and failing workers must never corrupt a run."""
+
+    @staticmethod
+    def _seeded_work(index, seed):
+        rng = np.random.default_rng(seed)
+        return float(rng.random(100).sum())
+
+    def _args(self, n=6, entropy=11):
+        return [(i, s) for i, s in enumerate(spawn_seeds(entropy, n))]
+
+    def test_killed_worker_recovers_bitwise_identically(self, tmp_path):
+        flag = tmp_path / "already-killed"
+        main_pid = os.getpid()
+
+        def work(index, seed):
+            if index == 1 and os.getpid() != main_pid and not flag.exists():
+                # First worker to pick up batch 1 dies mid-run, exactly
+                # once (the flag file is visible to later forks).
+                flag.write_text("x")
+                os.kill(os.getpid(), signal.SIGKILL)
+            return self._seeded_work(index, seed)
+
+        stats = EvalStats()
+        args = self._args()
+        survived = run_batches(
+            work, args, workers=3, stats=stats, sleep=lambda s: None
+        )
+        assert flag.exists(), "the fault was never injected"
+        assert stats.worker_retries > 0
+        serial = run_batches(self._seeded_work, args, workers=1)
+        assert survived == serial
+
+    def test_retries_exhausted_finishes_in_process(self, tmp_path):
+        main_pid = os.getpid()
+
+        def work(index, seed):
+            if index == 1 and os.getpid() != main_pid:
+                # Every pool round loses this batch's worker; only the
+                # final in-process pass can complete it.
+                os.kill(os.getpid(), signal.SIGKILL)
+            return self._seeded_work(index, seed)
+
+        args = self._args()
+        survived = run_batches(
+            work, args, workers=2, max_retries=1, sleep=lambda s: None
+        )
+        assert survived == run_batches(self._seeded_work, args, workers=1)
+
+    def test_hung_worker_bounded_by_deadline(self):
+        def work(index, seed):
+            time.sleep(30.0)
+            return index
+
+        budget = Budget(deadline=0.4)
+        start = time.monotonic()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_batches(work, self._args(4), workers=2, budget=budget)
+        assert time.monotonic() - start < 10.0, "worker reaping stalled"
+        assert "batches" in str(excinfo.value)
+        assert excinfo.value.progress["batches_total"] == 4
+
+    def test_deterministic_failure_wrapped_as_worker_error(self):
+        def work(index, seed):
+            if index == 2:
+                raise ValueError("poisoned batch")
+            return self._seeded_work(index, seed)
+
+        with pytest.raises(WorkerError) as excinfo:
+            run_batches(work, self._args(), workers=3)
+        error = excinfo.value
+        assert error.batch_index == 2
+        assert "ValueError" in str(error)
+        assert "poisoned batch" in str(error)
+        assert "SeedSequence" in error.seed_provenance
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_deterministic_failure_not_retried(self):
+        stats = EvalStats()
+
+        def work(index, seed):
+            if index == 0:
+                raise RuntimeError("always fails")
+            return index
+
+        with pytest.raises(WorkerError):
+            run_batches(
+                work, self._args(4), workers=2, stats=stats,
+                sleep=lambda s: None,
+            )
+        assert stats.worker_retries == 0
+
+    def test_budget_error_from_worker_propagates_unwrapped(self):
+        def work(index, seed):
+            raise BudgetExceededError(
+                "inner deadline", progress={"paths": 7}
+            )
+
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_batches(work, self._args(4), workers=2)
+        assert not isinstance(excinfo.value, WorkerError)
+        assert excinfo.value.progress == {"paths": 7}
+
+
+@needs_fork
+class TestPayloadSlot:
+    def test_concurrent_threads_do_not_corrupt_the_slot(self):
+        # Regression: two threads dispatching at once used to race on the
+        # module-level _PAYLOAD slot; now the loser degrades in-process.
+        barrier = threading.Barrier(2, timeout=30.0)
+        results = {}
+        errors = []
+
+        def work(i, offset):
+            time.sleep(0.05)
+            return i + offset
+
+        def drive(name, offset):
+            args = [(i, offset) for i in range(4)]
+            try:
+                barrier.wait()
+                results[name] = run_batches(work, args, workers=2)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=drive, args=("a", 10)),
+            threading.Thread(target=drive, args=("b", 100)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert results["a"] == [10, 11, 12, 13]
+        assert results["b"] == [100, 101, 102, 103]
