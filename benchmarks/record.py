@@ -26,8 +26,19 @@ from typing import Optional
 #: History file of the propagator benchmark family.
 DEFAULT_PATH = Path(__file__).resolve().parent / "BENCH_propagators.json"
 
+#: History file of the sparse-backend benchmark family.
+SPARSE_PATH = Path(__file__).resolve().parent / "BENCH_sparse.json"
+
 #: Keep at most this many records per benchmark name (oldest dropped).
 MAX_RECORDS_PER_NAME = 200
+
+#: A wall-time is flagged when it exceeds this multiple of the median of
+#: the preceding records for the same (name, label) series.
+REGRESSION_RATIO = 1.5
+
+#: Number of prior records required before flagging — a short history's
+#: median is too noisy to accuse anything of regressing.
+MIN_HISTORY = 3
 
 
 def _coerce(value):
@@ -91,3 +102,69 @@ def record_wall_times(
     del series[:-MAX_RECORDS_PER_NAME]
     path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
     return record
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_regressions(
+    name: str,
+    *,
+    path: "os.PathLike | str" = DEFAULT_PATH,
+    ratio: float = REGRESSION_RATIO,
+    min_history: int = MIN_HISTORY,
+) -> "list[str]":
+    """Compare the newest record of ``name`` against its own history.
+
+    For each wall-time label of the newest record, compute the median of
+    that label over all *earlier* records in the series; a label whose
+    latest value exceeds ``ratio`` times its median is flagged.  Returns
+    a list of human-readable flag strings — empty when nothing regressed
+    or the history is shorter than ``min_history`` prior records (or the
+    file is missing/corrupt: history damage must never fail a bench).
+
+    This is *flagging*, not gating: wall-clock on shared runners is too
+    noisy for a hard assert, so benches print the flags (and CI logs
+    them) while the accuracy gates stay authoritative.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    series = history.get(name) if isinstance(history, dict) else None
+    if not isinstance(series, list) or len(series) < min_history + 1:
+        return []
+    latest = series[-1]
+    prior = series[:-1]
+    flags: "list[str]" = []
+    latest_times = latest.get("wall_times_s", {})
+    if not isinstance(latest_times, dict):
+        return []
+    for label, value in sorted(latest_times.items()):
+        samples = [
+            rec["wall_times_s"][label]
+            for rec in prior
+            if isinstance(rec, dict)
+            and isinstance(rec.get("wall_times_s"), dict)
+            and isinstance(
+                rec["wall_times_s"].get(label), (int, float)
+            )
+        ]
+        if len(samples) < min_history:
+            continue
+        baseline = _median(samples)
+        if baseline > 0 and float(value) > ratio * baseline:
+            flags.append(
+                f"{name}[{label}]: {float(value):.3f}s vs median "
+                f"{baseline:.3f}s over {len(samples)} runs "
+                f"(> {ratio:g}x)"
+            )
+    return flags

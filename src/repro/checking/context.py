@@ -25,7 +25,15 @@ Caching layers (see ``docs/performance.md``):
 - :meth:`at_time` and :meth:`steady_context` derive child contexts that
   share whatever parent state remains sound (the steady-state result
   always; the trajectory and generator memo whenever the model has no
-  explicit time dependence, by the semigroup property of the flow).
+  explicit time dependence, by the semigroup property of the flow);
+- on the sparse backend (``options.matrix_backend``, resolved by
+  :attr:`matrix_backend`), :meth:`sparse_generator_function` memoizes
+  CSR assemblies of ``Q(m̄(t))`` and :meth:`action_engine` keeps one
+  :class:`~repro.ctmc.propagators.SparseActionPropagator` per
+  transformed chain; :meth:`transient_apply` then answers
+  vector-propagation queries through Krylov actions without ever
+  forming a dense ``(K, K)`` matrix (docs/performance.md, "Backend
+  selection").
 
 All contexts derived from one root share a single
 :class:`~repro.instrumentation.EvalStats` as :attr:`stats`, so counters
@@ -40,7 +48,7 @@ import numpy as np
 
 from repro.checking.options import CheckOptions
 from repro.ctmc.inhomogeneous import solve_forward_kolmogorov
-from repro.ctmc.propagators import PropagatorEngine
+from repro.ctmc.propagators import PropagatorEngine, SparseActionPropagator
 from repro.diagnostics import DiagnosticTrace, check_transient_residual
 from repro.exceptions import NumericalError, SteadyStateError
 from repro.instrumentation import EvalStats
@@ -60,11 +68,22 @@ _KEY_DECIMALS = 12
 #: Degradation-ladder rung order for :meth:`EvaluationContext.transient_matrix`
 #: and the :class:`~repro.resilience.ResultQuality` each rung delivers.
 LADDER_QUALITY = {
+    "sparse": ResultQuality.EXACT,
     "propagator": ResultQuality.EXACT,
     "ode": ResultQuality.EXACT,
     "uniformization": ResultQuality.DEGRADED,
     "mc": ResultQuality.STATISTICAL,
 }
+
+#: ``matrix_backend="auto"`` resolves to sparse only for local models at
+#: least this large — below it dense BLAS wins and the dense pipeline
+#: stays bitwise-stable for the paper's small examples.
+SPARSE_AUTO_MIN_K = 256
+
+#: ... and only when the compiled generator's structural density
+#: ``nnz / K²`` is at most this (birth–death-like transition tables sit
+#: near 3/K; anything denser gains little from CSR actions).
+SPARSE_AUTO_MAX_DENSITY = 0.05
 
 #: Midpoint steps of the order-2 uniformization rung (a coarse pass with
 #: half as many steps supplies the Richardson error estimate).
@@ -126,6 +145,52 @@ class ContextPropagator:
         )
 
 
+class ContextAction:
+    """Context-relative view of a shared :class:`SparseActionPropagator`.
+
+    Sparse counterpart of :class:`ContextPropagator`: the engine lives
+    on root-trajectory ("absolute") time so ``at_time`` children can
+    share one exponent cache; this handle translates the owning
+    context's relative times before delegating.
+    """
+
+    __slots__ = ("engine", "offset")
+
+    def __init__(self, engine: SparseActionPropagator, offset: float):
+        self.engine = engine
+        self.offset = float(offset)
+
+    def ensure(
+        self, t_lo: float, t_hi: float, window: Optional[float] = None
+    ) -> None:
+        """Defect-validate the grid over context-relative ``[t_lo, t_hi]``."""
+        self.engine.ensure(
+            self.offset + float(t_lo),
+            self.offset + float(t_hi),
+            window=window,
+        )
+
+    def apply(
+        self, v: np.ndarray, t_start: float, duration: float,
+        side: str = "left",
+    ) -> np.ndarray:
+        """``v @ Π`` (left) or ``Π @ v`` (right) over a relative window."""
+        a = self.offset + float(t_start)
+        return self.engine.apply(v, a, a + float(duration), side=side)
+
+    def apply_many(
+        self, ts, duration: float, v: np.ndarray, side: str = "left"
+    ) -> np.ndarray:
+        """Batched window actions — first axis indexes ``ts``."""
+        ts = np.asarray(ts, dtype=float) + self.offset
+        return self.engine.apply_many(ts, float(duration), v, side=side)
+
+    def propagate(self, t_start: float, duration: float) -> np.ndarray:
+        """Dense ``Π(t_start, t_start + duration)`` (memory-guarded)."""
+        a = self.offset + float(t_start)
+        return self.engine.propagate(a, a + float(duration))
+
+
 class EvaluationContext:
     """Everything needed to evaluate CSL formulas from one occupancy vector.
 
@@ -182,10 +247,14 @@ class EvaluationContext:
             Callable[[np.ndarray], np.ndarray]
         ] = None
         self._generator_cache: dict = {}
+        self._sparse_generator_fn = None
+        self._sparse_generator_cache: dict = {}
         self._transient_cache: dict = {}
         # Propagator engines keyed by transform signature, shared (with
         # a time offset) along at_time chains that share the trajectory.
         self._propagator_engines: dict = {}
+        # Same discipline for the sparse action engines.
+        self._action_engines: dict = {}
         self._propagator_offset: float = 0.0
         # One-slot box for the stationary point, shared with contexts
         # derived from this one (the steady state is a property of the
@@ -196,9 +265,58 @@ class EvaluationContext:
     # ------------------------------------------------------------------
 
     @property
+    def options(self) -> CheckOptions:
+        """Numerical options; assigning re-hoists the hot-path fields.
+
+        ``transient_matrix`` builds a cache key per query and the curve
+        inner loops read tolerances per evaluation; the setter copies
+        those fields onto flat attributes once per (re)assignment so
+        the hot paths skip the frozen-dataclass attribute chain — and
+        stale hoists can never outlive an options change (the
+        resolved backend is invalidated for the same reason).
+        """
+        return self._options
+
+    @options.setter
+    def options(self, value: CheckOptions) -> None:
+        self._options = value
+        self._rtol = value.ode_rtol
+        self._atol = value.ode_atol
+        self._residual_tol = value.residual_tol
+        self._transient_method = value.transient_method
+        self._resolved_backend: Optional[str] = None
+
+    @property
     def num_states(self) -> int:
         """Number of local states ``K``."""
         return self.model.num_states
+
+    @property
+    def matrix_backend(self) -> str:
+        """The resolved matrix backend — ``"dense"`` or ``"sparse"``.
+
+        ``options.matrix_backend == "auto"`` resolves per model: sparse
+        when the local model is large (``K >= SPARSE_AUTO_MIN_K``) and
+        its compiled generator structurally sparse
+        (``structural_density <= SPARSE_AUTO_MAX_DENSITY``), dense
+        otherwise.  Resolved once per context — the model does not
+        change under a context.
+        """
+        if self._resolved_backend is None:
+            mode = self.options.matrix_backend
+            if mode != "auto":
+                self._resolved_backend = mode
+            else:
+                backend = "dense"
+                if self.model.num_states >= SPARSE_AUTO_MIN_K:
+                    compiled = self.model.local.compiled_generator()
+                    if (
+                        compiled.structural_density
+                        <= SPARSE_AUTO_MAX_DENSITY
+                    ):
+                        backend = "sparse"
+                self._resolved_backend = backend
+        return self._resolved_backend
 
     @property
     def trajectory(self):
@@ -283,6 +401,41 @@ class EvaluationContext:
             self._generator_batch_fn = q_batch
         return self._generator_batch_fn
 
+    def sparse_generator_function(self):
+        """``t -> Q(m̄(t))`` as CSR with one shared structure, memoized.
+
+        Sparse counterpart of :meth:`generator_function`: rates are
+        evaluated through the compiled transition table and scattered
+        into the fixed structural-nonzero pattern
+        (:meth:`repro.meanfield.compiled.CompiledGenerator.sparse`), so
+        each assembly costs O(T + nnz) instead of O(K²).  Cached per
+        time point under the same bound as the dense memo.  Treat
+        returned matrices as read-only.
+        """
+        if self._sparse_generator_fn is None:
+            compiled = self.model.local.compiled_generator()
+            trajectory = self.trajectory
+            cache = self._sparse_generator_cache
+            stats = self.stats
+
+            def q_sparse(t: float):
+                key = round(float(t), _KEY_DECIMALS)
+                q = cache.get(key)
+                if q is not None:
+                    stats.generator_cache_hits += 1
+                    return q
+                stats.generator_cache_misses += 1
+                stats.generator_evals += 1
+                t = float(t)
+                q = compiled.sparse(trajectory(t), t)
+                if len(cache) >= GENERATOR_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = q
+                return q
+
+            self._sparse_generator_fn = q_sparse
+        return self._sparse_generator_fn
+
     # ------------------------------------------------------------------
     # Transient-matrix cache (Equations (4)/(5) solves)
     # ------------------------------------------------------------------
@@ -322,9 +475,9 @@ class EvaluationContext:
             The ``(K', K')`` transient matrix.  Treat as read-only — the
             same array is returned to every caller with the same key.
         """
-        rtol = self.options.ode_rtol if rtol is None else rtol
-        atol = self.options.ode_atol if atol is None else atol
-        method = self.options.transient_method if method is None else method
+        rtol = self._rtol if rtol is None else rtol
+        atol = self._atol if atol is None else atol
+        method = self._transient_method if method is None else method
         # Every tolerance that shapes the answer — including the
         # residual self-verification bound — is part of the key: a
         # matrix solved under loose settings must never be served after
@@ -335,7 +488,7 @@ class EvaluationContext:
             round(float(duration), _KEY_DECIMALS),
             rtol,
             atol,
-            self.options.residual_tol,
+            self._residual_tol,
             method,
         )
         pi = self._transient_cache.get(key)
@@ -370,7 +523,8 @@ class EvaluationContext:
     ) -> np.ndarray:
         """Serve ``Π`` from the highest rung that still works.
 
-        Rung order is ``propagator → ODE fallback chain → order-2
+        Rung order is ``sparse action engine (sparse backend only) →
+        propagator → ODE fallback chain → order-2
         uniformization → Monte-Carlo estimate``; each
         :class:`~repro.exceptions.NumericalError` steps one rung down
         and records the descent in the trace (with the
@@ -398,6 +552,12 @@ class EvaluationContext:
             else:
                 rungs.insert(0, "propagator")
         rungs += ["uniformization", "mc"]
+        if self.matrix_backend == "sparse":
+            # Highest rung on the sparse backend.  Not skipped under
+            # budget pressure: for the models that select this backend
+            # the action engine is also the *cheapest* rung (O(nnz)
+            # work, no K² assembly), so descending would cost more.
+            rungs.insert(0, "sparse")
         failures: "list[str]" = []
         for position, rung in enumerate(rungs):
             if position > 0 and failures:
@@ -409,6 +569,10 @@ class EvaluationContext:
                     failures[-1],
                 )
             try:
+                if rung == "sparse":
+                    return self._transient_sparse(
+                        signature, t_start, duration
+                    )
                 if rung == "propagator":
                     return self._transient_propagator(
                         signature, q_of_t, t_start, duration
@@ -436,6 +600,40 @@ class EvaluationContext:
             + "; ".join(failures)
         )
 
+    def _transient_sparse(
+        self,
+        signature: Hashable,
+        t_start: float,
+        duration: float,
+    ) -> np.ndarray:
+        """Sparse rung: densified action product from the shared engine.
+
+        :meth:`transient_matrix` returns a dense array by contract, so
+        this rung only makes sense where a ``(K', K')`` result is
+        affordable — the densification is screened by the budget's
+        memory guard inside
+        :meth:`~repro.ctmc.propagators.SparseActionPropagator.propagate`.
+        Pipelines that merely *apply* ``Π`` should call
+        :meth:`transient_apply` instead, which never densifies.
+        Signatures without a sparse transform raise
+        :class:`~repro.exceptions.NumericalError` so the ladder
+        descends to the dense rungs.
+        """
+        handle = self.action_engine(signature)
+        if handle is None:
+            raise NumericalError(
+                f"sparse rung: no sparse transform for signature "
+                f"{signature!r}"
+            )
+        pi = handle.propagate(t_start, duration)
+        check_transient_residual(
+            pi,
+            label=f"Pi({t_start:g}, {t_start + duration:g}) [sparse]",
+            tol=self._residual_tol,
+            trace=self.trace,
+        )
+        return pi
+
     def _transient_propagator(
         self,
         signature: Hashable,
@@ -443,14 +641,14 @@ class EvaluationContext:
         t_start: float,
         duration: float,
     ) -> np.ndarray:
-        """Top rung: cell product from the shared propagator engine."""
+        """Top dense rung: cell product from the shared propagator engine."""
         pi = self.propagator_engine(signature, q_of_t).propagate(
             t_start, duration
         )
         check_transient_residual(
             pi,
             label=f"Pi({t_start:g}, {t_start + duration:g}) [cells]",
-            tol=self.options.residual_tol,
+            tol=self._residual_tol,
             trace=self.trace,
         )
         return pi
@@ -466,6 +664,23 @@ class EvaluationContext:
     ) -> np.ndarray:
         """Exact rung: forward Kolmogorov solve with stiff fallbacks."""
         if duration > 0.0:
+            if self.budget is not None:
+                # A dense Kolmogorov solve integrates the flattened
+                # (K', K') matrix; the RK stage stack holds roughly
+                # eight copies of that state.  The chain size is read
+                # off the signature (goal chains append one state)
+                # rather than probing q_of_t, whose first evaluation
+                # belongs to the solver's protected attempt loop.
+                k = self.model.num_states
+                if (
+                    isinstance(signature, tuple)
+                    and len(signature) == 2
+                    and str(signature[0]).startswith("goal")
+                ):
+                    k += 1
+                self.budget.check_memory(
+                    k * k * 8 * 8, "dense Kolmogorov solve"
+                )
             self.stats.solve_ivp_calls += 1
         return solve_forward_kolmogorov(
             q_of_t,
@@ -496,6 +711,12 @@ class EvaluationContext:
             raise NumericalError(
                 "uniformization rung: non-finite generator at "
                 f"t={t_start + 0.5 * h:g}"
+            )
+        if self.budget is not None:
+            # Running product + per-step kernel + series term.
+            k = int(q0.shape[0])
+            self.budget.check_memory(
+                k * k * 8 * 3, "uniformization rung product"
             )
         pi = transient_matrix_uniformization(q0, h)
         for i in range(1, steps):
@@ -709,6 +930,127 @@ class EvaluationContext:
             self._propagator_engines[signature] = engine
         return ContextPropagator(engine, self._propagator_offset)
 
+    def _sparse_for_signature(self, signature: Hashable):
+        """Sparse ``t -> CSR`` function for a known transform signature.
+
+        Mirror of :meth:`_batch_for_signature` on the sparse side: the
+        two standard transforms have O(nnz) sparse constructions
+        (:func:`~repro.checking.transform.absorbing_generator_sparse`,
+        :func:`~repro.checking.transform.goal_generator_sparse`).
+        ``("goal-literal", ...)`` and unknown signatures return ``None``
+        — those chains stay on the dense pipeline.
+        """
+        from repro.checking.transform import (
+            UntilPartition,
+            absorbing_generator_sparse_function,
+            goal_generator_sparse_function,
+        )
+
+        if not isinstance(signature, tuple) or len(signature) != 2:
+            return None
+        kind, arg = signature
+        if kind == "absorbing" and isinstance(arg, frozenset):
+            return absorbing_generator_sparse_function(
+                self.sparse_generator_function(), arg
+            )
+        if kind == "goal" and isinstance(arg, UntilPartition):
+            return goal_generator_sparse_function(
+                self.sparse_generator_function(), arg
+            )
+        return None
+
+    def action_engine(
+        self, signature: Hashable
+    ) -> "Optional[ContextAction]":
+        """The shared sparse action engine for the chain ``signature``.
+
+        One :class:`~repro.ctmc.propagators.SparseActionPropagator` is
+        kept per transform signature and shared — with a time offset —
+        along :meth:`at_time` chains, exactly like
+        :meth:`propagator_engine` on the dense side.  Returns ``None``
+        when the signature has no sparse transform (goal-literal
+        chains, ad-hoc generator functions); callers then fall back to
+        the dense pipeline.
+        """
+        engine = self._action_engines.get(signature)
+        if engine is None:
+            q_sparse = self._sparse_for_signature(signature)
+            if q_sparse is None:
+                return None
+            offset = self._propagator_offset
+            if offset:
+
+                def q_abs(t: float, _q=q_sparse, _o=offset):
+                    return _q(t - _o)
+
+            else:
+                q_abs = q_sparse
+            engine_kwargs = {}
+            if self.options.max_refinements is not None:
+                engine_kwargs["max_refinements"] = (
+                    self.options.max_refinements
+                )
+            engine = SparseActionPropagator(
+                q_abs,
+                tol=self.options.propagator_tol,
+                trace=self.trace,
+                stats=self.stats,
+                budget=self.budget,
+                **engine_kwargs,
+            )
+            self.stats.propagator_engines += 1
+            self._action_engines[signature] = engine
+        return ContextAction(engine, self._propagator_offset)
+
+    def transient_apply(
+        self,
+        signature: Hashable,
+        q_of_t: Callable[[float], np.ndarray],
+        t_start: float,
+        duration: float,
+        vector: np.ndarray,
+        side: str = "left",
+        rtol: Optional[float] = None,
+        atol: Optional[float] = None,
+        method: Optional[str] = None,
+    ) -> np.ndarray:
+        """``vector @ Π`` (``side="left"``) or ``Π @ vector`` (right).
+
+        The vector-propagation face of :meth:`transient_matrix`: on the
+        dense backend it multiplies through the cached matrix (repeated
+        calls share one solve); on the sparse backend, chains with a
+        sparse transform are served by the shared :meth:`action_engine`
+        through Krylov actions and **no dense ``(K', K')`` array is
+        ever formed**.  A sparse-engine
+        :class:`~repro.exceptions.NumericalError` (grid refinement cap)
+        falls back to the dense path and is recorded as a ladder
+        downgrade; budget errors always propagate.
+        """
+        vector = np.asarray(vector, dtype=float)
+        if self.matrix_backend == "sparse":
+            handle = self.action_engine(signature)
+            if handle is not None:
+                if self.budget is not None:
+                    self.budget.checkpoint(
+                        f"transient_apply @ {float(t_start):g}"
+                        f"+{float(duration):g}"
+                    )
+                try:
+                    return handle.apply(
+                        vector, float(t_start), float(duration), side=side
+                    )
+                except NumericalError as exc:
+                    self.trace.downgrade(
+                        "sparse", "ode", LADDER_QUALITY["ode"], str(exc)
+                    )
+        pi = self.transient_matrix(
+            signature, q_of_t, t_start, duration,
+            rtol=rtol, atol=atol, method=method,
+        )
+        if side == "right":
+            return pi @ vector
+        return vector @ pi
+
     @staticmethod
     def _monotone_columns(signature: Hashable) -> "Optional[list]":
         """Absorbing columns implied by a transform signature, if known.
@@ -735,8 +1077,10 @@ class EvaluationContext:
         together — they also share the trajectory the engines were built
         from."""
         self._generator_cache.clear()
+        self._sparse_generator_cache.clear()
         self._transient_cache.clear()
         self._propagator_engines.clear()
+        self._action_engines.clear()
 
     # ------------------------------------------------------------------
     # Steady state (Sections IV-D / V-A)
@@ -835,8 +1179,10 @@ class EvaluationContext:
 
             child._generator_fn = shifted_q
             # Same trajectory, same inhomogeneous chain: the child can
-            # serve its windows from the parent's propagator cells, just
-            # shifted in global time.
+            # serve its windows from the parent's propagator cells —
+            # dense and sparse engines alike — just shifted in global
+            # time.
             child._propagator_engines = self._propagator_engines
+            child._action_engines = self._action_engines
             child._propagator_offset = self._propagator_offset + t
         return child

@@ -50,6 +50,16 @@ class CheckOptions:
         ``"ode"`` (default) solves each Kolmogorov problem with
         ``solve_ivp``; ``"propagator"`` serves windows from the shared
         defect-controlled cell-product engine.
+    matrix_backend:
+        Matrix representation of the transient pipeline.  ``"dense"``
+        is the classical path (dense ``(K, K)`` generators and
+        propagators); ``"sparse"`` assembles CSR generators and serves
+        transient queries through Krylov/uniformization *actions*
+        (:class:`repro.ctmc.propagators.SparseActionPropagator`) that
+        never form a dense propagator unless explicitly asked for a full
+        matrix.  ``"auto"`` (default) picks sparse when the local model
+        is large and its generator structurally sparse — see
+        docs/performance.md, "Backend selection".
     propagator_tol:
         Defect tolerance of the propagator engine: cell products are
         refined until they agree with a reference ODE solve over the
@@ -114,6 +124,7 @@ class CheckOptions:
     until_method: str = "auto"
     curve_method: str = "propagate"
     transient_method: str = "ode"
+    matrix_backend: str = "auto"
     propagator_tol: float = 1e-6
     horizon_margin: float = 1.0
     start_convention: str = "standard"
@@ -142,6 +153,11 @@ class CheckOptions:
             raise ModelError(
                 f"transient_method must be ode/propagator, got "
                 f"{self.transient_method!r}"
+            )
+        if self.matrix_backend not in ("auto", "dense", "sparse"):
+            raise ModelError(
+                f"matrix_backend must be auto/dense/sparse, got "
+                f"{self.matrix_backend!r}"
             )
         if self.propagator_tol <= 0:
             raise ModelError("propagator_tol must be positive")

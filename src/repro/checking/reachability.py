@@ -167,10 +167,13 @@ class ProbabilityCurve:
                     f"crossing scan [{a:g}, {b:g}] for state {state}"
                 )
             # Sample strictly inside the segment to avoid evaluating on a
-            # jump point.
+            # jump point.  values_many batches the whole segment scan
+            # through the curve's batch evaluator (cells / sparse
+            # actions) when one exists — the per-point loop only
+            # survives inside Brent refinement below.
             eps = min(1e-9, (b - a) * 1e-6)
             ts = np.linspace(a + eps, b - eps, max(int(grid_points), 3))
-            vals = np.array([f(t) for t in ts])
+            vals = self.values_many(ts)[:, state] - threshold
             for i in range(len(ts) - 1):
                 va, vb = vals[i], vals[i + 1]
                 if va == 0.0:
@@ -238,32 +241,40 @@ def until_probabilities_simple(
 
     absorbed2 = (all_states - gamma1) | gamma2
     q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
-    pi_b = ctx.transient_matrix(
-        ("absorbing", absorbed2), q_phase2, t + t1, t2 - t1, rtol=rtol, atol=atol
-    )
     # Probability, from each phase-2 start state, of sitting in a Γ2 state
     # at the end of the window (Γ2 states are absorbing, so "sitting in"
-    # means "reached").
-    reach_gamma2 = pi_b[:, sorted(gamma2)].sum(axis=1) if gamma2 else np.zeros(k)
+    # means "reached").  Computed as the right action ``Π_b @ 1_Γ2`` —
+    # on the sparse backend no dense Π_b is ever formed.
+    if gamma2:
+        indicator2 = np.zeros(k)
+        indicator2[sorted(gamma2)] = 1.0
+        reach_gamma2 = ctx.transient_apply(
+            ("absorbing", absorbed2), q_phase2, t + t1, t2 - t1,
+            indicator2, side="right", rtol=rtol, atol=atol,
+        )
+    else:
+        reach_gamma2 = np.zeros(k)
 
     if t1 <= 0.0:
         if ctx.options.start_convention == "phi1":
             # Example-1 convention: paths must start in a Φ1 state (the
             # literal reading of Equation (4); see CheckOptions).
-            mask = np.array([1.0 if s in gamma1 else 0.0 for s in range(k)])
+            mask = np.zeros(k)
+            mask[sorted(gamma1)] = 1.0
             return reach_gamma2 * mask
         return reach_gamma2
     absorbed1 = all_states - gamma1
     q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
-    pi_a = ctx.transient_matrix(
-        ("absorbing", absorbed1), q_phase1, t, t1, rtol=rtol, atol=atol
+    # Equation (7): mass must sit in a Γ1 state at time t + t1 — mask
+    # the phase-2 probabilities to Γ1 and apply Π_a from the right.
+    masked = np.zeros(k)
+    if gamma1:
+        cols1 = sorted(gamma1)
+        masked[cols1] = reach_gamma2[cols1]
+    return ctx.transient_apply(
+        ("absorbing", absorbed1), q_phase1, t, t1,
+        masked, side="right", rtol=rtol, atol=atol,
     )
-    result = np.zeros(k)
-    for s in range(k):
-        result[s] = sum(
-            pi_a[s, s1] * reach_gamma2[s1] for s1 in gamma1
-        )
-    return result
 
 
 class SimpleUntilCurve(ProbabilityCurve):
@@ -300,6 +311,18 @@ class SimpleUntilCurve(ProbabilityCurve):
         # Make sure the trajectory covers everything we will touch.
         ctx.trajectory(theta + t2 + ctx.options.horizon_margin)
         gamma2_cols = sorted(gamma2)
+
+        if (
+            ctx.matrix_backend == "sparse"
+            and method in ("propagate", "cells")
+        ):
+            # Sparse backend: both dense curve engines integrate or
+            # cache (K, K) objects; serve the curve through the shared
+            # action engines instead (reach vectors only).  Falls back
+            # to the dense machinery when a chain has no sparse
+            # transform or the action grid cannot reach tolerance.
+            if self._init_sparse(ctx, gamma1, gamma2, t1, t2, theta):
+                return
 
         if method == "propagate":
             q_of_t = ctx.generator_function()
@@ -352,6 +375,8 @@ class SimpleUntilCurve(ProbabilityCurve):
                     [1.0 if s in gamma1 else 0.0 for s in range(k)]
                 )
 
+            gamma1_cols = sorted(gamma1)
+
             def evaluator(t: float) -> np.ndarray:
                 pi_b = prop_b(t + t1)
                 reach = (
@@ -364,10 +389,9 @@ class SimpleUntilCurve(ProbabilityCurve):
                         return reach * strict_mask
                     return reach
                 pi_a = prop_a(t)
-                out = np.zeros(k)
-                for s in range(k):
-                    out[s] = sum(pi_a[s, s1] * reach[s1] for s1 in gamma1)
-                return out
+                if not gamma1_cols:
+                    return np.zeros(k)
+                return pi_a[:, gamma1_cols] @ reach[gamma1_cols]
 
         elif method == "cells":
             q_of_t = ctx.generator_function()
@@ -440,3 +464,87 @@ class SimpleUntilCurve(ProbabilityCurve):
             raise CheckingError(f"unknown curve method {method!r}")
 
         super().__init__(evaluator, 0.0, theta, k, budget=ctx.budget)
+
+    def _init_sparse(
+        self,
+        ctx: EvaluationContext,
+        gamma1: FrozenSet[int],
+        gamma2: FrozenSet[int],
+        t1: float,
+        t2: float,
+        theta: float,
+    ) -> bool:
+        """Build the curve on the sparse action engines; ``True`` on success.
+
+        The evaluator pushes the ``Γ2`` indicator through
+        ``Π_b(t + t1, t + t2)`` as a right action, masks to ``Γ1`` and
+        (for ``t1 > 0``) pushes through ``Π_a(t, t + t1)`` — reach
+        *vectors* all the way, so curve evaluation at K ~ 10³–10⁴ costs
+        O(cells · nnz) per query instead of O(K²) storage.  Returns
+        ``False`` (leaving the curve unbuilt) when an engine is missing
+        or its grid cannot reach tolerance; the caller then uses the
+        dense machinery.
+        """
+        from repro.exceptions import NumericalError
+
+        k = ctx.num_states
+        all_states = frozenset(range(k))
+        absorbed2 = (all_states - gamma1) | gamma2
+        handle_b = ctx.action_engine(("absorbing", absorbed2))
+        handle_a = None
+        if t1 > 0.0:
+            handle_a = ctx.action_engine(("absorbing", all_states - gamma1))
+            if handle_a is None:
+                return False
+        if handle_b is None:
+            return False
+        try:
+            handle_b.ensure(t1, theta + t2, window=t2 - t1)
+            if handle_a is not None:
+                handle_a.ensure(0.0, theta + t1, window=t1)
+        except NumericalError as exc:
+            ctx.trace.note(
+                f"sparse until curve: action grid failed ({exc}); "
+                "using the dense curve machinery"
+            )
+            return False
+
+        gamma1_cols = sorted(gamma1)
+        gamma2_cols = sorted(gamma2)
+        indicator2 = np.zeros(k)
+        indicator2[gamma2_cols] = 1.0
+        strict_mask = None
+        if t1 <= 0.0 and ctx.options.start_convention == "phi1":
+            strict_mask = np.zeros(k)
+            strict_mask[gamma1_cols] = 1.0
+
+        def _finish(reach: np.ndarray, t: float) -> np.ndarray:
+            if handle_a is None:
+                if strict_mask is not None:
+                    return reach * strict_mask
+                return reach
+            if not gamma1_cols:
+                return np.zeros(k)
+            masked = np.zeros(k)
+            masked[gamma1_cols] = reach[gamma1_cols]
+            return handle_a.apply(masked, t, t1, side="right")
+
+        def evaluator(t: float) -> np.ndarray:
+            reach = handle_b.apply(indicator2, t + t1, t2 - t1, side="right")
+            return _finish(reach, t)
+
+        def batch_evaluator(ts: np.ndarray) -> np.ndarray:
+            ts = np.asarray(ts, dtype=float)
+            reaches = handle_b.apply_many(
+                ts + t1, t2 - t1, indicator2, side="right"
+            )
+            return np.vstack(
+                [_finish(reaches[i], float(t)) for i, t in enumerate(ts)]
+            )
+
+        super().__init__(
+            evaluator, 0.0, theta, k,
+            batch_evaluator=batch_evaluator,
+            budget=ctx.budget,
+        )
+        return True

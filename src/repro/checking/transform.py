@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, FrozenSet
 
 import numpy as np
+import scipy.sparse
 
 from repro.exceptions import CheckingError
 
@@ -106,6 +107,32 @@ def absorbing_generator_batch_function(
     return modified
 
 
+def absorbing_generator_sparse(
+    q: scipy.sparse.spmatrix, absorbed: FrozenSet[int]
+) -> scipy.sparse.csr_matrix:
+    """Sparse ``M[Φ]``: CSR copy with absorbed rows' data zeroed.
+
+    The sparsity structure is preserved (entries become explicit zeros),
+    so repeated transforms along a trajectory keep one structure.
+    """
+    out = q.tocsr().copy()
+    for s in absorbed:
+        out.data[out.indptr[s] : out.indptr[s + 1]] = 0.0
+    return out
+
+
+def absorbing_generator_sparse_function(
+    q_of_t: Callable[[float], scipy.sparse.spmatrix], absorbed: FrozenSet[int]
+) -> Callable[[float], scipy.sparse.csr_matrix]:
+    """Time-dependent version of :func:`absorbing_generator_sparse`."""
+    absorbed = frozenset(absorbed)
+
+    def modified(t: float) -> scipy.sparse.csr_matrix:
+        return absorbing_generator_sparse(q_of_t(t), absorbed)
+
+    return modified
+
+
 def goal_generator(q: np.ndarray, partition: UntilPartition) -> np.ndarray:
     """The ``(K+1, K+1)`` generator of the goal-state chain.
 
@@ -165,6 +192,50 @@ def goal_generator_batch_function(q_many, partition: UntilPartition):
                 out[:, live, k] = block.sum(axis=-1)
                 out[np.ix_(range(n), live, success)] = 0.0
         return out
+
+    return modified
+
+
+def goal_generator_sparse(
+    q: scipy.sparse.spmatrix, partition: UntilPartition
+) -> scipy.sparse.csr_matrix:
+    """Sparse ``(K+1, K+1)`` goal-state chain.
+
+    Same construction as :func:`goal_generator`, built from the COO
+    triplets of the live rows: entries into success states are re-aimed
+    at the goal column (duplicates sum on CSR conversion), every other
+    row is empty.  Cost is O(nnz), and the goal chain of a sparse
+    generator stays sparse.
+    """
+    k = partition.num_states
+    if q.shape != (k, k):
+        raise CheckingError(
+            f"generator shape {q.shape} does not match partition size {k}"
+        )
+    coo = q.tocoo()
+    live = np.fromiter(sorted(partition.live), dtype=np.intp, count=len(partition.live))
+    success = np.fromiter(
+        sorted(partition.success), dtype=np.intp, count=len(partition.success)
+    )
+    keep = np.isin(coo.row, live)
+    rows = coo.row[keep]
+    cols = coo.col[keep]
+    data = coo.data[keep]
+    cols = np.where(np.isin(cols, success), k, cols)
+    out = scipy.sparse.coo_matrix(
+        (data, (rows, cols)), shape=(k + 1, k + 1)
+    ).tocsr()
+    out.sum_duplicates()
+    return out
+
+
+def goal_generator_sparse_function(
+    q_of_t: Callable[[float], scipy.sparse.spmatrix], partition: UntilPartition
+) -> Callable[[float], scipy.sparse.csr_matrix]:
+    """Time-dependent version of :func:`goal_generator_sparse`."""
+
+    def modified(t: float) -> scipy.sparse.csr_matrix:
+        return goal_generator_sparse(q_of_t(t), partition)
 
     return modified
 

@@ -49,7 +49,11 @@ from repro.models.botnet import botnet_model
 from repro.models.diurnal import diurnal_virus_model
 from repro.models.epidemic import sir_model, sis_model
 from repro.models.gossip import gossip_model
-from repro.models.load_balancing import load_balancing_model
+from repro.models.load_balancing import (
+    deep_load_balancing_model,
+    load_balancing_model,
+)
+from repro.models.population import population_model
 from repro.models.virus import SETTING_1, SETTING_2, virus_model
 
 # Exit codes: one per failure class, so scripts can distinguish a bad
@@ -94,6 +98,8 @@ MODELS: Dict[str, Callable[[], MeanFieldModel]] = {
     "gossip": gossip_model,
     "diurnal": diurnal_virus_model,
     "loadbalance": load_balancing_model,
+    "loadbalance-deep": deep_load_balancing_model,
+    "population": population_model,
 }
 
 
@@ -124,6 +130,7 @@ def _build_checker(args: argparse.Namespace) -> MFModelChecker:
         workers=getattr(args, "workers", 1),
         curve_method=getattr(args, "curve_method", "propagate"),
         transient_method=getattr(args, "transient_method", "ode"),
+        matrix_backend=getattr(args, "matrix_backend", "auto"),
         propagator_tol=getattr(args, "propagator_tol", 1e-6),
         deadline=getattr(args, "deadline", None),
         max_refinements=getattr(args, "max_refinements", None),
@@ -135,7 +142,12 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     for name in sorted(MODELS):
         model = MODELS[name]()
         local = model.local
-        print(f"{name}: states={list(local.states)}")
+        states = list(local.states)
+        if len(states) > 8:
+            shown = ", ".join(states[:4] + ["..."] + states[-2:])
+            print(f"{name}: K={len(states)} states=[{shown}]")
+        else:
+            print(f"{name}: states={states}")
         print(f"    atomic propositions: {sorted(local.atomic_propositions)}")
     return 0
 
@@ -335,6 +347,15 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("ode", "propagator"),
             help="transient-matrix backend: per-window Kolmogorov solves "
             "or the shared piecewise-homogeneous propagator engine",
+        )
+        p.add_argument(
+            "--matrix-backend",
+            default="auto",
+            choices=("auto", "dense", "sparse"),
+            help="transient linear-algebra backend: dense (K, K) arrays, "
+            "sparse CSR action kernels for large local models, or auto "
+            "selection by size and structural density "
+            "(see CheckOptions.matrix_backend; docs/performance.md §8)",
         )
         p.add_argument(
             "--propagator-tol",

@@ -24,6 +24,7 @@ mean-field layer (:mod:`repro.meanfield`) and the model checkers
 
 from repro.ctmc.generator import (
     build_generator,
+    build_sparse_generator,
     embedded_jump_matrix,
     exit_rates,
     is_generator,
@@ -33,6 +34,8 @@ from repro.ctmc.generator import (
 )
 from repro.ctmc.transient import (
     transient_distribution,
+    transient_distribution_expm_multiply,
+    transient_distribution_uniformization,
     transient_matrix,
     transient_matrix_expm,
     transient_matrix_uniformization,
@@ -51,7 +54,7 @@ from repro.ctmc.inhomogeneous import (
     solve_backward_kolmogorov,
     solve_forward_kolmogorov,
 )
-from repro.ctmc.propagators import PropagatorEngine
+from repro.ctmc.propagators import PropagatorEngine, SparseActionPropagator
 from repro.ctmc.paths import (
     Path,
     PathBatch,
@@ -63,6 +66,7 @@ from repro.ctmc.paths import (
 
 __all__ = [
     "build_generator",
+    "build_sparse_generator",
     "embedded_jump_matrix",
     "exit_rates",
     "is_generator",
@@ -70,6 +74,8 @@ __all__ = [
     "uniformized_matrix",
     "validate_generator",
     "transient_distribution",
+    "transient_distribution_expm_multiply",
+    "transient_distribution_uniformization",
     "transient_matrix",
     "transient_matrix_expm",
     "transient_matrix_uniformization",
@@ -79,6 +85,7 @@ __all__ = [
     "power_step_distribution",
     "validate_stochastic_matrix",
     "PropagatorEngine",
+    "SparseActionPropagator",
     "TransitionMatrixPropagator",
     "solve_backward_kolmogorov",
     "solve_forward_kolmogorov",

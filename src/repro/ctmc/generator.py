@@ -12,16 +12,21 @@ sums to zero.  This module offers:
   the uniformized probability matrix used by uniformization-based
   transient analysis.
 
-All functions operate on plain :class:`numpy.ndarray` objects; the state
-space is always ``range(K)``.  Mapping between named states and indices is
-the job of the higher layers (:class:`repro.meanfield.LocalModel`).
+Functions operate on plain :class:`numpy.ndarray` objects; the helpers
+that the sparse backend shares (:func:`exit_rates`,
+:func:`uniformization_rate`, :func:`uniformized_matrix`,
+:func:`validate_generator`, :func:`make_absorbing`) also accept
+:mod:`scipy.sparse` matrices and preserve sparsity.  The state space is
+always ``range(K)``; mapping between named states and indices is the job
+of the higher layers (:class:`repro.meanfield.LocalModel`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
+import scipy.sparse
 
 from repro.exceptions import InvalidRateError, ModelError
 
@@ -32,6 +37,7 @@ ROW_SUM_ATOL = 1e-9
 def build_generator(
     num_states: int,
     rates: Mapping[Tuple[int, int], float],
+    budget: Optional[object] = None,
 ) -> np.ndarray:
     """Build a dense generator matrix from a sparse rate mapping.
 
@@ -43,6 +49,12 @@ def build_generator(
         Mapping from ``(source, target)`` index pairs to non-negative
         transition rates.  Self-loops (``source == target``) are rejected,
         mirroring Definition 1 of the paper ("self-loops are eliminated").
+    budget:
+        Optional :class:`repro.resilience.Budget`.  The dense ``(K, K)``
+        allocation is checked against ``max_memory_mb`` *before* it
+        happens — a large sparse rate mapping no longer silently
+        materializes a dense array the budget would have rejected.  Use
+        :func:`build_sparse_generator` when the guard trips.
 
     Returns
     -------
@@ -56,9 +68,15 @@ def build_generator(
         If a rate is negative or non-finite, or a self-loop is given.
     ModelError
         If an index is out of range.
+    repro.exceptions.BudgetExceededError
+        If the dense allocation would exceed the budget's memory guard.
     """
     if num_states <= 0:
         raise ModelError(f"num_states must be positive, got {num_states}")
+    if budget is not None:
+        budget.check_memory(
+            num_states * num_states * 8, "dense generator build"
+        )
     q = np.zeros((num_states, num_states), dtype=float)
     for (i, j), rate in rates.items():
         if not (0 <= i < num_states and 0 <= j < num_states):
@@ -80,6 +98,47 @@ def build_generator(
     return q
 
 
+def build_sparse_generator(
+    num_states: int,
+    rates: Mapping[Tuple[int, int], float],
+) -> scipy.sparse.csr_matrix:
+    """Build a CSR generator matrix from a sparse rate mapping.
+
+    Validation matches :func:`build_generator` entry for entry; only the
+    structurally nonzero rates plus the diagonal closure are stored, so
+    memory is O(len(rates) + K) instead of O(K²).
+    """
+    if num_states <= 0:
+        raise ModelError(f"num_states must be positive, got {num_states}")
+    rows, cols, vals = [], [], []
+    exit_rate = np.zeros(num_states)
+    for (i, j), rate in rates.items():
+        if not (0 <= i < num_states and 0 <= j < num_states):
+            raise ModelError(
+                f"transition ({i}, {j}) outside state space of size {num_states}"
+            )
+        if i == j:
+            raise InvalidRateError(
+                f"self-loop on state {i} is not allowed in a generator"
+            )
+        rate = float(rate)
+        if not np.isfinite(rate) or rate < 0.0:
+            raise InvalidRateError(
+                f"rate for transition ({i}, {j}) must be finite and >= 0, got {rate}"
+            )
+        rows.append(i)
+        cols.append(j)
+        vals.append(rate)
+        exit_rate[i] += rate
+    rows.extend(range(num_states))
+    cols.extend(range(num_states))
+    vals.extend(-exit_rate)
+    mat = scipy.sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(num_states, num_states)
+    )
+    return mat.tocsr()
+
+
 def fix_diagonal(q: np.ndarray) -> np.ndarray:
     """Return a copy of ``q`` with the diagonal set to minus the row sums.
 
@@ -96,8 +155,28 @@ def validate_generator(q: np.ndarray, atol: float = ROW_SUM_ATOL) -> None:
     """Raise :class:`ModelError` unless ``q`` is a valid generator matrix.
 
     Checks that the matrix is square and finite, off-diagonal entries are
-    non-negative, and each row sums to zero within ``atol``.
+    non-negative, and each row sums to zero within ``atol``.  Accepts
+    dense arrays and :mod:`scipy.sparse` matrices; the sparse check
+    touches only the stored entries (O(nnz), never densifies).
     """
+    if scipy.sparse.issparse(q):
+        if q.ndim != 2 or q.shape[0] != q.shape[1]:
+            raise ModelError(f"generator must be square, got shape {q.shape}")
+        coo = q.tocoo()
+        if not np.all(np.isfinite(coo.data)):
+            raise ModelError("generator contains non-finite entries")
+        off = coo.data[coo.row != coo.col]
+        if off.size and np.any(off < -atol):
+            raise ModelError("generator has negative off-diagonal entries")
+        row_sums = np.asarray(q.sum(axis=1)).ravel()
+        scale = max(1.0, float(np.abs(coo.data).max()) if coo.data.size else 0.0)
+        if np.any(np.abs(row_sums) > atol * scale):
+            worst = int(np.argmax(np.abs(row_sums)))
+            raise ModelError(
+                f"generator rows must sum to 0; row {worst} sums to "
+                f"{row_sums[worst]!r}"
+            )
+        return
     q = np.asarray(q, dtype=float)
     if q.ndim != 2 or q.shape[0] != q.shape[1]:
         raise ModelError(f"generator must be square, got shape {q.shape}")
@@ -125,6 +204,8 @@ def is_generator(q: np.ndarray, atol: float = ROW_SUM_ATOL) -> bool:
 
 def exit_rates(q: np.ndarray) -> np.ndarray:
     """Total rate of leaving each state (``-diag(Q)``)."""
+    if scipy.sparse.issparse(q):
+        return -np.asarray(q.diagonal(), dtype=float)
     q = np.asarray(q, dtype=float)
     return -np.diag(q)
 
@@ -138,7 +219,9 @@ def uniformization_rate(q: np.ndarray, margin: float = 1.02) -> float:
     generator (every state absorbing), returns ``1.0`` so the uniformized
     matrix is well defined (the identity).
     """
-    rate = float(np.max(exit_rates(np.asarray(q, dtype=float)), initial=0.0))
+    if not scipy.sparse.issparse(q):
+        q = np.asarray(q, dtype=float)
+    rate = float(np.max(exit_rates(q), initial=0.0))
     if rate <= 0.0:
         return 1.0
     return rate * float(margin)
@@ -155,7 +238,8 @@ def uniformized_matrix(q: np.ndarray, rate: "float | None" = None) -> np.ndarray
         Uniformization constant; computed by :func:`uniformization_rate`
         when omitted.  Must be at least the maximal exit rate.
     """
-    q = np.asarray(q, dtype=float)
+    if not scipy.sparse.issparse(q):
+        q = np.asarray(q, dtype=float)
     if rate is None:
         rate = uniformization_rate(q)
     rate = float(rate)
@@ -166,6 +250,10 @@ def uniformized_matrix(q: np.ndarray, rate: "float | None" = None) -> np.ndarray
         )
     if rate <= 0.0:
         raise ModelError(f"uniformization rate must be positive, got {rate}")
+    if scipy.sparse.issparse(q):
+        return (
+            scipy.sparse.eye(q.shape[0], format="csr") + q.tocsr() / rate
+        )
     return np.eye(q.shape[0]) + q / rate
 
 
@@ -195,6 +283,11 @@ def make_absorbing(q: np.ndarray, states: "frozenset[int] | set[int]") -> np.nda
     Baier et al.): every outgoing transition of an absorbed state is
     removed, so probability mass that enters such a state stays there.
     """
+    if scipy.sparse.issparse(q):
+        out = q.tocsr().copy()
+        for s in states:
+            out.data[out.indptr[s] : out.indptr[s + 1]] = 0.0
+        return out
     out = np.array(q, dtype=float, copy=True)
     for s in states:
         out[s, :] = 0.0

@@ -122,6 +122,11 @@ def solve_forward_kolmogorov(
         raise ModelError(f"duration must be non-negative, got {duration}")
     q0 = np.asarray(q_of_t(t_start), dtype=float)
     k = q0.shape[0]
+    if budget is not None and duration > 0.0:
+        # The flattened (K, K) state plus the RK stage stack — large
+        # dense chains must fail fast here instead of thrashing (the
+        # sparse backend exists for them; docs/performance.md §8).
+        budget.check_memory(k * k * 8 * 8, "dense Kolmogorov solve")
     if duration == 0.0:
         if dense:
             return lambda T: _check_window(T, 0.0) or np.eye(k)
@@ -371,6 +376,12 @@ class TransitionMatrixPropagator:
         self._atol = atol
         self._solution = None
         if self.horizon > self.t0:
+            if self._budget is not None:
+                # Dense output keeps an interpolant segment per accepted
+                # step; bound the per-step footprint (state + stages).
+                self._budget.check_memory(
+                    self._k * self._k * 8 * 8, "window-shift ODE solve"
+                )
             self._solution = self._solve()
 
     def _solve(self):

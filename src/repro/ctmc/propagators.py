@@ -42,6 +42,20 @@ using the kernel's convergence order — until the defect is below ``tol``
 times a safety factor.  The exact ODE path therefore remains both the
 fallback and the built-in cross-check; residual (stochasticity) checks
 run on every probe like on any other solve.
+
+For large local models (the sparse backend of docs/performance.md
+"Backend selection") the dense cell cache itself is the problem: each
+cached cell is a dense ``(K, K)`` propagator and each window product
+costs ``O(K³)``.  :class:`SparseActionPropagator` keeps the same grid
+geometry but caches only the *sparse CF4 exponents* per cell and applies
+``Π(a, b)`` to vectors/blocks through chains of
+:func:`scipy.sparse.linalg.expm_multiply` actions — ``O(nnz)`` per
+matvec, never a dense matrix unless a caller explicitly densifies
+(which then passes through ``Budget.max_memory_mb``).  Its defect
+control is Richardson extrapolation (grid ``h`` vs ``h/2`` on probe
+blocks) instead of dense ODE references, which would themselves be
+``O(K²)`` state solves — the trade-off is documented in
+docs/numerics.md.
 """
 
 from __future__ import annotations
@@ -50,7 +64,9 @@ import math
 from typing import Callable, Optional, Sequence
 
 import numpy as np
+import scipy.sparse
 from scipy.linalg import expm
+from scipy.sparse.linalg import expm_multiply
 
 from repro.ctmc.transient import transient_matrix_uniformization
 from repro.diagnostics import (
@@ -96,6 +112,36 @@ _BATCH_MIN_NODES = 6
 _GAUSS_OFFSET = math.sqrt(3.0) / 6.0
 _CF4_A = (3.0 - 2.0 * math.sqrt(3.0)) / 12.0
 _CF4_B = (3.0 + 2.0 * math.sqrt(3.0)) / 12.0
+
+#: Random probe directions per side used by the sparse engine's
+#: Richardson defect control (plus the uniform distribution).
+_SPARSE_PROBE_COLUMNS = 4
+
+#: Fixed seed of the sparse probe directions — deterministic defect
+#: estimates across runs (same convention as the MC ladder seed).
+_SPARSE_PROBE_SEED = 20130613
+
+
+def split_window(h: float, a: float, b: float):
+    """Decompose ``[a, b]`` on a width-``h`` grid into
+    (left sliver, cell range, right sliver).
+
+    Returns ``(left, j0, j1, right)`` where ``left``/``right`` are
+    optional ``(start, end)`` sliver intervals and ``j0..j1-1`` the full
+    grid cells in between (empty when ``j0 >= j1``).  A window with no
+    interior grid point comes back as a single left sliver.  Shared by
+    the dense and sparse propagator engines so both compose the *same*
+    piece sequence for a given grid.
+    """
+    snap = h * 1e-9
+    j0 = int(math.ceil((a - snap) / h))
+    j1 = int(math.floor((b + snap) / h))
+    if j0 > j1:
+        # Both endpoints inside one cell: a single sliver.
+        return (a, b), 0, 0, None
+    left = (a, j0 * h) if j0 * h - a > snap else None
+    right = (j1 * h, b) if b - j1 * h > snap else None
+    return left, j0, j1, right
 
 
 class PropagatorEngine:
@@ -327,16 +373,7 @@ class PropagatorEngine:
         full grid cells in between (empty when ``j0 >= j1``).  A window
         with no interior grid point comes back as a single left sliver.
         """
-        h = self._h
-        snap = h * 1e-9
-        j0 = int(math.ceil((a - snap) / h))
-        j1 = int(math.floor((b + snap) / h))
-        if j0 > j1:
-            # Both endpoints inside one cell: a single sliver.
-            return (a, b), 0, 0, None
-        left = (a, j0 * h) if j0 * h - a > snap else None
-        right = (j1 * h, b) if b - j1 * h > snap else None
-        return left, j0, j1, right
+        return split_window(self._h, a, b)
 
     # ------------------------------------------------------------------
     # Defect control
@@ -599,6 +636,397 @@ class PropagatorEngine:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PropagatorEngine(k={self.k}, kernel={self.kernel!r}, "
+            f"order={self.order}, h={self._h}, "
+            f"validated={self._validated}, cells={len(self._cells)}, "
+            f"slivers={len(self._slivers)})"
+        )
+
+
+SparseGeneratorFunction = Callable[[float], scipy.sparse.csr_matrix]
+
+
+class SparseActionPropagator:
+    """Action-based propagator for large sparse inhomogeneous chains.
+
+    The grid geometry matches :class:`PropagatorEngine` (uniform cells,
+    boundary slivers, CF4 or midpoint cell rule), but the cache holds
+    the *sparse exponent matrices* of each cell — for CF4 the pair
+    ``E₁ = h(b·Q₁ + a·Q₂)``, ``E₂ = h(a·Q₁ + b·Q₂)`` whose sparsity
+    equals the generator's — and ``Π(a, b)`` is only ever *applied*:
+
+    - right action ``Π(a, b) @ w`` (reach-probability vectors):
+      ``exp(E₁)·exp(E₂)·…·w`` evaluated right-to-left through
+      :func:`scipy.sparse.linalg.expm_multiply`;
+    - left action ``v @ Π(a, b)`` (distribution rows): the transposed
+      chain evaluated left-to-right.
+
+    Memory is O(cells · nnz) instead of O(cells · K²) and a window
+    application costs O(cells · nnz · series terms) — no dense matrix
+    exists unless :meth:`propagate` explicitly densifies the result
+    (guarded by ``Budget.max_memory_mb``).
+
+    Defect control is Richardson extrapolation: probe blocks (the
+    uniform distribution plus a few fixed-seed random directions) are
+    pushed through the actual piece sequence at width ``h`` and at
+    ``h/2``; the difference estimates the O(h^order) composition error
+    and drives the same order-aware refinement jumps as the dense
+    engine.  docs/numerics.md discusses why the dense engine's exact-ODE
+    references are not affordable here.
+
+    Parameters mirror :class:`PropagatorEngine` where they apply;
+    ``q_of_t`` must return a :class:`scipy.sparse.csr_matrix` (for one
+    fixed sparsity structure, e.g. from
+    :meth:`repro.meanfield.compiled.CompiledGenerator.sparse`).
+    """
+
+    def __init__(
+        self,
+        q_of_t: SparseGeneratorFunction,
+        *,
+        tol: float = DEFAULT_PROPAGATOR_TOL,
+        order: int = 4,
+        initial_cells: int = 16,
+        max_refinements: int = 16,
+        trace: Optional[DiagnosticTrace] = None,
+        stats=None,
+        budget: Optional[Budget] = None,
+    ):
+        if tol <= 0.0:
+            raise ModelError(f"tol must be positive, got {tol}")
+        if order not in (2, 4):
+            raise ModelError(f"order must be 2 or 4, got {order}")
+        if initial_cells < 1:
+            raise ModelError(f"initial_cells must be >= 1, got {initial_cells}")
+        self.q_of_t = q_of_t
+        self.tol = float(tol)
+        self.order = int(order)
+        self._initial_cells = int(initial_cells)
+        self._max_refinements = int(max_refinements)
+        self._trace = trace
+        self._stats = stats
+        self._budget = budget
+        q0 = q_of_t(0.0)
+        if not scipy.sparse.issparse(q0):
+            raise ModelError(
+                "SparseActionPropagator needs a sparse generator function; "
+                f"got {type(q0).__name__} (use PropagatorEngine for dense)"
+            )
+        self.k = int(q0.shape[0])
+        self._nnz = int(q0.nnz)
+        self._h: Optional[float] = None
+        self._validated: Optional["tuple[float, float, float]"] = None
+        self.refinements = 0
+        #: Cell index -> tuple of sparse exponents in *product order*
+        #: (left factor first); the cell propagator is the product of
+        #: their exponentials.
+        self._cells: "dict[int, tuple]" = {}
+        self._slivers: "dict[tuple, tuple]" = {}
+        rng = np.random.default_rng(_SPARSE_PROBE_SEED)
+        probes = rng.standard_normal((self.k, _SPARSE_PROBE_COLUMNS))
+        probes /= np.max(np.abs(probes), axis=0, keepdims=True)
+        #: Probe block for Richardson defect control: the uniform
+        #: distribution plus fixed random directions, ∞-normalized so
+        #: the defect reads as an absolute entrywise error.
+        self._probe_block = np.column_stack(
+            [np.full(self.k, 1.0 / self.k), probes]
+        )
+
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._stats is not None and amount:
+            setattr(self._stats, name, getattr(self._stats, name) + amount)
+
+    def _factors(self, start: float, width: float) -> tuple:
+        """Sparse exponent factors of the cell rule over one interval."""
+        if self.order == 2:
+            q = self.q_of_t(start + 0.5 * width).tocsr()
+            return (q * width,)
+        c1 = start + width * (0.5 - _GAUSS_OFFSET)
+        c2 = start + width * (0.5 + _GAUSS_OFFSET)
+        q1 = self.q_of_t(c1).tocsr()
+        q2 = self.q_of_t(c2).tocsr()
+        return (
+            (width * _CF4_B) * q1 + (width * _CF4_A) * q2,
+            (width * _CF4_A) * q1 + (width * _CF4_B) * q2,
+        )
+
+    def _cell(self, i: int) -> tuple:
+        factors = self._cells.get(i)
+        if factors is not None:
+            self._count("propagator_cache_hits")
+            return factors
+        if self._budget is not None:
+            per_factor = self._nnz * 12 + (self.k + 1) * 4
+            per_cell = per_factor * (2 if self.order == 4 else 1)
+            self._budget.check_memory(
+                (len(self._cells) + len(self._slivers) + 1) * per_cell,
+                "sparse propagator cell cache",
+            )
+        factors = self._factors(i * self._h, self._h)
+        self._cells[i] = factors
+        self._count("sparse_cells_built")
+        return factors
+
+    def _sliver_factors(self, a: float, b: float) -> tuple:
+        key = (round(a, _KEY_DECIMALS), round(b, _KEY_DECIMALS))
+        factors = self._slivers.get(key)
+        if factors is not None:
+            self._count("propagator_cache_hits")
+            return factors
+        factors = self._factors(a, b - a)
+        self._slivers[key] = factors
+        self._count("sparse_cells_built")
+        return factors
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _right_action(factors, w: np.ndarray) -> np.ndarray:
+        """``(∏ exp(E_f)) @ w`` — factors applied right-to-left."""
+        for e in reversed(factors):
+            w = expm_multiply(e, w)
+        return w
+
+    @staticmethod
+    def _left_action(factors, v: np.ndarray) -> np.ndarray:
+        """``v @ (∏ exp(E_f))`` — transposed chain, left-to-right."""
+        for e in factors:
+            v = expm_multiply(e.T.tocsr(), v.T).T
+        return v
+
+    def _pieces(self, a: float, b: float) -> list:
+        """Factor tuples of every piece of ``[a, b]``, in product order."""
+        left, j0, j1, right = split_window(self._h, a, b)
+        pieces = []
+        if left is not None:
+            pieces.append(self._sliver_factors(*left))
+        for i in range(j0, j1):
+            pieces.append(self._cell(i))
+        if right is not None:
+            pieces.append(self._sliver_factors(*right))
+        return pieces
+
+    def _apply_window(
+        self, a: float, b: float, v: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Apply ``Π(a, b)`` to ``v`` through the cached piece sequence."""
+        if b - a <= _TINY:
+            return np.array(v, dtype=float, copy=True)
+        pieces = self._pieces(a, b)
+        self._count("sparse_applies")
+        if side == "right":
+            w = np.asarray(v, dtype=float)
+            for factors in reversed(pieces):
+                w = self._right_action(factors, w)
+            return w
+        w = np.asarray(v, dtype=float)
+        for factors in pieces:
+            w = self._left_action(factors, w)
+        return w
+
+    def _apply_window_refined(
+        self, a: float, b: float, v: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Same piece sequence, but every piece split in two — the
+        Richardson comparison point for the defect estimate.  Halved
+        factors are built fresh and not cached (the estimate must not
+        pollute the working grid)."""
+        left, j0, j1, right = split_window(self._h, a, b)
+        intervals = []
+        if left is not None:
+            intervals.append(left)
+        intervals.extend((i * self._h, (i + 1) * self._h) for i in range(j0, j1))
+        if right is not None:
+            intervals.append(right)
+        halves = []
+        for s, e in intervals:
+            mid = 0.5 * (s + e)
+            halves.append(self._factors(s, mid - s))
+            halves.append(self._factors(mid, e - mid))
+        w = np.asarray(v, dtype=float)
+        if side == "right":
+            for factors in reversed(halves):
+                w = self._right_action(factors, w)
+            return w
+        for factors in halves:
+            w = self._left_action(factors, w)
+        return w
+
+    # ------------------------------------------------------------------
+    # Defect control (Richardson)
+    # ------------------------------------------------------------------
+
+    def _probe_windows(
+        self, lo: float, hi: float, window: float
+    ) -> "list[tuple[float, float]]":
+        if window >= (hi - lo) - _TINY:
+            return [(lo, hi)]
+        mid_start = 0.5 * (lo + hi - window)
+        starts = sorted({lo, mid_start, hi - window})
+        probes = []
+        prev_end = -np.inf
+        for s in starts:
+            if s >= prev_end - _TINY:
+                probes.append((s, s + window))
+                prev_end = s + window
+        return probes
+
+    def _defect(self, probes) -> float:
+        """Worst Richardson (h vs h/2) error over the probe windows.
+
+        The halved grid is O(2^order) more accurate, so the h-vs-h/2
+        difference is a slight *over*-estimate of the coarse grid's true
+        error — conservative in the safe direction.
+        """
+        worst = 0.0
+        for a, b in probes:
+            coarse = self._apply_window(a, b, self._probe_block, "right")
+            fine = self._apply_window_refined(a, b, self._probe_block, "right")
+            worst = max(worst, float(np.max(np.abs(coarse - fine))))
+        return worst
+
+    def ensure(
+        self, t_lo: float, t_hi: float, window: Optional[float] = None
+    ) -> None:
+        """Richardson-validate the grid for windows up to ``window``
+        anywhere inside ``[t_lo, t_hi]`` (same contract as
+        :meth:`PropagatorEngine.ensure`)."""
+        t_lo, t_hi = float(t_lo), float(t_hi)
+        if t_lo < -1e-9:
+            raise ModelError(f"propagator times must be >= 0, got {t_lo}")
+        t_lo = max(t_lo, 0.0)
+        if t_hi < t_lo:
+            raise ModelError(f"empty ensure range [{t_lo}, {t_hi}]")
+        window = float(window) if window is not None else t_hi - t_lo
+        window = min(max(window, 0.0), t_hi - t_lo)
+        if self._validated is not None:
+            lo, hi, w = self._validated
+            if (
+                lo - 1e-12 <= t_lo
+                and t_hi <= hi + 1e-12
+                and window <= w + 1e-12
+            ):
+                return
+            t_lo, t_hi = min(lo, t_lo), max(hi, t_hi)
+            window = max(w, window)
+        if t_hi - t_lo <= _TINY or window <= _TINY:
+            self._validated = (t_lo, t_hi, window)
+            return
+        if self._h is None:
+            self._h = (t_hi - t_lo) / self._initial_cells
+        target = REFINEMENT_SAFETY * self.tol
+        probes = self._probe_windows(t_lo, t_hi, window)
+        while True:
+            if self._budget is not None:
+                self._budget.checkpoint(
+                    f"sparse propagator refinement sweep {self.refinements}"
+                )
+            defect = self._defect(probes)
+            if defect <= target:
+                break
+            if self.refinements >= self._max_refinements:
+                raise NumericalError(
+                    f"sparse propagator grid did not reach tol={self.tol:g} "
+                    f"over [{t_lo:g}, {t_hi:g}] after {self.refinements} "
+                    f"refinements (defect {defect:.2e}); fall back to a "
+                    f"dense rung"
+                )
+            jumps = max(
+                1, math.ceil(math.log2(defect / target) / self.order)
+            )
+            jumps = min(jumps, self._max_refinements - self.refinements)
+            self._h /= 2.0 ** jumps
+            self._cells.clear()
+            self._slivers.clear()
+            self.refinements += jumps
+            self._count("sparse_refinements", jumps)
+        if self._trace is not None and self.refinements:
+            self._trace.note(
+                f"sparse propagator grid at h={self._h:g} over "
+                f"[{t_lo:g}, {t_hi:g}] after {self.refinements} "
+                f"refinements (Richardson defect {defect:.2e})"
+            )
+        self._validated = (t_lo, t_hi, window)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, v: np.ndarray, a: float, b: float, side: str = "left"
+    ) -> np.ndarray:
+        """``v @ Π(a, b)`` (``side="left"``) or ``Π(a, b) @ v``
+        (``side="right"``), defect-controlled.
+
+        ``v`` may be a vector ``(K,)`` or a block — ``(B, K)`` rows for
+        the left action, ``(K, B)`` columns for the right action.
+        """
+        a, b = float(a), float(b)
+        if b < a:
+            raise ModelError(f"empty window [{a}, {b}]")
+        if side not in ("left", "right"):
+            raise ModelError(f"side must be left/right, got {side!r}")
+        self.ensure(a, b, window=b - a)
+        return self._apply_window(a, b, np.asarray(v, dtype=float), side)
+
+    def propagate(self, a: float, b: float) -> np.ndarray:
+        """Dense ``Π(a, b)`` via the identity right action.
+
+        The one place the sparse engine materializes a ``(K, K)`` array
+        — screened by the budget's memory guard first, so infeasible
+        densifications surface as
+        :class:`~repro.exceptions.BudgetExceededError` before any
+        allocation.
+        """
+        a, b = float(a), float(b)
+        if b < a:
+            raise ModelError(f"empty window [{a}, {b}]")
+        if self._budget is not None:
+            self._budget.check_memory(
+                2 * self.k * self.k * 8, "sparse propagator densify"
+            )
+        self.ensure(a, b, window=b - a)
+        return self._apply_window(a, b, np.eye(self.k), "right")
+
+    def apply_many(
+        self, ts, duration: float, v: np.ndarray, side: str = "left"
+    ) -> np.ndarray:
+        """Batched ``v @ Π(t_i, t_i + duration)`` (or right actions).
+
+        Validates the covering range once; each window then reuses the
+        shared cell cache.  Returns one stacked array, first axis
+        indexing ``ts``.
+        """
+        ts = np.asarray(ts, dtype=float).reshape(-1)
+        duration = float(duration)
+        if duration < 0.0:
+            raise ModelError(f"duration must be non-negative, got {duration}")
+        if ts.size == 0:
+            return np.zeros((0,) + np.asarray(v).shape)
+        self.ensure(float(ts.min()), float(ts.max()) + duration, window=duration)
+        v = np.asarray(v, dtype=float)
+        return np.stack(
+            [self._apply_window(t, t + duration, v, side) for t in ts]
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cell_width(self) -> Optional[float]:
+        """Current grid cell width (``None`` before the first probe)."""
+        return self._h
+
+    @property
+    def num_cached_cells(self) -> int:
+        """Cells plus boundary slivers currently held in the cache."""
+        return len(self._cells) + len(self._slivers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SparseActionPropagator(k={self.k}, nnz={self._nnz}, "
             f"order={self.order}, h={self._h}, "
             f"validated={self._validated}, cells={len(self._cells)}, "
             f"slivers={len(self._slivers)})"

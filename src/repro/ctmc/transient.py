@@ -14,6 +14,16 @@ the benchmark suite compare their cost; the inhomogeneous solvers in
 :mod:`repro.ctmc.inhomogeneous` degenerate to these when the generator is
 constant, which is the backbone of the "homogeneous baseline" validation in
 DESIGN.md.
+
+The sparse backend (docs/performance.md, "Backend selection") adds two
+*action* kernels that propagate distributions without ever forming a
+dense propagator: :func:`transient_distribution_uniformization` runs
+Jensen's series on CSR matvecs, and
+:func:`transient_distribution_expm_multiply` delegates to
+:func:`scipy.sparse.linalg.expm_multiply` (Al-Mohy & Higham's scaled
+Taylor action).  Both cost O(nnz) per matvec instead of the dense
+O(K²)/O(K³); their truncation error is analysed in docs/numerics.md.
+The matrix-level entry points accept :mod:`scipy.sparse` generators too.
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import scipy.sparse
 from scipy.linalg import expm
+from scipy.sparse.linalg import expm_multiply
 
 from repro.ctmc.generator import (
     uniformization_rate,
@@ -32,11 +44,20 @@ from repro.exceptions import ModelError, NumericalError
 
 
 def transient_matrix_expm(q: np.ndarray, t: float) -> np.ndarray:
-    """Transient probability matrix ``expm(Q t)`` via scipy."""
-    q = np.asarray(q, dtype=float)
+    """Transient probability matrix ``expm(Q t)`` (dense result).
+
+    Dense generators go through scipy's Padé ``expm``; sparse generators
+    through the ``expm_multiply`` action on the identity, which avoids
+    the fill-in a sparse Padé factorization would create.
+    """
     t = float(t)
     if t < 0.0:
         raise ModelError(f"time must be non-negative, got {t}")
+    if scipy.sparse.issparse(q):
+        if t == 0.0:
+            return np.eye(q.shape[0])
+        return expm_multiply(q.tocsr() * t, np.eye(q.shape[0]))
+    q = np.asarray(q, dtype=float)
     if t == 0.0:
         return np.eye(q.shape[0])
     return expm(q * t)
@@ -81,8 +102,14 @@ def transient_matrix_uniformization(
     Poisson mass is below ``epsilon``; the result is therefore a slightly
     sub-stochastic lower bound, re-normalized is *not* applied so that error
     control stays transparent to the caller.
+
+    Sparse generators are accepted; the running power ``P^n`` is kept
+    dense (the result is dense anyway) but each step multiplies by the
+    sparse ``P``, so the cost per term is O(K·nnz) instead of O(K³).
     """
-    q = np.asarray(q, dtype=float)
+    sparse = scipy.sparse.issparse(q)
+    if not sparse:
+        q = np.asarray(q, dtype=float)
     t = float(t)
     if t < 0.0:
         raise ModelError(f"time must be non-negative, got {t}")
@@ -91,6 +118,7 @@ def transient_matrix_uniformization(
         return np.eye(k)
     lam = uniformization_rate(q)
     p = uniformized_matrix(q, lam)
+    p_t = p.T.tocsr() if sparse else None
     lam_t = lam * t
     n_max = poisson_truncation_point(lam_t, epsilon)
     result = np.zeros((k, k))
@@ -100,7 +128,7 @@ def transient_matrix_uniformization(
         weight = math.exp(log_w)
         result += weight * term
         if n < n_max:
-            term = term @ p
+            term = (p_t @ term.T).T if sparse else term @ p
             log_w += math.log(lam_t / (n + 1))
     return result
 
@@ -129,13 +157,101 @@ def transient_matrix(
     raise NumericalError(f"unknown transient method {method!r}")
 
 
+def transient_distribution_uniformization(
+    initial: np.ndarray,
+    q: np.ndarray,
+    t: float,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """``initial @ expm(Q t)`` by Jensen's series on matvecs only.
+
+    The workhorse of the sparse backend: never forms a matrix power, so
+    each of the ``n_max`` terms costs one sparse matvec (O(nnz)).
+
+    Parameters
+    ----------
+    initial:
+        Distribution row vector of shape ``(K,)``, or a batch ``(B, K)``
+        propagated simultaneously (one matvec per term covers the whole
+        batch).
+    q:
+        Generator — dense array or scipy sparse matrix.
+    epsilon:
+        Truncation bound on the neglected Poisson tail mass; the result
+        under-approximates by at most ``epsilon`` per entry (see
+        docs/numerics.md).
+    """
+    initial = np.asarray(initial, dtype=float)
+    t = float(t)
+    if t < 0.0:
+        raise ModelError(f"time must be non-negative, got {t}")
+    if t == 0.0:
+        return initial.copy()
+    sparse = scipy.sparse.issparse(q)
+    if not sparse:
+        q = np.asarray(q, dtype=float)
+    lam = uniformization_rate(q)
+    q_t = q.T.tocsr() if sparse else None
+    lam_t = lam * t
+    n_max = poisson_truncation_point(lam_t, epsilon)
+    w = initial.astype(float, copy=True)
+    result = np.zeros_like(w)
+    log_w = -lam_t  # log PoissonPMF(0)
+    for n in range(n_max + 1):
+        result += math.exp(log_w) * w
+        if n < n_max:
+            # w <- w @ P with P = I + Q/Lambda, via one matvec with Q.
+            wq = (q_t @ w.T).T if sparse else w @ q
+            w = w + wq / lam
+            log_w += math.log(lam_t / (n + 1))
+    return result
+
+
+def transient_distribution_expm_multiply(
+    initial: np.ndarray,
+    q: np.ndarray,
+    t: float,
+) -> np.ndarray:
+    """``initial @ expm(Q t)`` via :func:`scipy.sparse.linalg.expm_multiply`.
+
+    Al-Mohy & Higham's scaled Taylor action: error is controlled to
+    machine-precision-level backward error without any user tolerance.
+    ``initial`` may be ``(K,)`` or a batch ``(B, K)``.
+    """
+    initial = np.asarray(initial, dtype=float)
+    t = float(t)
+    if t < 0.0:
+        raise ModelError(f"time must be non-negative, got {t}")
+    if t == 0.0:
+        return initial.copy()
+    a = (q.tocsr() if scipy.sparse.issparse(q) else np.asarray(q, dtype=float)) * t
+    if initial.ndim == 1:
+        return expm_multiply(a.T, initial)
+    return expm_multiply(a.T, initial.T).T
+
+
 def transient_distribution(
     initial: np.ndarray,
     q: np.ndarray,
     t: float,
     method: str = "expm",
+    epsilon: float = 1e-12,
 ) -> np.ndarray:
-    """Distribution at time ``t`` starting from ``initial`` at time 0."""
+    """Distribution at time ``t`` starting from ``initial`` at time 0.
+
+    ``method`` selects the kernel: ``"expm"`` forms the dense propagator
+    (homogeneous baseline), while the action methods
+    ``"expm_multiply"`` and ``"uniformization"`` propagate the vector
+    directly and are the ones the sparse backend uses.
+    """
     initial = np.asarray(initial, dtype=float)
+    if method == "expm_multiply":
+        validate_generator(q)
+        return transient_distribution_expm_multiply(initial, q, t)
+    if method == "uniformization":
+        validate_generator(q)
+        return transient_distribution_uniformization(
+            initial, q, t, epsilon=epsilon
+        )
     pi = transient_matrix(q, t, method=method)
     return initial @ pi

@@ -69,6 +69,16 @@ class EvalStats:
     propagator_refinements:
         Grid halvings forced by the defect-control probe (see
         :meth:`~repro.ctmc.propagators.PropagatorEngine.ensure`).
+    sparse_cells_built:
+        Sparse exponent cells/slivers assembled by
+        :class:`~repro.ctmc.propagators.SparseActionPropagator` (cache
+        hits count into ``propagator_cache_hits`` like the dense engine).
+    sparse_applies:
+        Window actions (``v @ Π`` / ``Π @ v``) evaluated through
+        ``expm_multiply`` chains by the sparse engine.
+    sparse_refinements:
+        Grid halvings forced by the sparse engine's Richardson defect
+        control.
     solver_fallbacks:
         Extra ``solve_ivp`` attempts made after a primary method failed
         (see :func:`repro.diagnostics.robust_solve_ivp`); non-zero means
@@ -107,6 +117,9 @@ class EvalStats:
     propagator_cache_hits: int = 0
     propagator_products: int = 0
     propagator_refinements: int = 0
+    sparse_cells_built: int = 0
+    sparse_applies: int = 0
+    sparse_refinements: int = 0
     solver_fallbacks: int = 0
     residual_checks: int = 0
     residual_warnings: int = 0

@@ -18,15 +18,25 @@ for the constant part and no tree walks at all.  :meth:`batch`
 evaluates the generator over a whole batch of occupancy vectors at
 once, vectorizing compiled-expression rates across the batch.
 
+For large local models the dense ``(K, K)`` layout itself becomes the
+bottleneck, so the assembler also has a **CSR build mode**: the
+transition list fixes the sparsity structure once (only structurally
+nonzero entries plus the diagonal are materialized), and per evaluation
+only the ``nnz``-length ``.data`` vector is rewritten — see
+:meth:`sparse`, :meth:`sparse_into` and :meth:`sparse_data_batch`.  The
+dense base matrix is built lazily, so sparse-only workloads never
+allocate ``K²`` memory here at all.
+
 The interpreted path remains the correctness oracle: the property tests
 assert agreement to 1e-12 for every bundled model.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+import scipy.sparse
 
 from repro.exceptions import InvalidRateError, ModelError
 from repro.meanfield.expressions import Expression
@@ -34,6 +44,12 @@ from repro.meanfield.rates import evaluate_rate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.meanfield.local_model import LocalModel
+
+#: Local-state count from which :meth:`CompiledGenerator.drift` switches
+#: the mean-field drift to the O(T + K) per-transition action instead of
+#: assembling a dense generator.  Kept well above the zoo-model sizes so
+#: small-model trajectories stay bitwise identical to earlier releases.
+DRIFT_ACTION_MIN_K = 256
 
 #: Per-transition rate kinds (see ``_per_transition`` / ``transition_rates``).
 #: ``_VECTOR`` covers compiled expressions *and* callables that declare
@@ -60,7 +76,6 @@ class CompiledGenerator:
 
     def __init__(self, model: "LocalModel"):
         k = model.num_states
-        base = np.zeros((k, k))
         dummy = np.full(k, 1.0 / k)
         dynamic = []
         per_transition = []
@@ -68,7 +83,6 @@ class CompiledGenerator:
         for tr in model.transitions:
             if tr.constant:
                 value = evaluate_rate(tr.rate, dummy, 0.0)
-                base[tr.source, tr.target] += value
                 per_transition.append((tr.source, tr.target, _CONST, value))
             elif isinstance(tr.rate, Expression):
                 compiled = tr.rate.compile()
@@ -91,7 +105,11 @@ class CompiledGenerator:
                         tr.rate,
                     )
                 )
-        self._base = base
+        #: Dense constant base, built lazily on first dense assembly so
+        #: sparse-only workloads never pay the K² allocation.
+        self._base: Optional[np.ndarray] = None
+        #: CSR structure cache: ``(indptr, indices, tr_pos, diag_pos)``.
+        self._structure = None
         self._dynamic: Tuple = tuple(dynamic)
         self._per_transition: Tuple = tuple(per_transition)
         #: Source state of every transition, in model order (``(T,)``).
@@ -115,6 +133,16 @@ class CompiledGenerator:
         """Dimension ``K`` of the generator."""
         return self._k
 
+    def _base_matrix(self) -> np.ndarray:
+        """The dense constant base (built lazily, cached)."""
+        if self._base is None:
+            base = np.zeros((self._k, self._k))
+            for src, dst, kind, payload in self._per_transition:
+                if kind == _CONST:
+                    base[src, dst] += payload
+            self._base = base
+        return self._base
+
     # ------------------------------------------------------------------
 
     def __call__(self, m: np.ndarray, t: float = 0.0) -> np.ndarray:
@@ -127,7 +155,7 @@ class CompiledGenerator:
         negatives are clamped to zero, and the diagonal closes the rows.
         """
         m = np.asarray(m, dtype=float)
-        q = self._base.copy()
+        q = self._base_matrix().copy()
         for src, dst, fn, _ in self._dynamic:
             value = float(fn(m, t))
             if not np.isfinite(value) or value < -1e-9:
@@ -164,7 +192,7 @@ class CompiledGenerator:
         b = occupancies.shape[0]
         k = self._k
         q = np.empty((b, k, k))
-        q[:] = self._base
+        q[:] = self._base_matrix()
         t_arr = np.broadcast_to(np.asarray(t, dtype=float), (b,))
         for src, dst, fn, vectorized in self._dynamic:
             if vectorized:
@@ -241,6 +269,148 @@ class CompiledGenerator:
                 f"{b} occupancies"
             )
         return np.clip(out, 0.0, None, out=out)
+
+    # ------------------------------------------------------------------
+    # CSR build mode
+    # ------------------------------------------------------------------
+
+    def _sparse_structure(self):
+        """The fixed CSR structure ``(indptr, indices, tr_pos, diag_pos)``.
+
+        The transition list determines which entries of ``Q`` can ever be
+        nonzero; the structure materializes exactly those plus one
+        diagonal slot per row (the row closure), sorted and
+        duplicate-free.  ``tr_pos[j]`` is the position in ``data`` that
+        transition ``j`` accumulates into; ``diag_pos[i]`` is row ``i``'s
+        diagonal slot.  Built once and cached — every sparse evaluation
+        reuses the same ``indices``/``indptr`` arrays and only rewrites
+        ``data``.
+        """
+        if self._structure is None:
+            k = self._k
+            cols = [{i} for i in range(k)]
+            for s, d in zip(self.transition_sources, self.transition_targets):
+                cols[int(s)].add(int(d))
+            indptr = np.zeros(k + 1, dtype=np.int32)
+            indices_list: list = []
+            pos = {}
+            for i in range(k):
+                for c in sorted(cols[i]):
+                    pos[(i, c)] = len(indices_list)
+                    indices_list.append(c)
+                indptr[i + 1] = len(indices_list)
+            indices = np.asarray(indices_list, dtype=np.int32)
+            tr_pos = np.array(
+                [
+                    pos[(int(s), int(d))]
+                    for s, d in zip(
+                        self.transition_sources, self.transition_targets
+                    )
+                ],
+                dtype=np.intp,
+            )
+            diag_pos = np.array([pos[(i, i)] for i in range(k)], dtype=np.intp)
+            self._structure = (indptr, indices, tr_pos, diag_pos)
+        return self._structure
+
+    @property
+    def structural_nnz(self) -> int:
+        """Number of structurally-nonzero entries (incl. the diagonal)."""
+        return int(self._sparse_structure()[1].size)
+
+    @property
+    def structural_density(self) -> float:
+        """Fraction ``nnz / K²`` of structurally-nonzero entries."""
+        return self.structural_nnz / float(self._k * self._k)
+
+    def _sparse_data(self, rates: np.ndarray) -> np.ndarray:
+        """Scatter validated per-transition rates into CSR ``data`` rows.
+
+        ``rates`` has shape ``(B, T)`` (output of
+        :meth:`transition_rates`); the result has shape ``(B, nnz)``.
+        Duplicate ``(source, target)`` transitions accumulate, and the
+        diagonal slots close each row with minus the exit rate.
+        """
+        _indptr, indices, tr_pos, diag_pos = self._sparse_structure()
+        b = rates.shape[0]
+        data = np.zeros((b, indices.size))
+        rows = np.arange(b)[:, None]
+        np.add.at(data, (rows, np.broadcast_to(tr_pos, rates.shape)), rates)
+        exit_rates = np.zeros((b, self._k))
+        np.add.at(
+            exit_rates,
+            (rows, np.broadcast_to(self.transition_sources, rates.shape)),
+            rates,
+        )
+        data[:, diag_pos] = -exit_rates
+        return data
+
+    def sparse(self, m: np.ndarray, t: float = 0.0) -> scipy.sparse.csr_matrix:
+        """``Q(m̄)`` as a CSR matrix — only structural nonzeros stored.
+
+        Semantics match :meth:`__call__` exactly (validation, clamping,
+        row closure); ``sparse(m, t).toarray()`` equals ``__call__(m, t)``
+        to round-off.  The ``indices``/``indptr`` arrays are shared with
+        the compiled structure — callers may freely rewrite ``.data``
+        (see :meth:`sparse_into`) but must not mutate the structure.
+        """
+        m = np.asarray(m, dtype=float)
+        rates = self.transition_rates(m[None, :], t)
+        data = self._sparse_data(rates)[0]
+        indptr, indices, _tr_pos, _diag_pos = self._sparse_structure()
+        mat = scipy.sparse.csr_matrix(
+            (data, indices, indptr), shape=(self._k, self._k)
+        )
+        return mat
+
+    def sparse_into(
+        self, matrix: scipy.sparse.csr_matrix, m: np.ndarray, t: float = 0.0
+    ) -> scipy.sparse.csr_matrix:
+        """Re-evaluate ``Q(m̄)`` into an existing CSR in place.
+
+        ``matrix`` must come from :meth:`sparse` (same structure); only
+        its ``.data`` vector is rewritten, so hot loops re-evaluating the
+        generator along a trajectory allocate nothing per step.
+        """
+        rates = self.transition_rates(np.asarray(m, dtype=float)[None, :], t)
+        matrix.data[:] = self._sparse_data(rates)[0]
+        return matrix
+
+    def sparse_data_batch(self, occupancies: np.ndarray, t=0.0) -> np.ndarray:
+        """CSR ``data`` rows for a whole batch of occupancy vectors.
+
+        Returns shape ``(B, nnz)`` against the shared structure of
+        :meth:`_sparse_structure`; row ``i`` equals
+        ``sparse(occupancies[i], t_i).data``.  Pair with
+        :meth:`sparse_view` to wrap rows as matrices without re-scatter.
+        """
+        rates = self.transition_rates(occupancies, t)
+        return self._sparse_data(rates)
+
+    def sparse_view(self, data: np.ndarray) -> scipy.sparse.csr_matrix:
+        """Wrap one ``(nnz,)`` data row (from :meth:`sparse_data_batch`)
+        as a CSR matrix sharing the compiled structure."""
+        indptr, indices, _tr_pos, _diag_pos = self._sparse_structure()
+        return scipy.sparse.csr_matrix(
+            (data, indices, indptr), shape=(self._k, self._k)
+        )
+
+    def drift(self, m: np.ndarray, t: float = 0.0) -> np.ndarray:
+        """Mean-field drift ``m̄ Q(m̄)`` in O(T + K), no matrix formed.
+
+        The drift is a flow balance over transitions: each transition
+        ``s -> d`` moves probability flux ``m[s] · rate`` from ``s`` to
+        ``d``.  Used by :meth:`repro.meanfield.overall_model.MeanFieldModel.drift`
+        for ``K >= DRIFT_ACTION_MIN_K``, where dense assembly would
+        dominate the occupancy-ODE solve.
+        """
+        m = np.asarray(m, dtype=float)
+        rates = self.transition_rates(m[None, :], t)[0]
+        flux = m[self.transition_sources] * rates
+        out = np.zeros(self._k)
+        np.add.at(out, self.transition_targets, flux)
+        np.add.at(out, self.transition_sources, -flux)
+        return out
 
     def __repr__(self) -> str:
         return (

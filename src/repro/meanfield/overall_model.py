@@ -14,6 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.exceptions import InvalidOccupancyError
+from repro.meanfield.compiled import DRIFT_ACTION_MIN_K
 from repro.meanfield.local_model import LocalModel
 from repro.meanfield.ode import DEFAULT_ATOL, DEFAULT_RTOL, OccupancyTrajectory
 
@@ -107,7 +108,12 @@ class MeanFieldModel:
         """
         m = np.clip(np.asarray(m, dtype=float), 0.0, None)
         if self._use_compiled:
-            return m @ self._local.compiled_generator()(m, t)
+            compiled = self._local.compiled_generator()
+            if compiled.num_states >= DRIFT_ACTION_MIN_K:
+                # Large-K models: flow-balance action over transitions,
+                # no (K, K) assembly per right-hand-side evaluation.
+                return compiled.drift(m, t)
+            return m @ compiled(m, t)
         return m @ self._local.generator(m, t)
 
     def trajectory(

@@ -10,7 +10,11 @@
 - :mod:`repro.models.gossip` — a push-pull gossip/information-dissemination
   model (reference [4] motivates these);
 - :mod:`repro.models.load_balancing` — a power-of-d-choices service pool,
-  a standard mean-field benchmark with a larger local state space;
+  a standard mean-field benchmark with a larger local state space (and a
+  deep-buffer variant, ``K`` in the thousands, for the sparse backend);
+- :mod:`repro.models.population` — a truncated effectively-unbounded
+  population process (Spieler-style state-space truncation) at
+  ``K ≈ 10³``;
 - :mod:`repro.models.diurnal` — a virus model with explicitly
   time-dependent rates (the paper's footnote-4 extension).
 """
@@ -34,7 +38,15 @@ from repro.models.diurnal import DiurnalParameters, diurnal_virus_model
 from repro.models.gossip import GossipParameters, gossip_model
 from repro.models.load_balancing import (
     LoadBalancingParameters,
+    deep_load_balancing_model,
     load_balancing_model,
+)
+from repro.models.population import (
+    PopulationParameters,
+    choose_capacity,
+    poisson_occupancy,
+    population_model,
+    truncation_boundary_mass,
 )
 
 __all__ = [
@@ -55,5 +67,11 @@ __all__ = [
     "GossipParameters",
     "gossip_model",
     "LoadBalancingParameters",
+    "deep_load_balancing_model",
     "load_balancing_model",
+    "PopulationParameters",
+    "choose_capacity",
+    "poisson_occupancy",
+    "population_model",
+    "truncation_boundary_mass",
 ]

@@ -70,12 +70,19 @@ def load_balancing_model(
     k_states = p.buffer + 1
 
     def arrival_rate_for(level: int):
-        def rate(m: np.ndarray) -> float:
-            tail_k = float(np.sum(m[level:]))
-            tail_k1 = float(np.sum(m[level + 1 :]))
-            mass = max(m[level], _OCC_FLOOR)
+        # ``m[..., level:]`` indexing and numpy ufuncs make the same
+        # body serve scalar (K,) and batched (B, K) evaluation; the
+        # ``vectorized`` declaration lets the compiled generator and
+        # the batched Monte-Carlo engines call it once per sweep (see
+        # repro.meanfield.rates) — essential at deep buffers, where a
+        # per-replica Python call per level would dominate.
+        def rate(m: np.ndarray):
+            tail_k = np.sum(m[..., level:], axis=-1)
+            tail_k1 = np.sum(m[..., level + 1 :], axis=-1)
+            mass = np.maximum(m[..., level], _OCC_FLOOR)
             return p.lam * (tail_k**p.d - tail_k1**p.d) / mass
 
+        rate.vectorized = True
         return rate
 
     builder = LocalModelBuilder()
@@ -94,6 +101,30 @@ def load_balancing_model(
         builder.transition(f"q{level}", f"q{level + 1}", arrival_rate_for(level))
         builder.transition(f"q{level + 1}", f"q{level}", p.mu)
     return MeanFieldModel(builder.build())
+
+
+def deep_load_balancing_model(
+    buffer: int = 1000,
+    lam: float = 0.9,
+    mu: float = 1.0,
+    d: int = 2,
+) -> MeanFieldModel:
+    """The supermarket model at benchmark depth (``K = buffer + 1``).
+
+    Same dynamics as :func:`load_balancing_model`, with the buffer in
+    the thousands: the local generator is tridiagonal (structural
+    density ``≈ 3/K``), which is exactly the regime the sparse matrix
+    backend targets (``CheckOptions.matrix_backend``; see
+    docs/performance.md, "Backend selection").  A dense ``(K, K)``
+    propagator at ``B = 5000`` is 200 MB — the sparse exponent cells
+    are a few hundred kilobytes.
+
+    The default load ``λ/μ = 0.9`` keeps meaningful mass across many
+    queue levels so transient questions probe genuinely deep states.
+    """
+    return load_balancing_model(
+        LoadBalancingParameters(lam=lam, mu=mu, d=d, buffer=buffer)
+    )
 
 
 def theoretical_tail(params: LoadBalancingParameters, level: int) -> float:

@@ -1,0 +1,262 @@
+"""Sparse transient kernels and the action propagator.
+
+Unit coverage for the pieces the sparse matrix backend is built from
+(docs/performance.md §8):
+
+- the homogeneous action kernels in :mod:`repro.ctmc.transient` —
+  uniformization on matvecs and ``expm_multiply`` — against the dense
+  ``expm`` reference, for dense and CSR inputs, single vectors and
+  batches;
+- :class:`repro.ctmc.propagators.SparseActionPropagator` — left/right
+  window actions, densification, batched ``apply_many``, Richardson
+  defect control and its refinement-cap failure mode — against exact
+  per-window Kolmogorov solves of the same inhomogeneous chain;
+- the memory guards of :func:`repro.ctmc.generator.build_generator` and
+  :func:`repro.ctmc.inhomogeneous.solve_forward_kolmogorov` that make
+  the dense path refuse (rather than thrash) exactly where the sparse
+  path is the intended tool.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.ctmc.generator import build_generator, build_sparse_generator
+from repro.ctmc.inhomogeneous import (
+    TransitionMatrixPropagator,
+    solve_forward_kolmogorov,
+)
+from repro.ctmc.propagators import SparseActionPropagator
+from repro.ctmc.transient import (
+    poisson_truncation_point,
+    transient_distribution,
+    transient_distribution_expm_multiply,
+    transient_distribution_uniformization,
+    transient_matrix_expm,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    ModelError,
+    NumericalError,
+)
+from repro.resilience import Budget
+
+K = 6
+
+#: A birth-death rate mapping with uneven rates (nontrivial structure).
+RATES = {(i, i + 1): 0.7 + 0.1 * i for i in range(K - 1)}
+RATES.update({(i + 1, i): 1.0 + 0.2 * i for i in range(K - 1)})
+RATES[(0, K - 1)] = 0.05  # one long-range jump so Q is not tridiagonal
+
+
+def _dense_q() -> np.ndarray:
+    return build_generator(K, RATES)
+
+
+def _sparse_q() -> scipy.sparse.csr_matrix:
+    return build_sparse_generator(K, RATES)
+
+
+def _distribution() -> np.ndarray:
+    w = np.linspace(1.0, 2.0, K)
+    return w / w.sum()
+
+
+class TestActionKernels:
+    """initial @ expm(Q t) without ever forming expm(Q t)."""
+
+    @pytest.mark.parametrize("as_sparse", [False, True])
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            transient_distribution_uniformization,
+            transient_distribution_expm_multiply,
+        ],
+    )
+    def test_matches_dense_expm(self, kernel, as_sparse):
+        q = _sparse_q() if as_sparse else _dense_q()
+        reference = _distribution() @ transient_matrix_expm(_dense_q(), 0.8)
+        result = kernel(_distribution(), q, 0.8)
+        np.testing.assert_allclose(result, reference, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            transient_distribution_uniformization,
+            transient_distribution_expm_multiply,
+        ],
+    )
+    def test_batch_rows_match_single_rows(self, kernel):
+        batch = np.vstack([np.eye(K), _distribution()[None, :]])
+        out = kernel(batch, _sparse_q(), 0.6)
+        assert out.shape == batch.shape
+        for row_in, row_out in zip(batch, out):
+            np.testing.assert_allclose(
+                kernel(row_in, _sparse_q(), 0.6), row_out, atol=1e-12
+            )
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            transient_distribution_uniformization,
+            transient_distribution_expm_multiply,
+        ],
+    )
+    def test_time_zero_is_identity_copy(self, kernel):
+        initial = _distribution()
+        out = kernel(initial, _sparse_q(), 0.0)
+        np.testing.assert_array_equal(out, initial)
+        assert out is not initial
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            transient_distribution_uniformization,
+            transient_distribution_expm_multiply,
+        ],
+    )
+    def test_negative_time_rejected(self, kernel):
+        with pytest.raises(ModelError):
+            kernel(_distribution(), _sparse_q(), -0.1)
+
+    def test_dispatch_selects_action_kernels(self):
+        reference = _distribution() @ transient_matrix_expm(_dense_q(), 0.5)
+        for method in ("expm_multiply", "uniformization"):
+            out = transient_distribution(
+                _distribution(), _sparse_q(), 0.5, method=method
+            )
+            np.testing.assert_allclose(out, reference, atol=1e-10)
+
+    def test_mass_conserved(self):
+        out = transient_distribution_uniformization(
+            _distribution(), _sparse_q(), 2.5
+        )
+        assert out.sum() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(out >= -1e-12)
+
+    def test_poisson_truncation_bounds_tail(self):
+        from scipy.stats import poisson
+
+        for lam_t in (0.3, 5.0, 40.0, 900.0):
+            n = poisson_truncation_point(lam_t, 1e-9)
+            # Terms 0..n are summed, so the neglected tail is P(X > n).
+            assert poisson.sf(n, lam_t) <= 1e-9 * 1.01
+
+
+def _q_of_t_dense(t: float) -> np.ndarray:
+    """Inhomogeneous chain: rates breathe on an O(1) timescale."""
+    scale = 1.0 + 0.5 * np.sin(t)
+    q = _dense_q().copy()
+    off = q - np.diag(np.diag(q))
+    off *= scale
+    np.fill_diagonal(off, -off.sum(axis=1))
+    return off
+
+
+def _q_of_t_sparse(t: float) -> scipy.sparse.csr_matrix:
+    return scipy.sparse.csr_matrix(_q_of_t_dense(t))
+
+
+class TestSparseActionPropagator:
+    def _engine(self, **kwargs) -> SparseActionPropagator:
+        kwargs.setdefault("tol", 1e-8)
+        return SparseActionPropagator(_q_of_t_sparse, **kwargs)
+
+    def _reference(self, a: float, b: float) -> np.ndarray:
+        return solve_forward_kolmogorov(
+            _q_of_t_dense, a, b - a, rtol=1e-11, atol=1e-13
+        )
+
+    def test_rejects_dense_generator_function(self):
+        with pytest.raises(ModelError, match="sparse generator function"):
+            SparseActionPropagator(_q_of_t_dense)
+
+    def test_right_action_matches_reference(self):
+        engine = self._engine()
+        v = np.zeros(K)
+        v[-1] = 1.0
+        result = engine.apply(v, 0.3, 1.7, side="right")
+        np.testing.assert_allclose(
+            result, self._reference(0.3, 1.7) @ v, atol=1e-7
+        )
+
+    def test_left_action_matches_reference(self):
+        engine = self._engine()
+        result = engine.apply(_distribution(), 0.0, 2.0, side="left")
+        np.testing.assert_allclose(
+            result, _distribution() @ self._reference(0.0, 2.0), atol=1e-7
+        )
+
+    def test_propagate_densifies_to_reference(self):
+        engine = self._engine()
+        pi = engine.propagate(0.5, 1.5)
+        assert isinstance(pi, np.ndarray)
+        np.testing.assert_allclose(pi, self._reference(0.5, 1.5), atol=1e-7)
+        # Rows of a transient matrix are distributions.
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_apply_many_matches_individual_applies(self):
+        engine = self._engine()
+        ts = np.array([0.0, 0.4, 1.1])
+        v = np.zeros(K)
+        v[2] = 1.0
+        batched = engine.apply_many(ts, 0.9, v, side="right")
+        assert batched.shape == (len(ts), K)
+        for t, row in zip(ts, batched):
+            np.testing.assert_allclose(
+                row, engine.apply(v, t, t + 0.9, side="right"), atol=1e-9
+            )
+
+    def test_refinement_cap_raises_numerical_error(self):
+        engine = self._engine(tol=1e-15, max_refinements=0, initial_cells=1)
+        with pytest.raises(NumericalError, match="dense rung"):
+            engine.apply(_distribution(), 0.0, 3.0, side="left")
+
+    def test_propagate_densification_is_budget_guarded(self):
+        # 2 * K * K * 8 bytes ≈ 576 B; a ~0.0001 MB guard must refuse it.
+        engine = self._engine(budget=Budget(max_memory_mb=1e-4))
+        with pytest.raises(BudgetExceededError):
+            engine.propagate(0.0, 1.0)
+
+
+class TestDenseMemoryGuards:
+    """The dense paths refuse exactly where sparse is the intended tool."""
+
+    def test_build_generator_guard_trips_before_allocation(self):
+        rates = {(0, 1): 1.0, (1, 0): 1.0}
+        with pytest.raises(BudgetExceededError):
+            build_generator(4096, rates, budget=Budget(max_memory_mb=32.0))
+        # The same mapping builds fine sparsely or without a guard.
+        q = build_sparse_generator(4096, rates)
+        assert q.shape == (4096, 4096)
+        build_generator(64, rates, budget=Budget(max_memory_mb=32.0))
+
+    def test_solve_forward_kolmogorov_guard(self):
+        def q_of_t(t: float) -> np.ndarray:
+            # 1024 states: the stacked-ODE workspace estimate is
+            # 1024^2 * 8 * 8 = 64 MB, over a 32 MB guard.
+            q = np.zeros((1024, 1024))
+            q[0, 1] = 1.0
+            q[0, 0] = -1.0
+            return q
+
+        with pytest.raises(BudgetExceededError):
+            solve_forward_kolmogorov(
+                q_of_t, 0.0, 1.0, budget=Budget(max_memory_mb=32.0)
+            )
+
+    def test_transition_matrix_propagator_guard(self):
+        def q_of_t(t: float) -> np.ndarray:
+            q = np.zeros((1024, 1024))
+            q[0, 1] = 1.0
+            q[0, 0] = -1.0
+            return q
+
+        with pytest.raises(BudgetExceededError):
+            TransitionMatrixPropagator(
+                q_of_t,
+                window=1.0,
+                t0=0.0,
+                horizon=2.0,
+                budget=Budget(max_memory_mb=32.0),
+            )

@@ -7,6 +7,7 @@ from repro.exceptions import ModelError
 from repro.meanfield.stationary import stationary_from_long_run
 from repro.models.load_balancing import (
     LoadBalancingParameters,
+    deep_load_balancing_model,
     load_balancing_model,
     theoretical_tail,
 )
@@ -86,3 +87,50 @@ class TestDynamics:
     def test_theoretical_tail_d1(self):
         params = LoadBalancingParameters(lam=0.7, mu=1.0, d=1)
         assert theoretical_tail(params, 3) == pytest.approx(0.7**3)
+
+
+class TestVectorizedRates:
+    """The declared-vectorized arrival rates serve scalar and batch."""
+
+    def test_batch_rows_match_scalar_calls(self):
+        model = load_balancing_model(LoadBalancingParameters(buffer=9))
+        local = model.local
+        rng = np.random.default_rng(7)
+        batch = rng.dirichlet(np.ones(model.num_states), size=5)
+        for transition in local.transitions:
+            if transition.constant:
+                continue  # service rates mu stay plain constants
+            rate = transition.rate
+            assert getattr(rate, "vectorized", False)
+            batched = rate(batch, 0.0)
+            assert batched.shape == (len(batch),)
+            for row, value in zip(batch, batched):
+                assert rate(row, 0.0) == pytest.approx(value)
+
+    def test_generator_rows_sum_to_zero_on_batch_path(self):
+        model = load_balancing_model(LoadBalancingParameters(buffer=9))
+        rng = np.random.default_rng(11)
+        occ = rng.dirichlet(np.ones(model.num_states))
+        q = model.local.generator(occ)
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestDeepModel:
+    def test_structure_matches_shallow_dynamics(self):
+        deep = deep_load_balancing_model(buffer=40, lam=0.7)
+        shallow = load_balancing_model(
+            LoadBalancingParameters(lam=0.7, mu=1.0, d=2, buffer=40)
+        )
+        assert deep.num_states == shallow.num_states == 41
+        occ = 0.5 ** np.arange(41)
+        occ /= occ.sum()
+        np.testing.assert_allclose(
+            deep.local.generator(occ), shallow.local.generator(occ)
+        )
+
+    def test_deep_buffer_is_structurally_sparse(self):
+        model = deep_load_balancing_model(buffer=500)
+        compiled = model.local.compiled_generator()
+        k = model.num_states
+        assert k == 501
+        assert compiled.structural_density <= 3.0 / k + 1e-12

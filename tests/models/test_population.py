@@ -1,0 +1,136 @@
+"""The truncated effectively-unbounded population model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models.population import (
+    PopulationParameters,
+    choose_capacity,
+    poisson_occupancy,
+    population_model,
+    truncation_boundary_mass,
+)
+
+#: Small enough to keep trajectory solves cheap, large enough that the
+#: truncation machinery is exercised for real.
+SMALL = PopulationParameters(lam=20.0, mu=1.0, crowding=0.25)
+
+
+class TestParameters:
+    def test_rho(self):
+        assert PopulationParameters(lam=8.0, mu=2.0).rho == 4.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lam": 0.0},
+            {"lam": -1.0},
+            {"mu": 0.0},
+            {"crowding": -0.1},
+            {"capacity": 1},
+            {"epsilon": 0.0},
+            {"epsilon": 1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            PopulationParameters(**kwargs)
+
+    def test_explicit_capacity_wins(self):
+        params = PopulationParameters(lam=20.0, capacity=77)
+        assert params.resolved_capacity() == 77
+
+    def test_choose_capacity_scales_with_load(self):
+        small = choose_capacity(20.0, 1.0)
+        large = choose_capacity(800.0, 1.0)
+        # Above the mean, with sub-linear (Poisson-tail) headroom.
+        assert 20 < small < 80
+        assert 800 < large < 1200
+        assert large - 800 < small * (800 / 20)  # not linear headroom
+
+    def test_choose_capacity_tightens_with_epsilon(self):
+        assert choose_capacity(50.0, 1.0, 1e-12) > choose_capacity(
+            50.0, 1.0, 1e-6
+        )
+
+    def test_choose_capacity_rejects_bad_mu(self):
+        with pytest.raises(ModelError):
+            choose_capacity(10.0, 0.0)
+
+
+class TestStructure:
+    def test_state_count_and_labels(self):
+        model = population_model(SMALL)
+        capacity = SMALL.resolved_capacity()
+        local = model.local
+        assert model.num_states == capacity + 1
+        assert local.states_with_label("extinct") == frozenset({0})
+        assert local.states_with_label("boundary") == frozenset({capacity})
+        scarce = local.states_with_label("scarce")
+        abundant = local.states_with_label("abundant")
+        assert scarce | abundant == frozenset(range(capacity + 1))
+        assert not scarce & abundant
+        # The scarce/abundant split sits at half the uncrowded mean.
+        assert max(scarce) < 0.5 * SMALL.rho <= min(abundant)
+
+    def test_tridiagonal_density(self):
+        model = population_model(SMALL)
+        compiled = model.local.compiled_generator()
+        k = model.num_states
+        assert compiled.structural_density <= 3.0 / k + 1e-12
+
+
+class TestDynamics:
+    def test_generator_rows_sum_to_zero(self):
+        model = population_model(SMALL)
+        occ = poisson_occupancy(SMALL)
+        q = model.local.generator(occ)
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_drift_conserves_mass(self):
+        model = population_model(SMALL)
+        occ = poisson_occupancy(SMALL)
+        assert model.drift(0.0, occ).sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_crowding_slows_births(self):
+        crowded = population_model(SMALL)
+        free = population_model(
+            PopulationParameters(
+                lam=SMALL.lam,
+                mu=SMALL.mu,
+                crowding=0.0,
+                capacity=SMALL.resolved_capacity(),
+            )
+        )
+        occ = poisson_occupancy(SMALL)
+        q_crowded = crowded.local.generator(occ)
+        q_free = free.local.generator(occ)
+        # Birth (superdiagonal) rates drop, death rates are untouched.
+        assert np.all(np.diag(q_crowded, 1) <= np.diag(q_free, 1) + 1e-12)
+        np.testing.assert_allclose(
+            np.diag(q_crowded, -1), np.diag(q_free, -1)
+        )
+
+    def test_trajectory_keeps_boundary_mass_negligible(self):
+        model = population_model(SMALL)
+        occ = poisson_occupancy(SMALL)
+        traj = model.trajectory(occ, horizon=2.0)
+        m = traj(2.0)
+        assert m.sum() == pytest.approx(1.0, abs=1e-8)
+        assert truncation_boundary_mass(m) < 1e-8
+
+
+class TestPoissonOccupancy:
+    def test_normalized_and_peaked_at_mean(self):
+        occ = poisson_occupancy(SMALL)
+        assert occ.sum() == pytest.approx(1.0)
+        assert np.all(occ >= 0.0)
+        assert abs(int(np.argmax(occ)) - SMALL.rho) <= 1
+
+    def test_deep_capacity_does_not_underflow(self):
+        params = PopulationParameters(lam=800.0, mu=1.0)
+        occ = poisson_occupancy(params)
+        assert occ.sum() == pytest.approx(1.0)
+        assert truncation_boundary_mass(occ) < 1e-6
+        assert np.all(np.isfinite(occ))
