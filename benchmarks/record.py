@@ -29,6 +29,9 @@ DEFAULT_PATH = Path(__file__).resolve().parent / "BENCH_propagators.json"
 #: History file of the sparse-backend benchmark family.
 SPARSE_PATH = Path(__file__).resolve().parent / "BENCH_sparse.json"
 
+#: History file of the formula-optimization ablation family.
+FORMULA_OPT_PATH = Path(__file__).resolve().parent / "BENCH_formula_opt.json"
+
 #: Keep at most this many records per benchmark name (oldest dropped).
 MAX_RECORDS_PER_NAME = 200
 

@@ -285,6 +285,20 @@ class EvaluationContext:
         self._residual_tol = value.residual_tol
         self._transient_method = value.transient_method
         self._resolved_backend: Optional[str] = None
+        # Formula-optimization switches, hoisted to flat booleans so the
+        # evaluation hot paths test one attribute instead of scanning the
+        # options tuple per query.
+        active = value.formula_optimizations
+        self._opt_dedup = "dedup" in active
+        self._opt_lazy_csat = "lazy-csat" in active
+        self._opt_early_exit = "early-exit" in active
+        self._opt_lazy_segments = "lazy-segments" in active
+        self._rewrite_rules = tuple(
+            n for n in active if n in ("fold", "negation", "vacuity", "dedup")
+        )
+        # The shared local checker memoizes against the options it was
+        # built under; changing options invalidates it.
+        self._local_checker = None
 
     @property
     def num_states(self) -> int:
@@ -362,10 +376,14 @@ class EvaluationContext:
             base = self.model.generator_along(self.trajectory)
             cache = self._generator_cache
             stats = self.stats
+            # Hot path: every RHS evaluation of every transient solve
+            # lands here, so pre-bind the dict probe once instead of
+            # re-resolving the method per call.
+            cache_get = cache.get
 
             def q_of_t(t: float) -> np.ndarray:
                 key = round(float(t), _KEY_DECIMALS)
-                q = cache.get(key)
+                q = cache_get(key)
                 if q is not None:
                     stats.generator_cache_hits += 1
                     return q
@@ -1070,6 +1088,23 @@ class EvaluationContext:
             return sorted(signature[1])
         return None
 
+    def local_checker(self):
+        """The per-context memoizing :class:`~repro.checking.local.LocalChecker`.
+
+        Satisfaction sets and probability curves are functions of
+        (formula, context, θ) only, so one checker per context can serve
+        every occurrence of a repeated subformula from its caches — this
+        is the evaluation-time half of the ``dedup`` optimization (the
+        rewrite pass makes the occurrences *equal*; the shared checker
+        makes equality pay).  Lazily imported to keep the context module
+        free of a checking-layer dependency cycle.
+        """
+        if self._local_checker is None:
+            from repro.checking.local import LocalChecker
+
+            self._local_checker = LocalChecker(self)
+        return self._local_checker
+
     def clear_caches(self) -> None:
         """Drop the generator memo, transient cache and propagator
         engines (keeps the trajectory).  Engines are cleared in place,
@@ -1081,6 +1116,7 @@ class EvaluationContext:
         self._transient_cache.clear()
         self._propagator_engines.clear()
         self._action_engines.clear()
+        self._local_checker = None
 
     # ------------------------------------------------------------------
     # Steady state (Sections IV-D / V-A)

@@ -39,6 +39,7 @@ from repro.logic.ast import (
     PathFormula,
 )
 from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
+from repro.logic.rewrite import optimize
 from repro.meanfield.overall_model import MeanFieldModel
 
 FormulaLike = Union[str, MfCslFormula]
@@ -132,6 +133,27 @@ class MFModelChecker:
         return formula
 
     @staticmethod
+    def _prepared(
+        psi: MfCslFormula, ctx: EvaluationContext
+    ) -> MfCslFormula:
+        """The formula after the enabled rewrite rules (identity when off).
+
+        Applied at the satisfaction entry points (:meth:`check`,
+        :meth:`check_detailed`, :meth:`conditional_sat`) only —
+        :meth:`value` and :meth:`explain` report on the formula exactly
+        as written, since rewriting could fold the very leaf the caller
+        asked about.
+        """
+        rules = getattr(ctx, "_rewrite_rules", ())
+        if not rules:
+            return psi
+        rewritten, report = optimize(psi, rules)
+        if report.total:
+            ctx.stats.rewrites_applied += report.total
+            ctx.trace.note(f"formula rewrite: {report.describe()}")
+        return rewritten
+
+    @staticmethod
     def _as_csl(formula: Union[str, CslFormula]) -> CslFormula:
         if isinstance(formula, str):
             return parse_csl(formula)
@@ -157,7 +179,7 @@ class MFModelChecker:
         psi = self._as_mfcsl(formula)
         if ctx is None:
             ctx = self.context(occupancy)
-        return self._check(psi, ctx)
+        return self._check(self._prepared(psi, ctx), ctx)
 
     def check_detailed(
         self,
@@ -179,7 +201,7 @@ class MFModelChecker:
         psi = self._as_mfcsl(formula)
         if ctx is None:
             ctx = self.context(occupancy)
-        holds = self._check_three_valued(psi, ctx)
+        holds = self._check_three_valued(self._prepared(psi, ctx), ctx)
         value = margin = None
         if isinstance(
             psi, (Expectation, ExpectedSteadyState, ExpectedProbability)
@@ -274,14 +296,22 @@ class MFModelChecker:
         return self._leaf_value(psi, ctx)
 
     def _leaf_value(self, psi: MfCslFormula, ctx: EvaluationContext) -> float:
-        checker = LocalChecker(ctx)
+        # Under the ``dedup`` optimization every leaf shares the
+        # context's local checker, so repeated subformulas (and the DAG
+        # the rewrite pass produces) reuse each other's satisfaction
+        # sets and curves; otherwise each leaf gets a fresh checker
+        # (the seed behavior).
+        dedup = getattr(ctx, "_opt_dedup", False)
+        checker = ctx.local_checker() if dedup else LocalChecker(ctx)
         if isinstance(psi, Expectation):
             sat = checker.sat_at(psi.operand, 0.0)
             return float(sum(ctx.initial[j] for j in sat))
         if isinstance(psi, ExpectedSteadyState):
-            inner_sat = LocalChecker(ctx.steady_context()).sat_at(
-                psi.operand, 0.0
+            steady_ctx = ctx.steady_context()
+            steady_checker = (
+                steady_ctx.local_checker() if dedup else LocalChecker(steady_ctx)
             )
+            inner_sat = steady_checker.sat_at(psi.operand, 0.0)
             return expected_steady_state_value(ctx, inner_sat)
         if isinstance(psi, ExpectedProbability):
             probs = checker.path_probabilities(psi.path, 0.0)
@@ -303,7 +333,7 @@ class MFModelChecker:
         psi = self._as_mfcsl(formula)
         if ctx is None:
             ctx = self.context(occupancy)
-        return conditional_sat(ctx, psi, theta)
+        return conditional_sat(ctx, self._prepared(psi, ctx), theta)
 
     # ------------------------------------------------------------------
     # Curves (for Figure 3 and user plotting)

@@ -91,6 +91,10 @@ class LocalChecker:
         if isinstance(formula, Or):
             return self.sat_at(formula.left, t) | self.sat_at(formula.right, t)
         if isinstance(formula, Probability):
+            if getattr(self.ctx, "_opt_early_exit", False):
+                bounded = self._until_sat_bounded(formula, t)
+                if bounded is not None:
+                    return bounded
             probs = self.path_probabilities(formula.path, t)
             return frozenset(
                 s
@@ -108,8 +112,10 @@ class LocalChecker:
         """Time-dependent satisfaction set over ``[0, t_end]`` (Sec. IV-E)."""
         t_end = float(t_end)
         key = (formula, t_end)
-        if key in self._sat_cache:
-            return self._sat_cache[key]
+        cached = self._sat_cache.get(key)
+        if cached is not None:
+            self.ctx.stats.formula_memo_hits += 1
+            return cached
         result = self._sat_piecewise_uncached(formula, t_end)
         self._sat_cache[key] = result
         return result
@@ -194,8 +200,10 @@ class LocalChecker:
         """``Prob(s, φ, m̄, ·)`` as a curve over ``[0, theta]``."""
         theta = float(theta)
         key = (path, theta)
-        if key in self._curve_cache:
-            return self._curve_cache[key]
+        cached = self._curve_cache.get(key)
+        if cached is not None:
+            self.ctx.stats.formula_memo_hits += 1
+            return cached
         if isinstance(path, Until):
             window_end = theta + path.interval.upper
             gamma1 = self.sat_piecewise(path.left, window_end)
@@ -223,6 +231,35 @@ class LocalChecker:
         return curve
 
     # ------------------------------------------------------------------
+
+    def _until_sat_bounded(
+        self, formula: Probability, t: float
+    ) -> "FrozenSet[int] | None":
+        """Early-exit ``Sat(P⋈p(Φ1 U^I Φ2), t)`` — ``None`` when inapplicable.
+
+        Delegates to
+        :meth:`~repro.checking.nested.TimeVaryingUntil.sat_states_bounded`,
+        which replays the goal-chain segment products and stops as soon
+        as the running lower/upper bounds on every state's path
+        probability decide the comparison against the threshold.  The
+        decision margin is widened by ``probability_tol`` so a verdict
+        is only taken early when the eager computation could not
+        disagree with it.
+        """
+        path = formula.path
+        if not isinstance(path, Until):
+            return None
+        window_end = t + path.interval.upper
+        gamma1 = self.sat_piecewise(path.left, window_end)
+        gamma2 = self.sat_piecewise(path.right, window_end)
+        if self._use_simple(gamma1, gamma2):
+            return None
+        solver = TimeVaryingUntil(
+            self.ctx, gamma1, gamma2, path.interval, theta=t
+        )
+        return solver.sat_states_bounded(
+            t, formula.bound, slack=self.ctx.options.probability_tol
+        )
 
     def _use_simple(
         self, gamma1: PiecewiseSatSet, gamma2: PiecewiseSatSet

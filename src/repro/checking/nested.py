@@ -269,6 +269,137 @@ class TimeVaryingUntil:
             base[s] = 1.0
         return np.clip(base, 0.0, 1.0)
 
+    def sat_states_bounded(
+        self,
+        t: float,
+        bound,
+        slack: float = 0.0,
+        method: Optional[str] = None,
+    ) -> "Optional[frozenset]":
+        """States whose ``P⋈p`` verdict at ``t``, decided as early as possible.
+
+        Replays the goal-chain product of :meth:`upsilon` segment by
+        segment, maintaining rigorous per-state bounds on the final
+        reachability probability: the goal column of the partial product
+        is a lower bound (goal mass never leaves), and adding the mass
+        still sitting in the current partition's live columns gives the
+        upper bound (only live states can still feed the goal — the
+        carry-over matrices annihilate success/fail rows).  As soon as
+        every state's bound interval clears the threshold by more than
+        ``slack``, the comparison is decided and the remaining segments
+        are never solved; the stopping certificate is recorded in the
+        trace and counted in ``EvalStats.early_exits`` /
+        ``segments_skipped``.
+
+        Falls through to the exact full product — reproducing
+        :meth:`probabilities` bit for bit — when the bounds never decide
+        early, and returns ``None`` for ``t1 > 0`` windows (the survival
+        phase couples states across the product, so per-state bounds do
+        not close there).
+        """
+        t = float(t)
+        t1, t2 = self.interval.lower, self.interval.upper
+        if t1 > 0.0:
+            return None
+        a, b = t + t1, t + t2
+        k = self._k
+        strict = self.ctx.options.start_convention == "phi1"
+        gamma1_now = self.gamma1.at(t) if strict else None
+        in_gamma2 = self.gamma2.at(a)
+        # States whose value is pinned before any transient work: the
+        # phi1 convention zeroes states outside Γ1(t), and Γ2(a) states
+        # are exactly 1 (Equation (13)'s indicator plus the final clip).
+        pinned = {}
+        for s in range(k):
+            if strict and s not in gamma1_now:
+                pinned[s] = 0.0
+            elif s in in_gamma2:
+                pinned[s] = 1.0
+        undecided = [s for s in range(k) if s not in pinned]
+        holds = {s: bound.holds(v) for s, v in pinned.items()}
+        stats = self.ctx.stats
+        if b <= a + EVENT_EPS:
+            # Degenerate window: Υ is the identity, every other state is 0.
+            for s in undecided:
+                holds[s] = bound.holds(0.0)
+            return frozenset(s for s, h in holds.items() if h)
+        rtol, atol = self.ctx.options.ode_rtol, self.ctx.options.ode_atol
+        points = [a] + self._events_in(a, b) + [b]
+        total = len(points) - 1
+        if not undecided:
+            stats.early_exits += 1
+            stats.segments_skipped += total
+            self.ctx.trace.note(
+                f"early exit: P{bound} at t={t:g} decided structurally "
+                f"(all states pinned), {total} goal-chain segments skipped"
+            )
+            return frozenset(s for s, h in holds.items() if h)
+        threshold = float(bound.threshold)
+        upper_verdict = not bound.is_upper_bound
+        result = np.eye(k + 1)
+        prev_partition: Optional[UntilPartition] = None
+        budget = self.ctx.budget
+        for index, (u, v) in enumerate(zip(points, points[1:])):
+            if budget is not None:
+                budget.checkpoint(
+                    f"goal-chain segment {index + 1}/{total} (bounded)"
+                )
+            partition = self._partition_at(0.5 * (u + v))
+            if prev_partition is not None:
+                result = result @ zeta_matrix(prev_partition, partition)
+            pi = self.ctx.transient_matrix(
+                ("goal", partition),
+                goal_generator_function(self._q_of_t, partition),
+                u,
+                v - u,
+                rtol=rtol,
+                atol=atol,
+                method=method,
+            )
+            result = result @ pi
+            prev_partition = partition
+            if index + 1 >= total:
+                break
+            live_cols = sorted(partition.live)
+            lo = np.clip(result[:k, k], 0.0, 1.0)
+            if live_cols:
+                hi = np.clip(
+                    result[:k, k] + result[:k, live_cols].sum(axis=1),
+                    0.0,
+                    1.0,
+                )
+            else:
+                hi = lo
+            still_open = []
+            for s in undecided:
+                if lo[s] >= threshold + slack:
+                    holds[s] = upper_verdict
+                elif hi[s] <= threshold - slack:
+                    holds[s] = not upper_verdict
+                else:
+                    still_open.append(s)
+            undecided = still_open
+            if not undecided:
+                skipped = total - (index + 1)
+                stats.early_exits += 1
+                stats.segments_skipped += skipped
+                self.ctx.trace.note(
+                    f"early exit: P{bound} at t={t:g} decided after "
+                    f"{index + 1}/{total} goal-chain segments "
+                    f"(probability bounds cleared the threshold by > "
+                    f"{slack:g}; {skipped} segments skipped)"
+                )
+                return frozenset(s for s, h in holds.items() if h)
+        # No early decision: finish exactly as the eager path would.
+        base = self._base_from_upsilon(result, a)
+        if strict:
+            for s in range(k):
+                if s not in gamma1_now:
+                    base[s] = 0.0
+        for s in undecided:
+            holds[s] = bound.holds(base[s])
+        return frozenset(s for s, h in holds.items() if h)
+
     def probabilities(
         self, t: float = 0.0, method: Optional[str] = None
     ) -> np.ndarray:
@@ -431,7 +562,12 @@ class TimeVaryingUntil:
         if method == "propagate" and self.interval.lower <= 0.0:
             return self._curve_propagate()
         if method == "cells":
-            self._prepare_cells()
+            if not getattr(self.ctx, "_opt_lazy_segments", False):
+                self._prepare_cells()
+            # Under lazy-segments the upfront full-range validation is
+            # skipped: every propagator query defect-validates its own
+            # window on first use, and the batch evaluator below still
+            # warms exactly the windows a batch actually probes.
 
             def evaluator(t: float) -> np.ndarray:
                 return self.probabilities(t, method="propagator")
@@ -475,12 +611,15 @@ class TimeVaryingUntil:
         k = self._k
         rtol, atol = self.ctx.options.ode_rtol, self.ctx.options.ode_atol
         breakpoints = [0.0] + self._curve_discontinuities() + [self.theta]
-        segments = []  # (u, v, dense-or-constant)
-        for u, v in zip(breakpoints, breakpoints[1:]):
+        pairs = list(zip(breakpoints, breakpoints[1:]))
+        lazy = bool(getattr(self.ctx, "_opt_lazy_segments", False))
+        built: "List[Optional[tuple]]" = [None] * len(pairs)
+
+        def build_segment(i: int) -> tuple:
+            u, v = pairs[i]
             ups_u = self.upsilon(u, u + T)
             if v - u <= EVENT_EPS:
-                segments.append((u, v, None, ups_u))
-                continue
+                return (u, v, None, ups_u)
 
             def rhs(t: float, y: np.ndarray) -> np.ndarray:
                 ups = y.reshape(k + 1, k + 1)
@@ -512,15 +651,35 @@ class TimeVaryingUntil:
                 raise NumericalError(
                     f"Appendix ODE (12) solve failed on [{u}, {v}]: {exc}"
                 ) from exc
-            segments.append((u, v, sol.sol, ups_u))
+            return (u, v, sol.sol, ups_u)
+
+        def ensure_segment(i: int) -> tuple:
+            if built[i] is None:
+                if lazy:
+                    self.ctx.stats.segments_skipped -= 1
+                built[i] = build_segment(i)
+            return built[i]
+
+        if lazy:
+            # Segments materialize on demand: each evaluation time solves
+            # only the ODE-(12) piece it lands in (segments are solved
+            # independently, so a probed segment's values are identical
+            # to the eager pass).  The counter starts at the full count
+            # and each build pays one back — what remains is the number
+            # of segments no evaluation ever demanded.
+            self.ctx.stats.segments_skipped += len(pairs)
+        else:
+            for i in range(len(pairs)):
+                ensure_segment(i)
 
         strict = self.ctx.options.start_convention == "phi1"
 
         def evaluator(t: float) -> np.ndarray:
             t = float(t)
             ups = None
-            for u, v, dense, ups_u in segments:
+            for i, (u, v) in enumerate(pairs):
                 if u - 1e-9 <= t <= v + 1e-9:
+                    _, _, dense, ups_u = ensure_segment(i)
                     if dense is None or t <= u:
                         ups = ups_u
                     else:

@@ -12,6 +12,21 @@ from dataclasses import dataclass, replace
 
 from repro.exceptions import ModelError
 
+#: Every individually-switchable checking optimization, in canonical
+#: order.  The first four are the rewrite-rule families of
+#: :mod:`repro.logic.rewrite` (``dedup`` additionally enables the shared
+#: local checker and cSat memo at evaluation time); the last three are
+#: the demand-driven evaluation strategies of the checking layer.
+OPTIMIZATION_NAMES = (
+    "fold",
+    "negation",
+    "vacuity",
+    "dedup",
+    "lazy-csat",
+    "early-exit",
+    "lazy-segments",
+)
+
 
 @dataclass(frozen=True)
 class CheckOptions:
@@ -114,6 +129,24 @@ class CheckOptions:
         Memory guard: any single estimated allocation (propagator cell
         caches) above this raises ``BudgetExceededError`` instead of
         being attempted.
+    formula_optimizations:
+        Which checking optimizations are active — ``"all"`` (default),
+        ``"none"``, or an iterable of names from
+        :data:`OPTIMIZATION_NAMES` (normalized to a sorted tuple; the
+        options object stays hashable for cache keys).  ``fold``,
+        ``negation`` and ``vacuity`` are formula rewrite rules applied
+        before checking (:func:`repro.logic.rewrite.optimize`);
+        ``dedup`` rewrites shared subtrees into a DAG *and* routes leaf
+        evaluation through one memoizing local checker per context;
+        ``lazy-csat`` materializes conditional satisfaction sets per
+        query window instead of over the whole ``[0, θ]`` domain;
+        ``early-exit`` stops threshold comparisons as soon as partial
+        probability-mass bounds decide them (certificate recorded in
+        the trace); ``lazy-segments`` defers nested-until segment
+        solves until an evaluation time actually probes them.  Every
+        combination returns identical verdicts — the benchmark ablation
+        (``benchmarks/test_bench_formula_opt.py``) enforces agreement
+        within 1e-9 — so this is purely a speed/ablation knob.
     """
 
     ode_rtol: float = 1e-8
@@ -135,6 +168,7 @@ class CheckOptions:
     max_solves: "int | None" = None
     max_refinements: "int | None" = None
     max_memory_mb: "float | None" = None
+    formula_optimizations: "str | tuple[str, ...]" = "all"
 
     def __post_init__(self) -> None:
         if self.grid_points < 3:
@@ -205,6 +239,24 @@ class CheckOptions:
             raise ModelError(
                 f"max_memory_mb must be positive, got {self.max_memory_mb}"
             )
+        opts = self.formula_optimizations
+        if opts == "all":
+            opts = OPTIMIZATION_NAMES
+        elif opts == "none":
+            opts = ()
+        elif isinstance(opts, str):
+            raise ModelError(
+                f"formula_optimizations must be 'all', 'none' or an "
+                f"iterable of names, got {opts!r}"
+            )
+        normalized = tuple(sorted(set(opts)))
+        unknown = [n for n in normalized if n not in OPTIMIZATION_NAMES]
+        if unknown:
+            raise ModelError(
+                f"unknown formula optimizations {unknown}; choose from "
+                f"{list(OPTIMIZATION_NAMES)}"
+            )
+        object.__setattr__(self, "formula_optimizations", normalized)
 
     def with_(self, **changes) -> "CheckOptions":
         """A copy with some fields replaced (frozen-dataclass helper)."""

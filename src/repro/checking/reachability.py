@@ -76,22 +76,36 @@ class ProbabilityCurve:
 
     def values(self, t: float) -> np.ndarray:
         """Probabilities for all starting states at evaluation time ``t``."""
+        # Hot path: one dict probe per call (the curve is hit once per
+        # grid point per crossing scan), so the cache is read with a
+        # single ``get`` instead of a membership test plus two lookups.
         t = float(t)
-        if not (self.t_start - 1e-9 <= t <= self.t_end + 1e-9):
-            raise CheckingError(
-                f"time {t} outside curve range [{self.t_start}, {self.t_end}]"
-            )
-        t = min(max(t, self.t_start), self.t_end)
+        if t < self.t_start:
+            if t < self.t_start - 1e-9:
+                raise CheckingError(
+                    f"time {t} outside curve range "
+                    f"[{self.t_start}, {self.t_end}]"
+                )
+            t = self.t_start
+        elif t > self.t_end:
+            if t > self.t_end + 1e-9:
+                raise CheckingError(
+                    f"time {t} outside curve range "
+                    f"[{self.t_start}, {self.t_end}]"
+                )
+            t = self.t_end
         key = round(t, 12)
-        if key not in self._cache:
+        vals = self._cache.get(key)
+        if vals is None:
             vals = np.asarray(self._evaluator(t), dtype=float)
             if vals.shape != (self.num_states,):
                 raise CheckingError(
                     f"curve evaluator returned shape {vals.shape}, expected "
                     f"({self.num_states},)"
                 )
-            self._cache[key] = np.clip(vals, 0.0, 1.0)
-        return self._cache[key]
+            vals = np.clip(vals, 0.0, 1.0)
+            self._cache[key] = vals
+        return vals
 
     def value(self, t: float, state: int) -> float:
         """Probability for one starting state."""
@@ -239,6 +253,8 @@ def until_probabilities_simple(
     t1, t2 = interval.lower, interval.upper
     rtol, atol = ctx.options.ode_rtol, ctx.options.ode_atol
 
+    early_exit = bool(getattr(ctx, "_opt_early_exit", False))
+
     absorbed2 = (all_states - gamma1) | gamma2
     q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
     # Probability, from each phase-2 start state, of sitting in a Γ2 state
@@ -261,8 +277,8 @@ def until_probabilities_simple(
             # literal reading of Equation (4); see CheckOptions).
             mask = np.zeros(k)
             mask[sorted(gamma1)] = 1.0
-            return reach_gamma2 * mask
-        return reach_gamma2
+            return np.clip(reach_gamma2 * mask, 0.0, 1.0)
+        return np.clip(reach_gamma2, 0.0, 1.0)
     absorbed1 = all_states - gamma1
     q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
     # Equation (7): mass must sit in a Γ1 state at time t + t1 — mask
@@ -271,9 +287,18 @@ def until_probabilities_simple(
     if gamma1:
         cols1 = sorted(gamma1)
         masked[cols1] = reach_gamma2[cols1]
-    return ctx.transient_apply(
-        ("absorbing", absorbed1), q_phase1, t, t1,
-        masked, side="right", rtol=rtol, atol=atol,
+    if early_exit and not masked.any():
+        # Π_a maps the zero vector to zero: Equation (7)'s outer
+        # application cannot change the answer, so skip the solve.
+        ctx.stats.early_exits += 1
+        return masked
+    return np.clip(
+        ctx.transient_apply(
+            ("absorbing", absorbed1), q_phase1, t, t1,
+            masked, side="right", rtol=rtol, atol=atol,
+        ),
+        0.0,
+        1.0,
     )
 
 
@@ -328,46 +353,59 @@ class SimpleUntilCurve(ProbabilityCurve):
             q_of_t = ctx.generator_function()
             absorbed2 = (all_states - gamma1) | gamma2
             q_phase2 = absorbing_generator_function(q_of_t, absorbed2)
-            # Seed the propagator from the (cached) forward solve, then
-            # count its own window-shift solve.
-            initial_b = ctx.transient_matrix(
-                ("absorbing", absorbed2), q_phase2, t1, t2 - t1
-            )
-            if theta + t1 > t1:
-                ctx.stats.solve_ivp_calls += 1
-            prop_b = TransitionMatrixPropagator(
-                q_phase2,
-                window=t2 - t1,
-                t0=t1,
-                horizon=theta + t1,
-                initial=initial_b,
-                rtol=ctx.options.ode_rtol,
-                atol=ctx.options.ode_atol,
-                fallbacks=ctx.options.solver_fallbacks,
-                trace=ctx.trace,
-                budget=ctx.budget,
-            )
-            prop_a = None
-            if t1 > 0.0:
-                absorbed1 = all_states - gamma1
-                q_phase1 = absorbing_generator_function(q_of_t, absorbed1)
-                initial_a = ctx.transient_matrix(
-                    ("absorbing", absorbed1), q_phase1, 0.0, t1
+            props: dict = {}
+
+            def _build_props() -> None:
+                # Seed each propagator from the (cached) forward solve,
+                # then count its own window-shift solve.
+                initial_b = ctx.transient_matrix(
+                    ("absorbing", absorbed2), q_phase2, t1, t2 - t1
                 )
-                if theta > 0.0:
+                if theta + t1 > t1:
                     ctx.stats.solve_ivp_calls += 1
-                prop_a = TransitionMatrixPropagator(
-                    q_phase1,
-                    window=t1,
-                    t0=0.0,
-                    horizon=theta,
-                    initial=initial_a,
+                props["b"] = TransitionMatrixPropagator(
+                    q_phase2,
+                    window=t2 - t1,
+                    t0=t1,
+                    horizon=theta + t1,
+                    initial=initial_b,
                     rtol=ctx.options.ode_rtol,
                     atol=ctx.options.ode_atol,
                     fallbacks=ctx.options.solver_fallbacks,
                     trace=ctx.trace,
                     budget=ctx.budget,
                 )
+                props["a"] = None
+                if t1 > 0.0:
+                    absorbed1 = all_states - gamma1
+                    q_phase1 = absorbing_generator_function(
+                        q_of_t, absorbed1
+                    )
+                    initial_a = ctx.transient_matrix(
+                        ("absorbing", absorbed1), q_phase1, 0.0, t1
+                    )
+                    if theta > 0.0:
+                        ctx.stats.solve_ivp_calls += 1
+                    props["a"] = TransitionMatrixPropagator(
+                        q_phase1,
+                        window=t1,
+                        t0=0.0,
+                        horizon=theta,
+                        initial=initial_a,
+                        rtol=ctx.options.ode_rtol,
+                        atol=ctx.options.ode_atol,
+                        fallbacks=ctx.options.solver_fallbacks,
+                        trace=ctx.trace,
+                        budget=ctx.budget,
+                    )
+
+            if not getattr(ctx, "_opt_lazy_segments", False):
+                # Eager (seed) behavior: both window-shift solves run at
+                # construction time.  Under ``lazy-segments`` they run on
+                # the first query instead — a curve that is built but
+                # never probed (e.g. its window vanished under
+                # ``lazy-csat``) costs nothing.
+                _build_props()
 
             strict_mask = None
             if t1 <= 0.0 and ctx.options.start_convention == "phi1":
@@ -378,12 +416,15 @@ class SimpleUntilCurve(ProbabilityCurve):
             gamma1_cols = sorted(gamma1)
 
             def evaluator(t: float) -> np.ndarray:
-                pi_b = prop_b(t + t1)
+                if not props:
+                    _build_props()
+                pi_b = props["b"](t + t1)
                 reach = (
                     pi_b[:, gamma2_cols].sum(axis=1)
                     if gamma2_cols
                     else np.zeros(k)
                 )
+                prop_a = props["a"]
                 if prop_a is None:
                     if strict_mask is not None:
                         return reach * strict_mask

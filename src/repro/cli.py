@@ -36,6 +36,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.checking import CheckOptions, MFModelChecker
+from repro.checking.options import OPTIMIZATION_NAMES as _OPTIMIZATION_CHOICES
 from repro.exceptions import (
     BudgetExceededError,
     CheckingError,
@@ -124,6 +125,16 @@ def _resolve_model(args: argparse.Namespace) -> MeanFieldModel:
     return MODELS[args.model]()
 
 
+def _formula_optimizations(args: argparse.Namespace):
+    """The ``formula_optimizations`` value selected by the CLI flags."""
+    if getattr(args, "no_formula_optimizations", False):
+        return "none"
+    disabled = set(getattr(args, "disable_optimization", None) or ())
+    if not disabled:
+        return "all"
+    return tuple(n for n in _OPTIMIZATION_CHOICES if n not in disabled)
+
+
 def _build_checker(args: argparse.Namespace) -> MFModelChecker:
     options = CheckOptions(
         start_convention=args.convention,
@@ -134,6 +145,7 @@ def _build_checker(args: argparse.Namespace) -> MFModelChecker:
         propagator_tol=getattr(args, "propagator_tol", 1e-6),
         deadline=getattr(args, "deadline", None),
         max_refinements=getattr(args, "max_refinements", None),
+        formula_optimizations=_formula_optimizations(args),
     )
     return MFModelChecker(_resolve_model(args), options)
 
@@ -370,6 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="cap on propagator-grid refinements; exceeding it "
             "triggers the degradation ladder instead of more refinement",
+        )
+        p.add_argument(
+            "--no-formula-optimizations",
+            action="store_true",
+            help="disable the formula rewrite pass and all demand-driven "
+            "evaluation shortcuts (eager seed semantics; "
+            "see CheckOptions.formula_optimizations)",
+        )
+        p.add_argument(
+            "--disable-optimization",
+            action="append",
+            metavar="NAME",
+            choices=_OPTIMIZATION_CHOICES,
+            help="disable one formula optimization by name (repeatable); "
+            f"choose from {', '.join(_OPTIMIZATION_CHOICES)}",
         )
         p.add_argument(
             "--diagnose",

@@ -317,6 +317,19 @@ class DiagnosticTrace:
                     f"{stats.propagator_products} products, "
                     f"{stats.propagator_refinements} refinements"
                 )
+            if (
+                getattr(stats, "rewrites_applied", 0)
+                or getattr(stats, "formula_memo_hits", 0)
+                or getattr(stats, "early_exits", 0)
+                or getattr(stats, "segments_skipped", 0)
+            ):
+                lines.append(
+                    "  formula opt: "
+                    f"{stats.rewrites_applied} rewrites, "
+                    f"{stats.formula_memo_hits} memo hits, "
+                    f"{stats.early_exits} early exits, "
+                    f"{stats.segments_skipped} segments skipped"
+                )
             lines.append(
                 f"  solve_ivp calls: {stats.solve_ivp_calls}, "
                 f"rhs evaluations: {stats.rhs_evaluations}"

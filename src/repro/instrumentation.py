@@ -99,6 +99,23 @@ class EvalStats:
         after a worker process died or the pool broke; the retried
         batches produce bitwise-identical results, so this only
         measures fault-recovery activity.
+    rewrites_applied:
+        Formula rewrite-rule applications (constant folds, negation
+        normalizations, vacuous bounds, shared subtrees) performed by
+        :func:`repro.logic.rewrite.optimize` before checking.
+    formula_memo_hits:
+        Subformula evaluations answered from a memo instead of being
+        recomputed: local-checker satisfaction/curve cache hits plus
+        cSat-evaluator memo hits (the payoff of the ``dedup``
+        optimization).
+    early_exits:
+        Threshold comparisons decided from partial probability-mass
+        bounds before the full computation finished (the ``early-exit``
+        optimization); each exit leaves a certificate note in the trace.
+    segments_skipped:
+        Nested-until / curve segments whose propagator solve was never
+        demanded by any evaluation time (the ``lazy-segments``
+        optimization), plus segments an early exit skipped.
     """
 
     rhs_evaluations: int = 0
@@ -125,6 +142,10 @@ class EvalStats:
     residual_warnings: int = 0
     ladder_downgrades: int = 0
     worker_retries: int = 0
+    rewrites_applied: int = 0
+    formula_memo_hits: int = 0
+    early_exits: int = 0
+    segments_skipped: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -41,6 +41,12 @@ from repro.logic.ast import (
 )
 from repro.logic.parser import parse_csl, parse_mfcsl, parse_path
 from repro.logic.printer import format_formula
+from repro.logic.rewrite import (
+    REWRITE_RULES,
+    RewriteReport,
+    negate_bound,
+    optimize,
+)
 
 __all__ = [
     "Atomic",
@@ -70,4 +76,8 @@ __all__ = [
     "parse_mfcsl",
     "parse_path",
     "format_formula",
+    "REWRITE_RULES",
+    "RewriteReport",
+    "negate_bound",
+    "optimize",
 ]

@@ -23,8 +23,10 @@ from repro.logic.ast import (
     TimeInterval,
     Until,
 )
+from repro.logic.ast import atomic_propositions
 from repro.logic.parser import parse_csl, parse_mfcsl
 from repro.logic.printer import format_formula
+from repro.logic.rewrite import REWRITE_RULES, optimize
 
 names = st.sampled_from(["infected", "active", "x", "y_1", "not_infected"])
 bounds = st.builds(
@@ -101,3 +103,66 @@ class TestRoundTrips:
     def test_formulas_hashable_and_self_equal(self, formula):
         assert formula == formula
         assert hash(formula) == hash(formula)
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_equal_formulas_hash_equal(self, formula):
+        clone = parse_mfcsl(format_formula(formula))
+        assert clone == formula
+        assert hash(clone) == hash(formula)
+
+
+class TestRewriteProperties:
+    """The optimization pass composes with printing, parsing, hashing."""
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_optimize_is_idempotent(self, formula):
+        once, _ = optimize(formula)
+        twice, _ = optimize(once)
+        assert twice == once
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_optimized_formula_round_trips(self, formula):
+        opt, _ = optimize(formula)
+        assert parse_mfcsl(format_formula(opt)) == opt
+
+    @given(csl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_optimized_csl_round_trips(self, formula):
+        opt, _ = optimize(formula)
+        assert parse_csl(format_formula(opt)) == opt
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_no_rules_is_identity(self, formula):
+        same, report = optimize(formula, ())
+        assert same is formula
+        assert report.total == 0
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_atomic_propositions_never_grow(self, formula):
+        opt, _ = optimize(formula)
+        assert atomic_propositions(opt) <= atomic_propositions(formula)
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_optimized_formula_hashable(self, formula):
+        for rules in (None, ("fold",), ("negation",), ("vacuity",),
+                      ("dedup",)):
+            opt, _ = optimize(formula, rules)
+            assert opt == opt
+            hash(opt)
+
+    @given(mfcsl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_single_rules_compose_to_fixpoint_of_all(self, formula):
+        # Applying all rules once is idempotent even when followed by
+        # any single rule family: no rule undoes another's work.
+        opt, _ = optimize(formula)
+        for rule in REWRITE_RULES:
+            again, _ = optimize(opt, (rule,))
+            roundtrip, _ = optimize(again)
+            assert roundtrip == opt
