@@ -32,6 +32,9 @@ SPARSE_PATH = Path(__file__).resolve().parent / "BENCH_sparse.json"
 #: History file of the formula-optimization ablation family.
 FORMULA_OPT_PATH = Path(__file__).resolve().parent / "BENCH_formula_opt.json"
 
+#: History file of the checking-server benchmark family.
+SERVER_PATH = Path(__file__).resolve().parent / "BENCH_server.json"
+
 #: Keep at most this many records per benchmark name (oldest dropped).
 MAX_RECORDS_PER_NAME = 200
 

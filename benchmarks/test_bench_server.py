@@ -1,0 +1,111 @@
+"""Checking-server benchmark — warm cross-request cache vs cold start.
+
+The acceptance workload of the serving layer (docs/serving.md):
+
+- **correctness** (always on): the warm response is byte-identical to
+  the cold one — verdict, value and exit code;
+- **warm speedup** (``REPRO_BENCH_TIMING_GATE=0`` disables): an
+  identical repeated request is served from the cross-request cache at
+  least :data:`WARM_SPEEDUP_FLOOR` times faster than the cold request
+  that populated it.  The cold side pays model construction, generator
+  compilation and the Kolmogorov solves; the warm side is a dict probe;
+- **context reuse** (always on): a *different formula* against the same
+  ``(model, options)`` entry reuses the warm evaluation context —
+  verified through the entry's transient-cache and context-reuse
+  counters, which are orthogonal to wall-clock noise.
+
+Wall-times are appended to ``BENCH_server.json`` via
+:mod:`benchmarks.record`; regressions against the record's own history
+are printed, not asserted (shared runners are too noisy to gate on).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.record import SERVER_PATH, check_regressions, record_wall_times
+from repro.server.service import CheckingService, ServerConfig
+
+FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+
+#: Acceptance floor on cold/warm wall-time ratio.  Warm service is a
+#: lock-guarded dict probe; in practice the ratio is far above this.
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def _timing_gate() -> bool:
+    return os.environ.get("REPRO_BENCH_TIMING_GATE", "1") != "0"
+
+
+def _request(**overrides) -> dict:
+    payload = {
+        "command": "check",
+        "model": "virus1",
+        "occupancy": [0.8, 0.15, 0.05],
+        "formula": FORMULA,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_warm_request_beats_cold_by_5x():
+    service = CheckingService(ServerConfig())
+    try:
+        t0 = time.perf_counter()
+        s_cold, cold = service.handle(_request())
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        s_warm, warm = service.handle(_request())
+        t_warm = time.perf_counter() - t0
+
+        assert s_cold == s_warm == 200
+        assert cold["cache"]["hit"] is False
+        assert warm["cache"]["hit"] is True
+        # The cached answer is the same answer.
+        assert warm["verdict"] == cold["verdict"]
+        assert warm["exit_code"] == cold["exit_code"]
+
+        speedup = t_cold / max(t_warm, 1e-9)
+        record_wall_times(
+            "server_cold_vs_warm",
+            {"cold": t_cold, "warm": t_warm},
+            extra={
+                "speedup": speedup,
+                "floor": WARM_SPEEDUP_FLOOR,
+                "stats": {
+                    k: v
+                    for k, v in service.stats.as_dict().items()
+                    if k.startswith("service_") and v
+                },
+            },
+            path=SERVER_PATH,
+        )
+        for flag in check_regressions("server_cold_vs_warm", path=SERVER_PATH):
+            print(f"TIMING FLAG: {flag}")
+        if not _timing_gate():
+            pytest.skip("timing gate disabled (REPRO_BENCH_TIMING_GATE=0)")
+        assert speedup >= WARM_SPEEDUP_FLOOR, (
+            f"warm request only {speedup:.1f}x faster than cold "
+            f"(cold {t_cold * 1e3:.2f} ms, warm {t_warm * 1e3:.2f} ms); "
+            f"acceptance floor is {WARM_SPEEDUP_FLOOR}x"
+        )
+    finally:
+        service.close()
+
+
+def test_new_formula_reuses_the_warm_context():
+    service = CheckingService(ServerConfig())
+    try:
+        service.handle(_request())
+        status, second = service.handle(
+            _request(formula="E[<0.5](infected)")
+        )
+        assert status == 200
+        assert second["cache"]["hit"] is False
+        assert second["cache"]["context_reused"] is True
+        assert service.stats.service_context_reuses == 1
+        assert service.stats.service_cache_misses == 1  # one entry, shared
+    finally:
+        service.close()

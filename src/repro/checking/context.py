@@ -1106,17 +1106,66 @@ class EvaluationContext:
         return self._local_checker
 
     def clear_caches(self) -> None:
-        """Drop the generator memo, transient cache and propagator
-        engines (keeps the trajectory).  Engines are cleared in place,
-        so contexts sharing them through :meth:`at_time` are invalidated
-        together — they also share the trajectory the engines were built
-        from."""
+        """Drop the generator memo, transient cache and every cached
+        propagator/action-engine cell (keeps the trajectory).  Engines
+        are cleared *in place* — each engine's internal cell/sliver/
+        reference caches are emptied rather than merely dropping the
+        lookup dict — so contexts sharing them through :meth:`at_time`,
+        and :class:`ContextPropagator`/:class:`ContextAction` handles
+        captured before the clear, are invalidated together; they also
+        share the trajectory the engines were built from.  The engines
+        themselves stay registered, so existing handles keep working and
+        simply rebuild their grids on the next query."""
         self._generator_cache.clear()
         self._sparse_generator_cache.clear()
         self._transient_cache.clear()
-        self._propagator_engines.clear()
-        self._action_engines.clear()
+        for engine in self._propagator_engines.values():
+            engine.clear_caches()
+        for engine in self._action_engines.values():
+            engine.clear_caches()
         self._local_checker = None
+
+    def export_transient_cache(self) -> dict:
+        """Plain-dict copy of the transient-matrix cache.
+
+        Keys are the ``(signature, window, tolerances, method)`` tuples
+        of :meth:`transient_matrix` and values dense arrays — all
+        picklable, which is what the serving layer's disk spill relies
+        on (:mod:`repro.server.service`).
+        """
+        return dict(self._transient_cache)
+
+    def import_transient_cache(self, entries: dict) -> None:
+        """Adopt previously :meth:`export_transient_cache`-ed solves.
+
+        Keys carry every answer-shaping tolerance, so entries exported
+        under different options simply never match a query; trust is
+        still required (the arrays are served verbatim) — feed this only
+        state this process, or a previous run of it, exported.
+        """
+        self._transient_cache.update(entries)
+
+    def cache_nbytes(self) -> int:
+        """Estimated bytes held by this context's solve caches.
+
+        Sums the dense/sparse generator memos, the transient-matrix
+        cache and every shared engine's cell caches.  Used by the
+        serving layer's global memory guard
+        (:mod:`repro.server.service`); an estimate, not an accounting —
+        trajectory segments and small bookkeeping are not counted.
+        """
+        total = 0
+        for q in self._generator_cache.values():
+            total += int(q.nbytes)
+        for q in self._sparse_generator_cache.values():
+            total += int(q.data.nbytes + q.indices.nbytes + q.indptr.nbytes)
+        for pi in self._transient_cache.values():
+            total += int(pi.nbytes)
+        for engine in self._propagator_engines.values():
+            total += engine.cache_nbytes()
+        for engine in self._action_engines.values():
+            total += engine.cache_nbytes()
+        return total
 
     # ------------------------------------------------------------------
     # Steady state (Sections IV-D / V-A)

@@ -8,9 +8,18 @@ record, and (b) accuracy/cost trade-offs can be studied systematically
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.exceptions import ModelError
+
+#: Fields excluded from :meth:`CheckOptions.signature`.  They are pure
+#: *execution* limits — they bound how long a run may take but never
+#: change any number a run produces (a violated limit aborts the run
+#: before anything wrong is cached) — so two requests differing only in
+#: them can share every warm cache.  ``max_refinements`` and
+#: ``max_memory_mb`` stay *in* the signature: they decide which
+#: degradation-ladder rungs succeed and therefore shape cached state.
+SIGNATURE_EXCLUDED_FIELDS = ("deadline", "max_solves")
 
 #: Every individually-switchable checking optimization, in canonical
 #: order.  The first four are the rewrite-rule families of
@@ -261,3 +270,30 @@ class CheckOptions:
     def with_(self, **changes) -> "CheckOptions":
         """A copy with some fields replaced (frozen-dataclass helper)."""
         return replace(self, **changes)
+
+    def signature(self) -> str:
+        """Stable canonical signature of every answer-shaping option.
+
+        A deterministic ``name=value`` rendering of all fields except
+        :data:`SIGNATURE_EXCLUDED_FIELDS`, identical across processes
+        and interpreter restarts (every field is plain data after
+        ``__post_init__`` normalization — no ``id()``/hash-randomized
+        values).  The serving cache keys warm engine state by
+        ``(model hash, options signature)``: two requests with equal
+        signatures may share compiled generators, propagator cells and
+        transient matrices; requests differing only in excluded fields
+        (per-request deadlines and solve caps) share them too.
+        """
+        parts = []
+        for f in sorted(fields(self), key=lambda f: f.name):
+            if f.name in SIGNATURE_EXCLUDED_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, float):
+                rendered = repr(value)
+            elif isinstance(value, tuple):
+                rendered = ",".join(str(v) for v in value)
+            else:
+                rendered = str(value)
+            parts.append(f"{f.name}={rendered}")
+        return ";".join(parts)

@@ -25,6 +25,13 @@ Estimate a path probability by Monte-Carlo sampling::
 List the models and their atomic propositions::
 
     mfcsl models
+
+Run the checking server and query it (warm cross-request cache;
+see docs/serving.md)::
+
+    mfcsl serve --port 8349 --cache-dir /tmp/mfcsl-cache &
+    mfcsl query --url http://127.0.0.1:8349 \
+        --occupancy 0.8,0.15,0.05 "EP[<0.3](not_infected U[0,1] infected)"
 """
 
 from __future__ import annotations
@@ -37,71 +44,32 @@ import numpy as np
 
 from repro.checking import CheckOptions, MFModelChecker
 from repro.checking.options import OPTIMIZATION_NAMES as _OPTIMIZATION_CHOICES
+
+# The exit-code taxonomy and its exception mapping live in
+# repro.exceptions (the checking server shares them for its HTTP-status
+# mapping); re-exported here because scripts and tests import them from
+# the CLI module.
 from repro.exceptions import (
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_CHECKING_ERROR,
+    EXIT_FORMULA_ERROR,
+    EXIT_INDETERMINATE,
+    EXIT_MODEL_ERROR,
+    EXIT_NOT_SATISFIED,
+    EXIT_SATISFIED,
+    EXIT_WORKER_FAILURE,
     BudgetExceededError,
-    CheckingError,
-    FormulaError,
-    ModelError,
     ReproError,
     WorkerError,
+    exit_code_for,
 )
 from repro.meanfield.overall_model import MeanFieldModel
-from repro.models.botnet import botnet_model
-from repro.models.diurnal import diurnal_virus_model
-from repro.models.epidemic import sir_model, sis_model
-from repro.models.gossip import gossip_model
-from repro.models.load_balancing import (
-    deep_load_balancing_model,
-    load_balancing_model,
-)
-from repro.models.population import population_model
-from repro.models.virus import SETTING_1, SETTING_2, virus_model
+from repro.models import MODEL_REGISTRY
 
-# Exit codes: one per failure class, so scripts can distinguish a bad
-# model document from a bad formula from a numerical blow-up without
-# parsing stderr (see docs/robustness.md).
-EXIT_SATISFIED = 0
-EXIT_NOT_SATISFIED = 1
-EXIT_MODEL_ERROR = 2
-EXIT_FORMULA_ERROR = 3
-EXIT_CHECKING_ERROR = 4
-EXIT_BUDGET_EXCEEDED = 5
-EXIT_WORKER_FAILURE = 6
-EXIT_INDETERMINATE = 7
-
-
-def exit_code_for(exc: ReproError) -> int:
-    """Map an exception to the CLI exit code of its failure class.
-
-    The budget and worker classes are checked before their
-    :class:`~repro.exceptions.CheckingError` parent so they keep their
-    distinct codes.
-    """
-    if isinstance(exc, BudgetExceededError):
-        return EXIT_BUDGET_EXCEEDED
-    if isinstance(exc, WorkerError):
-        return EXIT_WORKER_FAILURE
-    if isinstance(exc, ModelError):
-        return EXIT_MODEL_ERROR
-    if isinstance(exc, FormulaError):
-        return EXIT_FORMULA_ERROR
-    if isinstance(exc, CheckingError):
-        return EXIT_CHECKING_ERROR
-    return EXIT_MODEL_ERROR
-
-
-MODELS: Dict[str, Callable[[], MeanFieldModel]] = {
-    "virus1": lambda: virus_model(SETTING_1),
-    "virus2": lambda: virus_model(SETTING_2),
-    "botnet": botnet_model,
-    "sis": sis_model,
-    "sir": sir_model,
-    "gossip": gossip_model,
-    "diurnal": diurnal_virus_model,
-    "loadbalance": load_balancing_model,
-    "loadbalance-deep": deep_load_balancing_model,
-    "population": population_model,
-}
+#: Backward-compatible alias: the registry moved to :mod:`repro.models`
+#: so the checking server can resolve model names without importing the
+#: CLI.
+MODELS: Dict[str, Callable[[], MeanFieldModel]] = MODEL_REGISTRY
 
 
 def _parse_occupancy(text: str) -> np.ndarray:
@@ -135,7 +103,25 @@ def _formula_optimizations(args: argparse.Namespace):
     return tuple(n for n in _OPTIMIZATION_CHOICES if n not in disabled)
 
 
+def _budget_options(args: argparse.Namespace) -> CheckOptions:
+    """Only the budget fields of :class:`CheckOptions`, from the CLI flags.
+
+    Every subcommand funnels its execution limits through this +
+    :meth:`~repro.resilience.Budget.from_options`, so ``--deadline``,
+    ``--max-solves``, ``--max-refinements`` and ``--max-memory-mb`` mean
+    the same thing everywhere (``simulate`` and ``mc`` used to build a
+    bare deadline-only budget by hand and silently drop the rest).
+    """
+    return CheckOptions(
+        deadline=getattr(args, "deadline", None),
+        max_solves=getattr(args, "max_solves", None),
+        max_refinements=getattr(args, "max_refinements", None),
+        max_memory_mb=getattr(args, "max_memory_mb", None),
+    )
+
+
 def _build_checker(args: argparse.Namespace) -> MFModelChecker:
+    budget = _budget_options(args)
     options = CheckOptions(
         start_convention=args.convention,
         workers=getattr(args, "workers", 1),
@@ -143,8 +129,10 @@ def _build_checker(args: argparse.Namespace) -> MFModelChecker:
         transient_method=getattr(args, "transient_method", "ode"),
         matrix_backend=getattr(args, "matrix_backend", "auto"),
         propagator_tol=getattr(args, "propagator_tol", 1e-6),
-        deadline=getattr(args, "deadline", None),
-        max_refinements=getattr(args, "max_refinements", None),
+        deadline=budget.deadline,
+        max_solves=budget.max_solves,
+        max_refinements=budget.max_refinements,
+        max_memory_mb=budget.max_memory_mb,
         formula_optimizations=_formula_optimizations(args),
     )
     return MFModelChecker(_resolve_model(args), options)
@@ -227,11 +215,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     occupancy = _parse_occupancy(args.occupancy)
     simulator = FiniteNSimulator(model.local, args.population)
     stats = EvalStats()
-    budget = None
-    if args.deadline is not None:
-        from repro.resilience import Budget
+    from repro.resilience import Budget
 
-        budget = Budget(deadline=args.deadline)
+    budget = Budget.from_options(_budget_options(args))
     paths = simulator.simulate_ensemble(
         occupancy,
         args.horizon,
@@ -268,10 +254,19 @@ def _cmd_mc(args: argparse.Namespace) -> int:
 
     model = _resolve_model(args)
     occupancy = _parse_occupancy(args.occupancy)
+    budget = _budget_options(args)
     ctx = EvaluationContext(
         model,
         occupancy,
-        CheckOptions(workers=args.workers, deadline=args.deadline),
+        # The context builds its budget via Budget.from_options, so mc
+        # honors every limit flag, not just the deadline.
+        CheckOptions(
+            workers=args.workers,
+            deadline=budget.deadline,
+            max_solves=budget.max_solves,
+            max_refinements=budget.max_refinements,
+            max_memory_mb=budget.max_memory_mb,
+        ),
     )
     checker = StatisticalChecker(
         ctx,
@@ -295,6 +290,130 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         f"workers={args.workers}"
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import make_server
+    from repro.server.service import ServerConfig
+
+    config = ServerConfig(
+        max_entries=args.max_entries,
+        max_cache_mb=args.max_cache_mb,
+        cache_dir=args.cache_dir,
+        default_deadline=args.default_deadline,
+        max_concurrent=args.max_concurrent,
+        queue_timeout=args.queue_timeout,
+    )
+    server = make_server(
+        host=args.host, port=args.port, config=config, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    # Parsed by scripts (and the CI smoke job) to learn the bound port,
+    # which matters when --port 0 asks the OS to pick a free one.
+    print(f"listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0
+
+
+def _parse_option_overrides(pairs) -> dict:
+    """``--option name=value`` pairs -> CheckOptions field overrides.
+
+    Values are parsed as JSON when possible (numbers, booleans, lists)
+    and fall back to plain strings (``--option curve_method=cells``).
+    """
+    import json as _json
+
+    overrides = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"error: --option expects name=value, got {pair!r}"
+            )
+        try:
+            overrides[name] = _json.loads(value)
+        except _json.JSONDecodeError:
+            overrides[name] = value
+    return overrides
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.server.client import ServerClient
+
+    client = ServerClient(args.url, timeout=args.timeout)
+    if args.server_stats:
+        import json as _json
+
+        print(_json.dumps(client.stats(), indent=2))
+        return 0
+    if args.formula is None:
+        raise SystemExit("error: a formula is required (or --server-stats)")
+    if args.occupancy is None:
+        raise SystemExit("error: --occupancy is required for queries")
+    payload = {
+        "command": args.query_command,
+        "occupancy": [
+            float(x) for x in _parse_occupancy(args.occupancy)
+        ],
+        "formula": args.formula,
+    }
+    if args.model_file:
+        import json as _json
+        from pathlib import Path
+
+        payload["model_document"] = _json.loads(
+            Path(args.model_file).read_text()
+        )
+    else:
+        payload["model"] = args.model
+    if args.query_command == "csat":
+        payload["theta"] = args.theta
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    if args.max_solves is not None:
+        payload["max_solves"] = args.max_solves
+    overrides = _parse_option_overrides(args.option)
+    if overrides:
+        payload["options"] = overrides
+
+    _status, body = client.query(payload)
+    if body.get("status") != "ok":
+        print(f"error: {body.get('message', body)}", file=sys.stderr)
+        progress = body.get("progress")
+        if progress:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(progress.items())
+            )
+            print(f"progress: {parts}", file=sys.stderr)
+        return int(body.get("exit_code", EXIT_CHECKING_ERROR))
+    if args.query_command == "check":
+        verdict = body["verdict"]
+        if verdict["indeterminate"]:
+            print("INDETERMINATE")
+            print(f"    result quality {verdict['quality']}")
+        else:
+            print("SATISFIED" if verdict["holds"] else "NOT SATISFIED")
+    elif args.query_command == "value":
+        print(f"{body['value']:.10f}")
+    else:
+        intervals = body["intervals"]
+        if not intervals:
+            print("empty")
+        else:
+            for a, b in intervals:
+                print(f"[{a:.6f}, {b:.6f}]")
+    cache = body.get("cache", {})
+    print(
+        f"cache: hit={cache.get('hit')} coalesced={cache.get('coalesced')} "
+        f"context_reused={cache.get('context_reused')}"
+    )
+    return int(body.get("exit_code", EXIT_CHECKING_ERROR))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -336,6 +455,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="wall-clock budget in seconds; expiry raises a "
             "budget-exceeded error (exit code 5) with partial progress",
         )
+        p.add_argument(
+            "--max-solves",
+            type=int,
+            default=None,
+            help="cap on solve_ivp attempts charged against the budget",
+        )
+        p.add_argument(
+            "--max-refinements",
+            type=int,
+            default=None,
+            help="cap on propagator-grid refinements; exceeding it "
+            "triggers the degradation ladder instead of more refinement",
+        )
+        p.add_argument(
+            "--max-memory-mb",
+            type=float,
+            default=None,
+            help="refuse any single estimated allocation above this "
+            "(propagator cell caches); exceeded = exit code 5",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         add_model_args(p)
@@ -375,13 +514,6 @@ def build_parser() -> argparse.ArgumentParser:
             default=1e-6,
             help="defect tolerance of the propagator engine (cell "
             "products vs reference ODE solves; docs/performance.md §7)",
-        )
-        p.add_argument(
-            "--max-refinements",
-            type=int,
-            default=None,
-            help="cap on propagator-grid refinements; exceeding it "
-            "triggers the degradation ladder instead of more refinement",
         )
         p.add_argument(
             "--no-formula-optimizations",
@@ -470,6 +602,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--batch-size", type=int, default=256)
     p_mc.add_argument("formula", help="path formula, e.g. 'a U[0,1] b'")
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the checking server (persistent cross-request cache; "
+        "see docs/serving.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8349, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--max-entries",
+        type=int,
+        default=32,
+        help="LRU bound on warm (model, options) cache entries",
+    )
+    p_serve.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=256.0,
+        help="global bound on summed warm-cache bytes; exceeding it "
+        "evicts LRU entries (spilled to --cache-dir when set)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk-spill directory; evicted warm state is written here "
+        "and revived after restarts (omit to disable spill)",
+    )
+    p_serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline in seconds applied to requests that set none",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="admission control: concurrent computations allowed",
+    )
+    p_serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a request may wait for a worker slot before "
+        "being rejected with HTTP 429",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="send one request to a running checking server"
+    )
+    p_query.add_argument(
+        "--url",
+        default="http://127.0.0.1:8349",
+        help="base URL of the server (mfcsl serve prints it on startup)",
+    )
+    p_query.add_argument(
+        "--command",
+        dest="query_command",
+        default="check",
+        choices=("check", "value", "csat"),
+    )
+    p_query.add_argument("--model", default="virus1")
+    p_query.add_argument(
+        "--model-file",
+        default=None,
+        help="JSON model document sent inline (overrides --model)",
+    )
+    p_query.add_argument(
+        "--occupancy",
+        default=None,
+        help="comma-separated occupancy vector, e.g. 0.8,0.15,0.05",
+    )
+    p_query.add_argument("--theta", type=float, default=10.0)
+    p_query.add_argument("--deadline", type=float, default=None)
+    p_query.add_argument("--max-solves", type=int, default=None)
+    p_query.add_argument(
+        "--option",
+        action="append",
+        metavar="NAME=VALUE",
+        help="CheckOptions override, repeatable "
+        "(e.g. --option curve_method=cells)",
+    )
+    p_query.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="client-side socket timeout in seconds",
+    )
+    p_query.add_argument(
+        "--server-stats",
+        action="store_true",
+        help="print the server's /stats payload and exit",
+    )
+    p_query.add_argument(
+        "formula", nargs="?", default=None, help="MF-CSL formula text"
+    )
+    p_query.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -633,6 +633,32 @@ class PropagatorEngine:
         """Cells plus boundary slivers currently held in the cache."""
         return len(self._cells) + len(self._slivers)
 
+    def clear_caches(self) -> None:
+        """Drop every cached cell, sliver and reference solve *in place*.
+
+        The grid geometry is reset too (``cell_width`` back to ``None``,
+        nothing validated), so the next query re-probes from scratch.
+        Because the clearing is in place, every holder of this engine —
+        evaluation contexts sharing it across ``at_time`` chains, and
+        :class:`~repro.checking.context.ContextPropagator` handles
+        captured before the clear — observes the invalidation instead of
+        serving stale cells.
+        """
+        self._cells.clear()
+        self._slivers.clear()
+        self._references.clear()
+        self._h = None
+        self._validated = None
+        self.refinements = 0
+
+    def cache_nbytes(self) -> int:
+        """Bytes held by the cached cells, slivers and references."""
+        return sum(
+            arr.nbytes
+            for cache in (self._cells, self._slivers, self._references)
+            for arr in cache.values()
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PropagatorEngine(k={self.k}, kernel={self.kernel!r}, "
@@ -1023,6 +1049,32 @@ class SparseActionPropagator:
     def num_cached_cells(self) -> int:
         """Cells plus boundary slivers currently held in the cache."""
         return len(self._cells) + len(self._slivers)
+
+    def clear_caches(self) -> None:
+        """Drop every cached exponent cell and sliver *in place*.
+
+        Sparse counterpart of :meth:`PropagatorEngine.clear_caches`:
+        grid geometry resets and every holder of the engine (shared
+        ``at_time`` contexts, captured
+        :class:`~repro.checking.context.ContextAction` handles) sees the
+        invalidation instead of stale exponents.
+        """
+        self._cells.clear()
+        self._slivers.clear()
+        self._h = None
+        self._validated = None
+        self.refinements = 0
+
+    def cache_nbytes(self) -> int:
+        """Bytes held by the cached sparse exponent factors."""
+        total = 0
+        for cache in (self._cells, self._slivers):
+            for factors in cache.values():
+                for exponent in factors:
+                    total += int(exponent.data.nbytes)
+                    total += int(exponent.indices.nbytes)
+                    total += int(exponent.indptr.nbytes)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

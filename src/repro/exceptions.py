@@ -13,6 +13,40 @@ class ReproError(Exception):
     """Base class of every exception raised by this library."""
 
 
+# Failure-class taxonomy shared by the CLI (process exit codes) and the
+# checking server (HTTP bodies carry the same code), so scripts and
+# clients can distinguish a bad model document from a bad formula from a
+# numerical blow-up without parsing error text (see docs/robustness.md
+# and docs/serving.md).
+EXIT_SATISFIED = 0
+EXIT_NOT_SATISFIED = 1
+EXIT_MODEL_ERROR = 2
+EXIT_FORMULA_ERROR = 3
+EXIT_CHECKING_ERROR = 4
+EXIT_BUDGET_EXCEEDED = 5
+EXIT_WORKER_FAILURE = 6
+EXIT_INDETERMINATE = 7
+
+
+def exit_code_for(exc: "ReproError") -> int:
+    """Map an exception to the exit code of its failure class.
+
+    The budget and worker classes are checked before their
+    :class:`CheckingError` parent so they keep their distinct codes.
+    """
+    if isinstance(exc, BudgetExceededError):
+        return EXIT_BUDGET_EXCEEDED
+    if isinstance(exc, WorkerError):
+        return EXIT_WORKER_FAILURE
+    if isinstance(exc, ModelError):
+        return EXIT_MODEL_ERROR
+    if isinstance(exc, FormulaError):
+        return EXIT_FORMULA_ERROR
+    if isinstance(exc, CheckingError):
+        return EXIT_CHECKING_ERROR
+    return EXIT_MODEL_ERROR
+
+
 class ModelError(ReproError):
     """A model definition is structurally invalid.
 

@@ -116,6 +116,31 @@ class EvalStats:
         Nested-until / curve segments whose propagator solve was never
         demanded by any evaluation time (the ``lazy-segments``
         optimization), plus segments an early exit skipped.
+    service_requests:
+        Requests accepted by a :class:`repro.server.service.CheckingService`
+        (every command, before any cache probe).
+    service_cache_hits:
+        Requests answered from the cross-request response cache without
+        recomputing anything.
+    service_cache_misses:
+        Requests whose ``(model hash, options signature)`` entry had to
+        be created cold (no warm engine state existed).
+    service_cache_evictions:
+        Warm cache entries dropped by the LRU bound or the global memory
+        guard (spilled to disk first when a cache directory is set).
+    service_coalesced:
+        Requests that waited on an identical in-flight computation
+        instead of starting their own (request coalescing).
+    service_context_reuses:
+        Requests served by a warm evaluation context (shared compiled
+        generators, propagator cells, transient matrices) rather than a
+        freshly built one.
+    service_rejections:
+        Requests refused by admission control (worker pool saturated
+        beyond the queue timeout).
+    service_spill_saves / service_spill_loads:
+        Cache entries written to / revived from the disk-spill
+        directory (warm state surviving process restarts).
     """
 
     rhs_evaluations: int = 0
@@ -146,6 +171,15 @@ class EvalStats:
     formula_memo_hits: int = 0
     early_exits: int = 0
     segments_skipped: int = 0
+    service_requests: int = 0
+    service_cache_hits: int = 0
+    service_cache_misses: int = 0
+    service_cache_evictions: int = 0
+    service_coalesced: int = 0
+    service_context_reuses: int = 0
+    service_rejections: int = 0
+    service_spill_saves: int = 0
+    service_spill_loads: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

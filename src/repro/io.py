@@ -30,10 +30,11 @@ brevity.  ``mfcsl --model-file model.json …`` consumes these documents.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -226,6 +227,48 @@ def _validate_initial_field(initial: Any, num_states: int) -> None:
         raise InvalidOccupancyError(
             f"field 'initial' must sum to 1, got {total!r}"
         )
+
+
+def canonical_model_json(document: Dict[str, Any]) -> str:
+    """The canonical JSON rendering of a model document.
+
+    Sorted keys, no insignificant whitespace — byte-identical for
+    structurally equal documents regardless of the key order or
+    formatting they arrived with, which is what makes
+    :func:`model_hash` stable across processes and restarts.
+    """
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def model_hash(
+    model: MeanFieldModel, *, fallback: Optional[str] = None
+) -> str:
+    """Content hash of a model — the cache-key half of the serving layer.
+
+    Serializes the model to its canonical document
+    (:func:`model_to_dict` then :func:`canonical_model_json`) and
+    SHA-256 hashes the bytes, so two structurally identical models —
+    loaded from differently-formatted files, or one built in code and
+    one loaded from disk — hash equal, and the hash is stable across
+    processes (a requirement for disk-spilled cache state to be
+    rediscovered after a restart).
+
+    Models with opaque callable rates cannot be serialized; for those,
+    ``fallback`` (e.g. a registry name like ``"builtin:diurnal"``) is
+    hashed instead — callers guarantee the fallback string denotes one
+    fixed model.  Without a fallback the
+    :class:`~repro.exceptions.ModelError` from serialization propagates.
+    """
+    try:
+        payload = canonical_model_json(model_to_dict(model))
+    except ModelError:
+        if fallback is None:
+            raise
+        payload = f"opaque-model:{fallback}"
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
 
 
 def save_model(model: MeanFieldModel, path: Union[str, Path]) -> None:

@@ -49,6 +49,23 @@ from repro.models.population import (
     truncation_boundary_mass,
 )
 
+#: Named factories of every built-in model, shared by the CLI
+#: (``mfcsl --model NAME``) and the checking server (requests reference
+#: models by these names).  Factories are deterministic, so one name
+#: always denotes the same model — the serving cache relies on that.
+MODEL_REGISTRY = {
+    "virus1": lambda: virus_model(SETTING_1),
+    "virus2": lambda: virus_model(SETTING_2),
+    "botnet": botnet_model,
+    "sis": sis_model,
+    "sir": sir_model,
+    "gossip": gossip_model,
+    "diurnal": diurnal_virus_model,
+    "loadbalance": load_balancing_model,
+    "loadbalance-deep": deep_load_balancing_model,
+    "population": population_model,
+}
+
 __all__ = [
     "SETTING_1",
     "SETTING_2",
@@ -74,4 +91,5 @@ __all__ = [
     "poisson_occupancy",
     "population_model",
     "truncation_boundary_mass",
+    "MODEL_REGISTRY",
 ]

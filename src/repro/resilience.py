@@ -147,6 +147,69 @@ class Budget:
         #: :class:`~repro.exceptions.BudgetExceededError`.
         self.progress: Dict[str, Any] = {}
 
+    #: Sentinel distinguishing "keep the current limit" from "disable the
+    #: limit" (``None``) in :meth:`restart`.
+    _KEEP = object()
+
+    def restart(
+        self,
+        *,
+        deadline: Any = _KEEP,
+        max_solves: Any = _KEEP,
+        max_refinements: Any = _KEEP,
+        max_memory_mb: Any = _KEEP,
+    ) -> None:
+        """Re-anchor the clock and reset the run counters in place.
+
+        The deadline is measured from *now* instead of construction time,
+        and ``solves``/``progress`` start from zero — this is the
+        per-request re-arm used by long-running processes (the checking
+        server) that keep one budget alive across many requests: the
+        evaluation-context engines capture the budget object at
+        construction, so replacing the object would leave them enforcing
+        the stale one, while ``restart()`` mutates it in place and every
+        captured reference sees the fresh anchor.
+
+        Each keyword, when passed, *replaces* the corresponding limit
+        (``None`` disables it); omitted limits are kept.  Replacement
+        values are validated exactly like the constructor's.
+        """
+        keep = Budget._KEEP
+        if deadline is not keep:
+            if deadline is not None and deadline <= 0:
+                raise ModelError(
+                    f"deadline must be positive, got {deadline}"
+                )
+            self.deadline = None if deadline is None else float(deadline)
+        if max_solves is not keep:
+            if max_solves is not None and max_solves <= 0:
+                raise ModelError(
+                    f"max_solves must be positive, got {max_solves}"
+                )
+            self.max_solves = (
+                None if max_solves is None else int(max_solves)
+            )
+        if max_refinements is not keep:
+            if max_refinements is not None and max_refinements < 0:
+                raise ModelError(
+                    f"max_refinements must be non-negative, got "
+                    f"{max_refinements}"
+                )
+            self.max_refinements = (
+                None if max_refinements is None else int(max_refinements)
+            )
+        if max_memory_mb is not keep:
+            if max_memory_mb is not None and max_memory_mb <= 0:
+                raise ModelError(
+                    f"max_memory_mb must be positive, got {max_memory_mb}"
+                )
+            self.max_memory_mb = (
+                None if max_memory_mb is None else float(max_memory_mb)
+            )
+        self._start = self._clock()
+        self.solves = 0
+        self.progress = {}
+
     @classmethod
     def from_options(cls, options) -> "Optional[Budget]":
         """Build a budget from :class:`~repro.checking.options.CheckOptions`.
@@ -207,7 +270,15 @@ class Budget:
         self.progress[key] = self.progress.get(key, 0) + amount
 
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-data progress snapshot (picklable, crosses processes)."""
+        """Plain-data progress snapshot (picklable, crosses processes).
+
+        The report's own fields (``elapsed_seconds``, ``solves``,
+        ``deadline_seconds``, ``max_solves``) are reserved: a
+        free-form :attr:`progress` counter that happens to share one of
+        those names is namespaced as ``progress.<key>`` instead of
+        clobbering the reserved field, so the report always states the
+        true elapsed time and solve count.
+        """
         report: Dict[str, Any] = {
             "elapsed_seconds": round(self.elapsed(), 6),
             "solves": self.solves,
@@ -216,7 +287,15 @@ class Budget:
             report["deadline_seconds"] = self.deadline
         if self.max_solves is not None:
             report["max_solves"] = self.max_solves
-        report.update(self.progress)
+        reserved = (
+            "elapsed_seconds",
+            "solves",
+            "deadline_seconds",
+            "max_solves",
+        )
+        for key, value in self.progress.items():
+            name = f"progress.{key}" if key in reserved else key
+            report[name] = value
         return report
 
     def exceeded(self, label: str, reason: str) -> BudgetExceededError:

@@ -1,0 +1,88 @@
+"""A minimal client for the checking server (``mfcsl query``).
+
+Standard-library ``urllib`` only, mirroring the server's
+no-new-dependencies rule.  The client is deliberately dumb: it posts one
+JSON request, returns the decoded JSON response together with the HTTP
+status, and leaves interpretation (exit codes, verdict rendering) to the
+caller — the CLI and the tests both want the raw body.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+from repro.exceptions import CheckingError
+
+
+class ServerClient:
+    """Talk to a running ``mfcsl serve`` process.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8349"`` (no trailing slash needed).
+    timeout:
+        Socket timeout per request, seconds.  Should comfortably exceed
+        any deadline the requests carry — a client-side timeout means
+        *no* response, whereas a server-side deadline produces a
+        well-formed 503 with partial progress.
+    """
+
+    def __init__(self, base_url: str, timeout: Optional[float] = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        url = f"{self.base_url}{path}"
+        if payload is None:
+            req = urllib.request.Request(url, method="GET")
+        else:
+            req = urllib.request.Request(
+                url,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Error statuses still carry a JSON body (the service's
+            # documented error shape); surface it instead of raising.
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                body = {
+                    "status": "error",
+                    "error_class": "HTTPError",
+                    "message": str(exc),
+                }
+            return exc.code, body
+        except (urllib.error.URLError, OSError) as exc:
+            raise CheckingError(
+                f"cannot reach checking server at {self.base_url}: {exc}"
+            ) from exc
+
+    def query(self, payload: dict) -> Tuple[int, dict]:
+        """POST one checking request; returns ``(http_status, body)``."""
+        return self._request("/query", payload)
+
+    def stats(self) -> dict:
+        """GET the server's cache/admission counters."""
+        status, body = self._request("/stats")
+        if status != 200:
+            raise CheckingError(f"/stats returned HTTP {status}: {body}")
+        return body
+
+    def health(self) -> bool:
+        """Whether the server answers its liveness probe."""
+        try:
+            status, _ = self._request("/health")
+        except CheckingError:
+            return False
+        return status == 200

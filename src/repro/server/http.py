@@ -1,0 +1,143 @@
+"""Thin HTTP/JSON transport over :class:`repro.server.service.CheckingService`.
+
+Standard-library only (``http.server`` + ``json``): the container this
+runs in must not need anything beyond the numerical stack.  The server
+is a :class:`~http.server.ThreadingHTTPServer`, so concurrent requests
+exercise the service's coalescing and admission control for real; all
+interesting behaviour lives in the transport-free service and is tested
+there — this module only decodes requests, dispatches and encodes
+responses.
+
+Endpoints
+---------
+``POST /query``
+    One checking request (see docs/serving.md for the body schema).
+    The HTTP status is derived from the CLI exit-code taxonomy
+    (:data:`repro.server.service.HTTP_STATUS_BY_EXIT_CODE`).
+``GET /stats``
+    Cache and admission counters plus per-entry summaries.
+``GET /health``
+    Liveness probe; always ``200 {"status": "ok"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.server.service import CheckingService, ServerConfig
+
+#: Refuse request bodies beyond this size (a model document plus a
+#: formula fits in a small fraction of it).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "CheckingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/health":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats_payload())
+        else:
+            self._send_json(
+                404,
+                {
+                    "status": "error",
+                    "error_class": "NotFound",
+                    "message": f"unknown path {self.path!r}; "
+                    "GET /health, GET /stats or POST /query",
+                },
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/query", "/"):
+            self._send_json(
+                404,
+                {
+                    "status": "error",
+                    "error_class": "NotFound",
+                    "message": f"unknown path {self.path!r}; POST /query",
+                },
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400,
+                {
+                    "status": "error",
+                    "error_class": "BadRequest",
+                    "message": "missing, malformed or oversized "
+                    "Content-Length",
+                },
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"null")
+        except json.JSONDecodeError as exc:
+            self._send_json(
+                400,
+                {
+                    "status": "error",
+                    "error_class": "BadRequest",
+                    "message": f"invalid JSON body: {exc}",
+                },
+            )
+            return
+        status, body = self.server.service.handle(payload)
+        self._send_json(status, body)
+
+
+class CheckingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`CheckingService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: Optional[CheckingService] = None,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service or CheckingService()
+        self.verbose = verbose
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.service.close()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServerConfig] = None,
+    verbose: bool = False,
+) -> CheckingHTTPServer:
+    """Bind a checking server (``port=0`` picks a free port)."""
+    return CheckingHTTPServer(
+        (host, port), CheckingService(config), verbose=verbose
+    )

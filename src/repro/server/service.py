@@ -1,0 +1,902 @@
+"""The checking service: a persistent cross-request cache around the checkers.
+
+This module is the transport-free core of ``mfcsl serve``.  A
+:class:`CheckingService` owns a per-process LRU cache of *warm checking
+state* keyed by ``(model hash, options signature)`` — compiled
+generators, propagator cell caches, transient matrices and finished
+responses — and serves ``check`` / ``value`` / ``csat`` requests against
+it.  The HTTP layer (:mod:`repro.server.http`) is a thin adapter: every
+behaviour worth testing lives here and is exercised directly, without
+sockets, by ``tests/server/``.
+
+Three mechanisms keep a shared long-running process safe:
+
+- **Request coalescing** — identical queries that arrive while one of
+  them is computing wait on the in-flight computation instead of
+  starting their own.  The coalescing key *includes* the per-request
+  execution limits (deadline, solve cap) so an unhurried request is
+  never handed a tight-deadline peer's budget error; the response cache
+  key *excludes* them, because execution limits never change an answer
+  (see :data:`repro.checking.options.SIGNATURE_EXCLUDED_FIELDS`).
+- **Admission control** — at most ``max_concurrent`` computations run at
+  once; a request that cannot get a slot within ``queue_timeout``
+  seconds is rejected with HTTP 429 instead of piling onto an overloaded
+  process.  Each admitted computation re-arms the entry's shared
+  :class:`~repro.resilience.Budget` in place
+  (:meth:`~repro.resilience.Budget.restart`) so per-request deadlines
+  are anchored at admission, not at entry creation.
+- **Bounded memory** — the entry count is LRU-bounded and the summed
+  cache bytes (:meth:`~repro.checking.context.EvaluationContext.cache_nbytes`)
+  are guarded by ``max_cache_mb``; evicted entries are spilled to disk
+  (when a cache directory is configured) and revived on the next cold
+  request for the same key, so warm transient state survives restarts.
+
+Locking discipline: ``self._lock`` (service-level) protects the entry
+map, the in-flight map and the service counters, and is only ever held
+for dict operations — never across a computation.  ``entry.lock``
+(per-entry) serializes computations against one warm state.  No code
+path acquires the service lock while holding an entry lock *and* blocks,
+so warm response-cache hits never queue behind a long compute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.checking import CheckOptions, MFModelChecker
+from repro.checking.context import EvaluationContext
+from repro.exceptions import (
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_CHECKING_ERROR,
+    EXIT_INDETERMINATE,
+    EXIT_NOT_SATISFIED,
+    EXIT_SATISFIED,
+    ModelError,
+    ReproError,
+    exit_code_for,
+)
+from repro.instrumentation import EvalStats
+from repro.io import model_from_dict, model_hash
+from repro.models import MODEL_REGISTRY
+from repro.resilience import Budget
+
+#: HTTP status per CLI exit code (documented in docs/serving.md).  The
+#: three *answer* codes — satisfied, not satisfied, indeterminate — are
+#: all successful checks (200); bad inputs are client errors (400);
+#: budget expiry is 503 (the service is fine, this request ran out of
+#: time); numerical and worker failures are server errors (500).
+HTTP_STATUS_BY_EXIT_CODE = {
+    0: 200,
+    1: 200,
+    7: 200,
+    2: 400,
+    3: 400,
+    4: 500,
+    5: 503,
+    6: 500,
+}
+
+#: HTTP status of an admission-control rejection.  Distinct from the 503
+#: a deadline expiry earns: 429 means "retry later", the request itself
+#: was fine.
+HTTP_STATUS_REJECTED = 429
+
+_VALID_COMMANDS = ("check", "value", "csat")
+
+_MISSING = object()
+
+_SPILL_FORMAT = "repro-server-spill"
+_SPILL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operating limits of a :class:`CheckingService`.
+
+    Attributes
+    ----------
+    max_entries:
+        LRU bound on warm ``(model hash, options signature)`` entries.
+    max_cache_mb:
+        Global bound on the summed cache bytes of all warm entries;
+        exceeding it evicts least-recently-used entries (current entry
+        excluded) until back under.
+    max_contexts_per_entry:
+        LRU bound on warm evaluation contexts (one per distinct
+        occupancy vector) within one entry.
+    max_responses_per_entry:
+        LRU bound on finished responses cached within one entry.
+    cache_dir:
+        Directory for disk spill; ``None`` disables spill entirely
+        (evicted state is simply dropped).
+    default_deadline:
+        Deadline applied to requests that do not set one; ``None``
+        leaves them unbounded.
+    max_concurrent:
+        Admission-control bound on concurrently running computations
+        (cache hits and coalesced waits are not counted — they do not
+        occupy a worker slot).
+    queue_timeout:
+        Seconds a computation may wait for an admission slot before
+        being rejected with 429.
+    coalesce_timeout:
+        Seconds a coalesced request waits on the in-flight computation
+        before giving up with a budget-style 503.
+    """
+
+    max_entries: int = 32
+    max_cache_mb: float = 256.0
+    max_contexts_per_entry: int = 8
+    max_responses_per_entry: int = 256
+    cache_dir: Optional[str] = None
+    default_deadline: Optional[float] = None
+    max_concurrent: int = 4
+    queue_timeout: float = 30.0
+    coalesce_timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ModelError(
+                f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.max_cache_mb <= 0:
+            raise ModelError(
+                f"max_cache_mb must be positive, got {self.max_cache_mb}"
+            )
+        if self.max_contexts_per_entry < 1:
+            raise ModelError(
+                f"max_contexts_per_entry must be >= 1, got "
+                f"{self.max_contexts_per_entry}"
+            )
+        if self.max_responses_per_entry < 1:
+            raise ModelError(
+                f"max_responses_per_entry must be >= 1, got "
+                f"{self.max_responses_per_entry}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ModelError(
+                f"default_deadline must be positive, got "
+                f"{self.default_deadline}"
+            )
+        if self.max_concurrent < 1:
+            raise ModelError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.queue_timeout < 0:
+            raise ModelError(
+                f"queue_timeout must be non-negative, got "
+                f"{self.queue_timeout}"
+            )
+        if self.coalesce_timeout <= 0:
+            raise ModelError(
+                f"coalesce_timeout must be positive, got "
+                f"{self.coalesce_timeout}"
+            )
+
+
+class _RequestSpec:
+    """One validated request, normalized for cache addressing."""
+
+    __slots__ = (
+        "command",
+        "model",
+        "model_hash",
+        "options",
+        "signature",
+        "occupancy",
+        "occ_key",
+        "formula",
+        "theta",
+        "deadline",
+        "max_solves",
+    )
+
+    def __init__(
+        self,
+        command: str,
+        model,
+        model_hash_: str,
+        options: CheckOptions,
+        occupancy: np.ndarray,
+        formula: str,
+        theta: Optional[float],
+        deadline: Optional[float],
+        max_solves: Optional[int],
+    ):
+        self.command = command
+        self.model = model
+        self.model_hash = model_hash_
+        self.options = options
+        self.signature = options.signature()
+        self.occupancy = occupancy
+        # Rounded so float formatting noise ("0.8" vs "0.80000000000001"
+        # from a lossy client) cannot split warm contexts.
+        self.occ_key = tuple(round(float(x), 12) for x in occupancy)
+        self.formula = formula
+        self.theta = theta
+        self.deadline = deadline
+        self.max_solves = max_solves
+
+    @property
+    def entry_key(self) -> Tuple[str, str]:
+        return (self.model_hash, self.signature)
+
+    @property
+    def response_key(self) -> tuple:
+        """Cache address of the *answer* — execution limits excluded."""
+        return (self.command, self.formula, self.occ_key, self.theta)
+
+    @property
+    def inflight_key(self) -> tuple:
+        """Coalescing address — execution limits *included*, so only
+        requests that would fail and succeed together share a
+        computation."""
+        return self.response_key + (self.deadline, self.max_solves)
+
+
+class _CacheEntry:
+    """Warm state for one ``(model hash, options signature)`` pair."""
+
+    def __init__(self, model, options: CheckOptions, key: Tuple[str, str]):
+        self.key = key
+        self.model = model
+        # The entry's options never carry per-request execution limits —
+        # those live on the budget and are re-armed per request.
+        self.options = options
+        self.stats = EvalStats()
+        self.checker = MFModelChecker(model, options)
+        #: One budget for the whole entry, mutated in place per request:
+        #: the contexts' engines capture it at construction, so
+        #: replacing the object would leave them enforcing a stale one.
+        self.budget = Budget(
+            max_refinements=options.max_refinements,
+            max_memory_mb=options.max_memory_mb,
+        )
+        self.lock = threading.Lock()
+        self.contexts: "OrderedDict[tuple, EvaluationContext]" = OrderedDict()
+        self.responses: "OrderedDict[tuple, dict]" = OrderedDict()
+        #: Transient caches revived from a disk spill, keyed by occupancy
+        #: key; seeded into the matching context when it is first built.
+        self.spilled_transients: Dict[tuple, dict] = {}
+
+    def context_for(self, spec: _RequestSpec) -> Tuple[EvaluationContext, bool]:
+        """The warm context for this occupancy (built cold if needed).
+
+        Returns ``(context, reused)``.  Caller holds ``self.lock``.
+        """
+        ctx = self.contexts.get(spec.occ_key)
+        if ctx is not None:
+            self.contexts.move_to_end(spec.occ_key)
+            return ctx, True
+        ctx = EvaluationContext(
+            self.model,
+            spec.occupancy,
+            self.options,
+            stats=self.stats,
+            budget=self.budget,
+        )
+        spilled = self.spilled_transients.pop(spec.occ_key, None)
+        if spilled:
+            ctx.import_transient_cache(spilled)
+        self.contexts[spec.occ_key] = ctx
+        return ctx, False
+
+    def trim_contexts(self, bound: int) -> None:
+        while len(self.contexts) > bound:
+            self.contexts.popitem(last=False)
+
+    def trim_responses(self, bound: int) -> None:
+        while len(self.responses) > bound:
+            self.responses.popitem(last=False)
+
+    def cache_nbytes(self) -> int:
+        return sum(ctx.cache_nbytes() for ctx in self.contexts.values())
+
+
+class _InFlight:
+    """One running computation that identical requests coalesce onto."""
+
+    __slots__ = ("event", "status", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.status: Optional[int] = None
+        self.response: Optional[dict] = None
+
+
+class CheckingService:
+    """Transport-free checking-as-a-service core.
+
+    ``handle(payload)`` is the whole public request API: it accepts one
+    decoded JSON request dict and returns ``(http_status, response
+    dict)``.  It is safe to call from many threads at once — that is the
+    deployment shape (:class:`repro.server.http.CheckingHTTPServer` is a
+    threading server).
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.stats = EvalStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        self._inflight: Dict[tuple, _InFlight] = {}
+        self._slots = threading.BoundedSemaphore(self.config.max_concurrent)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, payload: Any) -> Tuple[int, dict]:
+        """Serve one request; never raises (errors become responses)."""
+        with self._lock:
+            self.stats.service_requests += 1
+        try:
+            spec = self._validate(payload)
+        except ReproError as exc:
+            return self._error_response(exc)
+        try:
+            return self._serve(spec)
+        except ReproError as exc:
+            return self._error_response(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            return (
+                500,
+                {
+                    "status": "error",
+                    "error_class": type(exc).__name__,
+                    "message": str(exc),
+                    "exit_code": EXIT_CHECKING_ERROR,
+                },
+            )
+
+    # -- validation ----------------------------------------------------
+
+    def _validate(self, payload: Any) -> _RequestSpec:
+        if not isinstance(payload, dict):
+            raise ModelError(
+                f"request must be a JSON object, got {type(payload).__name__}"
+            )
+        command = payload.get("command")
+        if command not in _VALID_COMMANDS:
+            raise ModelError(
+                f"field 'command' must be one of {list(_VALID_COMMANDS)}, "
+                f"got {command!r}"
+            )
+        formula = payload.get("formula")
+        if not isinstance(formula, str) or not formula.strip():
+            raise ModelError(
+                "field 'formula' must be a non-empty string"
+            )
+        occupancy_doc = payload.get("occupancy")
+        if not isinstance(occupancy_doc, (list, tuple)) or not occupancy_doc:
+            raise ModelError(
+                "field 'occupancy' must be a non-empty list of numbers"
+            )
+        for i, x in enumerate(occupancy_doc):
+            if isinstance(x, bool) or not isinstance(x, (int, float)):
+                raise ModelError(
+                    f"field 'occupancy' entry {i} is not a number: {x!r}"
+                )
+        occupancy = np.array([float(x) for x in occupancy_doc])
+
+        theta: Optional[float] = None
+        if command == "csat":
+            theta_doc = payload.get("theta", 10.0)
+            if (
+                isinstance(theta_doc, bool)
+                or not isinstance(theta_doc, (int, float))
+                or theta_doc <= 0
+            ):
+                raise ModelError(
+                    f"field 'theta' must be a positive number, "
+                    f"got {theta_doc!r}"
+                )
+            theta = float(theta_doc)
+        elif "theta" in payload:
+            raise ModelError(
+                f"field 'theta' is only valid for the 'csat' command "
+                f"(got command {command!r})"
+            )
+
+        options, deadline, max_solves = self._parse_options(payload)
+        model, hash_ = self._parse_model(payload)
+        return _RequestSpec(
+            command=command,
+            model=model,
+            model_hash_=hash_,
+            options=options,
+            occupancy=occupancy,
+            formula=formula,
+            theta=theta,
+            deadline=deadline,
+            max_solves=max_solves,
+        )
+
+    def _parse_options(self, payload: dict):
+        """The entry-level options plus the per-request execution limits.
+
+        Deadline and solve cap are pulled *out* of the options so the
+        entry's :class:`~repro.checking.options.CheckOptions` never
+        carries them — they are re-armed on the entry budget per
+        request (the options signature excludes them for the same
+        reason).
+        """
+        opts_doc = payload.get("options", {})
+        if opts_doc is None:
+            opts_doc = {}
+        if not isinstance(opts_doc, dict):
+            raise ModelError(
+                f"field 'options' must be an object, got {opts_doc!r}"
+            )
+        opts_doc = dict(opts_doc)
+        known = {f.name for f in dataclass_fields(CheckOptions)}
+        unknown = sorted(set(opts_doc) - known)
+        if unknown:
+            raise ModelError(
+                f"unknown option fields {unknown}; valid fields: "
+                f"{sorted(known)}"
+            )
+        opt_deadline = opts_doc.pop("deadline", None)
+        opt_max_solves = opts_doc.pop("max_solves", None)
+        # Lists arrive from JSON where CheckOptions wants tuples.
+        for name in ("solver_fallbacks", "formula_optimizations"):
+            if isinstance(opts_doc.get(name), list):
+                opts_doc[name] = tuple(opts_doc[name])
+        options = CheckOptions(**opts_doc)
+
+        deadline = payload.get("deadline", _MISSING)
+        if deadline is _MISSING:
+            deadline = (
+                opt_deadline
+                if opt_deadline is not None
+                else self.config.default_deadline
+            )
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise ModelError(
+                    f"field 'deadline' must be a number or null, "
+                    f"got {deadline!r}"
+                )
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ModelError(
+                    f"deadline must be positive, got {deadline}"
+                )
+
+        max_solves = payload.get("max_solves", _MISSING)
+        if max_solves is _MISSING:
+            max_solves = opt_max_solves
+        if max_solves is not None:
+            if isinstance(max_solves, bool) or not isinstance(
+                max_solves, int
+            ):
+                raise ModelError(
+                    f"field 'max_solves' must be an integer or null, "
+                    f"got {max_solves!r}"
+                )
+            if max_solves <= 0:
+                raise ModelError(
+                    f"max_solves must be positive, got {max_solves}"
+                )
+        return options, deadline, max_solves
+
+    def _parse_model(self, payload: dict):
+        document = payload.get("model_document")
+        if document is not None:
+            if not isinstance(document, dict):
+                raise ModelError(
+                    "field 'model_document' must be a model JSON object"
+                )
+            model = model_from_dict(document)
+            return model, model_hash(model)
+        name = payload.get("model", "virus1")
+        if not isinstance(name, str) or name not in MODEL_REGISTRY:
+            raise ModelError(
+                f"unknown model {name!r}; choose from "
+                f"{sorted(MODEL_REGISTRY)} or pass 'model_document'"
+            )
+        model = MODEL_REGISTRY[name]()
+        return model, model_hash(model, fallback=f"builtin:{name}")
+
+    # -- the serve path ------------------------------------------------
+
+    def _serve(self, spec: _RequestSpec) -> Tuple[int, dict]:
+        inflight: Optional[_InFlight] = None
+        with self._lock:
+            if self._closed:
+                raise ModelError("service is shut down")
+            entry = self._entries.get(spec.entry_key)
+            if entry is not None:
+                self._entries.move_to_end(spec.entry_key)
+                core = entry.responses.get(spec.response_key)
+                if core is not None:
+                    entry.responses.move_to_end(spec.response_key)
+                    self.stats.service_cache_hits += 1
+                    return self._finish(core, hit=True)
+            waiting_on = self._inflight.get(spec.inflight_key)
+            if waiting_on is None:
+                inflight = _InFlight()
+                self._inflight[spec.inflight_key] = inflight
+
+        if waiting_on is not None:
+            return self._await_peer(waiting_on)
+
+        status, response, core = self._compute(spec)
+        with self._lock:
+            if core is not None:
+                entry = self._entries.get(spec.entry_key)
+                if entry is not None:
+                    entry.responses[spec.response_key] = core
+                    entry.trim_responses(self.config.max_responses_per_entry)
+            inflight.status = status
+            inflight.response = response
+            self._inflight.pop(spec.inflight_key, None)
+        inflight.event.set()
+        self._enforce_limits(keep=spec.entry_key)
+        return status, response
+
+    def _await_peer(self, peer: _InFlight) -> Tuple[int, dict]:
+        """Wait on an identical in-flight computation (coalescing)."""
+        with self._lock:
+            self.stats.service_coalesced += 1
+        if not peer.event.wait(self.config.coalesce_timeout):
+            return (
+                503,
+                {
+                    "status": "error",
+                    "error_class": "CoalesceTimeout",
+                    "message": (
+                        "identical in-flight computation did not finish "
+                        f"within {self.config.coalesce_timeout}s"
+                    ),
+                    "exit_code": EXIT_BUDGET_EXCEEDED,
+                },
+            )
+        response = dict(peer.response)
+        cache = dict(response.get("cache", {}))
+        cache["coalesced"] = True
+        response["cache"] = cache
+        return peer.status, response
+
+    def _compute(
+        self, spec: _RequestSpec
+    ) -> Tuple[int, dict, Optional[dict]]:
+        """Run one admitted computation; returns ``(status, response,
+        cacheable core or None)``."""
+        if not self._slots.acquire(timeout=self.config.queue_timeout):
+            with self._lock:
+                self.stats.service_rejections += 1
+            return (
+                HTTP_STATUS_REJECTED,
+                {
+                    "status": "error",
+                    "error_class": "AdmissionRejected",
+                    "message": (
+                        f"no worker slot free within "
+                        f"{self.config.queue_timeout}s "
+                        f"({self.config.max_concurrent} concurrent "
+                        f"computations allowed); retry later"
+                    ),
+                    "exit_code": EXIT_BUDGET_EXCEEDED,
+                },
+                None,
+            )
+        try:
+            entry, cold = self._entry_for(spec)
+            # A cold entry revived from disk spill may already hold this
+            # very answer; the probe in _serve ran before the entry
+            # existed, so re-probe before computing.
+            with self._lock:
+                core = entry.responses.get(spec.response_key)
+                if core is not None:
+                    entry.responses.move_to_end(spec.response_key)
+                    self.stats.service_cache_hits += 1
+            if core is not None:
+                status, response = self._finish(core, hit=True)
+                return status, response, core
+            with entry.lock:
+                before = entry.stats.as_dict()
+                entry.budget.restart(
+                    deadline=spec.deadline, max_solves=spec.max_solves
+                )
+                ctx, reused = entry.context_for(spec)
+                entry.trim_contexts(self.config.max_contexts_per_entry)
+                if reused:
+                    with self._lock:
+                        self.stats.service_context_reuses += 1
+                try:
+                    core = self._execute(spec, entry, ctx)
+                except ReproError as exc:
+                    status, response = self._error_response(exc)
+                    return status, response, None
+                after = entry.stats.as_dict()
+            delta = {
+                k: after[k] - before[k]
+                for k in after
+                if after[k] != before[k]
+            }
+            response = self._finish(
+                core,
+                hit=False,
+                context_reused=reused,
+                cold_entry=cold,
+                stats_delta=delta,
+            )[1]
+            return HTTP_STATUS_BY_EXIT_CODE[core["exit_code"]], response, core
+        finally:
+            self._slots.release()
+
+    def _entry_for(self, spec: _RequestSpec) -> Tuple[_CacheEntry, bool]:
+        """The warm entry for this request (created cold on a miss)."""
+        with self._lock:
+            entry = self._entries.get(spec.entry_key)
+            if entry is not None:
+                self._entries.move_to_end(spec.entry_key)
+                return entry, False
+        # Build outside the service lock: constructing a checker and
+        # probing the spill directory must not stall cache hits on
+        # unrelated entries.
+        entry = _CacheEntry(spec.model, spec.options, spec.entry_key)
+        loaded = self._load_spill(entry)
+        with self._lock:
+            existing = self._entries.get(spec.entry_key)
+            if existing is not None:
+                self._entries.move_to_end(spec.entry_key)
+                return existing, False
+            self.stats.service_cache_misses += 1
+            if loaded:
+                self.stats.service_spill_loads += 1
+            self._entries[spec.entry_key] = entry
+        return entry, True
+
+    def _execute(
+        self, spec: _RequestSpec, entry: _CacheEntry, ctx: EvaluationContext
+    ) -> dict:
+        """The actual checking work — returns the cacheable response core."""
+        core: dict = {
+            "status": "ok",
+            "command": spec.command,
+            "model_hash": spec.model_hash,
+            "options_signature": spec.signature,
+        }
+        if spec.command == "check":
+            verdict = entry.checker.check_detailed(
+                spec.formula, spec.occupancy, ctx=ctx
+            )
+            core["verdict"] = {
+                "holds": verdict.holds,
+                "indeterminate": verdict.indeterminate,
+                "quality": verdict.quality.describe(),
+                "value": verdict.value,
+                "margin": verdict.margin,
+            }
+            if verdict.indeterminate:
+                core["exit_code"] = EXIT_INDETERMINATE
+            elif verdict.holds:
+                core["exit_code"] = EXIT_SATISFIED
+            else:
+                core["exit_code"] = EXIT_NOT_SATISFIED
+        elif spec.command == "value":
+            core["value"] = float(
+                entry.checker.value(spec.formula, spec.occupancy, ctx=ctx)
+            )
+            core["exit_code"] = EXIT_SATISFIED
+        else:  # csat
+            result = entry.checker.conditional_sat(
+                spec.formula, spec.occupancy, spec.theta, ctx=ctx
+            )
+            core["theta"] = spec.theta
+            core["intervals"] = [
+                [float(a), float(b)] for a, b in result.intervals
+            ]
+            core["exit_code"] = EXIT_SATISFIED
+        return core
+
+    # -- response shaping ----------------------------------------------
+
+    @staticmethod
+    def _finish(
+        core: dict,
+        *,
+        hit: bool,
+        context_reused: bool = True,
+        cold_entry: bool = False,
+        stats_delta: Optional[dict] = None,
+    ) -> Tuple[int, dict]:
+        """Attach per-request cache metadata to a cached/fresh core."""
+        response = dict(core)
+        response["cache"] = {
+            "hit": hit,
+            "coalesced": False,
+            "context_reused": context_reused,
+            "cold_entry": cold_entry,
+        }
+        response["stats_delta"] = stats_delta or {}
+        return HTTP_STATUS_BY_EXIT_CODE[core["exit_code"]], response
+
+    @staticmethod
+    def _error_response(exc: ReproError) -> Tuple[int, dict]:
+        code = exit_code_for(exc)
+        response = {
+            "status": "error",
+            "error_class": type(exc).__name__,
+            "message": str(exc),
+            "exit_code": code,
+        }
+        progress = getattr(exc, "progress", None)
+        if progress:
+            response["progress"] = {
+                k: v
+                for k, v in sorted(progress.items())
+                if isinstance(v, (int, float, str, bool)) or v is None
+            }
+        return HTTP_STATUS_BY_EXIT_CODE.get(code, 500), response
+
+    # ------------------------------------------------------------------
+    # Cache limits, eviction and disk spill
+    # ------------------------------------------------------------------
+
+    def _enforce_limits(self, keep: tuple) -> None:
+        """Evict LRU entries beyond the count and memory bounds.
+
+        ``keep`` (the entry just used) is never evicted — evicting the
+        state a request just warmed would defeat the cache.
+        """
+        evicted = []
+        max_bytes = self.config.max_cache_mb * 1024 * 1024
+        with self._lock:
+            while len(self._entries) > self.config.max_entries:
+                key = next(
+                    (k for k in self._entries if k != keep), None
+                )
+                if key is None:
+                    break
+                evicted.append(self._entries.pop(key))
+            while len(self._entries) > 1:
+                total = sum(
+                    e.cache_nbytes() for e in self._entries.values()
+                )
+                if total <= max_bytes:
+                    break
+                key = next(
+                    (k for k in self._entries if k != keep), None
+                )
+                if key is None:
+                    break
+                evicted.append(self._entries.pop(key))
+            self.stats.service_cache_evictions += len(evicted)
+        for entry in evicted:
+            self._spill_entry(entry)
+
+    def _spill_path(self, key: Tuple[str, str]) -> Optional[Path]:
+        if self.config.cache_dir is None:
+            return None
+        digest = hashlib.sha256(
+            f"{key[0]}|{key[1]}".encode("utf-8")
+        ).hexdigest()
+        return Path(self.config.cache_dir) / f"entry-{digest[:32]}.pkl"
+
+    def _spill_entry(self, entry: _CacheEntry) -> None:
+        """Write an entry's revivable state to the spill directory.
+
+        Responses and transient matrices are worth keeping (they answer
+        future queries directly); propagator engines are not spilled —
+        they are cheap to rebuild relative to their size on disk.
+        Failures are swallowed: spill is an optimization, never a
+        correctness dependency.
+        """
+        path = self._spill_path(entry.key)
+        if path is None:
+            return
+        with entry.lock:
+            transients = {
+                occ_key: ctx.export_transient_cache()
+                for occ_key, ctx in entry.contexts.items()
+            }
+            transients = {k: v for k, v in transients.items() if v}
+            # Un-revived spilled state is still worth re-spilling.
+            transients.update(entry.spilled_transients)
+            payload = {
+                "format": _SPILL_FORMAT,
+                "version": _SPILL_VERSION,
+                "model_hash": entry.key[0],
+                "options_signature": entry.key[1],
+                "responses": dict(entry.responses),
+                "transients": transients,
+            }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except Exception:
+            return
+        with self._lock:
+            self.stats.service_spill_saves += 1
+
+    def _load_spill(self, entry: _CacheEntry) -> bool:
+        """Revive a cold entry from the spill directory (best-effort)."""
+        path = self._spill_path(entry.key)
+        if path is None or not path.exists():
+            return False
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            return False
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _SPILL_FORMAT
+            or payload.get("version") != _SPILL_VERSION
+            or payload.get("model_hash") != entry.key[0]
+            or payload.get("options_signature") != entry.key[1]
+        ):
+            return False
+        responses = payload.get("responses")
+        if isinstance(responses, dict):
+            entry.responses.update(responses)
+            entry.trim_responses(self.config.max_responses_per_entry)
+        transients = payload.get("transients")
+        if isinstance(transients, dict):
+            entry.spilled_transients.update(transients)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection and shutdown
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` endpoint body."""
+        with self._lock:
+            entries = [
+                {
+                    "model_hash": e.key[0],
+                    "options_signature": e.key[1],
+                    "contexts": len(e.contexts),
+                    "responses": len(e.responses),
+                    "cache_nbytes": e.cache_nbytes(),
+                    "stats": e.stats.as_dict(),
+                }
+                for e in self._entries.values()
+            ]
+            service = {
+                name: value
+                for name, value in self.stats.as_dict().items()
+                if name.startswith("service_")
+            }
+            return {
+                "status": "ok",
+                "service": service,
+                "entries": entries,
+                "config": {
+                    "max_entries": self.config.max_entries,
+                    "max_cache_mb": self.config.max_cache_mb,
+                    "max_concurrent": self.config.max_concurrent,
+                    "queue_timeout": self.config.queue_timeout,
+                    "default_deadline": self.config.default_deadline,
+                    "cache_dir": self.config.cache_dir,
+                },
+            }
+
+    def close(self) -> None:
+        """Spill every warm entry and refuse further requests."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            self._spill_entry(entry)

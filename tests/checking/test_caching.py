@@ -216,3 +216,72 @@ class TestStats:
         a = EvaluationContext(virus1, m_example1)
         b = EvaluationContext(virus1, m_example1)
         assert a.stats is not b.stats
+
+
+class TestEngineClearInPlace:
+    """Regression: :meth:`EvaluationContext.clear_caches` must clear the
+    shared propagator engines *in place*.  It used to only drop the
+    context's lookup dicts — engine handles captured by ``at_time``
+    children (which share the engine dict) kept serving stale cells
+    after the parent's clear."""
+
+    def test_shared_engine_cells_are_cleared_in_place(self, ctx1):
+        q_abs = absorbing_generator_function(
+            ctx1.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        handle = ctx1.propagator_engine(sig, q_abs)
+        handle.propagate(0.0, 1.0)
+        engine = ctx1._propagator_engines[sig]
+        assert engine.num_cached_cells > 0
+
+        # A derived context captures a handle onto the *same* engine.
+        child = ctx1.at_time(0.5)
+        child_handle = child.propagator_engine(sig, q_abs)
+        assert child._propagator_engines is ctx1._propagator_engines
+        expected = handle.propagate(0.5, 1.0)  # == child's Pi(0, 1)
+
+        ctx1.clear_caches()
+        assert engine.num_cached_cells == 0
+        assert ctx1._propagator_engines[sig] is engine  # still registered
+
+        # The captured handle observes the invalidation and rebuilds;
+        # the rebuilt answer matches the pre-clear one.
+        rebuilt = child_handle.propagate(0.0, 1.0)
+        np.testing.assert_allclose(rebuilt, expected, atol=1e-9)
+        assert engine.num_cached_cells > 0
+
+    def test_cache_nbytes_drops_to_zero_after_clear(self, ctx1):
+        q_abs = absorbing_generator_function(
+            ctx1.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        ctx1.propagator_engine(sig, q_abs).propagate(0.0, 1.0)
+        ctx1.transient_matrix(sig, q_abs, 0.0, 1.0)
+        assert ctx1.cache_nbytes() > 0
+        ctx1.clear_caches()
+        assert ctx1.cache_nbytes() == 0
+
+    def test_transient_cache_roundtrips_through_export_import(
+        self, virus1, m_example1
+    ):
+        donor = EvaluationContext(virus1, m_example1)
+        q_abs = absorbing_generator_function(
+            donor.generator_function(), INFECTED
+        )
+        sig = ("absorbing", INFECTED)
+        pi = donor.transient_matrix(sig, q_abs, 0.0, 1.0)
+        exported = donor.export_transient_cache()
+        assert exported
+
+        fresh = EvaluationContext(virus1, m_example1)
+        fresh.import_transient_cache(exported)
+        q_abs2 = absorbing_generator_function(
+            fresh.generator_function(), INFECTED
+        )
+        solves_before = fresh.stats.solve_ivp_calls
+        served = fresh.transient_matrix(sig, q_abs2, 0.0, 1.0)
+        np.testing.assert_array_equal(served, pi)
+        assert fresh.stats.transient_cache_hits == 1
+        # Served from the imported cache: no Kolmogorov re-solve.
+        assert fresh.stats.solve_ivp_calls == solves_before

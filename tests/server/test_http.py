@@ -1,0 +1,280 @@
+"""Tests for the HTTP transport, the client, and the CLI entry points.
+
+The in-process tests bind a real threading server on an ephemeral port
+and talk to it through :class:`repro.server.client.ServerClient` — the
+same path ``mfcsl query`` takes.  The subprocess test drives the full
+``mfcsl serve`` command the way the CI smoke job does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.server.client import ServerClient
+from repro.server.http import make_server
+from repro.server.service import ServerConfig
+
+FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+
+REQUEST = {
+    "command": "check",
+    "model": "virus1",
+    "occupancy": [0.8, 0.15, 0.05],
+    "formula": FORMULA,
+}
+
+
+@pytest.fixture
+def server():
+    srv = make_server(port=0, config=ServerConfig())
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.server_address[:2]
+    return ServerClient(f"http://{host}:{port}", timeout=60.0)
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        assert client.health() is True
+
+    def test_query_cold_then_warm(self, client):
+        s1, r1 = client.query(REQUEST)
+        s2, r2 = client.query(REQUEST)
+        assert s1 == s2 == 200
+        assert r1["cache"]["hit"] is False
+        assert r2["cache"]["hit"] is True
+        assert r2["verdict"] == r1["verdict"]
+
+    def test_stats_endpoint(self, client):
+        client.query(REQUEST)
+        client.query(REQUEST)
+        stats = client.stats()
+        assert stats["service"]["service_requests"] == 2
+        assert stats["service"]["service_cache_hits"] == 1
+
+    def test_error_statuses_carry_json_bodies(self, client):
+        status, body = client.query({"command": "bogus"})
+        assert status == 400
+        assert body["status"] == "error"
+        assert body["exit_code"] == 2
+        status, body = client.query({**REQUEST, "deadline": 1e-9})
+        assert status == 503
+        assert body["error_class"] == "BudgetExceededError"
+        assert "progress" in body
+
+    def test_unknown_path_is_404(self, client):
+        status, body = client._request("/nope")
+        assert status == 404
+        assert body["error_class"] == "NotFound"
+
+    def test_unreachable_server_raises_checking_error(self):
+        from repro.exceptions import CheckingError
+
+        dead = ServerClient("http://127.0.0.1:1", timeout=0.5)
+        assert dead.health() is False
+        with pytest.raises(CheckingError, match="cannot reach"):
+            dead.query(REQUEST)
+
+
+class TestServeSubprocess:
+    """End-to-end smoke of ``mfcsl serve`` — the CI server-smoke job."""
+
+    @pytest.fixture
+    def serve_process(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "spill"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            url = line.strip().split()[-1]
+            yield url
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_serve_and_query_end_to_end(self, serve_process):
+        url = serve_process
+        client = ServerClient(url, timeout=120.0)
+        deadline = time.monotonic() + 10.0
+        while not client.health():
+            assert time.monotonic() < deadline, "server never came up"
+            time.sleep(0.05)
+
+        s1, cold = client.query(REQUEST)
+        s2, warm = client.query(REQUEST)
+        assert s1 == s2 == 200
+        assert cold["cache"]["hit"] is False
+        assert warm["cache"]["hit"] is True
+        assert warm["verdict"] == cold["verdict"]
+
+        # A not-yet-cached formula: a cached answer would (correctly)
+        # be served regardless of the deadline.
+        status, body = client.query(
+            {
+                **REQUEST,
+                "formula": "EP[<0.3](not_infected U[0,2] infected)",
+                "deadline": 1e-9,
+            }
+        )
+        assert status == 503
+        assert body["exit_code"] == 5
+
+        stats = client.stats()
+        assert stats["service"]["service_cache_hits"] >= 1
+
+
+class TestQueryCommand:
+    """The ``mfcsl query`` subcommand against an in-process server."""
+
+    def test_query_check_exit_code_and_output(self, server, capsys):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--occupancy",
+                "0.8,0.15,0.05",
+                FORMULA,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SATISFIED" in out
+        assert "cache: hit=False" in out
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--occupancy",
+                "0.8,0.15,0.05",
+                FORMULA,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache: hit=True" in out
+
+    def test_query_value_and_csat(self, server, capsys):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--command",
+                "value",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                FORMULA,
+            ]
+        )
+        assert code == 0
+        assert "0.2338" in capsys.readouterr().out
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--command",
+                "csat",
+                "--theta",
+                "5",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                FORMULA,
+            ]
+        )
+        assert code == 0
+        assert "[0.000000, 5.000000]" in capsys.readouterr().out
+
+    def test_query_deadline_error_to_stderr(self, server, capsys):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--deadline",
+                "1e-9",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                "EP[<0.3](not_infected U[0,2] infected)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "error:" in captured.err
+        assert "progress:" in captured.err
+
+    def test_query_server_stats(self, server, capsys):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(["query", "--url", url, "--server-stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+
+    def test_query_with_option_overrides(self, server, capsys):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(
+            [
+                "query",
+                "--url",
+                url,
+                "--option",
+                "curve_method=cells",
+                "--option",
+                "grid_points=33",
+                "--occupancy",
+                "0.8,0.15,0.05",
+                FORMULA,
+            ]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out

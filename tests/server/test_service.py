@@ -1,0 +1,418 @@
+"""Tests for the transport-free checking service.
+
+Everything here calls :meth:`CheckingService.handle` directly — no
+sockets — which is exactly how the HTTP layer calls it.  The threaded
+tests exercise the coalescing and admission-control paths for real by
+slowing the underlying computation down with a monkeypatched checker.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.checking.global_ import MFModelChecker
+from repro.exceptions import EXIT_BUDGET_EXCEEDED
+from repro.server.service import (
+    HTTP_STATUS_REJECTED,
+    CheckingService,
+    ServerConfig,
+)
+
+FORMULA = "EP[<0.3](not_infected U[0,1] infected)"
+
+
+def check_request(**overrides):
+    payload = {
+        "command": "check",
+        "model": "virus1",
+        "occupancy": [0.8, 0.15, 0.05],
+        "formula": FORMULA,
+    }
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture
+def service():
+    svc = CheckingService(ServerConfig())
+    yield svc
+    svc.close()
+
+
+class TestValidation:
+    """Malformed requests earn a 400 with the documented error shape."""
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            None,
+            42,
+            {},
+            {"command": "launch"},
+            check_request(formula=""),
+            check_request(formula=7),
+            check_request(occupancy=[]),
+            check_request(occupancy="0.8,0.2"),
+            check_request(occupancy=[0.8, "x", 0.05]),
+            check_request(theta=5.0),  # theta only valid for csat
+            {**check_request(), "command": "csat", "theta": -1.0},
+            check_request(model="no-such-model"),
+            check_request(model_document={"format": "wrong"}),
+            check_request(options={"no_such_option": 1}),
+            check_request(options="fast"),
+            check_request(options={"grid_points": 1}),
+            check_request(deadline=-2.0),
+            check_request(deadline=True),
+            check_request(max_solves=0),
+            check_request(max_solves=2.5),
+        ],
+    )
+    def test_bad_request_is_400(self, service, payload):
+        status, body = service.handle(payload)
+        assert status == 400
+        assert body["status"] == "error"
+        assert body["exit_code"] in (2, 3)
+        assert body["message"]
+
+    def test_occupancy_must_sum_to_one(self, service):
+        status, body = service.handle(
+            check_request(occupancy=[0.5, 0.1, 0.05])
+        )
+        assert status == 400
+        assert body["status"] == "error"
+
+
+class TestColdWarm:
+    def test_warm_identical_request_is_a_cache_hit(self, service):
+        s1, r1 = service.handle(check_request())
+        s2, r2 = service.handle(check_request())
+        assert s1 == s2 == 200
+        assert r1["cache"]["hit"] is False
+        assert r2["cache"]["hit"] is True
+        # Identical verdict, byte for byte.
+        assert r2["verdict"] == r1["verdict"]
+        assert r2["exit_code"] == r1["exit_code"]
+        assert service.stats.service_cache_hits == 1
+        assert service.stats.service_cache_misses == 1
+
+    def test_verdict_shape_and_exit_codes(self, service):
+        _, sat = service.handle(check_request())
+        assert sat["verdict"]["holds"] is True
+        assert sat["exit_code"] == 0
+        _, unsat = service.handle(
+            check_request(formula="E[>0.8](infected)")
+        )
+        assert unsat["verdict"]["holds"] is False
+        assert unsat["exit_code"] == 1
+
+    def test_value_and_csat_commands(self, service):
+        s, r = service.handle(check_request(command="value"))
+        assert s == 200
+        assert r["value"] == pytest.approx(0.2338842135, abs=1e-6)
+        s, r = service.handle(check_request(command="csat", theta=5.0))
+        assert s == 200
+        assert r["theta"] == 5.0
+        assert r["intervals"] == [[0.0, 5.0]]
+
+    def test_distinct_occupancies_share_the_entry(self, service):
+        service.handle(check_request())
+        service.handle(check_request(occupancy=[0.7, 0.2, 0.1]))
+        assert service.stats.service_cache_misses == 1
+        assert service.stats.service_context_reuses == 0
+
+    def test_deadline_only_difference_shares_the_entry(self, service):
+        """Execution limits are excluded from the options signature, so
+        a deadline-carrying request warms the same entry."""
+        service.handle(check_request())
+        s, r = service.handle(check_request(deadline=60.0))
+        assert s == 200
+        # Same answer, same cache entry — the response cache also
+        # ignores execution limits.
+        assert r["cache"]["hit"] is True
+        assert service.stats.service_cache_misses == 1
+
+    def test_answer_shaping_options_split_entries(self, service):
+        service.handle(check_request())
+        service.handle(check_request(options={"curve_method": "cells"}))
+        assert service.stats.service_cache_misses == 2
+
+    def test_occupancy_rounding_noise_shares_the_context(self, service):
+        service.handle(check_request())
+        s, r = service.handle(
+            check_request(occupancy=[0.8 + 1e-14, 0.15, 0.05])
+        )
+        assert s == 200
+        assert r["cache"]["hit"] is True
+
+
+class TestBudgets:
+    def test_tiny_deadline_rejected_with_progress(self, service):
+        status, body = service.handle(check_request(deadline=1e-9))
+        assert status == 503
+        assert body["status"] == "error"
+        assert body["error_class"] == "BudgetExceededError"
+        assert body["exit_code"] == EXIT_BUDGET_EXCEEDED
+        assert body["progress"]["deadline_seconds"] == 1e-9
+        assert "elapsed_seconds" in body["progress"]
+
+    def test_budget_rearm_after_deadline_failure(self, service):
+        """Regression: the entry budget must re-anchor per request — a
+        failed tight-deadline request must not poison the entry for the
+        next, unhurried one."""
+        status, _ = service.handle(check_request(deadline=1e-9))
+        assert status == 503
+        status, body = service.handle(check_request())
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["verdict"]["holds"] is True
+
+    def test_budget_errors_are_not_cached(self, service):
+        service.handle(check_request(deadline=1e-9))
+        status, body = service.handle(check_request())
+        assert status == 200
+        assert body["cache"]["hit"] is False
+
+    def test_default_deadline_applies_when_unset(self):
+        svc = CheckingService(ServerConfig(default_deadline=1e-9))
+        try:
+            status, body = svc.handle(check_request())
+            assert status == 503
+            assert body["error_class"] == "BudgetExceededError"
+            # An explicit null deadline opts out of the default.
+            status, body = svc.handle(check_request(deadline=None))
+            assert status == 200
+        finally:
+            svc.close()
+
+    def test_max_solves_enforced(self, service):
+        # csat propagates the until window across [0, theta] — far more
+        # than one charged solve.
+        status, body = service.handle(
+            check_request(command="csat", theta=5.0, max_solves=1)
+        )
+        assert status == 503
+        assert body["error_class"] == "BudgetExceededError"
+        assert "cap 1" in body["message"]
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_compute_once(
+        self, service, monkeypatch
+    ):
+        """Satellite smoke test: N threads hammer one entry; exactly one
+        computation runs, everyone gets the identical verdict, and the
+        counters are not torn."""
+        calls = []
+        original = MFModelChecker.check_detailed
+
+        def slow_check(self, formula, occupancy, ctx=None):
+            calls.append(threading.get_ident())
+            time.sleep(0.3)
+            return original(self, formula, occupancy, ctx=ctx)
+
+        monkeypatch.setattr(MFModelChecker, "check_detailed", slow_check)
+
+        n = 8
+        barrier = threading.Barrier(n)
+        results = [None] * n
+
+        def worker(i):
+            barrier.wait()
+            results[i] = service.handle(check_request())
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not t.is_alive() for t in threads)
+
+        assert len(calls) == 1  # coalesced onto one computation
+        statuses = {s for s, _ in results}
+        verdicts = [r["verdict"] for _, r in results]
+        assert statuses == {200}
+        assert all(v == verdicts[0] for v in verdicts)
+
+        stats = service.stats
+        assert stats.service_requests == n
+        # Everyone besides the computer was either coalesced onto the
+        # in-flight computation or (if it arrived after publication)
+        # served from the response cache; nothing was lost or torn.
+        assert stats.service_coalesced + stats.service_cache_hits == n - 1
+        assert stats.service_cache_misses == 1
+        coalesced = [
+            r for _, r in results if r["cache"].get("coalesced")
+        ]
+        assert len(coalesced) == stats.service_coalesced
+
+    def test_different_limits_do_not_coalesce(self, service, monkeypatch):
+        """A no-deadline request must never inherit a tight-deadline
+        peer's budget error: the in-flight key includes the limits."""
+        original = MFModelChecker.check_detailed
+
+        def slow_check(self, formula, occupancy, ctx=None):
+            time.sleep(0.2)
+            return original(self, formula, occupancy, ctx=ctx)
+
+        monkeypatch.setattr(MFModelChecker, "check_detailed", slow_check)
+
+        results = {}
+
+        def run(name, payload):
+            results[name] = service.handle(payload)
+
+        t1 = threading.Thread(
+            target=run, args=("tight", check_request(deadline=1e-9))
+        )
+        t2 = threading.Thread(target=run, args=("free", check_request()))
+        t1.start()
+        time.sleep(0.05)  # ensure the tight request is in flight first
+        t2.start()
+        t1.join(timeout=30)
+        t2.join(timeout=30)
+
+        assert results["tight"][0] == 503
+        assert results["free"][0] == 200
+        assert results["free"][1]["verdict"]["holds"] is True
+
+
+class TestAdmission:
+    def test_saturated_pool_rejects_with_429(self, monkeypatch):
+        svc = CheckingService(
+            ServerConfig(max_concurrent=1, queue_timeout=0.05)
+        )
+        original = MFModelChecker.check_detailed
+
+        def slow_check(self, formula, occupancy, ctx=None):
+            time.sleep(0.6)
+            return original(self, formula, occupancy, ctx=ctx)
+
+        monkeypatch.setattr(MFModelChecker, "check_detailed", slow_check)
+
+        results = {}
+
+        def run(name, payload):
+            results[name] = svc.handle(payload)
+
+        try:
+            # Two *different* formulas: no coalescing, both need a slot.
+            t1 = threading.Thread(
+                target=run, args=("a", check_request())
+            )
+            t2 = threading.Thread(
+                target=run,
+                args=("b", check_request(formula="E[>0.8](infected)")),
+            )
+            t1.start()
+            time.sleep(0.1)
+            t2.start()
+            t1.join(timeout=30)
+            t2.join(timeout=30)
+
+            assert results["a"][0] == 200
+            status, body = results["b"]
+            assert status == HTTP_STATUS_REJECTED == 429
+            assert body["error_class"] == "AdmissionRejected"
+            assert body["exit_code"] == EXIT_BUDGET_EXCEEDED
+            assert "retry" in body["message"]
+            assert svc.stats.service_rejections == 1
+        finally:
+            svc.close()
+
+
+class TestEvictionAndSpill:
+    def test_lru_eviction_beyond_max_entries(self, tmp_path):
+        svc = CheckingService(
+            ServerConfig(max_entries=1, cache_dir=str(tmp_path))
+        )
+        try:
+            svc.handle(check_request(model="virus1"))
+            svc.handle(check_request(model="virus2"))
+            assert svc.stats.service_cache_evictions == 1
+            assert svc.stats.service_spill_saves == 1
+            assert len(list(tmp_path.glob("entry-*.pkl"))) == 1
+        finally:
+            svc.close()
+
+    def test_eviction_without_cache_dir_just_drops(self):
+        svc = CheckingService(ServerConfig(max_entries=1))
+        try:
+            svc.handle(check_request(model="virus1"))
+            svc.handle(check_request(model="virus2"))
+            assert svc.stats.service_cache_evictions == 1
+            assert svc.stats.service_spill_saves == 0
+        finally:
+            svc.close()
+
+    def test_spilled_entry_revives_across_service_instances(self, tmp_path):
+        """Warm state survives a restart: a new service process finds
+        the spilled entry and serves the response without recomputing."""
+        svc1 = CheckingService(ServerConfig(cache_dir=str(tmp_path)))
+        _, cold = svc1.handle(check_request())
+        svc1.close()  # spills every warm entry
+        assert svc1.stats.service_spill_saves == 1
+
+        svc2 = CheckingService(ServerConfig(cache_dir=str(tmp_path)))
+        try:
+            status, warm = svc2.handle(check_request())
+            assert status == 200
+            assert svc2.stats.service_spill_loads == 1
+            assert warm["cache"]["hit"] is True
+            assert warm["verdict"] == cold["verdict"]
+        finally:
+            svc2.close()
+
+    def test_closed_service_refuses_requests(self, tmp_path):
+        svc = CheckingService(ServerConfig(cache_dir=str(tmp_path)))
+        svc.close()
+        status, body = svc.handle(check_request())
+        assert status == 400
+        assert "shut down" in body["message"]
+
+
+class TestStatsPayload:
+    def test_stats_payload_shape(self, service):
+        service.handle(check_request())
+        service.handle(check_request())
+        payload = service.stats_payload()
+        assert payload["status"] == "ok"
+        assert payload["service"]["service_requests"] == 2
+        assert payload["service"]["service_cache_hits"] == 1
+        assert len(payload["entries"]) == 1
+        entry = payload["entries"][0]
+        assert entry["model_hash"].startswith("sha256:")
+        assert entry["contexts"] == 1
+        assert entry["responses"] >= 1
+        assert entry["stats"]["solve_ivp_calls"] > 0
+        assert payload["config"]["max_entries"] == 32
+
+    def test_stats_delta_reported_on_computes_only(self, service):
+        _, cold = service.handle(check_request())
+        _, warm = service.handle(check_request())
+        assert cold["stats_delta"].get("solve_ivp_calls", 0) > 0
+        assert warm["stats_delta"] == {}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_entries": 0},
+            {"max_cache_mb": 0},
+            {"max_contexts_per_entry": 0},
+            {"max_responses_per_entry": 0},
+            {"default_deadline": -1.0},
+            {"max_concurrent": 0},
+            {"queue_timeout": -1.0},
+            {"coalesce_timeout": 0.0},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        from repro.exceptions import ModelError
+
+        with pytest.raises(ModelError):
+            ServerConfig(**kwargs)

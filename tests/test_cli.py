@@ -405,3 +405,107 @@ class TestDiagnose:
             ]
         )
         assert "diagnostics:" not in capsys.readouterr().out
+
+
+class TestBudgetUnification:
+    """Regression: every subcommand funnels its execution limits through
+    ``Budget.from_options`` — ``simulate`` and ``mc`` used to build a
+    deadline-only budget by hand, silently dropping ``--max-solves``,
+    ``--max-refinements`` and ``--max-memory-mb``."""
+
+    LIMITS = [
+        "--deadline", "5.0",
+        "--max-solves", "7",
+        "--max-refinements", "2",
+        "--max-memory-mb", "128",
+    ]
+
+    @pytest.mark.parametrize(
+        "head",
+        [
+            ["check", "--occupancy", "0.8,0.15,0.05"],
+            ["value", "--occupancy", "0.8,0.15,0.05"],
+            ["csat", "--occupancy", "0.8,0.15,0.05"],
+            ["simulate", "--occupancy", "0.8,0.15,0.05"],
+            ["mc", "--occupancy", "0.8,0.15,0.05"],
+        ],
+    )
+    def test_every_subcommand_accepts_every_limit_flag(self, head):
+        from repro.cli import _budget_options, build_parser
+        from repro.resilience import Budget
+
+        argv = head + self.LIMITS
+        if head[0] in ("check", "value", "csat", "mc"):
+            argv = argv + ["E[<0.5](infected)"]
+        args = build_parser().parse_args(argv)
+        budget = Budget.from_options(_budget_options(args))
+        assert budget is not None
+        assert budget.deadline == 5.0
+        assert budget.max_solves == 7
+        assert budget.max_refinements == 2
+        assert budget.max_memory_mb == 128.0
+
+    def test_check_options_carry_all_limits(self):
+        from repro.cli import _build_checker, build_parser
+
+        args = build_parser().parse_args(
+            ["check", "--occupancy", "0.8,0.15,0.05"]
+            + self.LIMITS
+            + ["E[<0.5](infected)"]
+        )
+        options = _build_checker(args).options
+        assert options.deadline == 5.0
+        assert options.max_solves == 7
+        assert options.max_refinements == 2
+        assert options.max_memory_mb == 128.0
+
+    def test_mc_honors_the_deadline(self, capsys):
+        code = main(
+            [
+                "mc",
+                "--model", "virus1",
+                "--occupancy", "0.8,0.15,0.05",
+                "--samples", "5000",
+                "--deadline", "1e-9",
+                "--state", "s1",
+                "not_infected U[0,1] infected",
+            ]
+        )
+        assert code == EXIT_BUDGET_EXCEEDED
+        assert "error" in capsys.readouterr().err
+
+    def test_no_limit_flags_build_no_budget(self):
+        from repro.cli import _budget_options, build_parser
+        from repro.resilience import Budget
+
+        args = build_parser().parse_args(
+            ["simulate", "--occupancy", "0.8,0.15,0.05"]
+        )
+        assert Budget.from_options(_budget_options(args)) is None
+
+
+class TestServeQueryParser:
+    """The serve/query subcommands parse without side effects."""
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8349
+        assert args.max_entries == 32
+        assert args.max_concurrent == 4
+        assert args.cache_dir is None
+
+    def test_query_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["query", "--occupancy", "0.8,0.15,0.05", "E[<0.5](infected)"]
+        )
+        assert args.query_command == "check"
+        assert args.url == "http://127.0.0.1:8349"
+        assert args.formula == "E[<0.5](infected)"
+
+    def test_query_requires_formula_or_stats(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--url", "http://127.0.0.1:1"])

@@ -289,3 +289,102 @@ class TestTraceDowngrades:
         text = trace.format()
         assert "result quality: degraded" in text
         assert "downgrade:" in text
+
+
+class TestSnapshotNamespacing:
+    """Regression: free-form progress keys must never clobber the
+    snapshot's reserved fields (a layer calling ``advance("solves", n)``
+    used to overwrite the budget's true solve count in the report)."""
+
+    def test_colliding_progress_key_is_namespaced(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, max_solves=50, clock=clock)
+        for _ in range(3):
+            budget.charge_solve()
+        clock.advance(2.0)
+        budget.advance("solves", 999)
+        budget.advance("elapsed_seconds", 123.0)
+        snap = budget.snapshot()
+        # Reserved fields report the budget's own truth...
+        assert snap["solves"] == 3
+        assert snap["elapsed_seconds"] == pytest.approx(2.0)
+        assert snap["deadline_seconds"] == 10.0
+        assert snap["max_solves"] == 50
+        # ...and the colliding counters survive under a namespace.
+        assert snap["progress.solves"] == 999
+        assert snap["progress.elapsed_seconds"] == 123.0
+
+    def test_ordinary_progress_keys_stay_unprefixed(self):
+        budget = Budget(clock=FakeClock())
+        budget.advance("batches_completed", 7)
+        snap = budget.snapshot()
+        assert snap["batches_completed"] == 7
+        assert "progress.batches_completed" not in snap
+
+
+class TestBudgetRestart:
+    """Per-request re-arm for long-running processes (the checking
+    server keeps one budget per cache entry and restarts it in place;
+    the engines captured the object at construction, so the deadline
+    must re-anchor without replacing it)."""
+
+    def test_restart_reanchors_the_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        clock.advance(5.0)
+        assert budget.expired()
+        budget.restart()
+        assert not budget.expired()
+        assert budget.elapsed() == 0.0
+        clock.advance(0.5)
+        assert budget.remaining() == pytest.approx(0.5)
+
+    def test_restart_resets_counters_and_progress(self):
+        budget = Budget(max_solves=10, clock=FakeClock())
+        budget.charge_solve()
+        budget.advance("batches_completed", 4)
+        budget.restart()
+        assert budget.solves == 0
+        assert budget.progress == {}
+
+    def test_restart_replaces_passed_limits_only(self):
+        budget = Budget(
+            deadline=1.0, max_solves=5, max_refinements=3,
+            max_memory_mb=64.0, clock=FakeClock(),
+        )
+        budget.restart(deadline=2.0, max_solves=None)
+        assert budget.deadline == 2.0
+        assert budget.max_solves is None
+        # Omitted limits are kept.
+        assert budget.max_refinements == 3
+        assert budget.max_memory_mb == 64.0
+
+    def test_restart_validates_like_the_constructor(self):
+        budget = Budget(clock=FakeClock())
+        with pytest.raises(ModelError, match="deadline must be positive"):
+            budget.restart(deadline=-1.0)
+        with pytest.raises(ModelError, match="max_solves must be positive"):
+            budget.restart(max_solves=0)
+        with pytest.raises(ModelError, match="max_refinements"):
+            budget.restart(max_refinements=-1)
+        with pytest.raises(ModelError, match="max_memory_mb"):
+            budget.restart(max_memory_mb=0.0)
+
+    def test_restarted_budget_enforces_the_new_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        budget.restart(deadline=1.0)
+        clock.advance(1.5)
+        with pytest.raises(BudgetExceededError):
+            budget.checkpoint("after restart")
+
+    def test_same_object_is_rearmed(self):
+        """Engines capture the budget; restart must mutate in place."""
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        captured = budget  # stand-in for an engine's reference
+        clock.advance(2.0)
+        assert captured.expired()
+        budget.restart(deadline=3.0)
+        assert not captured.expired()
+        assert captured.deadline == 3.0
