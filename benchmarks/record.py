@@ -35,6 +35,9 @@ FORMULA_OPT_PATH = Path(__file__).resolve().parent / "BENCH_formula_opt.json"
 #: History file of the checking-server benchmark family.
 SERVER_PATH = Path(__file__).resolve().parent / "BENCH_server.json"
 
+#: History file of the batched-checking benchmark family.
+BATCH_PATH = Path(__file__).resolve().parent / "BENCH_batch.json"
+
 #: Keep at most this many records per benchmark name (oldest dropped).
 MAX_RECORDS_PER_NAME = 200
 
@@ -174,3 +177,76 @@ def check_regressions(
                 f"(> {ratio:g}x)"
             )
     return flags
+
+
+def check_all_regressions(
+    directory: "os.PathLike | str | None" = None,
+    *,
+    ratio: float = REGRESSION_RATIO,
+    min_history: int = MIN_HISTORY,
+) -> "list[str]":
+    """Sweep every ``BENCH_*.json`` history file in one call.
+
+    Runs :func:`check_regressions` for every benchmark name recorded in
+    every ``BENCH_*.json`` file under ``directory`` (default: this
+    directory).  Returns flag strings prefixed with the history file
+    name, so one CI step covers all benchmark families instead of one
+    hand-written invocation per suite.
+    """
+    directory = Path(directory) if directory else Path(__file__).parent
+    flags: "list[str]" = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            history = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(history, dict):
+            continue
+        for name in sorted(history):
+            for flag in check_regressions(
+                name, path=path, ratio=ratio, min_history=min_history
+            ):
+                flags.append(f"{path.name}: {flag}")
+    return flags
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """``python benchmarks/record.py`` — sweep all histories for flags.
+
+    Prints one ``TIMING FLAG`` line per regression (CI greps the log);
+    exits non-zero only under ``--strict``, because wall-clock flags on
+    shared runners are advisory by design.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="flag wall-time regressions across all BENCH_*.json "
+        "benchmark histories"
+    )
+    parser.add_argument(
+        "--directory",
+        default=None,
+        help="directory holding BENCH_*.json files (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--ratio",
+        type=float,
+        default=REGRESSION_RATIO,
+        help="flag when latest > ratio * median of prior runs",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any flag fires (default: always exit 0)",
+    )
+    args = parser.parse_args(argv)
+    flags = check_all_regressions(args.directory, ratio=args.ratio)
+    for flag in flags:
+        print(f"TIMING FLAG: {flag}")
+    if not flags:
+        print("no timing regressions flagged")
+    return 1 if (flags and args.strict) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

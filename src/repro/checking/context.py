@@ -137,6 +137,27 @@ class ContextPropagator:
         ts = np.asarray(ts, dtype=float) + self.offset
         return self.engine.propagate_many(ts, float(duration))
 
+    def apply(
+        self, v: np.ndarray, t_start: float, duration: float,
+        side: str = "left",
+    ) -> np.ndarray:
+        """``v @ Π`` (left) or ``Π @ v`` (right) over a relative window.
+
+        ``v`` may be ``(K,)`` or a block — ``(M, K)`` rows on the left,
+        ``(K, M)`` columns on the right; the block is carried through
+        the shared cell cache in one matmat per cell (mirrors
+        :meth:`ContextAction.apply`).
+        """
+        a = self.offset + float(t_start)
+        return self.engine.apply(v, a, a + float(duration), side=side)
+
+    def apply_many(
+        self, ts, duration: float, v: np.ndarray, side: str = "left"
+    ) -> np.ndarray:
+        """Batched window actions — first axis indexes ``ts``."""
+        ts = np.asarray(ts, dtype=float) + self.offset
+        return self.engine.apply_many(ts, float(duration), v, side=side)
+
     def prepare_windows(self, starts, ends) -> None:
         """Warm cells/slivers for a batch of context-relative windows."""
         self.engine.prepare_windows(
@@ -232,6 +253,9 @@ class EvaluationContext:
         budget: Optional[Budget] = None,
     ):
         self.model = model
+        # Autonomy is a property of the model, not the context: hoisted
+        # once so the at_time hot path skips the attribute chain.
+        self._autonomous = not model.local.has_time_dependent_rates
         self.options = options or CheckOptions()
         self.initial = validate_occupancy(initial, model.num_states)
         self.stats = stats if stats is not None else EvalStats()
@@ -284,6 +308,16 @@ class EvaluationContext:
         self._atol = value.ode_atol
         self._residual_tol = value.residual_tol
         self._transient_method = value.transient_method
+        # Pre-built tail of the transient-matrix cache key: with no
+        # per-call tolerance overrides (the overwhelmingly common case)
+        # the hot path concatenates this tuple instead of assembling
+        # four fields per query.
+        self._key_tail = (
+            value.ode_rtol,
+            value.ode_atol,
+            value.residual_tol,
+            value.transient_method,
+        )
         self._resolved_backend: Optional[str] = None
         # Formula-optimization switches, hoisted to flat booleans so the
         # evaluation hot paths test one attribute instead of scanning the
@@ -493,22 +527,34 @@ class EvaluationContext:
             The ``(K', K')`` transient matrix.  Treat as read-only — the
             same array is returned to every caller with the same key.
         """
-        rtol = self._rtol if rtol is None else rtol
-        atol = self._atol if atol is None else atol
-        method = self._transient_method if method is None else method
         # Every tolerance that shapes the answer — including the
         # residual self-verification bound — is part of the key: a
         # matrix solved under loose settings must never be served after
-        # the options were tightened.
-        key = (
-            signature,
-            round(float(t_start), _KEY_DECIMALS),
-            round(float(duration), _KEY_DECIMALS),
-            rtol,
-            atol,
-            self._residual_tol,
-            method,
-        )
+        # the options were tightened.  Without per-call overrides the
+        # tail of the key is the pre-hoisted options tuple
+        # (see the ``options`` setter), skipping four field reads and a
+        # 4-tuple build per query on the hot path.
+        if rtol is None and atol is None and method is None:
+            rtol, atol, method = self._rtol, self._atol, self._transient_method
+            key = (
+                signature,
+                round(float(t_start), _KEY_DECIMALS),
+                round(float(duration), _KEY_DECIMALS),
+            ) + self._key_tail
+            self.stats.transient_fast_keys += 1
+        else:
+            rtol = self._rtol if rtol is None else rtol
+            atol = self._atol if atol is None else atol
+            method = self._transient_method if method is None else method
+            key = (
+                signature,
+                round(float(t_start), _KEY_DECIMALS),
+                round(float(duration), _KEY_DECIMALS),
+                rtol,
+                atol,
+                self._residual_tol,
+                method,
+            )
         pi = self._transient_cache.get(key)
         if pi is not None:
             self.stats.transient_cache_hits += 1
@@ -1043,8 +1089,16 @@ class EvaluationContext:
         :class:`~repro.exceptions.NumericalError` (grid refinement cap)
         falls back to the dense path and is recorded as a ladder
         downgrade; budget errors always propagate.
+
+        ``vector`` may be a single ``(K',)`` vector or an ``(M, K')``
+        row-stacked block — on *both* sides: row ``i`` of the result is
+        ``vector[i] @ Π`` (left) or ``Π @ vector[i]`` (right).  Blocks
+        ride through every backend in one matmat pass per cell / series
+        term instead of ``M`` separate matvec chains; results match the
+        looped path to solver tolerance.
         """
         vector = np.asarray(vector, dtype=float)
+        block = vector.ndim == 2
         if self.matrix_backend == "sparse":
             handle = self.action_engine(signature)
             if handle is not None:
@@ -1054,6 +1108,13 @@ class EvaluationContext:
                         f"+{float(duration):g}"
                     )
                 try:
+                    if block and side == "right":
+                        # The sparse engine takes right-action blocks as
+                        # (K, M) columns; restack around the call.
+                        return handle.apply(
+                            vector.T, float(t_start), float(duration),
+                            side="right",
+                        ).T
                     return handle.apply(
                         vector, float(t_start), float(duration), side=side
                     )
@@ -1061,11 +1122,40 @@ class EvaluationContext:
                     self.trace.downgrade(
                         "sparse", "ode", LADDER_QUALITY["ode"], str(exc)
                     )
+        resolved_method = (
+            self._transient_method if method is None else method
+        )
+        if block and resolved_method == "propagator":
+            # Dense block fast path: carry the whole block through the
+            # shared cell cache (one (M, K') @ (K', K') matmat per cell)
+            # instead of composing the full window product first.
+            if self.budget is not None:
+                self.budget.checkpoint(
+                    f"transient_apply(block) @ {float(t_start):g}"
+                    f"+{float(duration):g}"
+                )
+            try:
+                handle = self.propagator_engine(signature, q_of_t)
+                if side == "right":
+                    return handle.apply(
+                        vector.T, float(t_start), float(duration),
+                        side="right",
+                    ).T
+                return handle.apply(
+                    vector, float(t_start), float(duration), side="left"
+                )
+            except NumericalError as exc:
+                self.trace.downgrade(
+                    "propagator", "ode", LADDER_QUALITY["ode"], str(exc)
+                )
+                method = "ode"
         pi = self.transient_matrix(
             signature, q_of_t, t_start, duration,
             rtol=rtol, atol=atol, method=method,
         )
         if side == "right":
+            if block:
+                return vector @ pi.T
             return pi @ vector
         return vector @ pi
 
@@ -1255,7 +1345,7 @@ class EvaluationContext:
             budget=self.budget,
         )
         child._steady_box = self._steady_box
-        if not self.model.local.has_time_dependent_rates:
+        if self._autonomous:
             child._trajectory = self.trajectory.shifted(t)
             parent_fn = self.generator_function()
 

@@ -319,6 +319,98 @@ class MFModelChecker:
         raise FormulaError(f"not an expectation leaf: {psi!r}")
 
     # ------------------------------------------------------------------
+    # Batched checking (multi-query front-end)
+    # ------------------------------------------------------------------
+
+    def check_many(self, queries) -> list:
+        """Answer a batch of queries, sharing every warm object per group.
+
+        Each query is a ``(formula, occupancy)`` pair (a satisfaction
+        check) or a mapping with keys ``formula``, ``occupancy`` and
+        optionally ``command`` (``"check"`` — the default — ``"value"``
+        or ``"csat"``) and ``theta`` (the cSat horizon, default 10).
+
+        Queries are grouped by occupancy vector: one
+        :class:`~repro.checking.context.EvaluationContext` serves every
+        query of a group, so the trajectory solve, compiled generator,
+        propagator cells and transient matrices are paid once per group
+        — the marginal cost of an extra query against a warm group is a
+        formula walk plus vector algebra.  Within a group the rewrite
+        pass hash-conses each formula DAG and the context's shared local
+        checker memoizes per DAG node, so queries with overlapping
+        subformulas share satisfaction sets and probability curves;
+        *identical* queries are planned once and fanned back out (the
+        duplicates receive the very same result object).
+
+        Returns a list in input order: :class:`Verdict` for ``check``,
+        ``float`` for ``value``,
+        :class:`~repro.checking.intervals.IntervalSet` for ``csat``.
+        Errors propagate — per-item error isolation is the serving
+        layer's job (``CheckingService.handle_batch``).
+        """
+        normalized = []
+        for query in queries:
+            if isinstance(query, dict):
+                command = query.get("command", "check")
+                formula = query.get("formula")
+                occupancy = query.get("occupancy")
+                theta = query.get("theta")
+            else:
+                try:
+                    formula, occupancy = query
+                except (TypeError, ValueError):
+                    raise FormulaError(
+                        "batch queries must be (formula, occupancy) pairs "
+                        f"or mappings; got {query!r}"
+                    )
+                command, theta = "check", None
+            if command not in ("check", "value", "csat"):
+                raise FormulaError(
+                    f"unknown batch command {command!r} "
+                    "(expected check/value/csat)"
+                )
+            if formula is None or occupancy is None:
+                raise FormulaError(
+                    "each batch query needs a formula and an occupancy"
+                )
+            occ = np.asarray(occupancy, dtype=float).reshape(-1)
+            occ_key = tuple(round(float(x), 12) for x in occ)
+            formula_key = (
+                formula if isinstance(formula, str) else str(formula)
+            )
+            theta = 10.0 if theta is None else float(theta)
+            normalized.append(
+                (command, formula, occ, occ_key, formula_key, theta)
+            )
+
+        contexts: dict = {}
+        memo: dict = {}
+        results = []
+        for command, formula, occ, occ_key, formula_key, theta in normalized:
+            ctx = contexts.get(occ_key)
+            if ctx is None:
+                ctx = self.context(occ)
+                contexts[occ_key] = ctx
+            memo_key = (
+                occ_key,
+                command,
+                formula_key,
+                theta if command == "csat" else None,
+            )
+            if memo_key in memo:
+                results.append(memo[memo_key])
+                continue
+            if command == "check":
+                result = self.check_detailed(formula, occ, ctx=ctx)
+            elif command == "value":
+                result = self.value(formula, occ, ctx=ctx)
+            else:
+                result = self.conditional_sat(formula, occ, theta, ctx=ctx)
+            memo[memo_key] = result
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
     # Conditional satisfaction sets (Section V-B)
     # ------------------------------------------------------------------
 

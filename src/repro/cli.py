@@ -303,6 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.default_deadline,
         max_concurrent=args.max_concurrent,
         queue_timeout=args.queue_timeout,
+        max_batch_items=args.max_batch_items,
     )
     server = make_server(
         host=args.host, port=args.port, config=config, verbose=args.verbose
@@ -343,6 +344,73 @@ def _parse_option_overrides(pairs) -> dict:
     return overrides
 
 
+def _summarize_batch_item(body: dict) -> str:
+    """One human-readable line for one batch item's response body."""
+    if body.get("status") != "ok":
+        return (
+            f"ERROR({body.get('error_class', '?')}): "
+            f"{body.get('message', body)}"
+        )
+    if "verdict" in body:
+        verdict = body["verdict"]
+        if verdict.get("indeterminate"):
+            return f"INDETERMINATE (quality {verdict.get('quality')})"
+        return "SATISFIED" if verdict.get("holds") else "NOT SATISFIED"
+    if "value" in body:
+        return f"{body['value']:.10f}"
+    if "intervals" in body:
+        intervals = body["intervals"]
+        if not intervals:
+            return "empty"
+        return " ".join(f"[{a:.6f}, {b:.6f}]" for a, b in intervals)
+    return "ok"
+
+
+def _run_query_batch(client, args: argparse.Namespace) -> int:
+    """``mfcsl query --batch file.json``: one POST /batch, per-item lines."""
+    import json as _json
+    from pathlib import Path
+
+    try:
+        doc = _json.loads(Path(args.batch_file).read_text())
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"error: cannot read batch file: {exc}", file=sys.stderr)
+        return EXIT_CHECKING_ERROR
+    if isinstance(doc, list):
+        queries = doc
+    elif isinstance(doc, dict) and isinstance(doc.get("queries"), list):
+        queries = doc["queries"]
+    else:
+        print(
+            "error: batch file must hold a JSON list of requests or a "
+            "{'queries': [...]} object",
+            file=sys.stderr,
+        )
+        return EXIT_CHECKING_ERROR
+
+    status, body = client.query_batch(
+        queries, deadline=args.deadline, max_solves=args.max_solves
+    )
+    if body.get("status") != "ok":
+        print(
+            f"error: batch failed (HTTP {status}): "
+            f"{body.get('message', body)}",
+            file=sys.stderr,
+        )
+        return int(body.get("exit_code", EXIT_CHECKING_ERROR))
+    results = body.get("results", [])
+    exit_codes = [int(c) for c in body.get("exit_codes", [])]
+    for i, item in enumerate(results):
+        code = exit_codes[i] if i < len(exit_codes) else EXIT_CHECKING_ERROR
+        print(f"[{i}] exit={code} {_summarize_batch_item(item)}")
+    cache = body.get("cache", {})
+    print(
+        f"batch: items={body.get('items')} errors={body.get('errors')} "
+        f"cache_hits={cache.get('hits')}"
+    )
+    return max(exit_codes, default=EXIT_CHECKING_ERROR)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.server.client import ServerClient
 
@@ -352,6 +420,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         print(_json.dumps(client.stats(), indent=2))
         return 0
+    if args.batch_file is not None:
+        return _run_query_batch(client, args)
     if args.formula is None:
         raise SystemExit("error: a formula is required (or --server-stats)")
     if args.occupancy is None:
@@ -651,6 +721,12 @@ def build_parser() -> argparse.ArgumentParser:
         "being rejected with HTTP 429",
     )
     p_serve.add_argument(
+        "--max-batch-items",
+        type=int,
+        default=256,
+        help="upper bound on queries per POST /batch envelope",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -700,6 +776,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--server-stats",
         action="store_true",
         help="print the server's /stats payload and exit",
+    )
+    p_query.add_argument(
+        "--batch",
+        dest="batch_file",
+        default=None,
+        metavar="FILE",
+        help="JSON file with a list of request objects (or a "
+        "{'queries': [...]} envelope) sent as one POST /batch; "
+        "prints one result line per item and exits with the worst "
+        "per-item exit code",
     )
     p_query.add_argument(
         "formula", nargs="?", default=None, help="MF-CSL formula text"

@@ -621,6 +621,84 @@ class PropagatorEngine:
         self.prepare_windows(ts, ts + duration)
         return np.stack([self._product(t, t + duration) for t in ts])
 
+    def _apply_pieces(
+        self, a: float, b: float, v: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Push ``v`` through the cell/sliver sequence of ``[a, b]``.
+
+        The block analogue of :meth:`_product`: instead of composing the
+        full ``(K, K)`` window product and multiplying once, the vector
+        (or block) is carried through the pieces directly — one
+        ``(M, K) @ (K, K)`` matmat per piece, never a ``(K, K) @ (K, K)``
+        matmul.  For ``M < K`` this is strictly cheaper; for a single
+        vector it is the classical matvec chain.
+        """
+        if b - a <= _TINY:
+            return np.array(v, dtype=float, copy=True)
+        left, j0, j1, right = self._window_pieces(a, b)
+        indices = range(j0, j1)
+        built = self._build_cells(indices)
+        self._count("propagator_cache_hits", len(indices) - built)
+        pieces = []
+        if left is not None:
+            pieces.append(self._sliver(*left))
+        pieces.extend(self._cells[i] for i in indices)
+        if right is not None:
+            pieces.append(self._sliver(*right))
+        w = v
+        if side == "right":
+            for mat in reversed(pieces):
+                w = mat @ w
+        else:
+            for mat in pieces:
+                w = w @ mat
+        self._count("propagator_products", len(pieces))
+        return w
+
+    def apply(
+        self, v: np.ndarray, a: float, b: float, side: str = "left"
+    ) -> np.ndarray:
+        """``v @ Π(a, b)`` (``side="left"``) or ``Π(a, b) @ v``
+        (``side="right"``), defect-controlled.
+
+        ``v`` may be a vector ``(K,)`` or a block — ``(M, K)`` rows for
+        the left action, ``(K, M)`` columns for the right action — and
+        the whole block rides through each cached cell in a single
+        matmat (see :meth:`_apply_pieces`).  Same contract as
+        :meth:`SparseActionPropagator.apply`.
+        """
+        a, b = float(a), float(b)
+        if b < a:
+            raise ModelError(f"empty window [{a}, {b}]")
+        if side not in ("left", "right"):
+            raise ModelError(f"side must be left/right, got {side!r}")
+        self.ensure(a, b, window=b - a)
+        return self._apply_pieces(a, b, np.asarray(v, dtype=float), side)
+
+    def apply_many(
+        self, ts, duration: float, v: np.ndarray, side: str = "left"
+    ) -> np.ndarray:
+        """Batched ``v @ Π(t_i, t_i + duration)`` (or right actions).
+
+        Warms every cell and sliver the batch touches in one vectorized
+        kernel call each (:meth:`prepare_windows`), then applies each
+        window from the shared cache.  Returns one stacked array, first
+        axis indexing ``ts``.
+        """
+        ts = np.asarray(ts, dtype=float).reshape(-1)
+        duration = float(duration)
+        if duration < 0.0:
+            raise ModelError(f"duration must be non-negative, got {duration}")
+        if side not in ("left", "right"):
+            raise ModelError(f"side must be left/right, got {side!r}")
+        if ts.size == 0:
+            return np.zeros((0,) + np.asarray(v).shape)
+        self.prepare_windows(ts, ts + duration)
+        v = np.asarray(v, dtype=float)
+        return np.stack(
+            [self._apply_pieces(t, t + duration, v, side) for t in ts]
+        )
+
     # ------------------------------------------------------------------
 
     @property

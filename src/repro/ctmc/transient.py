@@ -243,6 +243,11 @@ def transient_distribution(
     (homogeneous baseline), while the action methods
     ``"expm_multiply"`` and ``"uniformization"`` propagate the vector
     directly and are the ones the sparse backend uses.
+
+    ``initial`` may be a single distribution ``(K,)`` or a row-stacked
+    block ``(M, K)``; every kernel propagates the whole block in one
+    matmat pass per series term / solve, so the marginal cost of an
+    extra stacked query is one fused BLAS row, not a fresh solve.
     """
     initial = np.asarray(initial, dtype=float)
     if method == "expm_multiply":

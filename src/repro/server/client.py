@@ -1,17 +1,27 @@
 """A minimal client for the checking server (``mfcsl query``).
 
-Standard-library ``urllib`` only, mirroring the server's
+Standard-library ``http.client`` only, mirroring the server's
 no-new-dependencies rule.  The client is deliberately dumb: it posts one
 JSON request, returns the decoded JSON response together with the HTTP
 status, and leaves interpretation (exit codes, verdict rendering) to the
 caller — the CLI and the tests both want the raw body.
+
+The client keeps **one persistent connection** to the server
+(HTTP/1.1 keep-alive) and reuses it across requests.  The server is a
+``ThreadingHTTPServer`` speaking HTTP/1.1 with explicit
+``Content-Length`` headers, so a sequential query loop pays the TCP
+handshake exactly once instead of once per request — the dominant
+per-request overhead for warm-cache answers.  A stale connection (the
+server restarted, an idle timeout closed the socket) is retried once on
+a fresh connection before giving up.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
+import urllib.parse
 from typing import Optional, Tuple
 
 from repro.exceptions import CheckingError
@@ -29,48 +39,141 @@ class ServerClient:
         any deadline the requests carry — a client-side timeout means
         *no* response, whereas a server-side deadline produces a
         well-formed 503 with partial progress.
+
+    The client is thread-safe; the persistent connection is guarded by
+    a lock, so concurrent callers serialize on it.  Threads that want
+    parallel requests should hold one client each.
     """
 
     def __init__(self, base_url: str, timeout: Optional[float] = 600.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https"):
+            raise CheckingError(
+                f"unsupported server URL scheme {parsed.scheme!r} in "
+                f"{base_url!r} (use http:// or https://)"
+            )
+        self._scheme = parsed.scheme
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port
+        self._path_prefix = parsed.path.rstrip("/")
+        self._lock = threading.Lock()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management -----------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        return cls(self._host, self._port, timeout=self.timeout)
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                finally:
+                    self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------
+
+    def _roundtrip(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+    ) -> Tuple[int, dict]:
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, self._path_prefix + path, data, headers)
+        resp = conn.getresponse()
+        status = resp.status
+        raw = resp.read()  # drain fully so the connection stays reusable
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except Exception:
+            body = {
+                "status": "error",
+                "error_class": "BadResponse",
+                "message": f"non-JSON response (HTTP {status})",
+            }
+        return status, body
 
     def _request(
         self, path: str, payload: Optional[dict] = None
     ) -> Tuple[int, dict]:
-        url = f"{self.base_url}{path}"
-        if payload is None:
-            req = urllib.request.Request(url, method="GET")
-        else:
-            req = urllib.request.Request(
-                url,
-                data=json.dumps(payload).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            # Error statuses still carry a JSON body (the service's
-            # documented error shape); surface it instead of raising.
-            try:
-                body = json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                body = {
-                    "status": "error",
-                    "error_class": "HTTPError",
-                    "message": str(exc),
-                }
-            return exc.code, body
-        except (urllib.error.URLError, OSError) as exc:
+        method = "GET" if payload is None else "POST"
+        data = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        with self._lock:
+            last_exc: Optional[Exception] = None
+            for attempt in range(2):
+                conn = self._conn
+                fresh = conn is None
+                if fresh:
+                    conn = self._connect()
+                try:
+                    status, body = self._roundtrip(
+                        conn, method, path, data
+                    )
+                except (http.client.HTTPException, OSError) as exc:
+                    # A dead keep-alive socket surfaces here; retry
+                    # exactly once on a brand-new connection.
+                    try:
+                        conn.close()
+                    except Exception:
+                        pass
+                    self._conn = None
+                    last_exc = exc
+                    if fresh:
+                        break
+                    continue
+                self._conn = conn
+                return status, body
             raise CheckingError(
-                f"cannot reach checking server at {self.base_url}: {exc}"
-            ) from exc
+                f"cannot reach checking server at {self.base_url}: "
+                f"{last_exc}"
+            ) from last_exc
+
+    # -- public API ----------------------------------------------------
 
     def query(self, payload: dict) -> Tuple[int, dict]:
         """POST one checking request; returns ``(http_status, body)``."""
         return self._request("/query", payload)
+
+    def query_batch(
+        self,
+        queries: list,
+        *,
+        deadline: Optional[float] = None,
+        max_solves: Optional[int] = None,
+    ) -> Tuple[int, dict]:
+        """POST many requests as one ``/batch`` envelope.
+
+        Returns ``(http_status, body)`` where a successful body carries
+        ``results`` and ``exit_codes`` lists aligned with ``queries``.
+        ``deadline``/``max_solves`` become the shared batch limits.
+        """
+        payload: dict = {"queries": list(queries)}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if max_solves is not None:
+            payload["max_solves"] = max_solves
+        return self._request("/batch", payload)
 
     def stats(self) -> dict:
         """GET the server's cache/admission counters."""

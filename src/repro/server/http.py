@@ -14,6 +14,10 @@ Endpoints
     One checking request (see docs/serving.md for the body schema).
     The HTTP status is derived from the CLI exit-code taxonomy
     (:data:`repro.server.service.HTTP_STATUS_BY_EXIT_CODE`).
+``POST /batch``
+    ``{"queries": [request, ...]}`` — many queries served under one
+    admission slot and one shared deadline; item failures stay per
+    item (the envelope answers ``200`` with per-item exit codes).
 ``GET /stats``
     Cache and admission counters plus per-entry summaries.
 ``GET /health``
@@ -70,13 +74,14 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path not in ("/query", "/"):
+        if self.path not in ("/query", "/", "/batch"):
             self._send_json(
                 404,
                 {
                     "status": "error",
                     "error_class": "NotFound",
-                    "message": f"unknown path {self.path!r}; POST /query",
+                    "message": f"unknown path {self.path!r}; "
+                    "POST /query or POST /batch",
                 },
             )
             return
@@ -107,7 +112,10 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
             return
-        status, body = self.server.service.handle(payload)
+        if self.path == "/batch":
+            status, body = self.server.service.handle_batch(payload)
+        else:
+            status, body = self.server.service.handle(payload)
         self._send_json(status, body)
 
 

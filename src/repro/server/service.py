@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
@@ -130,6 +131,10 @@ class ServerConfig:
     coalesce_timeout:
         Seconds a coalesced request waits on the in-flight computation
         before giving up with a budget-style 503.
+    max_batch_items:
+        Upper bound on the number of queries one ``/batch`` envelope may
+        carry; larger envelopes are rejected with 400 before any work
+        starts.
     """
 
     max_entries: int = 32
@@ -141,6 +146,7 @@ class ServerConfig:
     max_concurrent: int = 4
     queue_timeout: float = 30.0
     coalesce_timeout: float = 600.0
+    max_batch_items: int = 256
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -179,6 +185,10 @@ class ServerConfig:
             raise ModelError(
                 f"coalesce_timeout must be positive, got "
                 f"{self.coalesce_timeout}"
+            )
+        if self.max_batch_items < 1:
+            raise ModelError(
+                f"max_batch_items must be >= 1, got {self.max_batch_items}"
             )
 
 
@@ -358,7 +368,186 @@ class CheckingService:
                 },
             )
 
+    def handle_batch(self, payload: Any) -> Tuple[int, dict]:
+        """Serve one batch envelope of independent queries.
+
+        The envelope is ``{"queries": [request, ...]}`` plus optional
+        ``deadline`` / ``max_solves`` defaults shared by every item.
+        One admission slot and one deadline budget cover the whole
+        batch; items execute sequentially so the warm entry state each
+        item leaves behind (transient matrices, propagator cells,
+        contexts) is immediately visible to the next.  Item failures
+        are *per item*: a malformed or failing query yields an error
+        body and exit code in its slot while the rest of the batch is
+        answered normally — the envelope itself only fails on envelope
+        errors (bad shape, too many items) or admission rejection.
+        """
+        try:
+            queries, batch_deadline, batch_max_solves = (
+                self._validate_batch(payload)
+            )
+        except ReproError as exc:
+            return self._error_response(exc)
+        with self._lock:
+            if self._closed:
+                return self._error_response(
+                    ModelError("service is shut down")
+                )
+            self.stats.service_batch_requests += 1
+
+        # One slot for the whole envelope — a 64-item batch costs the
+        # admission controller exactly one concurrent computation.
+        if not self._slots.acquire(timeout=self.config.queue_timeout):
+            status, body, _ = self._admission_rejection()
+            return status, body
+
+        deadline_end = (
+            None
+            if batch_deadline is None
+            else time.monotonic() + batch_deadline
+        )
+        results = []
+        exit_codes = []
+        errors = 0
+        hits = 0
+        last_key: Optional[tuple] = None
+        computed_any = False
+        try:
+            for doc in queries:
+                with self._lock:
+                    self.stats.service_requests += 1
+                    self.stats.service_batch_items += 1
+                remaining: Optional[float] = None
+                if deadline_end is not None:
+                    remaining = deadline_end - time.monotonic()
+                    if remaining <= 0:
+                        body = {
+                            "status": "error",
+                            "error_class": "BudgetExceededError",
+                            "message": (
+                                "batch deadline of "
+                                f"{batch_deadline}s exhausted before "
+                                "this item started"
+                            ),
+                            "exit_code": EXIT_BUDGET_EXCEEDED,
+                        }
+                        results.append(body)
+                        exit_codes.append(EXIT_BUDGET_EXCEEDED)
+                        errors += 1
+                        continue
+                if isinstance(doc, dict):
+                    doc = dict(doc)
+                    if (
+                        batch_max_solves is not None
+                        and "max_solves" not in doc
+                    ):
+                        doc["max_solves"] = batch_max_solves
+                try:
+                    spec = self._validate(doc)
+                except ReproError as exc:
+                    _, body = self._error_response(exc)
+                    results.append(body)
+                    exit_codes.append(body["exit_code"])
+                    errors += 1
+                    continue
+                # The envelope budget is the binding one: never let an
+                # item outlive what is left of the batch deadline.
+                if remaining is not None and (
+                    spec.deadline is None or spec.deadline > remaining
+                ):
+                    spec.deadline = remaining
+                try:
+                    _, body, computed = self._serve_via(
+                        spec, self._compute_admitted
+                    )
+                except ReproError as exc:
+                    _, body = self._error_response(exc)
+                    computed = False
+                if computed:
+                    computed_any = True
+                    last_key = spec.entry_key
+                elif body.get("status") == "ok":
+                    hits += 1
+                results.append(body)
+                exit_codes.append(
+                    body.get("exit_code", EXIT_CHECKING_ERROR)
+                )
+                if body.get("status") != "ok":
+                    errors += 1
+        finally:
+            self._slots.release()
+        if computed_any and last_key is not None:
+            self._enforce_limits(keep=last_key)
+        with self._lock:
+            self.stats.service_batch_item_errors += errors
+        return (
+            200,
+            {
+                "status": "ok",
+                "items": len(results),
+                "errors": errors,
+                "exit_codes": exit_codes,
+                "results": results,
+                "cache": {"hits": hits, "items": len(results)},
+            },
+        )
+
+    # ``check_batch`` is the documented public name; ``handle_batch``
+    # mirrors ``handle`` for the HTTP layer.
+    check_batch = handle_batch
+
     # -- validation ----------------------------------------------------
+
+    def _validate_batch(self, payload: Any):
+        """Envelope validation: shape, size bound, shared limits."""
+        if not isinstance(payload, dict):
+            raise ModelError(
+                f"batch request must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ModelError(
+                "field 'queries' must be a non-empty list of request "
+                "objects"
+            )
+        if len(queries) > self.config.max_batch_items:
+            raise ModelError(
+                f"batch carries {len(queries)} queries but the server "
+                f"accepts at most {self.config.max_batch_items} per "
+                f"batch"
+            )
+        deadline = payload.get("deadline", _MISSING)
+        if deadline is _MISSING:
+            deadline = self.config.default_deadline
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise ModelError(
+                    f"batch field 'deadline' must be a number or null, "
+                    f"got {deadline!r}"
+                )
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ModelError(
+                    f"batch deadline must be positive, got {deadline}"
+                )
+        max_solves = payload.get("max_solves")
+        if max_solves is not None:
+            if isinstance(max_solves, bool) or not isinstance(
+                max_solves, int
+            ):
+                raise ModelError(
+                    f"batch field 'max_solves' must be an integer or "
+                    f"null, got {max_solves!r}"
+                )
+            if max_solves <= 0:
+                raise ModelError(
+                    f"batch max_solves must be positive, "
+                    f"got {max_solves}"
+                )
+        return queries, deadline, max_solves
 
     def _validate(self, payload: Any) -> _RequestSpec:
         if not isinstance(payload, dict):
@@ -512,6 +701,23 @@ class CheckingService:
     # -- the serve path ------------------------------------------------
 
     def _serve(self, spec: _RequestSpec) -> Tuple[int, dict]:
+        status, response, computed = self._serve_via(spec, self._compute)
+        if computed:
+            self._enforce_limits(keep=spec.entry_key)
+        return status, response
+
+    def _serve_via(
+        self, spec: _RequestSpec, compute
+    ) -> Tuple[int, dict, bool]:
+        """Cache probe → coalesce → ``compute(spec)`` for one request.
+
+        The common serve skeleton of :meth:`handle` (where ``compute``
+        acquires its own admission slot) and :meth:`handle_batch` (where
+        the whole batch already holds one).  Returns ``(status,
+        response, computed)`` — ``computed`` is ``False`` for response
+        cache hits and coalesced waits, which never warrant an eviction
+        sweep.
+        """
         inflight: Optional[_InFlight] = None
         with self._lock:
             if self._closed:
@@ -523,16 +729,18 @@ class CheckingService:
                 if core is not None:
                     entry.responses.move_to_end(spec.response_key)
                     self.stats.service_cache_hits += 1
-                    return self._finish(core, hit=True)
+                    status, response = self._finish(core, hit=True)
+                    return status, response, False
             waiting_on = self._inflight.get(spec.inflight_key)
             if waiting_on is None:
                 inflight = _InFlight()
                 self._inflight[spec.inflight_key] = inflight
 
         if waiting_on is not None:
-            return self._await_peer(waiting_on)
+            status, response = self._await_peer(waiting_on)
+            return status, response, False
 
-        status, response, core = self._compute(spec)
+        status, response, core = compute(spec)
         with self._lock:
             if core is not None:
                 entry = self._entries.get(spec.entry_key)
@@ -543,8 +751,7 @@ class CheckingService:
             inflight.response = response
             self._inflight.pop(spec.inflight_key, None)
         inflight.event.set()
-        self._enforce_limits(keep=spec.entry_key)
-        return status, response
+        return status, response, True
 
     def _await_peer(self, peer: _InFlight) -> Tuple[int, dict]:
         """Wait on an identical in-flight computation (coalescing)."""
@@ -569,73 +776,83 @@ class CheckingService:
         response["cache"] = cache
         return peer.status, response
 
+    def _admission_rejection(self) -> Tuple[int, dict, Optional[dict]]:
+        """The 429 response of a failed admission-slot acquisition."""
+        with self._lock:
+            self.stats.service_rejections += 1
+        return (
+            HTTP_STATUS_REJECTED,
+            {
+                "status": "error",
+                "error_class": "AdmissionRejected",
+                "message": (
+                    f"no worker slot free within "
+                    f"{self.config.queue_timeout}s "
+                    f"({self.config.max_concurrent} concurrent "
+                    f"computations allowed); retry later"
+                ),
+                "exit_code": EXIT_BUDGET_EXCEEDED,
+            },
+            None,
+        )
+
     def _compute(
         self, spec: _RequestSpec
     ) -> Tuple[int, dict, Optional[dict]]:
-        """Run one admitted computation; returns ``(status, response,
-        cacheable core or None)``."""
+        """Acquire an admission slot, then run one computation."""
         if not self._slots.acquire(timeout=self.config.queue_timeout):
-            with self._lock:
-                self.stats.service_rejections += 1
-            return (
-                HTTP_STATUS_REJECTED,
-                {
-                    "status": "error",
-                    "error_class": "AdmissionRejected",
-                    "message": (
-                        f"no worker slot free within "
-                        f"{self.config.queue_timeout}s "
-                        f"({self.config.max_concurrent} concurrent "
-                        f"computations allowed); retry later"
-                    ),
-                    "exit_code": EXIT_BUDGET_EXCEEDED,
-                },
-                None,
-            )
+            return self._admission_rejection()
         try:
-            entry, cold = self._entry_for(spec)
-            # A cold entry revived from disk spill may already hold this
-            # very answer; the probe in _serve ran before the entry
-            # existed, so re-probe before computing.
-            with self._lock:
-                core = entry.responses.get(spec.response_key)
-                if core is not None:
-                    entry.responses.move_to_end(spec.response_key)
-                    self.stats.service_cache_hits += 1
-            if core is not None:
-                status, response = self._finish(core, hit=True)
-                return status, response, core
-            with entry.lock:
-                before = entry.stats.as_dict()
-                entry.budget.restart(
-                    deadline=spec.deadline, max_solves=spec.max_solves
-                )
-                ctx, reused = entry.context_for(spec)
-                entry.trim_contexts(self.config.max_contexts_per_entry)
-                if reused:
-                    with self._lock:
-                        self.stats.service_context_reuses += 1
-                try:
-                    core = self._execute(spec, entry, ctx)
-                except ReproError as exc:
-                    status, response = self._error_response(exc)
-                    return status, response, None
-                after = entry.stats.as_dict()
-            delta = {
-                k: after[k] - before[k]
-                for k in after
-                if after[k] != before[k]
-            }
-            response = self._finish(
-                core,
-                hit=False,
-                context_reused=reused,
-                cold_entry=cold,
-                stats_delta=delta,
-            )[1]
-            return HTTP_STATUS_BY_EXIT_CODE[core["exit_code"]], response, core
+            return self._compute_admitted(spec)
         finally:
             self._slots.release()
+
+    def _compute_admitted(
+        self, spec: _RequestSpec
+    ) -> Tuple[int, dict, Optional[dict]]:
+        """Run one computation; the caller holds an admission slot.
+        Returns ``(status, response, cacheable core or None)``."""
+        entry, cold = self._entry_for(spec)
+        # A cold entry revived from disk spill may already hold this
+        # very answer; the probe in _serve ran before the entry
+        # existed, so re-probe before computing.
+        with self._lock:
+            core = entry.responses.get(spec.response_key)
+            if core is not None:
+                entry.responses.move_to_end(spec.response_key)
+                self.stats.service_cache_hits += 1
+        if core is not None:
+            status, response = self._finish(core, hit=True)
+            return status, response, core
+        with entry.lock:
+            before = entry.stats.as_dict()
+            entry.budget.restart(
+                deadline=spec.deadline, max_solves=spec.max_solves
+            )
+            ctx, reused = entry.context_for(spec)
+            entry.trim_contexts(self.config.max_contexts_per_entry)
+            if reused:
+                with self._lock:
+                    self.stats.service_context_reuses += 1
+            try:
+                core = self._execute(spec, entry, ctx)
+            except ReproError as exc:
+                status, response = self._error_response(exc)
+                return status, response, None
+            after = entry.stats.as_dict()
+        delta = {
+            k: after[k] - before[k]
+            for k in after
+            if after[k] != before[k]
+        }
+        response = self._finish(
+            core,
+            hit=False,
+            context_reused=reused,
+            cold_entry=cold,
+            stats_delta=delta,
+        )[1]
+        return HTTP_STATUS_BY_EXIT_CODE[core["exit_code"]], response, core
 
     def _entry_for(self, spec: _RequestSpec) -> Tuple[_CacheEntry, bool]:
         """The warm entry for this request (created cold on a miss)."""

@@ -1,0 +1,95 @@
+"""Tests for the batched multi-query front-end (``check_many``)."""
+
+import numpy as np
+import pytest
+
+from repro.checking import MFModelChecker
+from repro.exceptions import FormulaError
+
+M1 = np.array([0.8, 0.15, 0.05])
+M2 = np.array([0.6, 0.3, 0.1])
+
+F_CHECK = "EP[<0.3](not_infected U[0,1] infected)"
+F_VALUE = "E[<0.5](infected)"
+
+
+@pytest.fixture
+def checker(virus1) -> MFModelChecker:
+    return MFModelChecker(virus1)
+
+
+class TestCheckMany:
+    def test_matches_individual_calls(self, checker):
+        queries = [
+            {"command": "check", "formula": F_CHECK, "occupancy": M1},
+            {"command": "value", "formula": F_VALUE, "occupancy": M1},
+            {"command": "check", "formula": F_CHECK, "occupancy": M2},
+            {"command": "csat", "formula": F_VALUE, "occupancy": M1,
+             "theta": 2.0},
+        ]
+        results = checker.check_many(queries)
+        assert len(results) == 4
+        assert results[0].holds == checker.check(F_CHECK, M1)
+        assert results[1] == pytest.approx(checker.value(F_VALUE, M1))
+        assert results[2].holds == checker.check(F_CHECK, M2)
+        expected = checker.conditional_sat(F_VALUE, M1, 2.0)
+        assert results[3].intervals == expected.intervals
+
+    def test_tuple_queries_are_checks(self, checker):
+        results = checker.check_many([(F_CHECK, M1), (F_VALUE, M2)])
+        assert results[0].holds == checker.check(F_CHECK, M1)
+        assert results[1].holds == checker.check(F_VALUE, M2)
+
+    def test_duplicates_fan_out_same_result_object(self, checker):
+        q = {"command": "check", "formula": F_CHECK, "occupancy": M1}
+        results = checker.check_many([dict(q), dict(q), dict(q)])
+        assert results[0] is results[1] is results[2]
+
+    def test_occupancy_groups_share_one_context(self, checker, monkeypatch):
+        built = []
+        original = MFModelChecker.context
+
+        def counting(self, occupancy):
+            ctx = original(self, occupancy)
+            built.append(ctx)
+            return ctx
+
+        monkeypatch.setattr(MFModelChecker, "context", counting)
+        checker.check_many(
+            [
+                {"formula": F_CHECK, "occupancy": M1},
+                {"formula": F_VALUE, "occupancy": M1, "command": "value"},
+                {"formula": F_CHECK, "occupancy": M2},
+                {"formula": F_VALUE, "occupancy": M1, "command": "csat",
+                 "theta": 1.0},
+            ]
+        )
+        # Two distinct occupancies -> exactly two contexts built.
+        assert len(built) == 2
+
+    def test_order_is_preserved(self, checker):
+        queries = [
+            {"command": "value", "formula": F_VALUE, "occupancy": M2},
+            {"command": "check", "formula": F_CHECK, "occupancy": M1},
+        ]
+        results = checker.check_many(queries)
+        assert isinstance(results[0], float)
+        assert hasattr(results[1], "holds")
+
+    def test_empty_batch(self, checker):
+        assert checker.check_many([]) == []
+
+    def test_unknown_command_raises(self, checker):
+        with pytest.raises(FormulaError, match="unknown batch command"):
+            checker.check_many(
+                [{"command": "explode", "formula": F_CHECK,
+                  "occupancy": M1}]
+            )
+
+    def test_missing_fields_raise(self, checker):
+        with pytest.raises(FormulaError, match="formula and an occupancy"):
+            checker.check_many([{"formula": F_CHECK}])
+
+    def test_malformed_query_shape_raises(self, checker):
+        with pytest.raises(FormulaError, match="batch queries"):
+            checker.check_many([42])

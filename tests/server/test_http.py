@@ -88,6 +88,60 @@ class TestEndpoints:
         with pytest.raises(CheckingError, match="cannot reach"):
             dead.query(REQUEST)
 
+    def test_batch_endpoint(self, client):
+        status, body = client.query_batch(
+            [REQUEST, {"command": "bogus"}, dict(REQUEST)]
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["items"] == 3
+        assert body["errors"] == 1
+        assert body["exit_codes"][0] == 0
+        assert body["exit_codes"][1] == 2
+        assert body["exit_codes"][2] == 0
+        # The duplicate item was answered from the response cache.
+        assert body["cache"]["hits"] == 1
+
+    def test_batch_envelope_error_is_400(self, client):
+        status, body = client._request("/batch", {"queries": []})
+        assert status == 400
+        assert body["status"] == "error"
+
+
+class TestKeepAlive:
+    """The client holds one persistent HTTP/1.1 connection."""
+
+    def test_connection_is_reused(self, client):
+        client.query(REQUEST)
+        conn = client._conn
+        assert conn is not None
+        client.query(REQUEST)
+        client.stats()
+        assert client._conn is conn  # same socket across requests
+
+    def test_stale_connection_is_retried(self, client):
+        status, _ = client.query(REQUEST)
+        assert status == 200
+        # Kill the cached socket behind the client's back; the next
+        # request must transparently reconnect.
+        client._conn.sock.close()
+        status, body = client.query(REQUEST)
+        assert status == 200
+        assert body["cache"]["hit"] is True
+
+    def test_close_then_reuse(self, client):
+        client.query(REQUEST)
+        client.close()
+        assert client._conn is None
+        status, _ = client.query(REQUEST)
+        assert status == 200
+
+    def test_context_manager(self, server):
+        host, port = server.server_address[:2]
+        with ServerClient(f"http://{host}:{port}", timeout=60.0) as c:
+            assert c.health() is True
+        assert c._conn is None
+
 
 class TestServeSubprocess:
     """End-to-end smoke of ``mfcsl serve`` — the CI server-smoke job."""
@@ -256,6 +310,41 @@ class TestQueryCommand:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["status"] == "ok"
+
+    def test_query_batch_file(self, server, capsys, tmp_path):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            json.dumps(
+                [
+                    REQUEST,
+                    {**REQUEST, "command": "value"},
+                    {"command": "bogus"},
+                ]
+            )
+        )
+        code = main(["query", "--url", url, "--batch", str(batch)])
+        out = capsys.readouterr().out
+        # Exit code is the worst per-item code (2: the malformed item).
+        assert code == 2
+        assert "[0] exit=0 SATISFIED" in out
+        assert "[1] exit=0 0.2338" in out
+        assert "[2] exit=2 ERROR" in out
+        assert "batch: items=3 errors=1" in out
+
+    def test_query_batch_bad_file(self, server, capsys, tmp_path):
+        from repro.cli import main
+
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a batch\"}")
+        code = main(["query", "--url", url, "--batch", str(bad)])
+        assert code == 4
+        assert "batch file" in capsys.readouterr().err
 
     def test_query_with_option_overrides(self, server, capsys):
         from repro.cli import main
