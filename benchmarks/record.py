@@ -49,6 +49,21 @@ REGRESSION_RATIO = 1.5
 #: median is too noisy to accuse anything of regressing.
 MIN_HISTORY = 3
 
+#: Fault counters that must stay zero during a benchmark run.  Benches
+#: record their ``service_*`` stats alongside wall-times; a crash,
+#: quarantined spill or drain rejection *during a benchmark* means the
+#: measured timings are not what they claim to be, so — unlike the
+#: wall-time flags, which are advisory — these flag deterministically
+#: and fail the sweep under ``--strict``.
+FAULT_COUNTERS = (
+    "service_worker_crashes",
+    "service_crash_breaker_trips",
+    "service_spill_quarantined",
+    "service_connection_timeouts",
+    "service_client_disconnects",
+    "service_drain_rejections",
+)
+
 
 def _coerce(value):
     """Make numpy scalars/arrays and other oddballs JSON-serializable."""
@@ -179,19 +194,62 @@ def check_regressions(
     return flags
 
 
+def check_fault_counters(
+    name: str,
+    *,
+    path: "os.PathLike | str" = DEFAULT_PATH,
+) -> "list[str]":
+    """Flag nonzero fault counters on the newest record of ``name``.
+
+    Benchmarks that run against the serving layer store the service's
+    ``service_*`` counters under a ``stats`` key.  Wall-times are noisy;
+    fault counters are not: a benchmark during which a worker crashed or
+    a spill file was quarantined did not measure the workload it claims
+    to, whatever its timings say.  Unknown/absent counters are ignored
+    so histories written before a counter existed stay green.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    series = history.get(name) if isinstance(history, dict) else None
+    if not isinstance(series, list) or not series:
+        return []
+    latest = series[-1]
+    stats = latest.get("stats") if isinstance(latest, dict) else None
+    if not isinstance(stats, dict):
+        return []
+    flags: "list[str]" = []
+    for counter in FAULT_COUNTERS:
+        value = stats.get(counter)
+        if isinstance(value, (int, float)) and value > 0:
+            flags.append(
+                f"{name}[{counter}]: {value:g} faults during the "
+                f"latest benchmark run (must be 0)"
+            )
+    return flags
+
+
 def check_all_regressions(
     directory: "os.PathLike | str | None" = None,
     *,
     ratio: float = REGRESSION_RATIO,
     min_history: int = MIN_HISTORY,
+    counters_only: bool = False,
 ) -> "list[str]":
     """Sweep every ``BENCH_*.json`` history file in one call.
 
-    Runs :func:`check_regressions` for every benchmark name recorded in
-    every ``BENCH_*.json`` file under ``directory`` (default: this
-    directory).  Returns flag strings prefixed with the history file
-    name, so one CI step covers all benchmark families instead of one
-    hand-written invocation per suite.
+    Runs :func:`check_regressions` *and* :func:`check_fault_counters`
+    for every benchmark name recorded in every ``BENCH_*.json`` file
+    under ``directory`` (default: this directory).  Returns flag
+    strings prefixed with the history file name, so one CI step covers
+    all benchmark families instead of one hand-written invocation per
+    suite.  With ``counters_only=True`` the noisy wall-time medians are
+    skipped and only the deterministic fault counters are swept — the
+    mode CI gates on with ``--strict``.
     """
     directory = Path(directory) if directory else Path(__file__).parent
     flags: "list[str]" = []
@@ -203,9 +261,12 @@ def check_all_regressions(
         if not isinstance(history, dict):
             continue
         for name in sorted(history):
-            for flag in check_regressions(
-                name, path=path, ratio=ratio, min_history=min_history
-            ):
+            if not counters_only:
+                for flag in check_regressions(
+                    name, path=path, ratio=ratio, min_history=min_history
+                ):
+                    flags.append(f"{path.name}: {flag}")
+            for flag in check_fault_counters(name, path=path):
                 flags.append(f"{path.name}: {flag}")
     return flags
 
@@ -239,12 +300,22 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="exit 1 when any flag fires (default: always exit 0)",
     )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="sweep only the service_* fault counters (deterministic), "
+        "skipping the advisory wall-time flags — combine with --strict "
+        "to gate CI on fault-free benchmark runs",
+    )
     args = parser.parse_args(argv)
-    flags = check_all_regressions(args.directory, ratio=args.ratio)
+    flags = check_all_regressions(
+        args.directory, ratio=args.ratio, counters_only=args.counters_only
+    )
     for flag in flags:
-        print(f"TIMING FLAG: {flag}")
+        prefix = "FAULT FLAG" if "faults during" in flag else "TIMING FLAG"
+        print(f"{prefix}: {flag}")
     if not flags:
-        print("no timing regressions flagged")
+        print("no regressions flagged")
     return 1 if (flags and args.strict) else 0
 
 

@@ -95,6 +95,66 @@ def test_warm_request_beats_cold_by_5x():
         service.close()
 
 
+def test_warm_request_beats_cold_by_5x_with_isolation():
+    """The warm-path gate holds with process isolation enabled.
+
+    Fork isolation taxes the *cold* side (fork + pipe transfer per
+    computation); the warm side stays a dict probe that never touches
+    the supervisor, so the serving guarantee is unchanged.  Recorded
+    separately so the isolation overhead is visible in the history.
+    """
+    from repro.parallel import fork_available
+
+    if not fork_available():
+        pytest.skip("requires the fork start method")
+    service = CheckingService(ServerConfig(isolate="process"))
+    try:
+        t0 = time.perf_counter()
+        s_cold, cold = service.handle(_request())
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        s_warm, warm = service.handle(_request())
+        t_warm = time.perf_counter() - t0
+
+        assert s_cold == s_warm == 200
+        assert cold["cache"]["hit"] is False
+        assert warm["cache"]["hit"] is True
+        assert warm["verdict"] == cold["verdict"]
+        assert warm["exit_code"] == cold["exit_code"]
+        assert service.stats.service_supervised == 1
+
+        speedup = t_cold / max(t_warm, 1e-9)
+        record_wall_times(
+            "server_cold_vs_warm_isolated",
+            {"cold": t_cold, "warm": t_warm},
+            extra={
+                "speedup": speedup,
+                "floor": WARM_SPEEDUP_FLOOR,
+                "isolate": "process",
+                "stats": {
+                    k: v
+                    for k, v in service.stats.as_dict().items()
+                    if k.startswith("service_") and v
+                },
+            },
+            path=SERVER_PATH,
+        )
+        for flag in check_regressions(
+            "server_cold_vs_warm_isolated", path=SERVER_PATH
+        ):
+            print(f"TIMING FLAG: {flag}")
+        if not _timing_gate():
+            pytest.skip("timing gate disabled (REPRO_BENCH_TIMING_GATE=0)")
+        assert speedup >= WARM_SPEEDUP_FLOOR, (
+            f"isolated warm request only {speedup:.1f}x faster than cold "
+            f"(cold {t_cold * 1e3:.2f} ms, warm {t_warm * 1e3:.2f} ms); "
+            f"acceptance floor is {WARM_SPEEDUP_FLOOR}x"
+        )
+    finally:
+        service.close()
+
+
 def test_new_formula_reuses_the_warm_context():
     service = CheckingService(ServerConfig())
     try:

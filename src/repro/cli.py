@@ -293,6 +293,9 @@ def _cmd_mc(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.server.http import make_server
     from repro.server.service import ServerConfig
 
@@ -304,6 +307,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         queue_timeout=args.queue_timeout,
         max_batch_items=args.max_batch_items,
+        isolate=args.isolate,
+        drain_deadline=args.drain_deadline,
+        connection_timeout=args.connection_timeout or None,
     )
     server = make_server(
         host=args.host, port=args.port, config=config, verbose=args.verbose
@@ -312,10 +318,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Parsed by scripts (and the CI smoke job) to learn the bound port,
     # which matters when --port 0 asks the OS to pick a free one.
     print(f"listening on http://{host}:{port}", flush=True)
+
+    # SIGTERM (and a second Ctrl-C path below) triggers a *graceful*
+    # stop: new requests answer 503 + Retry-After, in-flight ones get
+    # the drain deadline to finish, warm entries spill to --cache-dir.
+    # The drain must run off the serve_forever thread — shutdown() from
+    # that thread deadlocks by design of ThreadingHTTPServer.
+    drain_started = threading.Event()
+
+    def _graceful_stop(*_args) -> None:
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        threading.Thread(
+            target=server.drain_and_shutdown,
+            name="mfcsl-drain",
+            daemon=True,
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful_stop)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        _graceful_stop()
+        # serve_forever was interrupted before shutdown(); wait for the
+        # drain thread's shutdown() call to finish the accept loop.
     finally:
         server.server_close()
         server.service.close()
@@ -414,7 +444,9 @@ def _run_query_batch(client, args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.server.client import ServerClient
 
-    client = ServerClient(args.url, timeout=args.timeout)
+    client = ServerClient(
+        args.url, timeout=args.timeout, retries=max(0, args.retries)
+    )
     if args.server_stats:
         import json as _json
 
@@ -727,6 +759,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="upper bound on queries per POST /batch envelope",
     )
     p_serve.add_argument(
+        "--isolate",
+        default="none",
+        choices=("none", "thread", "process"),
+        help="query-execution isolation: 'process' forks a worker per "
+        "computation so a segfault/OOM answers one query with exit "
+        "code 5 instead of killing the server; 'thread' detects "
+        "stalls only; 'none' runs in-process (default)",
+    )
+    p_serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=30.0,
+        help="graceful-shutdown budget: seconds in-flight requests get "
+        "to finish after SIGTERM before the server stops anyway",
+    )
+    p_serve.add_argument(
+        "--connection-timeout",
+        type=float,
+        default=60.0,
+        help="per-connection socket timeout; idle keep-alive clients "
+        "are disconnected after this many silent seconds "
+        "(0 disables)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -771,6 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=600.0,
         help="client-side socket timeout in seconds",
+    )
+    p_query.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry attempts on connect errors and transient 429/503 "
+        "responses (exponential backoff with full jitter; 0 fails "
+        "on the first error)",
     )
     p_query.add_argument(
         "--server-stats",

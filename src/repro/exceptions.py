@@ -36,6 +36,12 @@ def exit_code_for(exc: "ReproError") -> int:
     """
     if isinstance(exc, BudgetExceededError):
         return EXIT_BUDGET_EXCEEDED
+    if isinstance(exc, WorkerCrashError):
+        # A killed/hung supervised worker is a *transient* serving
+        # condition (the query itself may be fine on retry), so it
+        # shares the retryable budget code (HTTP 503), not the
+        # deterministic worker-failure code (HTTP 500).
+        return EXIT_BUDGET_EXCEEDED
     if isinstance(exc, WorkerError):
         return EXIT_WORKER_FAILURE
     if isinstance(exc, ModelError):
@@ -144,6 +150,45 @@ class BudgetExceededError(CheckingError):
         # Survive the worker-process pickle boundary with the progress
         # report intact (see ParseError.__reduce__).
         return (type(self), (self.args[0] if self.args else "", self.progress))
+
+
+class WorkerCrashError(CheckingError):
+    """A supervised query worker died (or stalled) before answering.
+
+    Raised by :class:`repro.server.supervisor.QuerySupervisor` when the
+    process executing one query is killed (segfault, OOM kill, SIGKILL)
+    or exceeds its wall-clock allowance and is reaped.  Unlike
+    :class:`WorkerError` — a *deterministic* failure raised by the batch
+    function itself — a crash says nothing about the query: retrying it
+    may well succeed, which is why :func:`exit_code_for` maps this class
+    to the retryable :data:`EXIT_BUDGET_EXCEEDED` (HTTP 503), not to
+    :data:`EXIT_WORKER_FAILURE` (HTTP 500).
+
+    Attributes
+    ----------
+    pid:
+        Process id of the dead worker, or ``None`` for thread-mode
+        stalls.
+    exitcode:
+        The worker's exit code (negative = killed by that signal
+        number), or ``None`` when the worker was reaped on timeout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pid: "int | None" = None,
+        exitcode: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.pid = pid
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.pid, self.exitcode),
+        )
 
 
 class WorkerError(CheckingError):

@@ -141,6 +141,40 @@ class EvalStats:
     service_spill_saves / service_spill_loads:
         Cache entries written to / revived from the disk-spill
         directory (warm state surviving process restarts).
+    service_supervised:
+        Queries executed under worker isolation
+        (:class:`repro.server.supervisor.QuerySupervisor`,
+        ``ServerConfig(isolate="process"|"thread")``).
+    service_worker_crashes:
+        Supervised query workers that died (killed, segfaulted,
+        OOM-killed) or stalled past their wall-clock allowance; each
+        crash answers its query with exit code 5 and leaves a
+        ``WorkerCrash`` record in the trace — the server and its warm
+        cache survive.
+    service_worker_restarts:
+        Fresh workers forked for queries that followed a crash (the
+        supervisor "restarting" after its cool-down window).
+    service_crash_breaker_trips:
+        Times the crash-loop breaker opened: after
+        ``crash_loop_threshold`` consecutive crashes the supervisor
+        degrades to in-process execution for a capped-backoff cool-down
+        instead of forking into a crash loop.
+    service_spill_quarantined:
+        Spill files whose checksum, format or key verification failed;
+        each is renamed to ``*.corrupt`` and its key blacklisted so a
+        corrupt file is read at most once, never re-probed per cold
+        request.
+    service_client_disconnects:
+        Responses that could not be written because the client hung up
+        mid-response (``BrokenPipeError``/``ConnectionResetError``);
+        swallowed — a vanished client must never kill a handler thread.
+    service_connection_timeouts:
+        Keep-alive connections closed because the client sent nothing
+        for ``connection_timeout`` seconds (idle sockets and slow-loris
+        stalls both land here).
+    service_drain_rejections:
+        Requests refused with 503 + ``Retry-After`` because the server
+        was draining (graceful shutdown in progress).
     service_batch_requests:
         ``/batch`` envelopes accepted by the service (each also counts
         its items into ``service_requests``).
@@ -194,6 +228,14 @@ class EvalStats:
     service_rejections: int = 0
     service_spill_saves: int = 0
     service_spill_loads: int = 0
+    service_supervised: int = 0
+    service_worker_crashes: int = 0
+    service_worker_restarts: int = 0
+    service_crash_breaker_trips: int = 0
+    service_spill_quarantined: int = 0
+    service_client_disconnects: int = 0
+    service_connection_timeouts: int = 0
+    service_drain_rejections: int = 0
     service_batch_requests: int = 0
     service_batch_items: int = 0
     service_batch_item_errors: int = 0

@@ -55,7 +55,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import BudgetExceededError, ModelError, WorkerError
-from repro.resilience import Budget
+from repro.resilience import Budget, capped_backoff
 
 #: Work function inherited by forked workers (see module docstring).  Only
 #: ever non-None inside :func:`run_batches`.
@@ -280,7 +280,7 @@ def _run_pool(
         if round_index > 0:
             # A fresh pool after worker deaths: capped exponential
             # backoff so a crash-looping environment is not hammered.
-            sleep(min(_BACKOFF_BASE * 2.0 ** (round_index - 1), _BACKOFF_CAP))
+            sleep(capped_backoff(round_index - 1, _BACKOFF_BASE, _BACKOFF_CAP))
             if stats is not None:
                 stats.worker_retries += len(pending)
             if budget is not None:

@@ -32,6 +32,7 @@ reported as indeterminate instead of silently flipped.
 from __future__ import annotations
 
 import enum
+import random
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -41,6 +42,40 @@ from repro.exceptions import BudgetExceededError, ModelError
 #: reports pressure (callers then skip optional expensive work, e.g. the
 #: propagator rung of the degradation ladder).
 DEFAULT_PRESSURE_FRACTION = 0.15
+
+
+def capped_backoff(attempt: int, base: float, cap: float) -> float:
+    """Deterministic capped exponential backoff for retry round ``attempt``.
+
+    ``base * 2**attempt`` clamped to ``cap`` — the schedule
+    :func:`repro.parallel.run_batches` sleeps between broken-pool retry
+    rounds and the :mod:`repro.server.supervisor` uses to size its
+    in-process cool-down window after a worker crash.  ``attempt`` is
+    zero-based (the first retry waits ``base``).
+    """
+    if attempt < 0:
+        raise ModelError(f"attempt must be non-negative, got {attempt}")
+    return min(float(base) * 2.0 ** attempt, float(cap))
+
+
+def full_jitter_backoff(
+    attempt: int,
+    base: float,
+    cap: float,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Randomized backoff delay: uniform over ``[0, capped_backoff)``.
+
+    The "full jitter" strategy: on a thundering-herd retry (many clients
+    rejected by the same overloaded or restarting server), deterministic
+    exponential backoff keeps the herd synchronized — every client
+    returns at the same instant.  Drawing uniformly from the full
+    exponential window decorrelates them.  Used by
+    :class:`repro.server.client.ServerClient` between retries.
+    """
+    ceiling = capped_backoff(attempt, base, cap)
+    draw = rng.random() if rng is not None else random.random()
+    return draw * ceiling
 
 #: The guarded right-hand side of :func:`repro.diagnostics.robust_solve_ivp`
 #: checks the deadline once per this many evaluations.

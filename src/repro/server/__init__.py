@@ -15,13 +15,23 @@ restarts.  :mod:`repro.server.http` serves it over HTTP/JSON
 from repro.server.service import (
     HTTP_STATUS_BY_EXIT_CODE,
     HTTP_STATUS_REJECTED,
+    SERVICE_STATES,
     CheckingService,
     ServerConfig,
+)
+from repro.server.supervisor import (
+    ISOLATION_MODES,
+    QuerySupervisor,
+    WorkerCrash,
 )
 
 __all__ = [
     "CheckingService",
     "ServerConfig",
+    "QuerySupervisor",
+    "WorkerCrash",
     "HTTP_STATUS_BY_EXIT_CODE",
     "HTTP_STATUS_REJECTED",
+    "SERVICE_STATES",
+    "ISOLATION_MODES",
 ]

@@ -1,30 +1,73 @@
-"""A minimal client for the checking server (``mfcsl query``).
+"""A resilient client for the checking server (``mfcsl query``).
 
 Standard-library ``http.client`` only, mirroring the server's
-no-new-dependencies rule.  The client is deliberately dumb: it posts one
-JSON request, returns the decoded JSON response together with the HTTP
-status, and leaves interpretation (exit codes, verdict rendering) to the
-caller — the CLI and the tests both want the raw body.
+no-new-dependencies rule.  The client posts JSON requests, returns the
+decoded JSON response together with the HTTP status, and leaves
+interpretation (exit codes, verdict rendering) to the caller — the CLI
+and the tests both want the raw body.
 
 The client keeps **one persistent connection** to the server
-(HTTP/1.1 keep-alive) and reuses it across requests.  The server is a
-``ThreadingHTTPServer`` speaking HTTP/1.1 with explicit
-``Content-Length`` headers, so a sequential query loop pays the TCP
-handshake exactly once instead of once per request — the dominant
-per-request overhead for warm-cache answers.  A stale connection (the
-server restarted, an idle timeout closed the socket) is retried once on
-a fresh connection before giving up.
+(HTTP/1.1 keep-alive) and reuses it across requests; a stale keep-alive
+socket is replaced transparently.  On top of that sit two resilience
+mechanisms tuned for a server that restarts, drains and sheds load as a
+matter of course:
+
+- **Bounded retry with exponential backoff and full jitter.**  Connect
+  errors and *serving-condition* responses — 429 admission rejections,
+  503s from a draining server or a crashed query worker — are retried
+  up to ``retries`` times, sleeping
+  :func:`repro.resilience.full_jitter_backoff` between attempts (the
+  full-jitter variant keeps a fleet of clients from retrying in
+  lockstep).  A ``Retry-After`` header, when the server sends one, is
+  honored (capped at ``backoff_cap``).  Definitive answers are *never*
+  retried — in particular a 503 carrying ``BudgetExceededError`` means
+  *this request's own deadline expired*, and retrying it would just
+  burn another deadline.
+- **A circuit breaker on connect failures.**  After
+  ``breaker_threshold`` consecutive failures to reach the server at
+  all, the breaker opens for ``breaker_cooldown`` seconds and requests
+  fail fast (same ``cannot reach checking server`` error, no socket
+  work), so a dead server costs a fleet of callers microseconds, not
+  timeouts.  One successful contact closes it again.
+
+Retrying a ``POST /query`` is safe by construction: queries are pure
+computations, idempotent on the server's warm cache.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+import time
 import urllib.parse
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.exceptions import CheckingError
+from repro.resilience import full_jitter_backoff
+
+#: ``error_class`` values that mark a response as a transient serving
+#: condition — the request itself was fine and may well succeed on
+#: retry.  Everything else (budget expiries, model errors, numerical
+#: failures) is a definitive answer for *this* request.
+RETRYABLE_ERROR_CLASSES = frozenset(
+    {
+        "Draining",
+        "AdmissionRejected",
+        "WorkerCrashError",
+        "CoalesceTimeout",
+    }
+)
+
+
+def response_is_retryable(status: int, body: dict) -> bool:
+    """Whether an HTTP response names a transient serving condition."""
+    if status == 429:
+        return True
+    if status == 503:
+        return body.get("error_class") in RETRYABLE_ERROR_CLASSES
+    return False
 
 
 class ServerClient:
@@ -39,13 +82,38 @@ class ServerClient:
         any deadline the requests carry — a client-side timeout means
         *no* response, whereas a server-side deadline produces a
         well-formed 503 with partial progress.
+    retries:
+        Retry attempts *beyond* the first, spent on connect errors and
+        retryable serving conditions; ``0`` restores the historical
+        fail-on-first-error behaviour.
+    backoff_base / backoff_cap:
+        The full-jitter backoff schedule between attempts; the cap also
+        bounds how long a ``Retry-After`` header is honored.
+    breaker_threshold / breaker_cooldown:
+        Consecutive connect failures that open the circuit breaker, and
+        how long it stays open (requests fail fast without touching the
+        network).
+    rng / sleep:
+        Injectable randomness and sleeping for deterministic tests.
 
     The client is thread-safe; the persistent connection is guarded by
     a lock, so concurrent callers serialize on it.  Threads that want
     parallel requests should hold one client each.
     """
 
-    def __init__(self, base_url: str, timeout: Optional[float] = 600.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: Optional[float] = 600.0,
+        *,
+        retries: int = 3,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 8.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         parsed = urllib.parse.urlsplit(self.base_url)
@@ -54,12 +122,46 @@ class ServerClient:
                 f"unsupported server URL scheme {parsed.scheme!r} in "
                 f"{base_url!r} (use http:// or https://)"
             )
+        if retries < 0:
+            raise CheckingError(
+                f"retries must be non-negative, got {retries}"
+            )
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise CheckingError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"base={backoff_base}, cap={backoff_cap}"
+            )
+        if breaker_threshold < 1:
+            raise CheckingError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_cooldown <= 0:
+            raise CheckingError(
+                f"breaker_cooldown must be positive, got {breaker_cooldown}"
+            )
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._rng = rng
+        self._sleep = sleep
         self._scheme = parsed.scheme
         self._host = parsed.hostname or "127.0.0.1"
         self._port = parsed.port
         self._path_prefix = parsed.path.rstrip("/")
         self._lock = threading.Lock()
         self._conn: Optional[http.client.HTTPConnection] = None
+        self._consecutive_failures = 0
+        self._breaker_open_until: Optional[float] = None
+        #: Resilience telemetry: attempts retried, sleeps taken, fast
+        #: failures while the breaker was open, breaker openings.
+        self.resilience_stats = {
+            "retries": 0,
+            "retry_sleeps": 0.0,
+            "breaker_fast_fails": 0,
+            "breaker_trips": 0,
+        }
 
     # -- connection management -----------------------------------------
 
@@ -86,6 +188,37 @@ class ServerClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- circuit breaker -----------------------------------------------
+
+    def breaker_open(self) -> bool:
+        """Whether the client is currently failing fast."""
+        with self._lock:
+            return self._breaker_open_now()
+
+    def _breaker_open_now(self) -> bool:
+        """Caller holds the lock."""
+        if self._breaker_open_until is None:
+            return False
+        if time.monotonic() < self._breaker_open_until:
+            return True
+        # Cool-down elapsed: half-open, the next request probes.
+        self._breaker_open_until = None
+        return False
+
+    def _record_contact(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._breaker_open_until = None
+
+    def _record_connect_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.breaker_threshold:
+                self._breaker_open_until = (
+                    time.monotonic() + self.breaker_cooldown
+                )
+                self.resilience_stats["breaker_trips"] += 1
+
     # -- transport -----------------------------------------------------
 
     def _roundtrip(
@@ -94,11 +227,18 @@ class ServerClient:
         method: str,
         path: str,
         data: Optional[bytes],
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, dict, Optional[float]]:
         headers = {"Content-Type": "application/json"} if data else {}
         conn.request(method, self._path_prefix + path, data, headers)
         resp = conn.getresponse()
         status = resp.status
+        retry_after: Optional[float] = None
+        header = resp.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
         raw = resp.read()  # drain fully so the connection stays reusable
         try:
             body = json.loads(raw.decode("utf-8"))
@@ -108,31 +248,36 @@ class ServerClient:
                 "error_class": "BadResponse",
                 "message": f"non-JSON response (HTTP {status})",
             }
-        return status, body
+        return status, body, retry_after
 
-    def _request(
-        self, path: str, payload: Optional[dict] = None
-    ) -> Tuple[int, dict]:
-        method = "GET" if payload is None else "POST"
-        data = (
-            None
-            if payload is None
-            else json.dumps(payload).encode("utf-8")
-        )
+    def _attempt(
+        self, method: str, path: str, data: Optional[bytes]
+    ) -> Tuple[int, dict, Optional[float]]:
+        """One request attempt over the persistent connection.
+
+        A dead keep-alive socket is replaced and retried once within
+        the attempt (that is connection churn, not server failure); a
+        failure on a *fresh* connection means the server is genuinely
+        unreachable and raises.
+        """
         with self._lock:
+            if self._breaker_open_now():
+                self.resilience_stats["breaker_fast_fails"] += 1
+                raise CheckingError(
+                    f"cannot reach checking server at {self.base_url}: "
+                    f"circuit breaker open after "
+                    f"{self._consecutive_failures} consecutive "
+                    f"connection failures (cooling down)"
+                )
             last_exc: Optional[Exception] = None
-            for attempt in range(2):
+            for _ in range(2):
                 conn = self._conn
                 fresh = conn is None
                 if fresh:
                     conn = self._connect()
                 try:
-                    status, body = self._roundtrip(
-                        conn, method, path, data
-                    )
+                    result = self._roundtrip(conn, method, path, data)
                 except (http.client.HTTPException, OSError) as exc:
-                    # A dead keep-alive socket surfaces here; retry
-                    # exactly once on a brand-new connection.
                     try:
                         conn.close()
                     except Exception:
@@ -143,11 +288,62 @@ class ServerClient:
                         break
                     continue
                 self._conn = conn
-                return status, body
-            raise CheckingError(
-                f"cannot reach checking server at {self.base_url}: "
-                f"{last_exc}"
-            ) from last_exc
+                return result
+        self._record_connect_failure()
+        raise CheckingError(
+            f"cannot reach checking server at {self.base_url}: "
+            f"{last_exc}"
+        ) from last_exc
+
+    def _request(
+        self,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        retry: bool = True,
+    ) -> Tuple[int, dict]:
+        method = "GET" if payload is None else "POST"
+        data = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        attempts = (1 + self.retries) if retry else 1
+        last_error: Optional[CheckingError] = None
+        for attempt in range(attempts):
+            retry_after: Optional[float] = None
+            try:
+                status, body, retry_after = self._attempt(
+                    method, path, data
+                )
+            except CheckingError as exc:
+                last_error = exc
+            else:
+                self._record_contact()
+                if not (
+                    retry and response_is_retryable(status, body)
+                ):
+                    return status, body
+                last_error = None
+                last_response = (status, body)
+            if attempt + 1 >= attempts:
+                break
+            if retry_after is None:
+                retry_after = body.get("retry_after") if last_error is None else None
+            delay = full_jitter_backoff(
+                attempt, self.backoff_base, self.backoff_cap, rng=self._rng
+            )
+            if isinstance(retry_after, (int, float)):
+                # Honor the server's hint, but never beyond the cap —
+                # an interactive caller should not hang for a full
+                # drain window.
+                delay = min(max(delay, float(retry_after)), self.backoff_cap)
+            self.resilience_stats["retries"] += 1
+            self.resilience_stats["retry_sleeps"] += delay
+            self._sleep(delay)
+        if last_error is not None:
+            raise last_error
+        return last_response
 
     # -- public API ----------------------------------------------------
 
@@ -183,9 +379,14 @@ class ServerClient:
         return body
 
     def health(self) -> bool:
-        """Whether the server answers its liveness probe."""
+        """Whether the server answers its liveness probe right now.
+
+        Deliberately *not* retried: health checks are what polling
+        loops are built from, so each probe reports the instantaneous
+        truth and returns quickly.
+        """
         try:
-            status, _ = self._request("/health")
+            status, _ = self._request("/health", retry=False)
         except CheckingError:
             return False
         return status == 200

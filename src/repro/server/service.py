@@ -9,6 +9,18 @@ it.  The HTTP layer (:mod:`repro.server.http`) is a thin adapter: every
 behaviour worth testing lives here and is exercised directly, without
 sockets, by ``tests/server/``.
 
+The fault-tolerance layer (docs/serving.md, "Operations") adds four
+more guarantees on top: supervised query execution
+(``ServerConfig(isolate="process")`` runs each computation in a forked
+worker, so a segfault/OOM answers one query with exit code 5 instead of
+killing the server — :mod:`repro.server.supervisor`), a graceful
+lifecycle (``starting → ready → draining → closed``, with
+:meth:`CheckingService.drain` letting in-flight requests finish while
+new ones get 503 + Retry-After), checksummed disk spill (corrupt files
+are quarantined to ``*.corrupt`` and never re-probed), and
+client/transport hardening in :mod:`repro.server.http` and
+:mod:`repro.server.client`.
+
 Three mechanisms keep a shared long-running process safe:
 
 - **Request coalescing** — identical queries that arrive while one of
@@ -68,6 +80,7 @@ from repro.instrumentation import EvalStats
 from repro.io import model_from_dict, model_hash
 from repro.models import MODEL_REGISTRY
 from repro.resilience import Budget
+from repro.server.supervisor import ISOLATION_MODES, QuerySupervisor
 
 #: HTTP status per CLI exit code (documented in docs/serving.md).  The
 #: three *answer* codes — satisfied, not satisfied, indeterminate — are
@@ -95,7 +108,18 @@ _VALID_COMMANDS = ("check", "value", "csat")
 _MISSING = object()
 
 _SPILL_FORMAT = "repro-server-spill"
-_SPILL_VERSION = 1
+_SPILL_VERSION = 2
+
+#: Spill file layout: magic, 32-byte sha256 of the pickled payload,
+#: payload.  The checksum is verified *before* unpickling, so a
+#: truncated or bit-flipped file can never feed garbage to ``pickle``.
+_SPILL_MAGIC = b"mfcsl-spill\n"
+
+#: The service lifecycle: ``starting`` (constructed, transport not yet
+#: accepting), ``ready`` (serving), ``draining`` (graceful shutdown in
+#: progress — new requests get 503 + Retry-After while in-flight ones
+#: finish), ``closed`` (terminal; requests get 400).
+SERVICE_STATES = ("starting", "ready", "draining", "closed")
 
 
 @dataclass(frozen=True)
@@ -135,6 +159,29 @@ class ServerConfig:
         Upper bound on the number of queries one ``/batch`` envelope may
         carry; larger envelopes are rejected with 400 before any work
         starts.
+    isolate:
+        Query-execution isolation mode: ``"none"`` (in-process,
+        historical behaviour), ``"process"`` (each computation runs in
+        a forked worker so a segfault/OOM kills one query — answered
+        with exit code 5 — instead of the server) or ``"thread"``
+        (stall detection only; portable to platforms without ``fork``).
+        See :class:`repro.server.supervisor.QuerySupervisor`.
+    worker_grace:
+        Extra wall-clock seconds a supervised worker gets beyond its
+        query's deadline before the parent reaps it.
+    crash_loop_threshold:
+        Consecutive supervised-worker crashes after which the
+        crash-loop breaker trips and queries degrade to in-process
+        execution for a cool-down window.
+    drain_deadline:
+        Seconds :meth:`CheckingService.drain` waits for in-flight
+        requests during graceful shutdown; also advertised to rejected
+        clients as ``Retry-After``.
+    connection_timeout:
+        Per-connection socket timeout applied by the HTTP layer; an
+        idle keep-alive client (or a slow-loris stall) is disconnected
+        after this many silent seconds instead of pinning a handler
+        thread forever.  ``None`` disables the timeout.
     """
 
     max_entries: int = 32
@@ -147,6 +194,11 @@ class ServerConfig:
     queue_timeout: float = 30.0
     coalesce_timeout: float = 600.0
     max_batch_items: int = 256
+    isolate: str = "none"
+    worker_grace: float = 5.0
+    crash_loop_threshold: int = 3
+    drain_deadline: float = 30.0
+    connection_timeout: Optional[float] = 60.0
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -189,6 +241,30 @@ class ServerConfig:
         if self.max_batch_items < 1:
             raise ModelError(
                 f"max_batch_items must be >= 1, got {self.max_batch_items}"
+            )
+        if self.isolate not in ISOLATION_MODES:
+            raise ModelError(
+                f"isolate must be one of {list(ISOLATION_MODES)}, "
+                f"got {self.isolate!r}"
+            )
+        if self.worker_grace <= 0:
+            raise ModelError(
+                f"worker_grace must be positive, got {self.worker_grace}"
+            )
+        if self.crash_loop_threshold < 1:
+            raise ModelError(
+                f"crash_loop_threshold must be >= 1, got "
+                f"{self.crash_loop_threshold}"
+            )
+        if self.drain_deadline <= 0:
+            raise ModelError(
+                f"drain_deadline must be positive, got "
+                f"{self.drain_deadline}"
+            )
+        if self.connection_timeout is not None and self.connection_timeout <= 0:
+            raise ModelError(
+                f"connection_timeout must be positive or None, got "
+                f"{self.connection_timeout}"
             )
 
 
@@ -336,10 +412,110 @@ class CheckingService:
         self.config = config or ServerConfig()
         self.stats = EvalStats()
         self._lock = threading.Lock()
+        #: Signalled whenever an in-flight request finishes; drain()
+        #: waits on it.  Shares ``self._lock`` so the active counter and
+        #: the lifecycle state change atomically with everything else.
+        self._cond = threading.Condition(self._lock)
         self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
         self._inflight: Dict[tuple, _InFlight] = {}
         self._slots = threading.BoundedSemaphore(self.config.max_concurrent)
         self._closed = False
+        self._state = "starting"
+        self._active = 0
+        #: Entry keys whose spill file failed verification; never probed
+        #: again (the file itself was renamed to ``*.corrupt``).
+        self._quarantined: set = set()
+        self.supervisor = QuerySupervisor(
+            self.config.isolate,
+            worker_grace=self.config.worker_grace,
+            crash_loop_threshold=self.config.crash_loop_threshold,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """One of :data:`SERVICE_STATES`."""
+        with self._lock:
+            return self._state
+
+    def mark_ready(self) -> None:
+        """The transport is bound and accepting: starting → ready."""
+        with self._lock:
+            if self._state == "starting":
+                self._state = "ready"
+
+    def begin_drain(self) -> None:
+        """Stop accepting new requests; in-flight ones keep running."""
+        with self._lock:
+            if self._state in ("starting", "ready"):
+                self._state = "draining"
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful-shutdown step: reject new work, wait out old work.
+
+        Flips to ``draining`` and blocks until every in-flight request
+        has finished or ``timeout`` (default ``config.drain_deadline``)
+        expires.  Returns whether the service fully quiesced; either
+        way the caller proceeds to :meth:`close`, which spills whatever
+        warm state exists at that point.
+        """
+        if timeout is None:
+            timeout = self.config.drain_deadline
+        self.begin_drain()
+        end = time.monotonic() + timeout
+        with self._lock:
+            while self._active > 0:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def health_payload(self) -> Tuple[int, dict]:
+        """The ``/health`` endpoint: liveness plus lifecycle state.
+
+        ``starting``/``ready`` answer 200; ``draining``/``closed``
+        answer 503 so load balancers stop routing here, with
+        ``retry_after`` hinting when a replacement should be up.
+        """
+        state = self.state
+        if state in ("starting", "ready"):
+            return 200, {"status": "ok", "state": state}
+        body = {"status": "error", "state": state}
+        if state == "draining":
+            body["retry_after"] = self.config.drain_deadline
+        return 503, body
+
+    def bump(self, counter: str) -> None:
+        """Thread-safe increment of one service counter.
+
+        The transport layer uses this for events the service core never
+        sees (client disconnects mid-response, idle-connection
+        timeouts).
+        """
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
+    def _drain_rejection(self) -> Tuple[int, dict]:
+        """503 for a request arriving mid-drain.  Caller holds the lock."""
+        self.stats.service_drain_rejections += 1
+        return (
+            503,
+            {
+                "status": "error",
+                "error_class": "Draining",
+                "message": (
+                    "server is draining (graceful shutdown in "
+                    "progress); retry against a fresh instance"
+                ),
+                "exit_code": EXIT_BUDGET_EXCEEDED,
+                "retry_after": self.config.drain_deadline,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Request handling
@@ -349,24 +525,32 @@ class CheckingService:
         """Serve one request; never raises (errors become responses)."""
         with self._lock:
             self.stats.service_requests += 1
+            if self._state == "draining":
+                return self._drain_rejection()
+            self._active += 1
         try:
-            spec = self._validate(payload)
-        except ReproError as exc:
-            return self._error_response(exc)
-        try:
-            return self._serve(spec)
-        except ReproError as exc:
-            return self._error_response(exc)
-        except Exception as exc:  # pragma: no cover - defensive
-            return (
-                500,
-                {
-                    "status": "error",
-                    "error_class": type(exc).__name__,
-                    "message": str(exc),
-                    "exit_code": EXIT_CHECKING_ERROR,
-                },
-            )
+            try:
+                spec = self._validate(payload)
+            except ReproError as exc:
+                return self._error_response(exc)
+            try:
+                return self._serve(spec)
+            except ReproError as exc:
+                return self._error_response(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                return (
+                    500,
+                    {
+                        "status": "error",
+                        "error_class": type(exc).__name__,
+                        "message": str(exc),
+                        "exit_code": EXIT_CHECKING_ERROR,
+                    },
+                )
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._cond.notify_all()
 
     def handle_batch(self, payload: Any) -> Tuple[int, dict]:
         """Serve one batch envelope of independent queries.
@@ -382,6 +566,19 @@ class CheckingService:
         answered normally — the envelope itself only fails on envelope
         errors (bad shape, too many items) or admission rejection.
         """
+        with self._lock:
+            if self._state == "draining":
+                return self._drain_rejection()
+            self._active += 1
+        try:
+            return self._handle_batch_tracked(payload)
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._cond.notify_all()
+
+    def _handle_batch_tracked(self, payload: Any) -> Tuple[int, dict]:
+        """Body of :meth:`handle_batch`; the caller tracks in-flight."""
         try:
             queries, batch_deadline, batch_max_solves = (
                 self._validate_batch(payload)
@@ -834,11 +1031,36 @@ class CheckingService:
             if reused:
                 with self._lock:
                     self.stats.service_context_reuses += 1
-            try:
+            def job():
+                # Runs in-process or in a forked worker, depending on
+                # the isolation mode and breaker state.  The fork
+                # boundary strands everything the child computes, so
+                # the job ships back the full harvest: the response
+                # core, the picklable transient-matrix cache and the
+                # entry counters (the parent's copies are frozen while
+                # entry.lock is held, so a wholesale copy-back is
+                # exact).
                 core = self._execute(spec, entry, ctx)
+                return (
+                    core,
+                    ctx.export_transient_cache(),
+                    entry.stats.as_dict(),
+                )
+
+            try:
+                (core, transients, counters), isolated = (
+                    self.supervisor.run(
+                        job, deadline=spec.deadline, trace=ctx.trace
+                    )
+                )
             except ReproError as exc:
                 status, response = self._error_response(exc)
                 return status, response, None
+            if isolated:
+                if transients:
+                    ctx.import_transient_cache(transients)
+                for name, value in counters.items():
+                    setattr(entry.stats, name, value)
             after = entry.stats.as_dict()
         delta = {
             k: after[k] - before[k]
@@ -1033,33 +1255,42 @@ class CheckingService:
                 "transients": transients,
             }
         try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(blob).digest()
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             with open(tmp, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_SPILL_MAGIC)
+                fh.write(digest)
+                fh.write(blob)
             tmp.replace(path)
         except Exception:
             return
         with self._lock:
             self.stats.service_spill_saves += 1
+            # A fresh, verified write supersedes any earlier corruption
+            # verdict for this key.
+            self._quarantined.discard(entry.key)
 
     def _load_spill(self, entry: _CacheEntry) -> bool:
-        """Revive a cold entry from the spill directory (best-effort)."""
+        """Revive a cold entry from the spill directory (best-effort).
+
+        A file that fails verification — unreadable, bad header, wrong
+        checksum, undecodable payload, key mismatch — is *quarantined*:
+        renamed to ``*.corrupt`` and its key blacklisted in memory, so
+        a corrupt spill is read at most once instead of being re-probed
+        (and re-deserialized) on every cold request for its key.
+        """
         path = self._spill_path(entry.key)
-        if path is None or not path.exists():
+        if path is None:
             return False
-        try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        except Exception:
+        with self._lock:
+            if entry.key in self._quarantined:
+                return False
+        if not path.exists():
             return False
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != _SPILL_FORMAT
-            or payload.get("version") != _SPILL_VERSION
-            or payload.get("model_hash") != entry.key[0]
-            or payload.get("options_signature") != entry.key[1]
-        ):
+        payload = self._read_spill(path, entry.key)
+        if payload is None:
             return False
         responses = payload.get("responses")
         if isinstance(responses, dict):
@@ -1069,6 +1300,52 @@ class CheckingService:
         if isinstance(transients, dict):
             entry.spilled_transients.update(transients)
         return True
+
+    def _read_spill(self, path: Path, key: tuple) -> Optional[dict]:
+        """Checksum-verified spill read; any failure quarantines ``path``."""
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except Exception:
+            self._quarantine(path, key)
+            return None
+        header_len = len(_SPILL_MAGIC) + hashlib.sha256().digest_size
+        if len(raw) < header_len or not raw.startswith(_SPILL_MAGIC):
+            self._quarantine(path, key)
+            return None
+        digest = raw[len(_SPILL_MAGIC):header_len]
+        blob = raw[header_len:]
+        if hashlib.sha256(blob).digest() != digest:
+            self._quarantine(path, key)
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            self._quarantine(path, key)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _SPILL_FORMAT
+            or payload.get("version") != _SPILL_VERSION
+            or payload.get("model_hash") != key[0]
+            or payload.get("options_signature") != key[1]
+        ):
+            self._quarantine(path, key)
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, key: tuple) -> None:
+        """Blacklist a failed spill and rename it out of the probe path."""
+        with self._lock:
+            if key not in self._quarantined:
+                self._quarantined.add(key)
+                self.stats.service_spill_quarantined += 1
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except Exception:
+            # The rename is cosmetic (keeps the evidence around for a
+            # human); the in-memory blacklist is what stops re-probes.
+            pass
 
     # ------------------------------------------------------------------
     # Introspection and shutdown
@@ -1095,7 +1372,10 @@ class CheckingService:
             }
             return {
                 "status": "ok",
+                "state": self._state,
+                "active_requests": self._active,
                 "service": service,
+                "supervisor": self.supervisor.snapshot(),
                 "entries": entries,
                 "config": {
                     "max_entries": self.config.max_entries,
@@ -1104,15 +1384,25 @@ class CheckingService:
                     "queue_timeout": self.config.queue_timeout,
                     "default_deadline": self.config.default_deadline,
                     "cache_dir": self.config.cache_dir,
+                    "isolate": self.config.isolate,
+                    "drain_deadline": self.config.drain_deadline,
+                    "connection_timeout": self.config.connection_timeout,
                 },
             }
 
     def close(self) -> None:
-        """Spill every warm entry and refuse further requests."""
+        """Spill every warm entry and refuse further requests.
+
+        Terminal: unlike ``draining`` (a transient 503 — retry
+        elsewhere), a closed service answers 400, because there is no
+        point retrying against it.  Graceful shutdown is
+        :meth:`drain` followed by ``close()``.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._state = "closed"
             entries = list(self._entries.values())
             self._entries.clear()
         for entry in entries:

@@ -12,7 +12,10 @@ import numpy as np
 import pytest
 
 from benchmarks.record import (
+    FAULT_COUNTERS,
     MAX_RECORDS_PER_NAME,
+    check_all_regressions,
+    check_fault_counters,
     check_regressions,
     record_wall_times,
 )
@@ -126,3 +129,70 @@ class TestCheckRegressions:
         self._seed(path, [0.10, 0.10, 0.10, 0.13])
         assert check_regressions("bench", path=path) == []
         assert check_regressions("bench", path=path, ratio=1.2) != []
+
+
+class TestCheckFaultCounters:
+    """Server benches record ``service_*`` stats; faults flag strictly."""
+
+    def test_missing_file_is_silent(self, tmp_path):
+        assert (
+            check_fault_counters("bench", path=tmp_path / "nope.json") == []
+        )
+
+    def test_clean_run_not_flagged(self, tmp_path):
+        path = tmp_path / "hist.json"
+        record_wall_times(
+            "bench",
+            {"cold": 1.0, "warm": 0.01},
+            extra={"stats": {"service_requests": 2, "service_cache_hits": 1}},
+            path=path,
+        )
+        assert check_fault_counters("bench", path=path) == []
+
+    @pytest.mark.parametrize("counter", FAULT_COUNTERS)
+    def test_each_fault_counter_flags(self, tmp_path, counter):
+        path = tmp_path / "hist.json"
+        record_wall_times(
+            "bench",
+            {"cold": 1.0},
+            extra={"stats": {counter: 1}},
+            path=path,
+        )
+        flags = check_fault_counters("bench", path=path)
+        assert len(flags) == 1
+        assert counter in flags[0]
+
+    def test_only_latest_record_inspected(self, tmp_path):
+        # Faults in history are old news; only the newest run gates.
+        path = tmp_path / "hist.json"
+        record_wall_times(
+            "bench",
+            {"cold": 1.0},
+            extra={"stats": {"service_worker_crashes": 3}},
+            path=path,
+        )
+        record_wall_times(
+            "bench",
+            {"cold": 1.0},
+            extra={"stats": {"service_requests": 1}},
+            path=path,
+        )
+        assert check_fault_counters("bench", path=path) == []
+
+    def test_record_without_stats_is_silent(self, tmp_path):
+        path = tmp_path / "hist.json"
+        record_wall_times("bench", {"cold": 1.0}, path=path)
+        assert check_fault_counters("bench", path=path) == []
+
+    def test_sweep_includes_fault_flags(self, tmp_path):
+        path = tmp_path / "BENCH_server.json"
+        record_wall_times(
+            "bench",
+            {"cold": 1.0},
+            extra={"stats": {"service_spill_quarantined": 2}},
+            path=path,
+        )
+        flags = check_all_regressions(tmp_path)
+        assert len(flags) == 1
+        assert "BENCH_server.json" in flags[0]
+        assert "service_spill_quarantined" in flags[0]
